@@ -1,0 +1,44 @@
+# Convenience targets for the videodb reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-race vet cover bench fuzz paper corpus clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/core/ ./internal/feature/ ./internal/server/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# One testing.B benchmark per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Short fuzz passes over the binary parsers.
+fuzz:
+	$(GO) test -fuzz FuzzReadClip -fuzztime 30s ./internal/store/
+	$(GO) test -fuzz FuzzReadY4M -fuzztime 30s ./internal/store/
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/impression/
+
+# Regenerate every paper artifact at a moderate scale (see
+# EXPERIMENTS.md for the full-scale invocations).
+paper:
+	$(GO) run ./cmd/paper -all -scale 0.25
+
+# Render the example clips to ./corpus as VDBF files with ground truth.
+corpus:
+	$(GO) run ./cmd/synthgen -out corpus -set examples -truth
+
+clean:
+	rm -rf corpus db.snap

@@ -1,0 +1,222 @@
+// Command paper regenerates the tables and figures of the paper's
+// evaluation section (SIGMOD 2000, §5) on synthetic workloads.
+//
+// Usage:
+//
+//	paper -all                 # everything at the default scale
+//	paper -table 5 -scale 1    # full-length Table 5 corpus
+//	paper -figure 8            # the close-up retrieval experiment
+//	paper -compare             # camera tracking vs. the three baselines
+//	paper -ablation border     # w' sensitivity sweep
+//	paper -ablation tolerance  # α/β sweep
+//
+// The -scale flag (0 < scale ≤ 1) shrinks the synthetic corpus
+// proportionally for quick runs; tables 1–4 and the figures are cheap
+// and ignore it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"videodb/internal/experiments"
+	"videodb/internal/synth"
+)
+
+func main() {
+	var (
+		tableN   = flag.Int("table", 0, "regenerate one table (1-5)")
+		figureN  = flag.Int("figure", 0, "regenerate one figure (3, 4, 6, 7, 8, 9, 10)")
+		compare  = flag.Bool("compare", false, "compare the four detectors over the corpus")
+		ablation = flag.String("ablation", "", "run an ablation: border | tolerance | extended | fast | treequality | browsing | zoom | classified")
+		scale    = flag.Float64("scale", 0.25, "corpus scale factor in (0,1]")
+		all      = flag.Bool("all", false, "regenerate everything")
+	)
+	flag.Parse()
+
+	if err := run(*tableN, *figureN, *compare, *ablation, *scale, *all); err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tableN, figureN int, compare bool, ablation string, scale float64, all bool) error {
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("scale %v outside (0,1]", scale)
+	}
+	any := false
+	runTable := func(n int) bool { return all || tableN == n }
+	runFigure := func(n int) bool { return all || figureN == n }
+
+	if runTable(1) {
+		any = true
+		fmt.Println("=== Table 1: size-set approximation ===")
+		fmt.Println(experiments.Table1())
+	}
+	if runTable(2) {
+		any = true
+		fmt.Println("=== Table 2: representative frame selection ===")
+		fmt.Println(experiments.Table2())
+	}
+	if runTable(3) {
+		any = true
+		fmt.Println("=== Table 3: SBD output for the Figure 5 clip ===")
+		rows, bounds, gt, err := experiments.RunTable3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable3(rows))
+		fmt.Printf("detected boundaries: %v\nground truth:        %v\n\n", bounds, gt.Boundaries)
+	}
+	if runTable(4) {
+		any = true
+		fmt.Println("=== Table 4: index information for the two retrieval clips ===")
+		clips, err := experiments.RunTable4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable4(clips))
+	}
+	if runTable(5) {
+		any = true
+		fmt.Printf("=== Table 5: detection results over the 22-clip corpus (scale %.2f) ===\n", scale)
+		rows, total, err := experiments.RunTable5(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable5(rows, total))
+	}
+	if compare || all {
+		any = true
+		fmt.Printf("=== Baseline comparison (scale %.2f) ===\n", scale)
+		rows, err := experiments.RunComparison(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatComparison(rows))
+	}
+	if runFigure(3) {
+		any = true
+		fmt.Println("=== Figure 3: signature and sign computation ===")
+		fmt.Println(experiments.Figure3())
+	}
+	if runFigure(4) {
+		any = true
+		fmt.Printf("=== Figure 4: stage decision telemetry (scale %.2f) ===\n", scale)
+		stats, err := experiments.RunFigure4(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFigure4(stats))
+	}
+	if runFigure(6) {
+		any = true
+		fmt.Println("=== Figure 6: scene tree of the Figure 5 clip ===")
+		rendering, groups, err := experiments.RunFigure6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(rendering)
+		fmt.Printf("level-1 scenes (shot numbers): %v\n\n", groups)
+	}
+	if runFigure(7) {
+		any = true
+		fmt.Println("=== Figure 7: scene tree of the 'Friends' restaurant segment ===")
+		rendering, err := experiments.RunFigure7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(rendering)
+	}
+	figClasses := map[int]synth.Class{8: synth.ClassCloseup, 9: synth.ClassTwoShot, 10: synth.ClassAction}
+	for _, n := range []int{8, 9, 10} {
+		if !runFigure(n) {
+			continue
+		}
+		any = true
+		fmt.Printf("=== Figure %d: retrieval of %q shots ===\n", n, figClasses[n])
+		res, err := experiments.RunRetrieval(figClasses[n], 3)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatRetrieval(res))
+	}
+	if ablation == "border" || all {
+		any = true
+		fmt.Printf("=== Ablation: FBA border fraction w' (scale %.2f) ===\n", scale)
+		rows, err := experiments.RunAblationBorder([]float64{0.05, 0.10, 0.15, 0.20}, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblationBorder(rows))
+	}
+	if ablation == "tolerance" || all {
+		any = true
+		fmt.Println("=== Ablation: query tolerances α = β ===")
+		rows, err := experiments.RunAblationTolerance([]float64{0.25, 0.5, 1.0, 2.0, 4.0})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblationTolerance(rows))
+	}
+	if ablation == "extended" || all {
+		any = true
+		fmt.Println("=== Ablation: extended similarity model (mean-sign filter γ) ===")
+		rows, err := experiments.RunAblationExtended([]float64{30, 15, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblationExtended(rows))
+	}
+	if ablation == "zoom" || all {
+		any = true
+		fmt.Println("=== Limitation study: camera zoom ===")
+		rows, err := experiments.RunAblationZoom([]float64{1.0, 1.05, 1.08, 1.12, 1.2, 1.35})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblationZoom(rows))
+	}
+	if ablation == "browsing" || all {
+		any = true
+		fmt.Printf("=== Browsing cost: scene tree vs. VCR fast-forward (scale %.2f) ===\n", scale)
+		rows, err := experiments.RunBrowsingCost(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatBrowsingCost(rows))
+	}
+	if ablation == "treequality" || all {
+		any = true
+		fmt.Printf("=== Scene-tree quality vs. ground-truth locations (scale %.2f) ===\n", scale)
+		rows, err := experiments.RunTreeQuality(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTreeQuality(rows))
+	}
+	if ablation == "classified" || all {
+		any = true
+		fmt.Printf("=== Ablation: raw vs. run-collapsed boundaries (scale %.2f) ===\n", scale)
+		rows, err := experiments.RunAblationClassified(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblationClassified(rows))
+	}
+	if ablation == "fast" || all {
+		any = true
+		fmt.Printf("=== Ablation: skip-and-refine segmentation (scale %.2f) ===\n", scale)
+		rows, err := experiments.RunAblationFast([]int{2, 4, 8}, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblationFast(rows))
+	}
+	if !any {
+		flag.Usage()
+		return fmt.Errorf("nothing selected; use -all, -table, -figure, -compare or -ablation")
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// TestRunCheapArtifacts smoke-tests the experiment dispatcher on the
+// artifacts that run in milliseconds.
+func TestRunCheapArtifacts(t *testing.T) {
+	if err := run(1, 0, false, "", 0.25, false); err != nil {
+		t.Errorf("table 1: %v", err)
+	}
+	if err := run(2, 0, false, "", 0.25, false); err != nil {
+		t.Errorf("table 2: %v", err)
+	}
+	if err := run(0, 6, false, "", 0.25, false); err != nil {
+		t.Errorf("figure 6: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(1, 0, false, "", 0, false); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if err := run(1, 0, false, "", 1.5, false); err == nil {
+		t.Error("over-unity scale accepted")
+	}
+	if err := run(0, 0, false, "", 0.25, false); err == nil {
+		t.Error("empty selection accepted")
+	}
+}

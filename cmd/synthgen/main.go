@@ -1,0 +1,121 @@
+// Command synthgen renders the synthetic video corpus to VDBF files so
+// other tools (vdbctl, external viewers via PNG export) can consume it.
+//
+// Usage:
+//
+//	synthgen -out ./corpus                 # the 22-clip Table 5 corpus
+//	synthgen -out ./corpus -scale 0.25     # shorter clips
+//	synthgen -out ./corpus -set retrieval  # the two retrieval clips
+//	synthgen -out ./corpus -set examples   # figure5 + friends clips
+//	synthgen -out ./corpus -truth          # also write .truth sidecars
+//
+// Ground-truth sidecars are plain text: one boundary frame index per
+// line, then "shot <start> <end> <location> <class>" lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"videodb/internal/experiments"
+	"videodb/internal/store"
+	"videodb/internal/synth"
+	"videodb/internal/video"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "corpus", "output directory")
+		set   = flag.String("set", "table5", "clip set: table5 | retrieval | examples")
+		scale = flag.Float64("scale", 0.25, "corpus scale factor in (0,1] (table5 set only)")
+		truth = flag.Bool("truth", false, "write ground-truth sidecar files")
+	)
+	flag.Parse()
+	if err := run(*out, *set, *scale, *truth); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, set string, scale float64, truth bool) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	type item struct {
+		clip *video.Clip
+		gt   synth.GroundTruth
+	}
+	var items []item
+	switch set {
+	case "table5":
+		for _, def := range experiments.Table5Corpus() {
+			clip, gt, err := def.Build(scale)
+			if err != nil {
+				return fmt.Errorf("%s: %w", def.Name, err)
+			}
+			items = append(items, item{clip, gt})
+		}
+	case "retrieval":
+		for _, def := range experiments.RetrievalCorpus() {
+			clip, gt, err := def.Build()
+			if err != nil {
+				return fmt.Errorf("%s: %w", def.Name, err)
+			}
+			items = append(items, item{clip, gt})
+		}
+	case "examples":
+		for _, spec := range []synth.ClipSpec{experiments.Figure5Spec(), experiments.FriendsSpec()} {
+			clip, gt, err := synth.Generate(spec)
+			if err != nil {
+				return fmt.Errorf("%s: %w", spec.Name, err)
+			}
+			items = append(items, item{clip, gt})
+		}
+	default:
+		return fmt.Errorf("unknown set %q", set)
+	}
+
+	for _, it := range items {
+		base := slug(it.clip.Name)
+		path := filepath.Join(out, base+store.Ext)
+		if err := store.SaveClipFile(path, it.clip); err != nil {
+			return fmt.Errorf("%s: %w", it.clip.Name, err)
+		}
+		fmt.Printf("wrote %-44s %5d frames  %s\n", path, it.clip.Len(), it.clip.DurationString())
+		if !truth {
+			continue
+		}
+		if err := writeTruth(filepath.Join(out, base+".truth"), it.gt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slug converts a clip name to a safe file name.
+func slug(name string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case sb.Len() > 0 && sb.String()[sb.Len()-1] != '-':
+			sb.WriteByte('-')
+		}
+	}
+	return strings.Trim(sb.String(), "-")
+}
+
+func writeTruth(path string, gt synth.GroundTruth) error {
+	var sb strings.Builder
+	for _, b := range gt.Boundaries {
+		fmt.Fprintf(&sb, "boundary %d\n", b)
+	}
+	for _, s := range gt.Shots {
+		fmt.Fprintf(&sb, "shot %d %d %d %s\n", s.Start, s.End, s.Location, s.Class)
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

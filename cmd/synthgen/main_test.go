@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"videodb/internal/synth"
+)
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Wag the Dog":             "wag-the-dog",
+		"Tennis (1999 U.S. Open)": "tennis-1999-u-s-open",
+		"  Spaces  ":              "spaces",
+		"UPPER":                   "upper",
+		"double--dash":            "double-dash",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunExamplesSet(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "examples", 1, true); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vdbf, truth int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".vdbf"):
+			vdbf++
+		case strings.HasSuffix(e.Name(), ".truth"):
+			truth++
+		}
+	}
+	if vdbf != 2 || truth != 2 {
+		t.Errorf("wrote %d clips and %d truth files, want 2 and 2", vdbf, truth)
+	}
+}
+
+func TestRunRejectsUnknownSet(t *testing.T) {
+	if err := run(t.TempDir(), "nope", 1, false); err == nil {
+		t.Error("unknown set accepted")
+	}
+}
+
+func TestWriteTruth(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.truth")
+	gt := synth.GroundTruth{
+		Boundaries: []int{5},
+		Shots: []synth.ShotTruth{
+			{Start: 0, End: 4, Location: 0, Class: synth.ClassCloseup},
+			{Start: 5, End: 9, Location: 1, Class: synth.ClassOther},
+		},
+	}
+	if err := writeTruth(path, gt); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "boundary 5") || !strings.Contains(s, "shot 0 4 0 closeup") {
+		t.Errorf("truth file content:\n%s", s)
+	}
+}

@@ -1,0 +1,464 @@
+// Command vdbctl is the operator CLI of the video database: it ingests
+// VDBF clips, persists the analysis as a snapshot, prints scene trees,
+// and answers variance-based similarity queries.
+//
+// Usage:
+//
+//	vdbctl ingest -db db.snap clip1.vdbf clip2.vdbf ...
+//	vdbctl ingest -db db.snap -dir ./corpus
+//	vdbctl info   -db db.snap
+//	vdbctl tree   -db db.snap -clip "Wag the Dog"
+//	vdbctl query  -db db.snap -varba 25 -varoa 4 [-alpha 1 -beta 1]
+//	vdbctl similar -db db.snap -clip "Wag the Dog" -shot 12 -k 3
+//	vdbctl export -in clip.vdbf -frame 17 -png out.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image/png"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"videodb/internal/core"
+	"videodb/internal/feature"
+	"videodb/internal/impression"
+	"videodb/internal/motion"
+	"videodb/internal/sbd"
+	"videodb/internal/store"
+	"videodb/internal/storyboard"
+	"videodb/internal/varindex"
+	"videodb/internal/video"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "import":
+		err = cmdImport(args)
+	case "ingest":
+		err = cmdIngest(args)
+	case "info":
+		err = cmdInfo(args)
+	case "tree":
+		err = cmdTree(args)
+	case "query":
+		err = cmdQuery(args)
+	case "similar":
+		err = cmdSimilar(args)
+	case "shots":
+		err = cmdShots(args)
+	case "motion":
+		err = cmdMotion(args)
+	case "storyboard":
+		err = cmdStoryboard(args)
+	case "export":
+		err = cmdExport(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdbctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: vdbctl <command> [flags]
+
+commands:
+  import   convert Y4M or image-sequence video to a VDBF clip
+  ingest   analyze VDBF clips and save a database snapshot
+  info     summarise a snapshot
+  tree     print a clip's scene tree
+  query    variance-based similarity search
+  similar  find shots similar to an existing shot
+  shots    segment a VDBF clip, classifying each transition (cut/gradual)
+  motion   segment a VDBF clip and label each shot's camera motion
+  storyboard  render a clip's per-shot representative frames as one PNG
+  export   write one frame of a VDBF clip as PNG`)
+}
+
+// loadDB opens an existing snapshot, or a fresh database if the file
+// does not exist yet.
+func loadDB(path string) (*core.Database, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return core.Open(core.DefaultOptions())
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(f)
+}
+
+func saveDB(path string, db *core.Database) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// cmdImport converts external video (YUV4MPEG2 streams or numbered
+// image frames) into a VDBF clip, optionally resampling to the 3 fps
+// analysis rate the paper uses.
+func cmdImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	y4m := fs.String("y4m", "", "YUV4MPEG2 input file ('-' for stdin)")
+	frames := fs.String("frames", "", "directory of PNG/JPEG frames")
+	fps := fs.Int("fps", 30, "nominal fps of an image-sequence input")
+	name := fs.String("name", "", "clip name (default: derived from input)")
+	out := fs.String("out", "", "output VDBF path (default: <name>.vdbf)")
+	resample := fs.Int("resample", 3, "resample to this analysis rate (0 = keep)")
+	fs.Parse(args)
+
+	var clip *video.Clip
+	var err error
+	switch {
+	case *y4m != "" && *frames != "":
+		return fmt.Errorf("import: -y4m and -frames are mutually exclusive")
+	case *y4m != "":
+		n := *name
+		if n == "" {
+			n = strings.TrimSuffix(filepath.Base(*y4m), ".y4m")
+		}
+		var r io.Reader = os.Stdin
+		if *y4m != "-" {
+			f, err := os.Open(*y4m)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		clip, err = store.ReadY4M(r, n)
+	case *frames != "":
+		n := *name
+		if n == "" {
+			n = filepath.Base(*frames)
+		}
+		clip, err = store.ImportImageDir(*frames, n, *fps)
+	default:
+		return fmt.Errorf("import: need -y4m or -frames")
+	}
+	if err != nil {
+		return err
+	}
+	if *resample > 0 {
+		clip = clip.Resample(*resample)
+	}
+	path := *out
+	if path == "" {
+		path = clip.Name + store.Ext
+	}
+	if err := store.SaveClipFile(path, clip); err != nil {
+		return err
+	}
+	fmt.Printf("imported %q: %d frames at %d fps → %s\n", clip.Name, clip.Len(), clip.FPS, path)
+	return nil
+}
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	dbPath := fs.String("db", "db.snap", "snapshot file")
+	dir := fs.String("dir", "", "ingest every VDBF clip in this directory")
+	fs.Parse(args)
+
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if *dir != "" {
+		cat, err := store.OpenCatalog(*dir)
+		if err != nil {
+			return err
+		}
+		for _, name := range cat.Names() {
+			paths = append(paths, cat.Paths[name])
+		}
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no clips to ingest")
+	}
+	for _, p := range paths {
+		clip, err := store.LoadClipFile(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		rec, err := db.Ingest(clip)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		fmt.Printf("ingested %-40q %4d shots, tree height %d\n", rec.Name, len(rec.Shots), rec.Tree.Height())
+	}
+	return saveDB(*dbPath, db)
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	dbPath := fs.String("db", "db.snap", "snapshot file")
+	fs.Parse(args)
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clips: %d, indexed shots: %d\n", len(db.Clips()), db.ShotCount())
+	for _, name := range db.Clips() {
+		rec, _ := db.Clip(name)
+		secs := 0
+		if rec.FPS > 0 {
+			secs = rec.Frames / rec.FPS
+		}
+		fmt.Printf("  %-40q %5d frames (%d:%02d) %4d shots, tree height %d\n",
+			name, rec.Frames, secs/60, secs%60, len(rec.Shots), rec.Tree.Height())
+	}
+	return nil
+}
+
+func cmdTree(args []string) error {
+	fs := flag.NewFlagSet("tree", flag.ExitOnError)
+	dbPath := fs.String("db", "db.snap", "snapshot file")
+	clip := fs.String("clip", "", "clip name")
+	dot := fs.Bool("dot", false, "emit Graphviz dot instead of ASCII")
+	fs.Parse(args)
+	if *clip == "" {
+		return fmt.Errorf("tree: -clip required")
+	}
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	tree, err := db.Browse(*clip)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(tree.DOT(*clip))
+	} else {
+		fmt.Print(tree.String())
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dbPath := fs.String("db", "db.snap", "snapshot file")
+	varBA := fs.Float64("varba", 0, "query Var^BA (degree of background change)")
+	varOA := fs.Float64("varoa", 0, "query Var^OA (degree of object-area change)")
+	imp := fs.String("impression", "", `qualitative query, e.g. "background=high object=low"`)
+	alpha := fs.Float64("alpha", varindex.DefaultAlpha, "Dv tolerance α")
+	beta := fs.Float64("beta", varindex.DefaultBeta, "sqrt(VarBA) tolerance β")
+	fs.Parse(args)
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	q := varindex.Query{VarBA: *varBA, VarOA: *varOA}
+	if *imp != "" {
+		parsed, err := impression.Parse(*imp)
+		if err != nil {
+			return err
+		}
+		q = parsed.Query()
+		fmt.Printf("impression %q → VarBA=%.2f VarOA=%.2f\n", parsed, q.VarBA, q.VarOA)
+	}
+	matches, err := db.QueryWithOptions(q, varindex.Options{Alpha: *alpha, Beta: *beta})
+	if err != nil {
+		return err
+	}
+	printMatches(matches)
+	return nil
+}
+
+func cmdSimilar(args []string) error {
+	fs := flag.NewFlagSet("similar", flag.ExitOnError)
+	dbPath := fs.String("db", "db.snap", "snapshot file")
+	clip := fs.String("clip", "", "clip name")
+	shot := fs.Int("shot", 0, "shot index (0-based)")
+	k := fs.Int("k", 3, "number of matches")
+	fs.Parse(args)
+	if *clip == "" {
+		return fmt.Errorf("similar: -clip required")
+	}
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	matches, err := db.QueryByShot(*clip, *shot, *k)
+	if err != nil {
+		return err
+	}
+	printMatches(matches)
+	return nil
+}
+
+func printMatches(matches []core.Match) {
+	if len(matches) == 0 {
+		fmt.Println("no matching shots")
+		return
+	}
+	for _, m := range matches {
+		scene := "-"
+		if m.Scene != nil {
+			scene = m.Scene.Name()
+		}
+		fmt.Printf("%-40q shot %3d  frames %4d-%4d  VarBA=%7.2f VarOA=%7.2f Dv=%6.2f  start browsing at %s\n",
+			m.Entry.Clip, m.Entry.Shot, m.Entry.Start, m.Entry.End,
+			m.Entry.VarBA, m.Entry.VarOA, m.Entry.Dv(), scene)
+	}
+}
+
+// cmdShots segments a clip and prints each transition with its kind
+// (cut or gradual).
+func cmdShots(args []string) error {
+	fs := flag.NewFlagSet("shots", flag.ExitOnError)
+	in := fs.String("in", "", "VDBF clip file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("shots: -in required")
+	}
+	clip, err := store.LoadClipFile(*in)
+	if err != nil {
+		return err
+	}
+	det, err := sbd.NewCameraTracking(sbd.DefaultConfig(), nil)
+	if err != nil {
+		return err
+	}
+	bounds, err := det.DetectClassified(clip)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%q: %d frames, %d transitions\n", clip.Name, clip.Len(), len(bounds))
+	prev := 0
+	for i, b := range bounds {
+		fmt.Printf("shot %3d  frames %4d-%4d  then %s\n", i, prev, b.Frame-1, b.Kind)
+		prev = b.Frame
+	}
+	fmt.Printf("shot %3d  frames %4d-%4d\n", len(bounds), prev, clip.Len()-1)
+	return nil
+}
+
+// cmdMotion segments a clip and labels each shot's camera operation
+// from the background-signature shifts.
+func cmdMotion(args []string) error {
+	fs := flag.NewFlagSet("motion", flag.ExitOnError)
+	in := fs.String("in", "", "VDBF clip file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("motion: -in required")
+	}
+	clip, err := store.LoadClipFile(*in)
+	if err != nil {
+		return err
+	}
+	an, err := feature.NewAnalyzer(clip.Frames[0].W, clip.Frames[0].H)
+	if err != nil {
+		return err
+	}
+	det, err := sbd.NewCameraTracking(sbd.DefaultConfig(), an)
+	if err != nil {
+		return err
+	}
+	feats := an.AnalyzeClip(clip)
+	bounds, _ := det.DetectFeatures(feats)
+	shots := sbd.ShotsFromBoundaries(bounds, clip.Len())
+	classifier, err := motion.NewClassifier(motion.DefaultConfig(), sbd.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	for i, sum := range classifier.ClassifyAll(feats, shots) {
+		fmt.Printf("shot %3d  frames %4d-%4d  %s\n", i, shots[i].Start, shots[i].End, sum)
+	}
+	return nil
+}
+
+// cmdStoryboard segments a clip and writes the per-shot representative
+// frames as a single storyboard PNG.
+func cmdStoryboard(args []string) error {
+	fs := flag.NewFlagSet("storyboard", flag.ExitOnError)
+	in := fs.String("in", "", "VDBF clip file")
+	out := fs.String("png", "storyboard.png", "output PNG path")
+	cols := fs.Int("cols", 4, "frames per row")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("storyboard: -in required")
+	}
+	clip, err := store.LoadClipFile(*in)
+	if err != nil {
+		return err
+	}
+	db, err := core.Open(core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	rec, err := db.Ingest(clip)
+	if err != nil {
+		return err
+	}
+	opt := storyboard.DefaultOptions()
+	opt.Columns = *cols
+	board, err := storyboard.ForClip(clip, rec.Tree, opt)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := png.Encode(f, board.ToImage()); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d shots, %dx%d)\n", *out, len(rec.Shots), board.W, board.H)
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	in := fs.String("in", "", "VDBF clip file")
+	frame := fs.Int("frame", 0, "frame index")
+	out := fs.String("png", "frame.png", "output PNG path")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("export: -in required")
+	}
+	clip, err := store.LoadClipFile(*in)
+	if err != nil {
+		return err
+	}
+	if *frame < 0 || *frame >= clip.Len() {
+		return fmt.Errorf("frame %d outside [0,%d)", *frame, clip.Len())
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := png.Encode(f, clip.Frames[*frame].ToImage()); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (frame %d of %q)\n", *out, *frame, clip.Name)
+	return nil
+}

@@ -1,0 +1,59 @@
+// Command vdbserver serves a video database snapshot over HTTP.
+//
+// Usage:
+//
+//	vdbserver -db db.snap -addr :8080 [-corpus ./corpus]
+//
+// Endpoints (GET):
+//
+//	/api/clips                        list ingested clips (JSON)
+//	/api/clips/{name}                 one clip's shot table (JSON)
+//	/api/clips/{name}/tree            the clip's scene tree (JSON)
+//	/api/query?varba=25&varoa=4       variance-based similarity query
+//	/api/query?impression=bg%3Dhigh+obj%3Dlow
+//	/api/similar?clip=NAME&shot=3&k=3 query by example shot
+//	/api/frame?clip=NAME&frame=17     one frame as PNG (needs -corpus)
+//	/api/storyboard?clip=NAME&cols=4  per-shot storyboard PNG (needs -corpus)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"videodb/internal/core"
+	"videodb/internal/server"
+	"videodb/internal/store"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "db.snap", "database snapshot (from vdbctl ingest)")
+		corpus = flag.String("corpus", "", "directory of VDBF clips; enables /api/frame and /api/storyboard")
+		addr   = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		log.Fatalf("vdbserver: %v", err)
+	}
+	db, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("vdbserver: loading snapshot: %v", err)
+	}
+	srv := server.New(db)
+	if *corpus != "" {
+		cat, err := store.OpenCatalog(*corpus)
+		if err != nil {
+			log.Fatalf("vdbserver: opening corpus: %v", err)
+		}
+		srv = srv.WithMedia(cat)
+		fmt.Printf("media endpoints enabled over %s (%d clips)\n", *corpus, len(cat.Names()))
+	}
+	fmt.Printf("serving %d clips (%d shots) on %s\n", len(db.Clips()), db.ShotCount(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

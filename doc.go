@@ -1,0 +1,11 @@
+// Package videodb reproduces "Efficient and Cost-effective Techniques
+// for Browsing and Indexing Large Video Databases" (Oh & Hua, SIGMOD
+// 2000): camera-tracking shot boundary detection, automatic scene-tree
+// construction for non-linear browsing, and a variance-based similarity
+// index.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// module map); cmd/ holds the operator tools, examples/ runnable
+// walkthroughs, and bench_test.go in this directory regenerates every
+// table and figure of the paper's evaluation as a Go benchmark.
+package videodb

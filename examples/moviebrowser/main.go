@@ -1,0 +1,100 @@
+// Moviebrowser: non-linear browsing of a feature-film clip through its
+// scene tree, compared with VCR-style linear scanning — the browsing
+// problem §3 of the paper opens with. A browse.Session walks the
+// hierarchy from the root toward a target shot, counting how many
+// representative frames the viewer inspects versus how many frames a
+// fast-forward scan would display. The example also labels each shot's
+// camera motion using the background-signature shifts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"videodb/internal/browse"
+	"videodb/internal/core"
+	"videodb/internal/feature"
+	"videodb/internal/motion"
+	"videodb/internal/sbd"
+	"videodb/internal/synth"
+)
+
+func main() {
+	// 1. A movie-style clip with revisited locations.
+	spec, err := synth.BuildClip(synth.GenreMovie, synth.ClipParams{
+		Name: "feature-film", Shots: 30, DurationSec: 200, Seed: 404,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clip, _, err := synth.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := core.Open(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := db.Ingest(clip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree := rec.Tree
+	fmt.Printf("%q: %d frames, %d shots, scene tree height %d with %d nodes\n\n",
+		rec.Name, rec.Frames, len(rec.Shots), tree.Height(), tree.NodeCount())
+	fmt.Println(tree)
+
+	// 2. Browse toward the last shot of the movie, as a viewer looking
+	//    for "that scene near the end" would.
+	target := len(rec.Shots) - 1
+	session, err := browse.NewSession(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("browsing toward shot %d (frames %d-%d):\n",
+		target, rec.Shots[target].Shot.Start, rec.Shots[target].Shot.End)
+	if err := session.SeekShot(target); err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range session.Path() {
+		fmt.Printf("  %s\n", n.Name())
+	}
+	fmt.Printf("reached %s after inspecting %d representative frames\n",
+		session.Position().Name(), session.Inspected())
+
+	// 3. The VCR comparison: fast-forward at 8x from the start.
+	vcr, err := browse.VCRFrames(tree, target, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nVCR-style fast-forward (8x) would display ~%d frames to reach the same shot\n", vcr)
+	if vcr > 0 {
+		fmt.Printf("scene-tree browsing inspected %.1f%% of that\n",
+			100*float64(session.Inspected())/float64(vcr))
+	}
+
+	// 4. A query result as a browsing entry point: jump straight to the
+	//    largest scene of a mid-movie shot and continue downward.
+	entry := tree.LargestSceneFor(len(rec.Shots) / 2)
+	if err := session.JumpTo(entry); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter a query, the viewer jumps to %s and continues browsing from there\n", entry.Name())
+
+	// 5. Camera-motion labels for the final five shots, from the same
+	//    signature shifts the detector used.
+	an, err := feature.NewAnalyzer(160, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feats := an.AnalyzeClip(clip)
+	classifier, err := motion.NewClassifier(motion.DefaultConfig(), sbd.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncamera motion of the final five shots:")
+	for s := len(rec.Shots) - 5; s < len(rec.Shots); s++ {
+		sum := classifier.Classify(feats, rec.Shots[s].Shot)
+		fmt.Printf("  shot %2d: %s\n", s, sum)
+	}
+}

@@ -1,0 +1,124 @@
+// Retrieval: the query-by-impression workflow of the paper's Figures
+// 8–10. Two movie-style clips with close-ups, two-shots and action
+// shots are ingested; each class is then retrieved both by an example
+// shot and by a hand-written impression of "how much things change".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"videodb/internal/core"
+	"videodb/internal/experiments"
+	"videodb/internal/synth"
+	"videodb/internal/varindex"
+)
+
+func main() {
+	db, err := core.Open(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Ground-truth classes per clip, mapped onto detected shots.
+	classes := make(map[string][]synth.Class)
+	for _, def := range experiments.RetrievalCorpus() {
+		clip, gt, err := def.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := db.Ingest(clip)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs := make([]synth.Class, len(rec.Shots))
+		for i, sr := range rec.Shots {
+			cs[i] = classOf(gt, sr.Shot.Start, sr.Shot.End)
+		}
+		classes[clip.Name] = cs
+		fmt.Printf("ingested %q: %d shots\n", clip.Name, len(rec.Shots))
+	}
+
+	// Query 1 (Figure 8): by example — pick the first close-up of
+	// 'Wag the Dog' and ask for the three most similar shots.
+	fmt.Println("\n--- query by example: a close-up of a talking person ---")
+	wag := "Wag the Dog"
+	queryShot := -1
+	for i, c := range classes[wag] {
+		if c == synth.ClassCloseup {
+			queryShot = i
+			break
+		}
+	}
+	if queryShot < 0 {
+		log.Fatal("no close-up detected in Wag the Dog")
+	}
+	rec, _ := db.Clip(wag)
+	sf := rec.Shots[queryShot].Feature
+	fmt.Printf("query: shot %d of %q (VarBA=%.2f VarOA=%.2f Dv=%.2f)\n",
+		queryShot, wag, sf.VarBA, sf.VarOA, sf.Dv())
+	matches, err := db.QueryByShot(wag, queryShot, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("  %-14q shot %2d  (%s)  start browsing at %s\n",
+			m.Entry.Clip, m.Entry.Shot, classes[m.Entry.Clip][m.Entry.Shot], m.Scene.Name())
+	}
+
+	// Query 2 (Figure 10 style): by impression — "the background
+	// changes a lot, the subject fills the frame": action content.
+	fmt.Println("\n--- query by impression: fast-changing background ---")
+	q := varindex.Query{VarBA: 9, VarOA: 4}
+	impression, err := db.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query VarBA=%.0f VarOA=%.0f matched %d shots:\n", q.VarBA, q.VarOA, len(impression))
+	for i, m := range impression {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(impression)-5)
+			break
+		}
+		fmt.Printf("  %-14q shot %2d  (%s)\n",
+			m.Entry.Clip, m.Entry.Shot, classes[m.Entry.Clip][m.Entry.Shot])
+	}
+
+	// Aggregate check: how well does the two-value feature vector
+	// separate the classes overall?
+	fmt.Println("\n--- class retrieval rates (top-3 per query) ---")
+	results, err := experiments.RunRetrievalAll(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		fmt.Printf("  %-8s %3d queries, %3.0f%% of retrieved shots share the class\n",
+			res.Class.String()+":", res.Queries, 100*res.HitRate())
+	}
+}
+
+// classOf returns the ground-truth class overlapping most of [start,end].
+func classOf(gt synth.GroundTruth, start, end int) synth.Class {
+	best := synth.ClassOther
+	bestOv := 0
+	for _, s := range gt.Shots {
+		lo, hi := max(s.Start, start), min(s.End, end)
+		if ov := hi - lo + 1; ov > bestOv {
+			bestOv, best = ov, s.Class
+		}
+	}
+	return best
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

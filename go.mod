@@ -1,0 +1,3 @@
+module videodb
+
+go 1.22

@@ -1,0 +1,168 @@
+// Package browse models an interactive non-linear browsing session over
+// a scene tree — the user-facing activity the paper's hierarchy exists
+// for (§3). A Session tracks the viewer's position, offers the moves a
+// browsing UI would (descend into a child scene, go up, step between
+// sibling scenes, jump to a query result), and accounts for how many
+// representative frames the viewer has inspected, the cost measure
+// against VCR-style scanning.
+package browse
+
+import (
+	"fmt"
+
+	"videodb/internal/scenetree"
+)
+
+// Session is an ongoing browsing session. It is not safe for concurrent
+// use; each viewer holds their own session.
+type Session struct {
+	tree      *scenetree.Tree
+	pos       *scenetree.Node
+	inspected int
+	path      []*scenetree.Node
+}
+
+// NewSession starts a session at the tree's root.
+func NewSession(tree *scenetree.Tree) (*Session, error) {
+	if tree == nil || tree.Root == nil {
+		return nil, fmt.Errorf("browse: nil tree")
+	}
+	return &Session{tree: tree, pos: tree.Root, path: []*scenetree.Node{tree.Root}}, nil
+}
+
+// Position returns the scene node the viewer is looking at.
+func (s *Session) Position() *scenetree.Node { return s.pos }
+
+// Inspected returns how many representative frames the viewer has been
+// shown so far.
+func (s *Session) Inspected() int { return s.inspected }
+
+// Path returns the nodes from the root to the current position.
+func (s *Session) Path() []*scenetree.Node {
+	out := make([]*scenetree.Node, len(s.path))
+	copy(out, s.path)
+	return out
+}
+
+// Children lists the current node's child scenes, charging one
+// representative-frame inspection per child (the UI shows their
+// thumbnails).
+func (s *Session) Children() []*scenetree.Node {
+	s.inspected += len(s.pos.Children)
+	out := make([]*scenetree.Node, len(s.pos.Children))
+	copy(out, s.pos.Children)
+	return out
+}
+
+// Descend moves into the i-th child of the current node.
+func (s *Session) Descend(i int) error {
+	if i < 0 || i >= len(s.pos.Children) {
+		return fmt.Errorf("browse: %s has no child %d", s.pos.Name(), i)
+	}
+	s.pos = s.pos.Children[i]
+	s.path = append(s.path, s.pos)
+	return nil
+}
+
+// Up moves to the parent scene.
+func (s *Session) Up() error {
+	if s.pos.Parent == nil {
+		return fmt.Errorf("browse: already at the root")
+	}
+	s.pos = s.pos.Parent
+	s.path = s.path[:len(s.path)-1]
+	return nil
+}
+
+// NextSibling moves to the next sibling scene (wrapping), charging one
+// inspection for the newly shown representative frame.
+func (s *Session) NextSibling() error {
+	p := s.pos.Parent
+	if p == nil {
+		return fmt.Errorf("browse: the root has no siblings")
+	}
+	for i, c := range p.Children {
+		if c == s.pos {
+			s.pos = p.Children[(i+1)%len(p.Children)]
+			s.path[len(s.path)-1] = s.pos
+			s.inspected++
+			return nil
+		}
+	}
+	return fmt.Errorf("browse: session position detached from tree")
+}
+
+// JumpTo moves the session to an arbitrary node of the same tree — the
+// entry point a similarity query suggests (§4.2). The path is rebuilt
+// from the root; one inspection is charged for the landing frame.
+func (s *Session) JumpTo(n *scenetree.Node) error {
+	if n == nil {
+		return fmt.Errorf("browse: nil node")
+	}
+	if n.Root() != s.tree.Root {
+		return fmt.Errorf("browse: node %s belongs to a different tree", n.Name())
+	}
+	var path []*scenetree.Node
+	for cur := n; cur != nil; cur = cur.Parent {
+		path = append([]*scenetree.Node{cur}, path...)
+	}
+	s.pos = n
+	s.path = path
+	s.inspected++
+	return nil
+}
+
+// SeekShot descends from the current position toward the leaf of the
+// given shot, charging inspections for every child list examined along
+// the way. It fails if the shot is not under the current position.
+func (s *Session) SeekShot(shot int) error {
+	if shot < 0 || shot >= len(s.tree.Leaves) {
+		return fmt.Errorf("browse: no shot %d", shot)
+	}
+	if !subtreeContains(s.pos, shot) {
+		return fmt.Errorf("browse: shot %d is not under %s", shot, s.pos.Name())
+	}
+	for !s.pos.IsLeaf() {
+		kids := s.Children()
+		moved := false
+		for i, c := range kids {
+			if subtreeContains(c, shot) {
+				if err := s.Descend(i); err != nil {
+					return err
+				}
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return fmt.Errorf("browse: shot %d vanished below %s", shot, s.pos.Name())
+		}
+	}
+	return nil
+}
+
+func subtreeContains(n *scenetree.Node, shot int) bool {
+	if n.IsLeaf() {
+		return n.Shot == shot
+	}
+	for _, c := range n.Children {
+		if subtreeContains(c, shot) {
+			return true
+		}
+	}
+	return false
+}
+
+// VCRFrames returns how many frames a fast-forward scan at the given
+// speedup would display to reach the first frame of the given shot from
+// the start of the video — the baseline browsing cost (§3 opens with
+// the tedium of VCR-like functions).
+func VCRFrames(tree *scenetree.Tree, shot, speedup int) (int, error) {
+	if shot < 0 || shot >= len(tree.Shots) {
+		return 0, fmt.Errorf("browse: no shot %d", shot)
+	}
+	if speedup < 1 {
+		return 0, fmt.Errorf("browse: speedup %d < 1", speedup)
+	}
+	return tree.Shots[shot].Start / speedup, nil
+}

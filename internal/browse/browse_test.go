@@ -1,0 +1,196 @@
+package browse
+
+import (
+	"testing"
+
+	"videodb/internal/feature"
+	"videodb/internal/sbd"
+	"videodb/internal/scenetree"
+	"videodb/internal/video"
+)
+
+// fixtureTree builds the Figure 5/6 tree via synthetic features (same
+// construction as the scenetree package's golden test).
+func fixtureTree(t *testing.T) *scenetree.Tree {
+	t.Helper()
+	specs := []struct {
+		base   uint8
+		frames int
+		run    int
+	}{
+		{10, 75, 70}, {60, 25, 10}, {10, 40, 15}, {60, 30, 12}, {120, 120, 30},
+		{10, 60, 20}, {120, 65, 50}, {200, 80, 40}, {200, 55, 30}, {200, 75, 35},
+	}
+	var feats []feature.FrameFeature
+	var shots []sbd.Shot
+	for _, sp := range specs {
+		start := len(feats)
+		for i := 0; i < sp.frames; i++ {
+			v := sp.base
+			if i >= sp.run {
+				if i%2 == 0 {
+					v += 5
+				} else {
+					v += 10
+				}
+			}
+			feats = append(feats, feature.FrameFeature{SignBA: video.RGB(v, v, v)})
+		}
+		shots = append(shots, sbd.Shot{Start: start, End: len(feats) - 1})
+	}
+	tree, err := scenetree.Build(scenetree.DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestNewSession(t *testing.T) {
+	tree := fixtureTree(t)
+	s, err := NewSession(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Position() != tree.Root {
+		t.Error("session does not start at root")
+	}
+	if s.Inspected() != 0 {
+		t.Error("fresh session has inspections")
+	}
+	if _, err := NewSession(nil); err == nil {
+		t.Error("nil tree accepted")
+	}
+}
+
+func TestDescendAndUp(t *testing.T) {
+	tree := fixtureTree(t)
+	s, _ := NewSession(tree)
+	kids := s.Children()
+	if len(kids) == 0 {
+		t.Fatal("root has no children")
+	}
+	if s.Inspected() != len(kids) {
+		t.Errorf("inspections %d after listing %d children", s.Inspected(), len(kids))
+	}
+	if err := s.Descend(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Position() != kids[0] {
+		t.Error("descend went elsewhere")
+	}
+	if len(s.Path()) != 2 {
+		t.Errorf("path length %d", len(s.Path()))
+	}
+	if err := s.Up(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Position() != tree.Root {
+		t.Error("up did not return to root")
+	}
+	if err := s.Up(); err == nil {
+		t.Error("up from root succeeded")
+	}
+	if err := s.Descend(99); err == nil {
+		t.Error("descend out of range succeeded")
+	}
+}
+
+func TestNextSibling(t *testing.T) {
+	tree := fixtureTree(t)
+	s, _ := NewSession(tree)
+	if err := s.NextSibling(); err == nil {
+		t.Error("root sibling step succeeded")
+	}
+	s.Children()
+	if err := s.Descend(0); err != nil {
+		t.Fatal(err)
+	}
+	first := s.Position()
+	n := len(tree.Root.Children)
+	for i := 0; i < n; i++ {
+		if err := s.NextSibling(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Position() != first {
+		t.Error("sibling steps did not wrap around")
+	}
+}
+
+func TestSeekShot(t *testing.T) {
+	tree := fixtureTree(t)
+	s, _ := NewSession(tree)
+	if err := s.SeekShot(6); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Position().IsLeaf() || s.Position().Shot != 6 {
+		t.Errorf("seek landed at %s", s.Position().Name())
+	}
+	if s.Inspected() == 0 {
+		t.Error("seek charged no inspections")
+	}
+	// Seeking a shot outside the current subtree fails.
+	if err := s.SeekShot(0); err == nil {
+		t.Error("seek outside subtree succeeded")
+	}
+	if err := s.SeekShot(99); err == nil {
+		t.Error("seek to missing shot succeeded")
+	}
+}
+
+func TestSeekCheaperThanVCR(t *testing.T) {
+	tree := fixtureTree(t)
+	s, _ := NewSession(tree)
+	target := 9 // last shot, starts at frame 550
+	if err := s.SeekShot(target); err != nil {
+		t.Fatal(err)
+	}
+	vcr, err := VCRFrames(tree, target, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Inspected() >= vcr {
+		t.Errorf("tree browsing inspected %d frames, VCR %d", s.Inspected(), vcr)
+	}
+}
+
+func TestJumpTo(t *testing.T) {
+	tree := fixtureTree(t)
+	s, _ := NewSession(tree)
+	entry := tree.LargestSceneFor(6)
+	if err := s.JumpTo(entry); err != nil {
+		t.Fatal(err)
+	}
+	if s.Position() != entry {
+		t.Error("jump landed elsewhere")
+	}
+	path := s.Path()
+	if path[0] != tree.Root || path[len(path)-1] != entry {
+		t.Errorf("path after jump: %v", path)
+	}
+	// Continue browsing downward after the jump.
+	if err := s.SeekShot(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JumpTo(nil); err == nil {
+		t.Error("jump to nil succeeded")
+	}
+	other := fixtureTree(t)
+	if err := s.JumpTo(other.Root); err == nil {
+		t.Error("jump across trees succeeded")
+	}
+}
+
+func TestVCRFramesValidation(t *testing.T) {
+	tree := fixtureTree(t)
+	if _, err := VCRFrames(tree, -1, 8); err == nil {
+		t.Error("negative shot accepted")
+	}
+	if _, err := VCRFrames(tree, 0, 0); err == nil {
+		t.Error("zero speedup accepted")
+	}
+	v, err := VCRFrames(tree, 0, 8)
+	if err != nil || v != 0 {
+		t.Errorf("first shot VCR cost = %d, %v", v, err)
+	}
+}

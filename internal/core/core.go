@@ -1,0 +1,408 @@
+// Package core is the integrated video database of the paper (SIGMOD
+// 2000): ingesting a clip runs the three-step methodology end to end —
+//
+//	Step 1: camera-tracking shot boundary detection, which also
+//	        extracts the per-shot feature vector (Var^BA, Var^OA);
+//	Step 2: fully automatic scene-tree construction for non-linear
+//	        browsing;
+//	Step 3: a variance-based index over all shots, answering similarity
+//	        queries with the scene nodes at which to start browsing.
+//
+// A Database is safe for concurrent use; ingestion of independent clips
+// proceeds in parallel.
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"videodb/internal/feature"
+	"videodb/internal/sbd"
+	"videodb/internal/scenetree"
+	"videodb/internal/varindex"
+	"videodb/internal/video"
+)
+
+// Options configures a Database.
+type Options struct {
+	// SBD holds the camera-tracking detector thresholds.
+	SBD sbd.Config
+	// Tree holds the scene-tree construction parameters.
+	Tree scenetree.Config
+	// Query holds the default α/β similarity tolerances.
+	Query varindex.Options
+	// Workers bounds ingest concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns the paper's parameters throughout.
+func DefaultOptions() Options {
+	return Options{
+		SBD:   sbd.DefaultConfig(),
+		Tree:  scenetree.DefaultConfig(),
+		Query: varindex.DefaultOptions(),
+	}
+}
+
+// ShotRecord is the stored state of one shot.
+type ShotRecord struct {
+	// Shot is the frame range.
+	Shot sbd.Shot
+	// Feature is the variance feature vector.
+	Feature feature.ShotFeature
+	// RepFrame is the representative frame index (from the scene tree's
+	// leaf).
+	RepFrame int
+}
+
+// ClipRecord is the stored state of one ingested clip.
+type ClipRecord struct {
+	// Name is the clip's unique name.
+	Name string
+	// Frames and FPS describe the analyzed clip.
+	Frames, FPS int
+	// Shots lists the detected shots in order.
+	Shots []ShotRecord
+	// Tree is the browsing hierarchy.
+	Tree *scenetree.Tree
+	// Stats is the SBD stage telemetry.
+	Stats sbd.Stats
+}
+
+// Match is one query result: the matching shot plus the largest scene
+// node sharing its representative frame — the browsing entry point §4.2
+// describes.
+type Match struct {
+	// Entry identifies the matching shot and its feature values.
+	Entry varindex.Entry
+	// Scene is the suggested scene-tree node to start browsing from.
+	Scene *scenetree.Node
+}
+
+// Database is the video DBMS.
+type Database struct {
+	mu    sync.RWMutex
+	opts  Options
+	clips map[string]*ClipRecord
+	index *varindex.Index
+}
+
+// Open creates an empty database with the given options.
+func Open(opts Options) (*Database, error) {
+	if err := opts.SBD.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Tree.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Query.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("core: negative worker count %d", opts.Workers)
+	}
+	return &Database{
+		opts:  opts,
+		clips: make(map[string]*ClipRecord),
+		index: varindex.New(),
+	}, nil
+}
+
+// Options returns the database's configuration.
+func (db *Database) Options() Options { return db.opts }
+
+// Ingest analyzes one clip and adds it to the database. Clip names must
+// be unique.
+func (db *Database) Ingest(clip *video.Clip) (*ClipRecord, error) {
+	rec, entries, err := db.analyze(clip)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.clips[rec.Name]; dup {
+		return nil, fmt.Errorf("core: clip %q already ingested", rec.Name)
+	}
+	db.clips[rec.Name] = rec
+	for _, e := range entries {
+		db.index.Add(e)
+	}
+	return rec, nil
+}
+
+// analyze runs steps 1–3 for one clip without touching shared state.
+func (db *Database) analyze(clip *video.Clip) (*ClipRecord, []varindex.Entry, error) {
+	if err := clip.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if clip.Name == "" {
+		return nil, nil, fmt.Errorf("core: clip has no name")
+	}
+	an, err := feature.NewAnalyzer(clip.Frames[0].W, clip.Frames[0].H)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: clip %q: %w", clip.Name, err)
+	}
+	det, err := sbd.NewCameraTracking(db.opts.SBD, an)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Step 1: segment into shots, computing frame features once
+	// (parallel across frames; Options.Workers bounds it, 0 meaning
+	// GOMAXPROCS).
+	feats := an.AnalyzeClipParallel(clip, db.opts.Workers)
+	bounds, stats := det.DetectFeatures(feats)
+	shots := sbd.ShotsFromBoundaries(bounds, clip.Len())
+
+	// Step 2: build the scene tree.
+	tree, err := scenetree.Build(db.opts.Tree, feats, shots)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: clip %q: %w", clip.Name, err)
+	}
+
+	// Step 3: per-shot feature vectors and index entries.
+	rec := &ClipRecord{
+		Name:   clip.Name,
+		Frames: clip.Len(),
+		FPS:    clip.FPS,
+		Tree:   tree,
+		Stats:  stats,
+	}
+	entries := make([]varindex.Entry, 0, len(shots))
+	for k, s := range shots {
+		sf := feature.ShotFeatureFromFrames(feats, s.Start, s.End)
+		rec.Shots = append(rec.Shots, ShotRecord{
+			Shot:     s,
+			Feature:  sf,
+			RepFrame: tree.Leaves[k].RepFrame,
+		})
+		entries = append(entries, varindex.Entry{
+			Clip: clip.Name, Shot: k,
+			Start: s.Start, End: s.End,
+			VarBA: sf.VarBA, VarOA: sf.VarOA,
+			MeanBA: sf.MeanBA,
+		})
+	}
+	return rec, entries, nil
+}
+
+// IngestAll ingests clips concurrently (bounded by Options.Workers) and
+// returns the first error encountered, if any. Clips that ingest
+// successfully stay in the database even when others fail.
+func (db *Database) IngestAll(clips []*video.Clip) error {
+	workers := db.opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(clips) {
+		workers = len(clips)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan *video.Clip)
+	errs := make(chan error, len(clips))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for clip := range jobs {
+				if _, err := db.Ingest(clip); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	for _, c := range clips {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// Remove deletes a clip and its index entries. It returns an error if
+// the clip is not in the database.
+func (db *Database) Remove(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.clips[name]; !ok {
+		return fmt.Errorf("core: clip %q not found", name)
+	}
+	delete(db.clips, name)
+	db.index.RemoveClip(name)
+	return nil
+}
+
+// Clip returns the record of a named clip.
+func (db *Database) Clip(name string) (*ClipRecord, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rec, ok := db.clips[name]
+	return rec, ok
+}
+
+// Clips returns the names of all ingested clips, sorted.
+func (db *Database) Clips() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.clips))
+	for n := range db.clips {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ShotCount returns the total number of indexed shots.
+func (db *Database) ShotCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.index.Len()
+}
+
+// Query runs a similarity search with the database's default tolerances,
+// resolving each matching shot to its largest scene node.
+func (db *Database) Query(q varindex.Query) ([]Match, error) {
+	return db.QueryWithOptions(q, db.opts.Query)
+}
+
+// QueryWithOptions runs a similarity search with explicit tolerances.
+func (db *Database) QueryWithOptions(q varindex.Query, opt varindex.Options) ([]Match, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	entries, err := db.index.Search(q, opt)
+	if err != nil {
+		return nil, err
+	}
+	return db.resolve(entries), nil
+}
+
+// QueryByShot searches for shots similar to an existing shot, excluding
+// the shot itself, returning at most k matches.
+func (db *Database) QueryByShot(clip string, shot, k int) ([]Match, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rec, ok := db.clips[clip]
+	if !ok {
+		return nil, fmt.Errorf("core: clip %q not found", clip)
+	}
+	if shot < 0 || shot >= len(rec.Shots) {
+		return nil, fmt.Errorf("core: clip %q has no shot %d", clip, shot)
+	}
+	sf := rec.Shots[shot].Feature
+	q := varindex.Query{VarBA: sf.VarBA, VarOA: sf.VarOA, MeanBA: sf.MeanBA}
+	key := varindex.Entry{Clip: clip, Shot: shot}.Key()
+	entries, err := db.index.TopKExcluding(q, db.opts.Query, k, key)
+	if err != nil {
+		return nil, err
+	}
+	return db.resolve(entries), nil
+}
+
+// resolve attaches the largest-scene node to each entry. Callers hold at
+// least a read lock.
+func (db *Database) resolve(entries []varindex.Entry) []Match {
+	matches := make([]Match, 0, len(entries))
+	for _, e := range entries {
+		m := Match{Entry: e}
+		if rec, ok := db.clips[e.Clip]; ok {
+			m.Scene = rec.Tree.LargestSceneFor(e.Shot)
+		}
+		matches = append(matches, m)
+	}
+	return matches
+}
+
+// Browse returns the scene tree of a named clip.
+func (db *Database) Browse(clip string) (*scenetree.Tree, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rec, ok := db.clips[clip]
+	if !ok {
+		return nil, fmt.Errorf("core: clip %q not found", clip)
+	}
+	return rec.Tree, nil
+}
+
+// snapshot is the gob-encoded persistent form of a database.
+type snapshot struct {
+	Options Options
+	Clips   []clipSnapshot
+}
+
+type clipSnapshot struct {
+	Name        string
+	Frames, FPS int
+	Shots       []ShotRecord
+	Tree        []scenetree.FlatNode
+	Stats       sbd.Stats
+}
+
+// Save writes the database's analysis state (not the pixels) to w. The
+// snapshot can be reloaded with Load, skipping re-analysis.
+func (db *Database) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := snapshot{Options: db.opts}
+	for _, name := range db.clipNamesLocked() {
+		rec := db.clips[name]
+		snap.Clips = append(snap.Clips, clipSnapshot{
+			Name: rec.Name, Frames: rec.Frames, FPS: rec.FPS,
+			Shots: rec.Shots, Tree: rec.Tree.Flatten(), Stats: rec.Stats,
+		})
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+func (db *Database) clipNamesLocked() []string {
+	names := make([]string, 0, len(db.clips))
+	for n := range db.clips {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load reads a snapshot written by Save and returns the reconstructed
+// database.
+func Load(r io.Reader) (*Database, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	db, err := Open(snap.Options)
+	if err != nil {
+		return nil, err
+	}
+	for _, cs := range snap.Clips {
+		shots := make([]sbd.Shot, len(cs.Shots))
+		for i, sr := range cs.Shots {
+			shots[i] = sr.Shot
+		}
+		tree, err := scenetree.Unflatten(cs.Tree, shots)
+		if err != nil {
+			return nil, fmt.Errorf("core: clip %q: %w", cs.Name, err)
+		}
+		rec := &ClipRecord{
+			Name: cs.Name, Frames: cs.Frames, FPS: cs.FPS,
+			Shots: cs.Shots, Tree: tree, Stats: cs.Stats,
+		}
+		db.clips[cs.Name] = rec
+		for k, sr := range cs.Shots {
+			db.index.Add(varindex.Entry{
+				Clip: cs.Name, Shot: k,
+				Start: sr.Shot.Start, End: sr.Shot.End,
+				VarBA: sr.Feature.VarBA, VarOA: sr.Feature.VarOA,
+				MeanBA: sr.Feature.MeanBA,
+			})
+		}
+	}
+	return db, nil
+}

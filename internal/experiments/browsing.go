@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"videodb/internal/browse"
+	"videodb/internal/core"
+)
+
+// BrowsingRow quantifies §3's motivation on one clip: how many
+// representative frames a scene-tree browsing session inspects to reach
+// a target shot, versus how many frames a VCR-style fast-forward scan
+// displays getting there.
+type BrowsingRow struct {
+	// Clip names the evaluated clip.
+	Clip string
+	// Shots is the number of targets evaluated (every detected shot).
+	Shots int
+	// MeanInspected is the mean representative frames inspected per
+	// target via the scene tree.
+	MeanInspected float64
+	// MeanVCR is the mean frames displayed by an 8× fast-forward from
+	// the start to the target.
+	MeanVCR float64
+}
+
+// Ratio returns MeanInspected/MeanVCR (lower is better for the tree).
+func (r BrowsingRow) Ratio() float64 {
+	if r.MeanVCR == 0 {
+		return 0
+	}
+	return r.MeanInspected / r.MeanVCR
+}
+
+// VCRSpeedup is the fast-forward factor of the baseline.
+const VCRSpeedup = 8
+
+// RunBrowsingCost measures browsing cost over the corpus at the given
+// scale: every shot of every clip is sought once from the root.
+func RunBrowsingCost(scale float64) ([]BrowsingRow, error) {
+	var rows []BrowsingRow
+	for _, def := range Table5Corpus() {
+		clip, _, err := def.Build(scale)
+		if err != nil {
+			return nil, err
+		}
+		db, err := core.Open(core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		rec, err := db.Ingest(clip)
+		if err != nil {
+			return nil, err
+		}
+		row := BrowsingRow{Clip: def.Name, Shots: len(rec.Shots)}
+		var inspected, vcr int
+		for target := range rec.Shots {
+			session, err := browse.NewSession(rec.Tree)
+			if err != nil {
+				return nil, err
+			}
+			if err := session.SeekShot(target); err != nil {
+				return nil, fmt.Errorf("%s shot %d: %w", def.Name, target, err)
+			}
+			inspected += session.Inspected()
+			v, err := browse.VCRFrames(rec.Tree, target, VCRSpeedup)
+			if err != nil {
+				return nil, err
+			}
+			vcr += v
+		}
+		if row.Shots > 0 {
+			row.MeanInspected = float64(inspected) / float64(row.Shots)
+			row.MeanVCR = float64(vcr) / float64(row.Shots)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatBrowsingCost renders the browsing comparison with corpus means.
+func FormatBrowsingCost(rows []BrowsingRow) string {
+	out := [][]string{}
+	var insSum, vcrSum float64
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Clip,
+			fmt.Sprintf("%d", r.Shots),
+			fmt.Sprintf("%.1f", r.MeanInspected),
+			fmt.Sprintf("%.1f", r.MeanVCR),
+			fmt.Sprintf("%.1f%%", 100*r.Ratio()),
+		})
+		insSum += r.MeanInspected
+		vcrSum += r.MeanVCR
+	}
+	if n := float64(len(rows)); n > 0 && vcrSum > 0 {
+		out = append(out, []string{"Mean", "",
+			fmt.Sprintf("%.1f", insSum/n), fmt.Sprintf("%.1f", vcrSum/n),
+			fmt.Sprintf("%.1f%%", 100*insSum/vcrSum)})
+	}
+	return table([]string{"Clip", "Targets", "Tree frames", "VCR frames (8x)", "Tree/VCR"}, out)
+}

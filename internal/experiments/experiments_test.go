@@ -1,0 +1,468 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"videodb/internal/synth"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	got := Table1()
+	for _, want := range []string{"1..2\t", "3..8\t", "9..20\t", "21..44\t", "45..92\t"} {
+		if !strings.Contains(strings.ReplaceAll(got, "  ", "\t"), strings.TrimSuffix(want, "\t")) {
+			t.Errorf("Table 1 missing range %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTable2PicksFrame1(t *testing.T) {
+	got := Table2()
+	if !strings.Contains(got, "Representative frame: No.1") {
+		t.Errorf("Table 2 did not pick frame No.1:\n%s", got)
+	}
+}
+
+func TestTable3ShotStructure(t *testing.T) {
+	rows, bounds, gt, err := RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Figure 5 clip has clean cuts between well-separated
+	// locations: segmentation must be exact.
+	if len(rows) != 10 {
+		t.Fatalf("detected %d shots, want 10\n%s", len(rows), FormatTable3(rows))
+	}
+	if len(bounds) != len(gt.Boundaries) {
+		t.Fatalf("detected %d boundaries, want %d", len(bounds), len(gt.Boundaries))
+	}
+	for i := range bounds {
+		if bounds[i] != gt.Boundaries[i] {
+			t.Errorf("boundary %d at %d, want %d", i, bounds[i], gt.Boundaries[i])
+		}
+	}
+	// Paper's Table 3 frame ranges (1-based).
+	starts := []int{1, 76, 101, 141, 171, 291, 351, 416, 496, 551}
+	for i, r := range rows {
+		if r.Start != starts[i] {
+			t.Errorf("shot %d starts at %d, want %d", i+1, r.Start, starts[i])
+		}
+	}
+	// Static-camera shots have small VarBA.
+	for _, r := range rows {
+		if r.VarBA > 10 {
+			t.Errorf("shot %d VarBA = %.2f, suspiciously high for a static camera", r.Shot, r.VarBA)
+		}
+	}
+}
+
+func TestTable4HasBothClips(t *testing.T) {
+	clips, err := RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clips) != 2 {
+		t.Fatalf("got %d clips", len(clips))
+	}
+	for _, c := range clips {
+		if len(c.Rows) < 10 {
+			t.Errorf("clip %q has only %d shots", c.Name, len(c.Rows))
+		}
+	}
+	s := FormatTable4(clips)
+	if !strings.Contains(s, "Simon Birch") || !strings.Contains(s, "Wag the Dog") {
+		t.Errorf("table missing clip names:\n%s", s)
+	}
+}
+
+func TestTable5SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus evaluation skipped in -short mode")
+	}
+	rows, total, err := RunTable5(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 22 {
+		t.Fatalf("got %d rows, want 22", len(rows))
+	}
+	// Even at tiny scale the aggregate must beat coin-flipping.
+	if total.Recall() < 0.6 {
+		t.Errorf("corpus recall %.2f too low\n%s", total.Recall(), FormatTable5(rows, total))
+	}
+	if total.Precision() < 0.6 {
+		t.Errorf("corpus precision %.2f too low\n%s", total.Precision(), FormatTable5(rows, total))
+	}
+	s := FormatTable5(rows, total)
+	if !strings.Contains(s, "TV Commercials") || !strings.Contains(s, "Total") {
+		t.Errorf("Table 5 formatting incomplete:\n%s", s)
+	}
+}
+
+func TestFigure4StageShares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus telemetry skipped in -short mode")
+	}
+	stats, err := RunFigure4(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pairs == 0 {
+		t.Fatal("no pairs evaluated")
+	}
+	if stats.BySign+stats.BySig+stats.ByTrack+stats.Boundary != stats.Pairs {
+		t.Error("stage decisions do not sum to pairs")
+	}
+	// Stage 1 is the quick-and-dirty test that should decide most pairs
+	// (that is its purpose in Figure 4).
+	if frac := float64(stats.BySign) / float64(stats.Pairs); frac < 0.5 {
+		t.Errorf("stage 1 decided only %.0f%% of pairs", 100*frac)
+	}
+	if s := FormatFigure4(stats); !strings.Contains(s, "Stage 3") {
+		t.Errorf("figure 4 formatting incomplete:\n%s", s)
+	}
+}
+
+func TestFigure6Grouping(t *testing.T) {
+	rendering, groups, err := RunFigure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 6(g)'s level-1 scenes: {1,2,3,4}, {5,6,7}, {8,9,10}.
+	want := [][]int{{1, 2, 3, 4}, {5, 6, 7}, {8, 9, 10}}
+	if len(groups) != len(want) {
+		t.Fatalf("got %d level-1 groups %v, want %v\ntree:\n%s", len(groups), groups, want, rendering)
+	}
+	for i := range want {
+		if len(groups[i]) != len(want[i]) {
+			t.Fatalf("group %d = %v, want %v\ntree:\n%s", i, groups[i], want[i], rendering)
+		}
+		for j := range want[i] {
+			if groups[i][j] != want[i][j] {
+				t.Fatalf("group %d = %v, want %v\ntree:\n%s", i, groups[i], want[i], rendering)
+			}
+		}
+	}
+}
+
+func TestFigure7TreeShape(t *testing.T) {
+	rendering, err := RunFigure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restaurant conversation groups into at least two scenes
+	// (table and entrance) under a root at level 2 or above.
+	if !strings.Contains(rendering, "^1") || !strings.Contains(rendering, "^2") {
+		t.Errorf("Friends tree lacks hierarchy:\n%s", rendering)
+	}
+	lines := strings.Count(rendering, "\n")
+	if lines < 11 { // 8+ leaves, 2+ scenes, root
+		t.Errorf("Friends tree has only %d nodes:\n%s", lines, rendering)
+	}
+}
+
+func TestRetrievalByClass(t *testing.T) {
+	results, err := RunRetrievalAll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d class results", len(results))
+	}
+	for _, res := range results {
+		if res.Queries == 0 {
+			t.Errorf("class %v: no queries ran", res.Class)
+			continue
+		}
+		// The variance feature vector must carry class signal well
+		// above the ~1/3 chance level.
+		if res.HitRate() < 0.6 {
+			t.Errorf("class %v hit rate %.2f too low\n%s", res.Class, res.HitRate(), FormatRetrieval(res))
+		}
+	}
+}
+
+func TestClassCentroidsSeparated(t *testing.T) {
+	cents, err := ClassCentroids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeup, ok1 := cents[synth.ClassCloseup]
+	twoshot, ok2 := cents[synth.ClassTwoShot]
+	action, ok3 := cents[synth.ClassAction]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing class centroids: %v", cents)
+	}
+	// Close-ups sit at clearly negative Dv relative to two-shots.
+	if closeup[0] >= twoshot[0]-0.5 {
+		t.Errorf("closeup Dv %.2f not well below twoshot %.2f", closeup[0], twoshot[0])
+	}
+	// Action shots have much larger sqrt(VarBA).
+	if action[1] < closeup[1]+1 || action[1] < twoshot[1]+1 {
+		t.Errorf("action sqrtBA %.2f not separated (closeup %.2f, twoshot %.2f)",
+			action[1], closeup[1], twoshot[1])
+	}
+}
+
+func TestAblationBorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("border ablation skipped in -short mode")
+	}
+	rows, err := RunAblationBorder([]float64{0.05, 0.10}, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	s := FormatAblationBorder(rows)
+	if !strings.Contains(s, "10%") {
+		t.Errorf("ablation formatting incomplete:\n%s", s)
+	}
+}
+
+func TestAblationTolerance(t *testing.T) {
+	rows, err := RunAblationTolerance([]float64{0.5, 1.0, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Wider tolerances return at least as many results per query.
+	if rows[2].MeanResults < rows[0].MeanResults {
+		t.Errorf("α=2.0 returned fewer results (%.1f) than α=0.5 (%.1f)",
+			rows[2].MeanResults, rows[0].MeanResults)
+	}
+}
+
+func TestClipDefBuildScales(t *testing.T) {
+	def := Table5Corpus()[0]
+	clip, gt, err := def.Build(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clip.Len() == 0 || len(gt.Shots) == 0 {
+		t.Fatal("scaled build empty")
+	}
+	if _, _, err := def.Build(0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, _, err := def.Build(1.5); err == nil {
+		t.Error("over-unity scale accepted")
+	}
+}
+
+func TestCorpusDefinitionsMatchPaper(t *testing.T) {
+	defs := Table5Corpus()
+	if len(defs) != 22 {
+		t.Fatalf("corpus has %d clips, want 22", len(defs))
+	}
+	categories := map[string]int{}
+	totalCuts := 0
+	for _, d := range defs {
+		categories[d.Category]++
+		totalCuts += d.Shots - 1
+	}
+	if len(categories) != 6 {
+		t.Errorf("corpus has %d categories, want 6: %v", len(categories), categories)
+	}
+	// Paper total: 3629 shot changes.
+	if totalCuts < 3500 || totalCuts > 3700 {
+		t.Errorf("corpus has %d shot changes, paper has 3629", totalCuts)
+	}
+	seeds := map[uint64]bool{}
+	for _, d := range defs {
+		if seeds[d.Seed] {
+			t.Errorf("duplicate seed %d", d.Seed)
+		}
+		seeds[d.Seed] = true
+	}
+}
+
+func TestAblationExtendedModel(t *testing.T) {
+	rows, err := RunAblationExtended([]float64{15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	paper, ext := rows[0], rows[1]
+	// The mean filter only removes results, so result sets shrink and
+	// same-location discrimination must not get worse.
+	if ext.MeanResults > paper.MeanResults {
+		t.Errorf("extended model returned more results (%.1f > %.1f)", ext.MeanResults, paper.MeanResults)
+	}
+	if ext.SameLocationRate < paper.SameLocationRate {
+		t.Errorf("extended model less location-discriminating (%.2f < %.2f)",
+			ext.SameLocationRate, paper.SameLocationRate)
+	}
+	if s := FormatAblationExtended(rows); s == "" {
+		t.Error("empty formatting")
+	}
+}
+
+func TestAblationFastSBD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fast-SBD ablation skipped in -short mode")
+	}
+	rows, err := RunAblationFast([]int{4}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	full, fast := rows[0], rows[1]
+	// The fast path must analyze fewer frames without collapsing
+	// accuracy.
+	if fast.FramesAnalyzedFrac >= 1 {
+		t.Errorf("fast path analyzed every frame (%.2f)", fast.FramesAnalyzedFrac)
+	}
+	if fast.Result.Recall() < full.Result.Recall()-0.1 {
+		t.Errorf("fast recall %.2f collapsed vs full %.2f",
+			fast.Result.Recall(), full.Result.Recall())
+	}
+	if s := FormatAblationFast(rows); s == "" {
+		t.Error("empty formatting")
+	}
+}
+
+func TestTreeQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tree quality skipped in -short mode")
+	}
+	rows, err := RunTreeQuality(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 22 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var puritySum float64
+	for _, r := range rows {
+		if r.Purity < 0 || r.Purity > 1 || r.Grouping < 0 || r.Grouping > 1 {
+			t.Fatalf("metrics out of range: %+v", r)
+		}
+		puritySum += r.Purity
+	}
+	// Purity 1.0 is not the target (sandwiching mixes locations into a
+	// scene by design — see TreeQualityRow), but values near chance
+	// would mean RELATIONSHIP matches randomly.
+	if mean := puritySum / float64(len(rows)); mean < 0.5 {
+		t.Errorf("mean purity %.2f too low\n%s", mean, FormatTreeQuality(rows))
+	}
+	if s := FormatTreeQuality(rows); !strings.Contains(s, "Mean") {
+		t.Error("formatting missing mean row")
+	}
+}
+
+func TestBrowsingCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("browsing cost skipped in -short mode")
+	}
+	rows, err := RunBrowsingCost(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 22 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var ins, vcr float64
+	for _, r := range rows {
+		if r.Shots == 0 || r.MeanInspected <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		ins += r.MeanInspected
+		vcr += r.MeanVCR
+	}
+	// Non-linear browsing must beat 8x fast-forward on average.
+	if ins >= vcr {
+		t.Errorf("tree browsing (%.1f) not cheaper than VCR (%.1f)\n%s",
+			ins, vcr, FormatBrowsingCost(rows))
+	}
+	if s := FormatBrowsingCost(rows); !strings.Contains(s, "Mean") {
+		t.Error("formatting missing mean")
+	}
+}
+
+func TestAblationZoom(t *testing.T) {
+	rows, err := RunAblationZoom([]float64{1.0, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	none, fast := rows[0], rows[1]
+	// Without zoom the cuts are trivially detectable.
+	if none.Result.Recall() < 0.9 || none.Result.Precision() < 0.9 {
+		t.Errorf("no-zoom baseline weak: %v", none.Result)
+	}
+	// Fast zoom is the documented hard case: signature shifting cannot
+	// track magnification, so precision must degrade clearly.
+	if fast.Result.Precision() > 0.9*none.Result.Precision() {
+		t.Errorf("fast zoom did not hurt precision: %.2f vs %.2f",
+			fast.Result.Precision(), none.Result.Precision())
+	}
+	if s := FormatAblationZoom(rows); !strings.Contains(s, "1.200") {
+		t.Errorf("formatting incomplete:\n%s", s)
+	}
+}
+
+// TestTreeQualityBeatsTimeBased: the content-based tree must group
+// same-location shots better than the time-only hierarchy of [18],
+// substantiating the paper's §1 criticism.
+func TestTreeQualityBeatsTimeBased(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	// Larger scale than TestTreeQuality: with only a handful of shots
+	// per clip, grouping consecutive shots can tie by chance.
+	rows, err := RunTreeQuality(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var score, tScore float64
+	for _, r := range rows {
+		score += r.Purity + r.Grouping
+		tScore += r.TimePurity + r.TimeGrouping
+	}
+	if score <= tScore {
+		t.Errorf("content-based quality %.2f not above time-based %.2f\n%s",
+			score/float64(len(rows)), tScore/float64(len(rows)), FormatTreeQuality(rows))
+	}
+}
+
+func TestAblationClassified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classified ablation skipped in -short mode")
+	}
+	rows, err := RunAblationClassified(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	raw, col := rows[0], rows[1]
+	// Collapsing must not devastate either metric (>0.1 drop would mean
+	// it merges genuine cuts wholesale).
+	if col.Result.Recall() < raw.Result.Recall()-0.1 {
+		t.Errorf("collapsed recall %.2f far below raw %.2f",
+			col.Result.Recall(), raw.Result.Recall())
+	}
+	if s := FormatAblationClassified(rows); s == "" {
+		t.Error("empty formatting")
+	}
+}
+
+func TestFigure3Walkthrough(t *testing.T) {
+	s := Figure3()
+	for _, want := range []string{"13x5 TBA", "signature", "reduced to 5", "sign^BA"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure 3 output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"videodb/internal/core"
+	"videodb/internal/synth"
+	"videodb/internal/varindex"
+)
+
+// ExtendedRow compares the paper's similarity model (α, β only) with
+// the extended model (§6 future work: mean-background filter, γ) on the
+// retrieval corpus.
+type ExtendedRow struct {
+	// Model names the configuration.
+	Model string
+	// Gamma is the mean tolerance (0 = paper's model).
+	Gamma float64
+	// SameClassRate is the fraction of retrieved shots sharing the
+	// query's semantic class.
+	SameClassRate float64
+	// SameLocationRate is the fraction sharing the query's location —
+	// the discrimination the extension adds.
+	SameLocationRate float64
+	// MeanResults is the average result count per query.
+	MeanResults float64
+}
+
+// RunAblationExtended evaluates query-by-shot retrieval under the paper
+// model and extended models with the given γ values.
+func RunAblationExtended(gammas []float64) ([]ExtendedRow, error) {
+	db, err := core.Open(core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	classes := make(map[string][]synth.Class)
+	locations := make(map[string][]int)
+	for _, def := range RetrievalCorpus() {
+		clip, gt, err := def.Build()
+		if err != nil {
+			return nil, err
+		}
+		rec, err := db.Ingest(clip)
+		if err != nil {
+			return nil, err
+		}
+		cs := make([]synth.Class, len(rec.Shots))
+		ls := make([]int, len(rec.Shots))
+		for i, sr := range rec.Shots {
+			cs[i] = dominantClass(gt, sr.Shot.Start, sr.Shot.End)
+			ls[i] = dominantLocation(gt, sr.Shot.Start, sr.Shot.End)
+		}
+		classes[clip.Name] = cs
+		locations[clip.Name] = ls
+	}
+
+	models := []ExtendedRow{{Model: "paper (α,β)", Gamma: 0}}
+	for _, g := range gammas {
+		models = append(models, ExtendedRow{Model: fmt.Sprintf("extended γ=%.0f", g), Gamma: g})
+	}
+	for mi := range models {
+		opt := varindex.DefaultOptions()
+		opt.Gamma = models[mi].Gamma
+		queries, retrieved, sameClass, sameLoc := 0, 0, 0, 0
+		for _, clipName := range db.Clips() {
+			rec, _ := db.Clip(clipName)
+			for shot := range rec.Shots {
+				class := classes[clipName][shot]
+				if class == synth.ClassOther {
+					continue
+				}
+				sf := rec.Shots[shot].Feature
+				q := varindex.Query{VarBA: sf.VarBA, VarOA: sf.VarOA, MeanBA: sf.MeanBA}
+				matches, err := db.QueryWithOptions(q, opt)
+				if err != nil {
+					return nil, err
+				}
+				queries++
+				for _, m := range matches {
+					if m.Entry.Clip == clipName && m.Entry.Shot == shot {
+						continue
+					}
+					retrieved++
+					if classes[m.Entry.Clip][m.Entry.Shot] == class {
+						sameClass++
+					}
+					if m.Entry.Clip == clipName && locations[m.Entry.Clip][m.Entry.Shot] == locations[clipName][shot] {
+						sameLoc++
+					}
+				}
+			}
+		}
+		if retrieved > 0 {
+			models[mi].SameClassRate = float64(sameClass) / float64(retrieved)
+			models[mi].SameLocationRate = float64(sameLoc) / float64(retrieved)
+		}
+		if queries > 0 {
+			models[mi].MeanResults = float64(retrieved) / float64(queries)
+		}
+	}
+	return models, nil
+}
+
+// dominantLocation returns the ground-truth location overlapping most
+// of [start, end].
+func dominantLocation(gt synth.GroundTruth, start, end int) int {
+	best, bestOv := -1, 0
+	for _, s := range gt.Shots {
+		lo, hi := s.Start, s.End
+		if start > lo {
+			lo = start
+		}
+		if end < hi {
+			hi = end
+		}
+		if ov := hi - lo + 1; ov > bestOv {
+			bestOv, best = ov, s.Location
+		}
+	}
+	return best
+}
+
+// FormatAblationExtended renders the model comparison.
+func FormatAblationExtended(rows []ExtendedRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Model,
+			fmt.Sprintf("%.0f%%", 100*r.SameClassRate),
+			fmt.Sprintf("%.0f%%", 100*r.SameLocationRate),
+			fmt.Sprintf("%.1f", r.MeanResults),
+		})
+	}
+	return table([]string{"Model", "Same-class", "Same-location", "Results/query"}, out)
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"videodb/internal/pyramid"
+	"videodb/internal/rng"
+	"videodb/internal/video"
+)
+
+// Figure3 regenerates the paper's Figure 3 walkthrough: a 13×5 TBA is
+// reduced column-by-column to a 13-pixel signature and then cascaded
+// down the size set (13 → 5 → 1) to the sign. The rendering shows the
+// red channel of every intermediate line.
+func Figure3() string {
+	r := rng.New(33)
+	tba := video.NewFrame(13, 5)
+	for i := range tba.Pix {
+		tba.Pix[i] = video.RGB(uint8(r.Intn(256)), uint8(r.Intn(256)), uint8(r.Intn(256)))
+	}
+
+	var sb strings.Builder
+	sb.WriteString("13x5 TBA (red channel):\n")
+	for y := 0; y < tba.H; y++ {
+		for x := 0; x < tba.W; x++ {
+			fmt.Fprintf(&sb, "%4d", tba.At(x, y).R)
+		}
+		sb.WriteByte('\n')
+	}
+
+	sig := pyramid.Signature(tba)
+	sb.WriteString("\nsignature (each column reduced 5 -> 1):\n")
+	writeLine(&sb, sig)
+
+	line := sig
+	for len(line) > 1 {
+		line = pyramid.Reduce1D(line)
+		fmt.Fprintf(&sb, "\nreduced to %d:\n", len(line))
+		writeLine(&sb, line)
+	}
+	sign := line[0]
+	fmt.Fprintf(&sb, "\nsign^BA = %s\n", sign)
+	return sb.String()
+}
+
+func writeLine(sb *strings.Builder, line []video.Pixel) {
+	for _, p := range line {
+		fmt.Fprintf(sb, "%4d", p.R)
+	}
+	sb.WriteByte('\n')
+}

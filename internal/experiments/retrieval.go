@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"videodb/internal/core"
+	"videodb/internal/synth"
+)
+
+// RetrievalExample is one query of the Figures 8–10 experiment: an
+// arbitrarily selected shot of a known class, and the three most
+// similar shots the index returns.
+type RetrievalExample struct {
+	// QueryLabel identifies the query shot, e.g. "#12 of Wag the Dog".
+	QueryLabel string
+	// QueryClass is the query shot's ground-truth class.
+	QueryClass synth.Class
+	// Matches lists the retrieved shots as "label (class)" strings.
+	Matches []string
+	// SameClass counts how many retrieved shots share the query class.
+	SameClass int
+}
+
+// RetrievalResult aggregates one class's retrieval experiment.
+type RetrievalResult struct {
+	// Class is the queried semantic class.
+	Class synth.Class
+	// Queries is the number of query shots evaluated.
+	Queries int
+	// Retrieved is the total number of shots returned.
+	Retrieved int
+	// SameClass is how many retrieved shots shared the query class.
+	SameClass int
+	// Examples holds up to three illustrative queries.
+	Examples []RetrievalExample
+}
+
+// HitRate returns the fraction of retrieved shots sharing the query
+// class (1 if nothing was retrieved).
+func (r RetrievalResult) HitRate() float64 {
+	if r.Retrieved == 0 {
+		return 1
+	}
+	return float64(r.SameClass) / float64(r.Retrieved)
+}
+
+// retrievalDB ingests the retrieval corpus once and maps every detected
+// shot to its ground-truth class by maximal frame overlap.
+type retrievalDB struct {
+	db      *core.Database
+	classes map[string][]synth.Class // clip name → class per detected shot
+}
+
+// buildRetrievalDB ingests the two retrieval clips.
+func buildRetrievalDB() (*retrievalDB, error) {
+	db, err := core.Open(core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	r := &retrievalDB{db: db, classes: make(map[string][]synth.Class)}
+	for _, def := range RetrievalCorpus() {
+		clip, gt, err := def.Build()
+		if err != nil {
+			return nil, err
+		}
+		rec, err := db.Ingest(clip)
+		if err != nil {
+			return nil, err
+		}
+		classes := make([]synth.Class, len(rec.Shots))
+		for i, sr := range rec.Shots {
+			classes[i] = dominantClass(gt, sr.Shot.Start, sr.Shot.End)
+		}
+		r.classes[clip.Name] = classes
+	}
+	return r, nil
+}
+
+// dominantClass returns the ground-truth class with the largest frame
+// overlap with [start, end].
+func dominantClass(gt synth.GroundTruth, start, end int) synth.Class {
+	best := synth.ClassOther
+	bestOverlap := 0
+	for _, s := range gt.Shots {
+		lo, hi := s.Start, s.End
+		if start > lo {
+			lo = start
+		}
+		if end < hi {
+			hi = end
+		}
+		if ov := hi - lo + 1; ov > bestOverlap {
+			bestOverlap = ov
+			best = s.Class
+		}
+	}
+	return best
+}
+
+// RunRetrieval reproduces the Figures 8–10 experiment for one class:
+// every detected shot of that class queries the index for its three
+// most similar shots; the result reports how often retrieved shots
+// share the class.
+func RunRetrieval(class synth.Class, k int) (RetrievalResult, error) {
+	rdb, err := buildRetrievalDB()
+	if err != nil {
+		return RetrievalResult{}, err
+	}
+	return rdb.run(class, k)
+}
+
+// RunRetrievalAll runs the experiment for all three classes over one
+// shared database build (cheaper than three RunRetrieval calls).
+func RunRetrievalAll(k int) ([]RetrievalResult, error) {
+	rdb, err := buildRetrievalDB()
+	if err != nil {
+		return nil, err
+	}
+	var out []RetrievalResult
+	for _, class := range []synth.Class{synth.ClassCloseup, synth.ClassTwoShot, synth.ClassAction} {
+		res, err := rdb.run(class, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func (r *retrievalDB) run(class synth.Class, k int) (RetrievalResult, error) {
+	res := RetrievalResult{Class: class}
+	for _, clipName := range r.db.Clips() {
+		classes := r.classes[clipName]
+		for shot, c := range classes {
+			if c != class {
+				continue
+			}
+			matches, err := r.db.QueryByShot(clipName, shot, k)
+			if err != nil {
+				return res, err
+			}
+			res.Queries++
+			ex := RetrievalExample{
+				QueryLabel: shotLabel(clipName, shot),
+				QueryClass: class,
+			}
+			for _, m := range matches {
+				mc := r.classes[m.Entry.Clip][m.Entry.Shot]
+				res.Retrieved++
+				if mc == class {
+					res.SameClass++
+					ex.SameClass++
+				}
+				ex.Matches = append(ex.Matches, fmt.Sprintf("%s (%s)", shotLabel(m.Entry.Clip, m.Entry.Shot), mc))
+			}
+			if len(res.Examples) < 3 && len(ex.Matches) > 0 {
+				res.Examples = append(res.Examples, ex)
+			}
+		}
+	}
+	return res, nil
+}
+
+// shotLabel formats a shot the way the paper labels figures: "#12W" for
+// the 12th shot of 'Wag the Dog'.
+func shotLabel(clip string, shot int) string {
+	initial := ""
+	if len(clip) > 0 {
+		initial = strings.ToUpper(clip[:1])
+	}
+	return fmt.Sprintf("#%d%s", shot+1, initial)
+}
+
+// FormatRetrieval renders one class's result in the style of the
+// paper's figure captions.
+func FormatRetrieval(res RetrievalResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Query class %q: %d queries, %d retrieved, %.0f%% same class\n",
+		res.Class, res.Queries, res.Retrieved, 100*res.HitRate())
+	for _, ex := range res.Examples {
+		fmt.Fprintf(&sb, "  query %s → %s\n", ex.QueryLabel, strings.Join(ex.Matches, ", "))
+	}
+	return sb.String()
+}
+
+// ClassCentroids computes the mean (D^v, sqrt(VarBA)) per ground-truth
+// class over the retrieval corpus — the quantitative view of why
+// Figures 8–10 work.
+func ClassCentroids() (map[synth.Class][2]float64, error) {
+	rdb, err := buildRetrievalDB()
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[synth.Class][2]float64)
+	counts := make(map[synth.Class]int)
+	for _, clipName := range rdb.db.Clips() {
+		rec, _ := rdb.db.Clip(clipName)
+		for i, sr := range rec.Shots {
+			c := rdb.classes[clipName][i]
+			s := sums[c]
+			s[0] += sr.Feature.Dv()
+			s[1] += math.Sqrt(sr.Feature.VarBA)
+			sums[c] = s
+			counts[c]++
+		}
+	}
+	for c, s := range sums {
+		n := float64(counts[c])
+		sums[c] = [2]float64{s[0] / n, s[1] / n}
+	}
+	return sums, nil
+}

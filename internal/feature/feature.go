@@ -1,0 +1,253 @@
+// Package feature computes the paper's per-frame and per-shot feature
+// values: the background sign Sign^BA, the object-area sign Sign^OA, the
+// background signature (§2.1–2.2), and the per-shot statistical
+// variances Var^BA and Var^OA (Eqs. 3–6) that form the two-value feature
+// vector of the variance-based similarity model (§4.1).
+package feature
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"videodb/internal/pyramid"
+	"videodb/internal/region"
+	"videodb/internal/video"
+)
+
+// FrameFeature holds the analysis result for one video frame.
+type FrameFeature struct {
+	// SignBA is the single-pixel reduction of the transformed
+	// background area.
+	SignBA video.Pixel
+	// SignOA is the single-pixel reduction of the fixed object area.
+	SignOA video.Pixel
+	// Signature is the one-line reduction of the TBA (length g.L); it
+	// feeds SBD stages 2 and 3.
+	Signature []video.Pixel
+}
+
+// Analyzer extracts frame features for a fixed frame geometry. It is
+// safe for concurrent use: per-goroutine scratch space is drawn from an
+// internal pool.
+type Analyzer struct {
+	geom region.Geometry
+	pool sync.Pool
+}
+
+// scratch is the reusable per-goroutine analysis workspace.
+type scratch struct {
+	tba, foa *video.Frame
+	red      *pyramid.Reducer
+}
+
+// NewAnalyzer returns an analyzer for c×r frames with the default 10%
+// border.
+func NewAnalyzer(c, r int) (*Analyzer, error) {
+	g, err := region.New(c, r)
+	if err != nil {
+		return nil, err
+	}
+	return NewAnalyzerWithGeometry(g), nil
+}
+
+// NewAnalyzerWithGeometry returns an analyzer using a precomputed
+// geometry (for the border-fraction ablation).
+func NewAnalyzerWithGeometry(g region.Geometry) *Analyzer {
+	a := &Analyzer{geom: g}
+	a.pool.New = func() any {
+		maxW := g.L
+		if g.B > maxW {
+			maxW = g.B
+		}
+		maxH := g.W
+		if g.H > maxH {
+			maxH = g.H
+		}
+		return &scratch{
+			tba: video.NewFrame(g.L, g.W),
+			foa: video.NewFrame(g.B, g.H),
+			red: pyramid.NewReducer(maxW, maxH),
+		}
+	}
+	return a
+}
+
+// Geometry returns the region geometry the analyzer uses.
+func (a *Analyzer) Geometry() region.Geometry { return a.geom }
+
+// Analyze computes the frame's features. It panics if f does not match
+// the analyzer's frame size (the underlying region extraction checks).
+// Only the returned Signature slice is freshly allocated; all working
+// memory comes from the analyzer's pool.
+func (a *Analyzer) Analyze(f *video.Frame) FrameFeature {
+	s := a.pool.Get().(*scratch)
+	defer a.pool.Put(s)
+
+	a.geom.TBAInto(f, s.tba)
+	sig := make([]video.Pixel, a.geom.L)
+	s.red.SignatureInto(s.tba, sig)
+	signBA := s.red.LineToPixel(sig)
+
+	a.geom.FOAInto(f, s.foa)
+	signOA := s.red.Sign(s.foa)
+
+	return FrameFeature{SignBA: signBA, SignOA: signOA, Signature: sig}
+}
+
+// AnalyzeClip analyzes every frame of a clip, returning one FrameFeature
+// per frame.
+func (a *Analyzer) AnalyzeClip(c *video.Clip) []FrameFeature {
+	out := make([]FrameFeature, len(c.Frames))
+	for i, f := range c.Frames {
+		out[i] = a.Analyze(f)
+	}
+	return out
+}
+
+// AnalyzeClipParallel is AnalyzeClip spread over the given number of
+// workers (0 = GOMAXPROCS). Frames are independent, so the result is
+// identical to AnalyzeClip; on multicore machines ingest becomes
+// analysis-bound rather than core-bound.
+func (a *Analyzer) AnalyzeClipParallel(c *video.Clip, workers int) []FrameFeature {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c.Frames) {
+		workers = len(c.Frames)
+	}
+	if workers <= 1 {
+		return a.AnalyzeClip(c)
+	}
+	out := make([]FrameFeature, len(c.Frames))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(c.Frames) {
+					return
+				}
+				out[i] = a.Analyze(c.Frames[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ShotFeature is the per-shot feature vector of §4.1: the variances of
+// the background and object signs across the shot's frames, plus the
+// derived similarity coordinate Dv = sqrt(VarBA) − sqrt(VarOA) (§4.2).
+type ShotFeature struct {
+	// Start and End are the first and last frame indices of the shot
+	// (inclusive), 0-based within the analyzed clip.
+	Start, End int
+	// VarBA and VarOA are the statistical variances of Sign^BA and
+	// Sign^OA over the shot (Eqs. 3 and 5), averaged over the three
+	// colour channels.
+	VarBA, VarOA float64
+	// MeanBA and MeanOA are the per-channel mean signs (Eqs. 4 and 6).
+	MeanBA, MeanOA [3]float64
+}
+
+// Dv returns sqrt(VarBA) − sqrt(VarOA), the primary index coordinate of
+// the similarity model (§4.2).
+func (s ShotFeature) Dv() float64 {
+	return math.Sqrt(s.VarBA) - math.Sqrt(s.VarOA)
+}
+
+// Frames returns the number of frames in the shot.
+func (s ShotFeature) Frames() int { return s.End - s.Start + 1 }
+
+// String formats the feature as an index-table row (Table 4 layout).
+func (s ShotFeature) String() string {
+	return fmt.Sprintf("frames %d-%d VarBA=%.2f VarOA=%.2f Dv=%.2f", s.Start, s.End, s.VarBA, s.VarOA, s.Dv())
+}
+
+// channelsOf splits a pixel into float channels.
+func channelsOf(p video.Pixel) [3]float64 {
+	return [3]float64{float64(p.R), float64(p.G), float64(p.B)}
+}
+
+// meanAndVariance computes the per-channel mean and the channel-averaged
+// sample variance of the given signs, following Eqs. 3–4: the mean
+// divides by the frame count (l−k+1) while the variance divides by l−k.
+// A single-sign sequence has variance 0 by definition (DESIGN.md).
+func meanAndVariance(signs []video.Pixel) (mean [3]float64, variance float64) {
+	n := len(signs)
+	if n == 0 {
+		return mean, 0
+	}
+	for _, s := range signs {
+		c := channelsOf(s)
+		for i := 0; i < 3; i++ {
+			mean[i] += c[i]
+		}
+	}
+	for i := 0; i < 3; i++ {
+		mean[i] /= float64(n)
+	}
+	if n == 1 {
+		return mean, 0
+	}
+	var sum float64
+	for _, s := range signs {
+		c := channelsOf(s)
+		for i := 0; i < 3; i++ {
+			d := c[i] - mean[i]
+			sum += d * d
+		}
+	}
+	// Per-channel sample variance (divide by l−k = n−1), averaged over
+	// the three channels.
+	return mean, sum / float64(n-1) / 3
+}
+
+// ShotFeatureFromFrames computes the ShotFeature for the frame range
+// [start, end] (inclusive) over precomputed frame features. It panics if
+// the range is empty or out of bounds.
+func ShotFeatureFromFrames(feats []FrameFeature, start, end int) ShotFeature {
+	if start < 0 || end >= len(feats) || start > end {
+		panic(fmt.Sprintf("feature: invalid shot range [%d,%d] over %d frames", start, end, len(feats)))
+	}
+	ba := make([]video.Pixel, 0, end-start+1)
+	oa := make([]video.Pixel, 0, end-start+1)
+	for i := start; i <= end; i++ {
+		ba = append(ba, feats[i].SignBA)
+		oa = append(oa, feats[i].SignOA)
+	}
+	sf := ShotFeature{Start: start, End: end}
+	sf.MeanBA, sf.VarBA = meanAndVariance(ba)
+	sf.MeanOA, sf.VarOA = meanAndVariance(oa)
+	return sf
+}
+
+// LongestSignRun returns the 0-based frame index (relative to the start
+// of feats slice indices given) beginning the longest run of consecutive
+// frames whose Sign^BA values are identical, along with the run length.
+// Ties go to the earliest run, matching the representative-frame rule of
+// §3.1 step 6 and Table 2. It panics on an empty range.
+func LongestSignRun(feats []FrameFeature, start, end int) (frame, length int) {
+	if start < 0 || end >= len(feats) || start > end {
+		panic(fmt.Sprintf("feature: invalid range [%d,%d] over %d frames", start, end, len(feats)))
+	}
+	bestStart, bestLen := start, 1
+	runStart, runLen := start, 1
+	for i := start + 1; i <= end; i++ {
+		if feats[i].SignBA == feats[i-1].SignBA {
+			runLen++
+		} else {
+			runStart, runLen = i, 1
+		}
+		if runLen > bestLen {
+			bestStart, bestLen = runStart, runLen
+		}
+	}
+	return bestStart, bestLen
+}

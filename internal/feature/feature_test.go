@@ -1,0 +1,309 @@
+package feature
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"videodb/internal/pyramid"
+	"videodb/internal/video"
+)
+
+func solidFrame(w, h int, p video.Pixel) *video.Frame {
+	f := video.NewFrame(w, h)
+	f.Fill(p)
+	return f
+}
+
+func TestAnalyzeSolidFrame(t *testing.T) {
+	a, err := NewAnalyzer(160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := video.RGB(120, 80, 40)
+	ff := a.Analyze(solidFrame(160, 120, p))
+	if ff.SignBA != p {
+		t.Errorf("SignBA = %v, want %v", ff.SignBA, p)
+	}
+	if ff.SignOA != p {
+		t.Errorf("SignOA = %v, want %v", ff.SignOA, p)
+	}
+	if len(ff.Signature) != a.Geometry().L {
+		t.Errorf("signature length %d, want %d", len(ff.Signature), a.Geometry().L)
+	}
+	for i, s := range ff.Signature {
+		if s != p {
+			t.Fatalf("signature[%d] = %v, want %v", i, s, p)
+		}
+	}
+}
+
+// TestSignsSeparateRegions: a frame whose background differs from its
+// foreground must produce different BA and OA signs.
+func TestSignsSeparateRegions(t *testing.T) {
+	a, err := NewAnalyzer(160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.Geometry()
+	f := video.NewFrame(160, 120)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			if g.InFBA(x, y) {
+				f.Set(x, y, video.RGB(200, 200, 200))
+			} else {
+				f.Set(x, y, video.RGB(20, 20, 20))
+			}
+		}
+	}
+	ff := a.Analyze(f)
+	if ff.SignBA.R < 190 {
+		t.Errorf("SignBA = %v, want bright", ff.SignBA)
+	}
+	if ff.SignOA.R > 30 {
+		t.Errorf("SignOA = %v, want dark", ff.SignOA)
+	}
+}
+
+func TestAnalyzeClip(t *testing.T) {
+	a, err := NewAnalyzer(160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := video.NewClip("t", 3)
+	c.Append(solidFrame(160, 120, video.RGB(10, 10, 10)),
+		solidFrame(160, 120, video.RGB(200, 200, 200)))
+	feats := a.AnalyzeClip(c)
+	if len(feats) != 2 {
+		t.Fatalf("got %d features, want 2", len(feats))
+	}
+	if feats[0].SignBA == feats[1].SignBA {
+		t.Error("distinct frames produced identical signs")
+	}
+}
+
+func featWithBA(r, g, b uint8) FrameFeature {
+	return FrameFeature{SignBA: video.RGB(r, g, b), SignOA: video.RGB(r, g, b)}
+}
+
+func TestShotFeatureConstantShot(t *testing.T) {
+	feats := []FrameFeature{featWithBA(100, 100, 100), featWithBA(100, 100, 100), featWithBA(100, 100, 100)}
+	sf := ShotFeatureFromFrames(feats, 0, 2)
+	if sf.VarBA != 0 || sf.VarOA != 0 {
+		t.Errorf("constant shot has VarBA=%v VarOA=%v, want 0", sf.VarBA, sf.VarOA)
+	}
+	if sf.Dv() != 0 {
+		t.Errorf("Dv = %v, want 0", sf.Dv())
+	}
+	for i := 0; i < 3; i++ {
+		if sf.MeanBA[i] != 100 {
+			t.Errorf("MeanBA[%d] = %v, want 100", i, sf.MeanBA[i])
+		}
+	}
+}
+
+func TestShotFeatureKnownVariance(t *testing.T) {
+	// Signs alternate between 90 and 110 on every channel over 4
+	// frames: mean 100, sum of squared deviations per channel = 400,
+	// sample variance = 400/3 per channel; averaged over channels the
+	// same.
+	feats := []FrameFeature{featWithBA(90, 90, 90), featWithBA(110, 110, 110), featWithBA(90, 90, 90), featWithBA(110, 110, 110)}
+	sf := ShotFeatureFromFrames(feats, 0, 3)
+	want := 400.0 / 3.0
+	if math.Abs(sf.VarBA-want) > 1e-9 {
+		t.Errorf("VarBA = %v, want %v", sf.VarBA, want)
+	}
+}
+
+func TestShotFeatureSingleFrame(t *testing.T) {
+	feats := []FrameFeature{featWithBA(50, 60, 70)}
+	sf := ShotFeatureFromFrames(feats, 0, 0)
+	if sf.VarBA != 0 {
+		t.Errorf("single-frame shot variance = %v, want 0", sf.VarBA)
+	}
+	if sf.Frames() != 1 {
+		t.Errorf("Frames() = %d, want 1", sf.Frames())
+	}
+}
+
+func TestShotFeatureSubRange(t *testing.T) {
+	feats := []FrameFeature{
+		featWithBA(0, 0, 0),
+		featWithBA(100, 100, 100),
+		featWithBA(100, 100, 100),
+		featWithBA(255, 255, 255),
+	}
+	sf := ShotFeatureFromFrames(feats, 1, 2)
+	if sf.VarBA != 0 {
+		t.Errorf("sub-range variance = %v, want 0", sf.VarBA)
+	}
+	if sf.Start != 1 || sf.End != 2 {
+		t.Errorf("range = [%d,%d], want [1,2]", sf.Start, sf.End)
+	}
+}
+
+func TestShotFeaturePanicsOnBadRange(t *testing.T) {
+	feats := []FrameFeature{featWithBA(0, 0, 0)}
+	for _, r := range [][2]int{{-1, 0}, {0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v did not panic", r)
+				}
+			}()
+			ShotFeatureFromFrames(feats, r[0], r[1])
+		}()
+	}
+}
+
+func TestDvOrdering(t *testing.T) {
+	// High background change, low object change → positive Dv;
+	// the reverse → negative Dv.
+	a := ShotFeature{VarBA: 25, VarOA: 4}
+	b := ShotFeature{VarBA: 4, VarOA: 25}
+	if a.Dv() != 3 {
+		t.Errorf("Dv = %v, want 3", a.Dv())
+	}
+	if b.Dv() != -3 {
+		t.Errorf("Dv = %v, want -3", b.Dv())
+	}
+}
+
+// TestLongestSignRunTable2 reproduces the paper's Table 2: a 20-frame
+// shot with sign runs of lengths 6, 2, 4, 2, 6; the first 6-run wins the
+// tie and frame 1 (index 0) is the representative.
+func TestLongestSignRunTable2(t *testing.T) {
+	mk := func(r, g, b uint8, n int) []FrameFeature {
+		out := make([]FrameFeature, n)
+		for i := range out {
+			out[i] = featWithBA(r, g, b)
+		}
+		return out
+	}
+	var feats []FrameFeature
+	feats = append(feats, mk(219, 152, 142, 6)...)
+	feats = append(feats, mk(226, 164, 172, 2)...)
+	feats = append(feats, mk(213, 149, 134, 4)...)
+	feats = append(feats, mk(200, 137, 123, 2)...)
+	feats = append(feats, mk(228, 160, 149, 6)...)
+	if len(feats) != 20 {
+		t.Fatalf("table has %d frames, want 20", len(feats))
+	}
+	frame, length := LongestSignRun(feats, 0, 19)
+	if frame != 0 {
+		t.Errorf("representative frame index = %d, want 0 (paper's frame No. 1)", frame)
+	}
+	if length != 6 {
+		t.Errorf("run length = %d, want 6", length)
+	}
+}
+
+func TestLongestSignRunSubRange(t *testing.T) {
+	var feats []FrameFeature
+	for i := 0; i < 5; i++ {
+		feats = append(feats, featWithBA(uint8(i), 0, 0))
+	}
+	feats = append(feats, featWithBA(9, 9, 9), featWithBA(9, 9, 9), featWithBA(9, 9, 9))
+	frame, length := LongestSignRun(feats, 2, 7)
+	if frame != 5 || length != 3 {
+		t.Errorf("run = (%d,%d), want (5,3)", frame, length)
+	}
+}
+
+func BenchmarkAnalyze160x120(b *testing.B) {
+	a, err := NewAnalyzer(160, 120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := solidFrame(160, 120, video.RGB(100, 100, 100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Analyze(f)
+	}
+}
+
+// TestAnalyzeMatchesUnpooledPath: the pooled fast path must produce
+// byte-identical features to the allocation-per-call pyramid functions.
+func TestAnalyzeMatchesUnpooledPath(t *testing.T) {
+	a, err := NewAnalyzer(160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.Geometry()
+	f := video.NewFrame(160, 120)
+	for i := range f.Pix {
+		f.Pix[i] = video.RGB(uint8(i*7), uint8(i*13), uint8(i*29))
+	}
+	got := a.Analyze(f)
+
+	tba := g.TBA(f)
+	wantSig, wantBA := pyramid.SignatureAndSign(tba)
+	wantOA := pyramid.Sign(g.FOA(f))
+	if got.SignBA != wantBA {
+		t.Errorf("SignBA %v != %v", got.SignBA, wantBA)
+	}
+	if got.SignOA != wantOA {
+		t.Errorf("SignOA %v != %v", got.SignOA, wantOA)
+	}
+	for i := range wantSig {
+		if got.Signature[i] != wantSig[i] {
+			t.Fatalf("signature[%d] %v != %v", i, got.Signature[i], wantSig[i])
+		}
+	}
+}
+
+// TestAnalyzeConcurrent exercises the scratch pool from many
+// goroutines; run with -race to verify safety.
+func TestAnalyzeConcurrent(t *testing.T) {
+	a, err := NewAnalyzer(160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := video.NewFrame(160, 120)
+	for i := range f.Pix {
+		f.Pix[i] = video.RGB(uint8(i), uint8(i/2), uint8(i/3))
+	}
+	want := a.Analyze(f)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got := a.Analyze(f)
+				if got.SignBA != want.SignBA || got.SignOA != want.SignOA {
+					t.Errorf("concurrent analyze diverged: %v vs %v", got.SignBA, want.SignBA)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAnalyzeClipParallelMatchesSerial(t *testing.T) {
+	a, err := NewAnalyzer(160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := video.NewClip("par", 3)
+	for i := 0; i < 12; i++ {
+		f := video.NewFrame(160, 120)
+		for j := range f.Pix {
+			f.Pix[j] = video.RGB(uint8(i*17+j), uint8(j/3), uint8(i))
+		}
+		c.Append(f)
+	}
+	serial := a.AnalyzeClip(c)
+	for _, workers := range []int{0, 1, 3, 16} {
+		par := a.AnalyzeClipParallel(c, workers)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d features", workers, len(par))
+		}
+		for i := range serial {
+			if par[i].SignBA != serial[i].SignBA || par[i].SignOA != serial[i].SignOA {
+				t.Fatalf("workers=%d frame %d differs", workers, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package histsbd
+
+import (
+	"math"
+	"testing"
+
+	"videodb/internal/video"
+	"videodb/internal/vtest"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{CutThreshold: 0, LowThreshold: 0.1, AccumThreshold: 1},
+		{CutThreshold: 0.5, LowThreshold: 0.6, AccumThreshold: 1},
+		{CutThreshold: 0.5, LowThreshold: 0.1, AccumThreshold: 0.4},
+		{CutThreshold: 3, LowThreshold: 0.1, AccumThreshold: 4},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted zero config")
+	}
+}
+
+func TestHistogramNormalised(t *testing.T) {
+	f := vtest.TexturedCanvas(160, 120, 1)
+	h := Histogram(f)
+	if len(h) != BinsPerChannel*BinsPerChannel*BinsPerChannel {
+		t.Fatalf("histogram has %d bins", len(h))
+	}
+	var sum float64
+	for _, v := range h {
+		if v < 0 {
+			t.Fatal("negative bin")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("histogram sums to %v, want 1", sum)
+	}
+}
+
+func TestHistogramSolidFrame(t *testing.T) {
+	f := video.NewFrame(10, 10)
+	f.Fill(video.RGB(255, 0, 0))
+	h := Histogram(f)
+	// All mass in the (max R, 0, 0) bin.
+	idx := ((BinsPerChannel-1)*BinsPerChannel+0)*BinsPerChannel + 0
+	if h[idx] != 1 {
+		t.Fatalf("solid red mass = %v, want 1", h[idx])
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	f1 := vtest.TexturedCanvas(160, 120, 1)
+	f2 := vtest.TexturedCanvas(160, 120, 2)
+	h1, h2 := Histogram(f1), Histogram(f2)
+	if d := Distance(h1, h1); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	d12, d21 := Distance(h1, h2), Distance(h2, h1)
+	if d12 != d21 {
+		t.Errorf("distance asymmetric: %v != %v", d12, d21)
+	}
+	if d12 <= 0 || d12 > 2 {
+		t.Errorf("distance %v outside (0,2]", d12)
+	}
+}
+
+func TestDetectHardCut(t *testing.T) {
+	clip := vtest.TwoShotClip("cut", 10, 20, 8, 16)
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := d.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 1 || bounds[0] != 8 {
+		t.Errorf("bounds = %v, want [8]", bounds)
+	}
+}
+
+func TestDetectStaticNoBoundary(t *testing.T) {
+	canvas := vtest.TexturedCanvas(400, 120, 3)
+	clip := video.NewClip("static", 3)
+	clip.Append(vtest.PanClip(canvas, 50, 0, 10, 160, 120)...)
+	d, _ := New(DefaultConfig())
+	bounds, err := d.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 0 {
+		t.Errorf("static clip produced bounds %v", bounds)
+	}
+}
+
+// TestGradualTransitionTwinThreshold: a slow dissolve between two
+// locations should be caught by the accumulation rule even though no
+// single-step distance crosses the cut threshold.
+func TestGradualTransitionTwinThreshold(t *testing.T) {
+	a := vtest.TexturedCanvas(160, 120, 4)
+	b := vtest.TexturedCanvas(160, 120, 5)
+	clip := video.NewClip("dissolve", 3)
+	for i := 0; i < 5; i++ {
+		clip.Append(a.Clone())
+	}
+	const steps = 6
+	for s := 1; s < steps; s++ {
+		f := video.NewFrame(160, 120)
+		t1 := float64(s) / steps
+		for i := range f.Pix {
+			pa, pb := a.Pix[i], b.Pix[i]
+			f.Pix[i] = video.Pixel{
+				R: uint8(float64(pa.R)*(1-t1) + float64(pb.R)*t1),
+				G: uint8(float64(pa.G)*(1-t1) + float64(pb.G)*t1),
+				B: uint8(float64(pa.B)*(1-t1) + float64(pb.B)*t1),
+			}
+		}
+		clip.Append(f)
+	}
+	for i := 0; i < 5; i++ {
+		clip.Append(b.Clone())
+	}
+	cfg := DefaultConfig()
+	cfg.LowThreshold = 0.05
+	cfg.AccumThreshold = 0.6
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := d.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) == 0 {
+		t.Error("gradual transition missed")
+	}
+}
+
+// TestThresholdSensitivity reproduces the survey's observation that
+// accuracy varies strongly with thresholds: a much higher cut threshold
+// misses the cut a default config finds.
+func TestThresholdSensitivity(t *testing.T) {
+	clip := vtest.TwoShotClip("cut", 30, 40, 8, 16)
+	strict, err := New(Config{CutThreshold: 1.9, LowThreshold: 1.0, AccumThreshold: 1.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := strict.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 0 {
+		t.Errorf("over-strict thresholds still detected %v", bounds)
+	}
+}
+
+func TestDetectRejectsInvalidClip(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	if _, err := d.Detect(video.NewClip("empty", 3)); err == nil {
+		t.Error("empty clip accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	if d.Name() != "color-histogram" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestAdaptiveDetectsCut(t *testing.T) {
+	clip := vtest.TwoShotClip("cut", 50, 60, 8, 16)
+	a, err := NewAdaptive(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := a.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 1 || bounds[0] != 8 {
+		t.Errorf("adaptive bounds = %v, want [8]", bounds)
+	}
+	if a.Name() != "color-histogram-adaptive" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+func TestAdaptiveNoFalsePositivesOnStatic(t *testing.T) {
+	canvas := vtest.TexturedCanvas(400, 120, 70)
+	clip := video.NewClip("static", 3)
+	clip.Append(vtest.PanClip(canvas, 50, 0, 12, 160, 120)...)
+	a, _ := NewAdaptive(3)
+	bounds, err := a.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 0 {
+		t.Errorf("static clip produced %v", bounds)
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	if _, err := NewAdaptive(0); err == nil {
+		t.Error("zero K accepted")
+	}
+	a, _ := NewAdaptive(3)
+	if _, err := a.Detect(video.NewClip("empty", 3)); err == nil {
+		t.Error("empty clip accepted")
+	}
+	// A single-frame clip yields no boundaries and no error.
+	one := video.NewClip("one", 3)
+	one.Append(vtest.TexturedCanvas(160, 120, 1))
+	bounds, err := a.Detect(one)
+	if err != nil || len(bounds) != 0 {
+		t.Errorf("single-frame clip: %v %v", bounds, err)
+	}
+}

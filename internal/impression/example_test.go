@@ -1,0 +1,20 @@
+package impression_test
+
+import (
+	"fmt"
+
+	"videodb/internal/impression"
+)
+
+// ExampleParse turns the paper's "impression of the degree of changes"
+// into a concrete variance query.
+func ExampleParse() {
+	im, err := impression.Parse("background=high object=low")
+	if err != nil {
+		panic(err)
+	}
+	q := im.Query()
+	fmt.Printf("%s → VarBA=%.1f VarOA=%.1f\n", im, q.VarBA, q.VarOA)
+	// Output:
+	// background=high object=low → VarBA=12.0 VarOA=0.6
+}

@@ -1,0 +1,28 @@
+package impression
+
+import "testing"
+
+// FuzzParse: arbitrary strings must never panic the parser, and any
+// accepted impression must round-trip through its canonical rendering.
+func FuzzParse(f *testing.F) {
+	f.Add("background=high object=low")
+	f.Add("bg=medium obj=none")
+	f.Add("object=3 background=0")
+	f.Add("")
+	f.Add("==== = = = bg=")
+	f.Add("background=high object=high background=low")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		im, err := Parse(s)
+		if err != nil {
+			return
+		}
+		rt, err := Parse(im.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", im.String(), err)
+		}
+		if rt != im {
+			t.Fatalf("round trip changed %+v to %+v", im, rt)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+// Package impression translates qualitative query strings into
+// variance-based queries. The paper's query model (§4.2) has the user
+// express "the impression of the degree of changes" in the background
+// and object areas; this package gives that impression a concrete
+// syntax:
+//
+//	background=high object=low
+//	bg=medium obj=none
+//
+// Levels map to variance values calibrated on the synthetic corpus:
+// "none" is a static tripod shot, "low" gentle motion, "medium" a slow
+// pan or an animated subject, "high" a fast pan or action content.
+package impression
+
+import (
+	"fmt"
+	"strings"
+
+	"videodb/internal/varindex"
+)
+
+// Level is a qualitative degree of change.
+type Level int
+
+// Levels in increasing degree of change.
+const (
+	None Level = iota
+	Low
+	Medium
+	High
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case None:
+		return "none"
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Variance returns the variance value a level stands for. The anchors
+// come from the synthetic corpus: static shots measure VarBA ≈ 0.1,
+// subject motion VarOA ≈ 2–6, fast pans VarBA ≈ 5–16.
+func (l Level) Variance() float64 {
+	switch l {
+	case None:
+		return 0.05
+	case Low:
+		return 0.6
+	case Medium:
+		return 4
+	case High:
+		return 12
+	default:
+		return 0
+	}
+}
+
+// ParseLevel parses a level name.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none", "static", "0":
+		return None, nil
+	case "low", "small", "1":
+		return Low, nil
+	case "medium", "med", "moderate", "2":
+		return Medium, nil
+	case "high", "large", "3":
+		return High, nil
+	default:
+		return None, fmt.Errorf("impression: unknown level %q (want none|low|medium|high)", s)
+	}
+}
+
+// Impression is a parsed qualitative query.
+type Impression struct {
+	// Background and Object are the degrees of change in the two areas.
+	Background, Object Level
+}
+
+// Query converts the impression to a variance query.
+func (im Impression) Query() varindex.Query {
+	return varindex.Query{
+		VarBA: im.Background.Variance(),
+		VarOA: im.Object.Variance(),
+	}
+}
+
+// String renders the impression in canonical syntax.
+func (im Impression) String() string {
+	return fmt.Sprintf("background=%s object=%s", im.Background, im.Object)
+}
+
+// Parse reads an impression string: space-separated key=value pairs
+// where the key is "background"/"bg" or "object"/"obj"/"foreground"/"fg"
+// and the value a level name. Both keys are required.
+func Parse(s string) (Impression, error) {
+	var im Impression
+	haveBG, haveObj := false, false
+	for _, field := range strings.Fields(s) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return im, fmt.Errorf("impression: %q is not key=value", field)
+		}
+		level, err := ParseLevel(val)
+		if err != nil {
+			return im, err
+		}
+		switch strings.ToLower(key) {
+		case "background", "bg":
+			im.Background = level
+			haveBG = true
+		case "object", "obj", "foreground", "fg":
+			im.Object = level
+			haveObj = true
+		default:
+			return im, fmt.Errorf("impression: unknown area %q (want background|object)", key)
+		}
+	}
+	if !haveBG || !haveObj {
+		return im, fmt.Errorf("impression: need both background= and object= (got %q)", s)
+	}
+	return im, nil
+}

@@ -1,0 +1,104 @@
+package impression
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLevels(t *testing.T) {
+	cases := map[string]Level{
+		"none": None, "static": None, "0": None,
+		"low": Low, "small": Low, "1": Low,
+		"medium": Medium, "MED": Medium, "moderate": Medium, "2": Medium,
+		"high": High, "Large": High, "3": High,
+		" high ": High,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil {
+			t.Errorf("ParseLevel(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := ParseLevel("extreme"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestLevelVarianceMonotone(t *testing.T) {
+	prev := -1.0
+	for _, l := range []Level{None, Low, Medium, High} {
+		v := l.Variance()
+		if v <= prev {
+			t.Fatalf("level %v variance %v not increasing", l, v)
+		}
+		prev = v
+	}
+	if Level(99).Variance() != 0 {
+		t.Error("invalid level should map to 0")
+	}
+}
+
+func TestParse(t *testing.T) {
+	im, err := Parse("background=high object=low")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Background != High || im.Object != Low {
+		t.Errorf("parsed %+v", im)
+	}
+	q := im.Query()
+	if q.VarBA != High.Variance() || q.VarOA != Low.Variance() {
+		t.Errorf("query %+v", q)
+	}
+	if !strings.Contains(im.String(), "background=high") {
+		t.Errorf("String() = %q", im.String())
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	im, err := Parse("bg=medium fg=none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Background != Medium || im.Object != None {
+		t.Errorf("parsed %+v", im)
+	}
+	im2, err := Parse("obj=high bg=low")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im2.Object != High || im2.Background != Low {
+		t.Errorf("order independence broken: %+v", im2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"background=high",
+		"object=low",
+		"background high object low",
+		"bg=high obj=enormous",
+		"sky=high obj=low",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Level(42).String() != "Level(42)" {
+		t.Error("invalid level String()")
+	}
+	for _, l := range []Level{None, Low, Medium, High} {
+		rt, err := ParseLevel(l.String())
+		if err != nil || rt != l {
+			t.Errorf("round trip of %v failed: %v %v", l, rt, err)
+		}
+	}
+}

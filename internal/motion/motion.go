@@ -1,0 +1,157 @@
+// Package motion classifies the camera operation of a shot from the
+// background-signature shifts the SBD pipeline already computes. The
+// companion technique [23] the paper builds on performs "scene change
+// detection and classification using background tracking"; this package
+// is that classification half: per consecutive frame pair, the shift at
+// which the two background signatures best align estimates the camera's
+// horizontal motion, and the per-shot statistics of those shifts label
+// the shot static, panning, or unsteady.
+package motion
+
+import (
+	"fmt"
+	"math"
+
+	"videodb/internal/feature"
+	"videodb/internal/sbd"
+)
+
+// Kind is a camera-operation class.
+type Kind int
+
+// Camera-operation classes.
+const (
+	// Static: tripod shot, negligible background motion.
+	Static Kind = iota
+	// PanLeft: the camera sweeps left (background moves right).
+	PanLeft
+	// PanRight: the camera sweeps right (background moves left).
+	PanRight
+	// Unsteady: significant background motion without a dominant
+	// direction (handheld, shake, or erratic subject-tracking).
+	Unsteady
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case PanLeft:
+		return "pan-left"
+	case PanRight:
+		return "pan-right"
+	case Unsteady:
+		return "unsteady"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Summary describes the camera motion of one shot.
+type Summary struct {
+	// Kind is the classified camera operation.
+	Kind Kind
+	// MeanShift is the average per-pair signature shift (positive:
+	// camera moving right).
+	MeanShift float64
+	// MeanAbsShift is the average magnitude of per-pair shifts.
+	MeanAbsShift float64
+	// Steadiness is the fraction of pairs with |shift| ≤ 1 signature
+	// pixel.
+	Steadiness float64
+	// Pairs is the number of frame pairs measured.
+	Pairs int
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("%s (mean shift %+.2f px/frame, steadiness %.0f%%)",
+		s.Kind, s.MeanShift, 100*s.Steadiness)
+}
+
+// Config holds classification thresholds, in signature pixels per frame
+// pair.
+type Config struct {
+	// StaticMax is the maximum mean |shift| for a static label.
+	StaticMax float64
+	// DirectedMinFrac is the minimum |MeanShift|/MeanAbsShift ratio for
+	// a directional pan label (1.0 = perfectly consistent direction).
+	DirectedMinFrac float64
+}
+
+// DefaultConfig returns thresholds calibrated on synthetic pans.
+func DefaultConfig() Config {
+	return Config{StaticMax: 0.5, DirectedMinFrac: 0.6}
+}
+
+// Classifier estimates camera motion from frame features.
+type Classifier struct {
+	cfg Config
+	det *sbd.CameraTracking
+}
+
+// NewClassifier returns a classifier using the given SBD thresholds for
+// signature matching (the detector's MatchTol and MaxShiftFrac are
+// reused).
+func NewClassifier(cfg Config, sbdCfg sbd.Config) (*Classifier, error) {
+	if cfg.StaticMax < 0 || cfg.DirectedMinFrac < 0 || cfg.DirectedMinFrac > 1 {
+		return nil, fmt.Errorf("motion: invalid thresholds %+v", cfg)
+	}
+	det, err := sbd.NewCameraTracking(sbdCfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{cfg: cfg, det: det}, nil
+}
+
+// Classify labels the camera motion of the frame range [shot.Start,
+// shot.End] over precomputed frame features. Single-frame shots are
+// Static by definition.
+func (c *Classifier) Classify(feats []feature.FrameFeature, shot sbd.Shot) Summary {
+	sum := Summary{}
+	if shot.Len() < 2 {
+		sum.Steadiness = 1
+		return sum
+	}
+	var total, totalAbs float64
+	steady := 0
+	for i := shot.Start + 1; i <= shot.End; i++ {
+		_, shift := c.det.BestRunShift(feats[i-1].Signature, feats[i].Signature)
+		// BestRunShift reports where the newer frame's content aligns in
+		// the older frame; negate so positive means camera moving right.
+		s := float64(-shift)
+		total += s
+		totalAbs += math.Abs(s)
+		if math.Abs(s) <= 1 {
+			steady++
+		}
+		sum.Pairs++
+	}
+	sum.MeanShift = total / float64(sum.Pairs)
+	sum.MeanAbsShift = totalAbs / float64(sum.Pairs)
+	sum.Steadiness = float64(steady) / float64(sum.Pairs)
+
+	switch {
+	case sum.MeanAbsShift <= c.cfg.StaticMax:
+		sum.Kind = Static
+	case math.Abs(sum.MeanShift) >= c.cfg.DirectedMinFrac*sum.MeanAbsShift:
+		if sum.MeanShift > 0 {
+			sum.Kind = PanRight
+		} else {
+			sum.Kind = PanLeft
+		}
+	default:
+		sum.Kind = Unsteady
+	}
+	return sum
+}
+
+// ClassifyAll labels every shot of a segmented clip.
+func (c *Classifier) ClassifyAll(feats []feature.FrameFeature, shots []sbd.Shot) []Summary {
+	out := make([]Summary, len(shots))
+	for i, s := range shots {
+		out[i] = c.Classify(feats, s)
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package motion
+
+import (
+	"testing"
+
+	"videodb/internal/feature"
+	"videodb/internal/rng"
+	"videodb/internal/sbd"
+	"videodb/internal/synth"
+)
+
+// renderShotFeats renders a synthetic shot and analyzes its frames.
+func renderShotFeats(t *testing.T, cam synth.Camera, frames int) []feature.FrameFeature {
+	t.Helper()
+	loc := synth.NewLocation(0, 9, synth.DefaultTextureParams())
+	spec := synth.ShotSpec{Location: 0, Frames: frames, Camera: cam, NoiseSigma: 1.5, FlashAt: -1}
+	fs, err := synth.RenderShot(spec, loc, 160, 120, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := feature.NewAnalyzer(160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := make([]feature.FrameFeature, len(fs))
+	for i, f := range fs {
+		feats[i] = an.Analyze(f)
+	}
+	return feats
+}
+
+func classifier(t *testing.T) *Classifier {
+	t.Helper()
+	c, err := NewClassifier(DefaultConfig(), sbd.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClassifierValidates(t *testing.T) {
+	if _, err := NewClassifier(Config{StaticMax: -1}, sbd.DefaultConfig()); err == nil {
+		t.Error("negative StaticMax accepted")
+	}
+	if _, err := NewClassifier(Config{DirectedMinFrac: 2}, sbd.DefaultConfig()); err == nil {
+		t.Error("DirectedMinFrac > 1 accepted")
+	}
+	if _, err := NewClassifier(DefaultConfig(), sbd.Config{}); err == nil {
+		t.Error("invalid sbd config accepted")
+	}
+}
+
+func TestClassifyStatic(t *testing.T) {
+	feats := renderShotFeats(t, synth.Camera{X: 100, Y: 50, Jitter: 0.2}, 10)
+	sum := classifier(t).Classify(feats, sbd.Shot{Start: 0, End: 9})
+	if sum.Kind != Static {
+		t.Errorf("static shot classified %v (%s)", sum.Kind, sum)
+	}
+	if sum.Steadiness < 0.8 {
+		t.Errorf("static shot steadiness %.2f", sum.Steadiness)
+	}
+}
+
+func TestClassifyPanRight(t *testing.T) {
+	feats := renderShotFeats(t, synth.Camera{X: 20, Y: 50, VX: 8}, 15)
+	sum := classifier(t).Classify(feats, sbd.Shot{Start: 0, End: 14})
+	if sum.Kind != PanRight {
+		t.Errorf("rightward pan classified %v (%s)", sum.Kind, sum)
+	}
+	if sum.MeanShift <= 0 {
+		t.Errorf("rightward pan has mean shift %.2f, want positive", sum.MeanShift)
+	}
+}
+
+func TestClassifyPanLeft(t *testing.T) {
+	feats := renderShotFeats(t, synth.Camera{X: 450, Y: 50, VX: -8}, 15)
+	sum := classifier(t).Classify(feats, sbd.Shot{Start: 0, End: 14})
+	if sum.Kind != PanLeft {
+		t.Errorf("leftward pan classified %v (%s)", sum.Kind, sum)
+	}
+	if sum.MeanShift >= 0 {
+		t.Errorf("leftward pan has mean shift %.2f, want negative", sum.MeanShift)
+	}
+}
+
+// TestShiftMagnitudeTracksSpeed: faster pans measure larger shifts.
+func TestShiftMagnitudeTracksSpeed(t *testing.T) {
+	slow := classifier(t).Classify(renderShotFeats(t, synth.Camera{X: 20, Y: 50, VX: 4}, 12), sbd.Shot{Start: 0, End: 11})
+	fast := classifier(t).Classify(renderShotFeats(t, synth.Camera{X: 20, Y: 50, VX: 10}, 12), sbd.Shot{Start: 0, End: 11})
+	if fast.MeanAbsShift <= slow.MeanAbsShift {
+		t.Errorf("fast pan shift %.2f not above slow pan %.2f", fast.MeanAbsShift, slow.MeanAbsShift)
+	}
+}
+
+func TestClassifyUnsteady(t *testing.T) {
+	// Heavy jitter with no net direction.
+	feats := renderShotFeats(t, synth.Camera{X: 200, Y: 100, Jitter: 5}, 16)
+	sum := classifier(t).Classify(feats, sbd.Shot{Start: 0, End: 15})
+	if sum.Kind == Static {
+		t.Errorf("heavy jitter classified static (%s)", sum)
+	}
+	// Either unsteady or a weak pan is acceptable; a strong directional
+	// pan is not.
+	if (sum.Kind == PanLeft || sum.Kind == PanRight) && sum.MeanAbsShift > 3 {
+		t.Errorf("jitter classified as a strong pan (%s)", sum)
+	}
+}
+
+func TestClassifySingleFrameShot(t *testing.T) {
+	feats := renderShotFeats(t, synth.Camera{X: 100, Y: 50}, 1)
+	sum := classifier(t).Classify(feats, sbd.Shot{Start: 0, End: 0})
+	if sum.Kind != Static || sum.Pairs != 0 || sum.Steadiness != 1 {
+		t.Errorf("single-frame shot: %+v", sum)
+	}
+}
+
+func TestClassifyAll(t *testing.T) {
+	featsA := renderShotFeats(t, synth.Camera{X: 100, Y: 50}, 6)
+	featsB := renderShotFeats(t, synth.Camera{X: 20, Y: 50, VX: 8}, 8)
+	feats := append(append([]feature.FrameFeature{}, featsA...), featsB...)
+	shots := []sbd.Shot{{Start: 0, End: 5}, {Start: 6, End: 13}}
+	sums := classifier(t).ClassifyAll(feats, shots)
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	if sums[0].Kind != Static {
+		t.Errorf("shot 0 classified %v", sums[0].Kind)
+	}
+	if sums[1].Kind != PanRight {
+		t.Errorf("shot 1 classified %v", sums[1].Kind)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{Static: "static", PanLeft: "pan-left", PanRight: "pan-right", Unsteady: "unsteady", Kind(9): "Kind(9)"}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("Kind(%d).String() = %q", int(k), k.String())
+		}
+	}
+}

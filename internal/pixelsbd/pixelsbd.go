@@ -1,0 +1,64 @@
+// Package pixelsbd implements the simplest shot boundary detection
+// baseline: pairwise pixel comparison. A boundary is declared when the
+// mean absolute per-channel difference between consecutive frames
+// exceeds a threshold. The paper characterises its own method as
+// "fundamentally different from traditional methods based on pixel
+// comparison" (§6); this package provides that tradition for the
+// comparison experiments.
+package pixelsbd
+
+import (
+	"fmt"
+
+	"videodb/internal/video"
+)
+
+// Config holds the single threshold of the detector.
+type Config struct {
+	// DiffThreshold is the minimum mean absolute per-channel pixel
+	// difference (0–255) that declares a boundary.
+	DiffThreshold float64
+}
+
+// DefaultConfig returns a threshold calibrated on the synthetic corpus.
+func DefaultConfig() Config {
+	return Config{DiffThreshold: 28}
+}
+
+// Validate reports an invalid threshold.
+func (c Config) Validate() error {
+	if c.DiffThreshold <= 0 || c.DiffThreshold > 255 {
+		return fmt.Errorf("pixelsbd: DiffThreshold %v outside (0,255]", c.DiffThreshold)
+	}
+	return nil
+}
+
+// Detector is the pixel-difference baseline. It implements sbd.Detector.
+type Detector struct {
+	cfg Config
+}
+
+// New returns a detector with the given threshold.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg}, nil
+}
+
+// Name implements sbd.Detector.
+func (d *Detector) Name() string { return "pixel-difference" }
+
+// Detect implements sbd.Detector.
+func (d *Detector) Detect(c *video.Clip) ([]int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var bounds []int
+	for i := 1; i < len(c.Frames); i++ {
+		if c.Frames[i-1].MeanAbsDiff(c.Frames[i]) > d.cfg.DiffThreshold {
+			bounds = append(bounds, i)
+		}
+	}
+	return bounds, nil
+}

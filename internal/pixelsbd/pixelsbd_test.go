@@ -1,0 +1,82 @@
+package pixelsbd
+
+import (
+	"testing"
+
+	"videodb/internal/video"
+	"videodb/internal/vtest"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	for _, v := range []float64{0, -1, 300} {
+		if err := (Config{DiffThreshold: v}).Validate(); err == nil {
+			t.Errorf("threshold %v validated", v)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted zero config")
+	}
+}
+
+func TestDetectHardCut(t *testing.T) {
+	clip := vtest.TwoShotClip("cut", 1, 2, 5, 10)
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := d.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 1 || bounds[0] != 5 {
+		t.Errorf("bounds = %v, want [5]", bounds)
+	}
+}
+
+func TestDetectStaticNoBoundary(t *testing.T) {
+	canvas := vtest.TexturedCanvas(400, 120, 3)
+	clip := video.NewClip("static", 3)
+	clip.Append(vtest.PanClip(canvas, 50, 0, 8, 160, 120)...)
+	d, _ := New(DefaultConfig())
+	bounds, err := d.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 0 {
+		t.Errorf("static clip produced bounds %v", bounds)
+	}
+}
+
+// TestPanFoolsPixelDifference documents the baseline's weakness the
+// paper's method fixes: a fast pan inside one shot trips the pixel
+// detector.
+func TestPanFoolsPixelDifference(t *testing.T) {
+	canvas := vtest.TexturedCanvas(1200, 120, 4)
+	clip := video.NewClip("pan", 3)
+	clip.Append(vtest.PanClip(canvas, 0, 40, 20, 160, 120)...)
+	d, _ := New(DefaultConfig())
+	bounds, err := d.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) == 0 {
+		t.Skip("pan did not trip the pixel detector at default threshold")
+	}
+}
+
+func TestDetectRejectsInvalidClip(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	if _, err := d.Detect(video.NewClip("empty", 3)); err == nil {
+		t.Error("empty clip accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	if d.Name() != "pixel-difference" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}

@@ -1,0 +1,295 @@
+// Package pyramid implements the modified Gaussian Pyramid reduction the
+// paper uses to collapse a two-dimensional background (or object) area
+// into a single line of pixels — the signature — and finally a single
+// pixel — the sign (SIGMOD 2000, §2.1–2.2, Figure 3).
+//
+// The reduction collapses five pixels into one, so input dimensions must
+// belong to the size set {1, 5, 13, 29, 61, 125, ...} defined by
+//
+//	s_j = 1 + Σ_{i=2..j} 2^i    (Eq. 1)
+//
+// equivalently s_1 = 1 and s_j = 2·s_{j-1} + 3. Arbitrary dimensions are
+// mapped to the nearest size-set value with Nearest (Table 1).
+package pyramid
+
+import (
+	"fmt"
+
+	"videodb/internal/video"
+)
+
+// SizeAt returns the jth element of the size set, s_j = 1 + Σ_{i=2..j} 2^i.
+// It panics if j < 1.
+func SizeAt(j int) int {
+	if j < 1 {
+		panic(fmt.Sprintf("pyramid: SizeAt(%d) with j < 1", j))
+	}
+	s := 1
+	for i := 2; i <= j; i++ {
+		s += 1 << uint(i)
+	}
+	return s
+}
+
+// Sizes returns all size-set values not exceeding max, in ascending order.
+func Sizes(max int) []int {
+	var out []int
+	for j := 1; ; j++ {
+		s := SizeAt(j)
+		if s > max {
+			return out
+		}
+		out = append(out, s)
+	}
+}
+
+// IsSize reports whether n belongs to the size set.
+func IsSize(n int) bool {
+	for j := 1; ; j++ {
+		s := SizeAt(j)
+		if s == n {
+			return true
+		}
+		if s > n {
+			return false
+		}
+	}
+}
+
+// NearestIndex returns the index j such that SizeAt(j) is the size-set
+// value nearest to n per the paper's approximation rule
+// j = 2 + ⌊log2((n+3)/6)⌋, with n ∈ {1, 2} mapping to j = 1 (Table 1).
+// It panics if n < 1.
+func NearestIndex(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("pyramid: NearestIndex(%d) with n < 1", n))
+	}
+	if n <= 2 {
+		return 1
+	}
+	// ⌊log2((n+3)/6)⌋ computed in integer arithmetic.
+	q := (n + 3) / 6
+	log := 0
+	for q >= 2 {
+		q >>= 1
+		log++
+	}
+	return 2 + log
+}
+
+// Nearest returns the size-set value nearest to n per Table 1.
+func Nearest(n int) int {
+	return SizeAt(NearestIndex(n))
+}
+
+// Reduce1D performs one pyramid reduction step on a line of pixels whose
+// length is a size-set value greater than 1, producing a line of the
+// previous size-set length. Each output pixel k is the 5-tap Gaussian
+// (binomial 1-4-6-4-1) average of input pixels centred at 2k+2.
+// It panics if the input length is not a size-set value > 1.
+func Reduce1D(line []video.Pixel) []video.Pixel {
+	n := len(line)
+	if n <= 1 || !IsSize(n) {
+		panic(fmt.Sprintf("pyramid: Reduce1D on line of length %d (not a size-set value > 1)", n))
+	}
+	outLen := (n - 3) / 2
+	out := make([]video.Pixel, outLen)
+	for k := 0; k < outLen; k++ {
+		c := 2*k + 2
+		out[k] = tap5(line[c-2], line[c-1], line[c], line[c+1], line[c+2])
+	}
+	return out
+}
+
+// tap5 applies the 1-4-6-4-1 kernel (sum 16) with round-to-nearest.
+func tap5(a, b, c, d, e video.Pixel) video.Pixel {
+	mix := func(a, b, c, d, e uint8) uint8 {
+		return uint8((int(a) + 4*int(b) + 6*int(c) + 4*int(d) + int(e) + 8) / 16)
+	}
+	return video.Pixel{
+		R: mix(a.R, b.R, c.R, d.R, e.R),
+		G: mix(a.G, b.G, c.G, d.G, e.G),
+		B: mix(a.B, b.B, c.B, d.B, e.B),
+	}
+}
+
+// ReduceLineToPixel repeatedly reduces a line whose length is in the size
+// set until a single pixel remains.
+func ReduceLineToPixel(line []video.Pixel) video.Pixel {
+	for len(line) > 1 {
+		line = Reduce1D(line)
+	}
+	return line[0]
+}
+
+// column extracts column x of g as a line of pixels.
+func column(g *video.Frame, x int) []video.Pixel {
+	col := make([]video.Pixel, g.H)
+	for y := 0; y < g.H; y++ {
+		col[y] = g.Pix[y*g.W+x]
+	}
+	return col
+}
+
+// reduce1DInto writes one reduction step of src into dst's prefix and
+// returns the used prefix. dst must not alias src.
+func reduce1DInto(dst, src []video.Pixel) []video.Pixel {
+	outLen := (len(src) - 3) / 2
+	for k := 0; k < outLen; k++ {
+		c := 2*k + 2
+		dst[k] = tap5(src[c-2], src[c-1], src[c], src[c+1], src[c+2])
+	}
+	return dst[:outLen]
+}
+
+// reduceToPixelScratch collapses line to one pixel, ping-ponging between
+// two scratch buffers (each at least (len(line)-3)/2 long). line itself
+// is not modified.
+func reduceToPixelScratch(line, bufA, bufB []video.Pixel) video.Pixel {
+	cur := line
+	dst := bufA
+	other := bufB
+	for len(cur) > 1 {
+		cur = reduce1DInto(dst, cur)
+		dst, other = other, dst
+	}
+	return cur[0]
+}
+
+// Signature reduces every column of g (height must be a size-set value)
+// to a single pixel, producing one line of g.W pixels — the signature of
+// Figure 3. It panics if g.H is not a size-set value.
+func Signature(g *video.Frame) []video.Pixel {
+	sig := make([]video.Pixel, g.W)
+	SignatureInto(g, sig)
+	return sig
+}
+
+// SignatureInto is Signature writing into dst (len ≥ g.W), allocating
+// only small fixed scratch space. It panics if g.H is not a size-set
+// value or dst is too short.
+func SignatureInto(g *video.Frame, dst []video.Pixel) {
+	if !IsSize(g.H) {
+		panic(fmt.Sprintf("pyramid: Signature of grid with height %d (not a size-set value)", g.H))
+	}
+	if len(dst) < g.W {
+		panic(fmt.Sprintf("pyramid: signature destination %d < width %d", len(dst), g.W))
+	}
+	col := make([]video.Pixel, g.H)
+	half := (g.H + 1) / 2
+	if half < 1 {
+		half = 1
+	}
+	bufA := make([]video.Pixel, half)
+	bufB := make([]video.Pixel, half)
+	for x := 0; x < g.W; x++ {
+		for y := 0; y < g.H; y++ {
+			col[y] = g.Pix[y*g.W+x]
+		}
+		dst[x] = reduceToPixelScratch(col, bufA, bufB)
+	}
+}
+
+// Sign reduces g all the way to a single pixel: columns first (giving the
+// signature), then the signature line. Both dimensions must be size-set
+// values.
+func Sign(g *video.Frame) video.Pixel {
+	if !IsSize(g.W) {
+		panic(fmt.Sprintf("pyramid: Sign of grid with width %d (not a size-set value)", g.W))
+	}
+	return ReduceLineToPixel(Signature(g))
+}
+
+// SignatureAndSign computes both reductions of g, sharing the column
+// pass. Both dimensions of g must be size-set values.
+func SignatureAndSign(g *video.Frame) ([]video.Pixel, video.Pixel) {
+	if !IsSize(g.W) {
+		panic(fmt.Sprintf("pyramid: SignatureAndSign of grid with width %d (not a size-set value)", g.W))
+	}
+	sig := Signature(g)
+	sign := ReduceLineToPixel(sig)
+	return sig, sign
+}
+
+// Reducer holds reusable scratch space for repeated reductions of
+// same-shaped grids — the per-frame hot path of ingestion. A Reducer is
+// not safe for concurrent use; pool one per goroutine.
+type Reducer struct {
+	col, bufA, bufB, sig []video.Pixel
+}
+
+// NewReducer returns a reducer able to handle grids up to maxW wide and
+// maxH tall.
+func NewReducer(maxW, maxH int) *Reducer {
+	half := maxW
+	if maxH > half {
+		half = maxH
+	}
+	half = (half + 1) / 2
+	if half < 1 {
+		half = 1
+	}
+	return &Reducer{
+		col:  make([]video.Pixel, maxH),
+		bufA: make([]video.Pixel, half),
+		bufB: make([]video.Pixel, half),
+		sig:  make([]video.Pixel, maxW),
+	}
+}
+
+// SignatureInto computes g's signature into dst without allocating.
+// Panics mirror SignatureInto's.
+func (r *Reducer) SignatureInto(g *video.Frame, dst []video.Pixel) {
+	if !IsSize(g.H) {
+		panic(fmt.Sprintf("pyramid: Signature of grid with height %d (not a size-set value)", g.H))
+	}
+	if len(dst) < g.W || len(r.col) < g.H {
+		panic(fmt.Sprintf("pyramid: reducer too small for %dx%d grid", g.W, g.H))
+	}
+	col := r.col[:g.H]
+	for x := 0; x < g.W; x++ {
+		for y := 0; y < g.H; y++ {
+			col[y] = g.Pix[y*g.W+x]
+		}
+		dst[x] = reduceToPixelScratch(col, r.bufA, r.bufB)
+	}
+}
+
+// LineToPixel collapses a size-set-length line to one pixel without
+// allocating. The line is not modified.
+func (r *Reducer) LineToPixel(line []video.Pixel) video.Pixel {
+	if len(line) == 1 {
+		return line[0]
+	}
+	if !IsSize(len(line)) {
+		panic(fmt.Sprintf("pyramid: LineToPixel on line of length %d", len(line)))
+	}
+	return reduceToPixelScratch(line, r.bufA, r.bufB)
+}
+
+// Sign collapses g to a single pixel without allocating. Both
+// dimensions must be size-set values within the reducer's capacity.
+func (r *Reducer) Sign(g *video.Frame) video.Pixel {
+	if !IsSize(g.W) {
+		panic(fmt.Sprintf("pyramid: Sign of grid with width %d (not a size-set value)", g.W))
+	}
+	sig := r.sig[:g.W]
+	r.SignatureInto(g, sig)
+	return r.LineToPixel(sig)
+}
+
+// Steps returns the number of reduction steps needed to collapse a line
+// of size-set length n to one pixel. It panics if n is not in the size
+// set. The paper states the overall complexity is O(m) in the number of
+// pixels m; Steps is the log factor of Figure 3's cascade.
+func Steps(n int) int {
+	if !IsSize(n) {
+		panic(fmt.Sprintf("pyramid: Steps(%d) not a size-set value", n))
+	}
+	steps := 0
+	for n > 1 {
+		n = (n - 3) / 2
+		steps++
+	}
+	return steps
+}

@@ -1,0 +1,141 @@
+package sbd
+
+import (
+	"fmt"
+
+	"videodb/internal/feature"
+	"videodb/internal/video"
+)
+
+// Fast is the skip-and-refine accelerated segmenter — the paper's §6
+// closes by noting the authors "are also studying techniques to speed
+// up the video data segmentation process"; this is that technique.
+//
+// Frames are analyzed lazily. The detector samples every Stride-th
+// frame and compares sample signs with a widened tolerance: a stable
+// stretch of background (the overwhelmingly common case) is accepted
+// without analyzing — or even touching — the frames in between. Only
+// when consecutive samples disagree does the detector fall back to the
+// full three-stage pipeline over every frame pair in the interval.
+//
+// The trade-off is inherent to striding: a cut-away and cut-back to the
+// same background entirely inside one stride window is invisible, as is
+// any feature of the skipped frames. With Stride ≤ the minimum expected
+// shot length this never triggers.
+type Fast struct {
+	inner  *CameraTracking
+	stride int
+}
+
+// FastStats extends Stats with the analysis work saved.
+type FastStats struct {
+	Stats
+	// FramesTotal and FramesAnalyzed count the clip's frames and how
+	// many actually had features extracted.
+	FramesTotal, FramesAnalyzed int
+	// IntervalsSkipped counts stride windows accepted on the sample
+	// test alone.
+	IntervalsSkipped int
+}
+
+// SavingsFrac returns the fraction of frames whose analysis was skipped.
+func (s FastStats) SavingsFrac() float64 {
+	if s.FramesTotal == 0 {
+		return 0
+	}
+	return 1 - float64(s.FramesAnalyzed)/float64(s.FramesTotal)
+}
+
+// NewFast returns an accelerated detector with the given stride
+// (minimum 2; a stride of 1 degenerates to the full pipeline).
+func NewFast(cfg Config, stride int, analyzer *feature.Analyzer) (*Fast, error) {
+	if stride < 2 {
+		return nil, fmt.Errorf("sbd: fast detector stride %d < 2", stride)
+	}
+	inner, err := NewCameraTracking(cfg, analyzer)
+	if err != nil {
+		return nil, err
+	}
+	return &Fast{inner: inner, stride: stride}, nil
+}
+
+// Name implements Detector.
+func (d *Fast) Name() string { return fmt.Sprintf("camera-tracking-fast/%d", d.stride) }
+
+// Stride returns the sampling stride.
+func (d *Fast) Stride() int { return d.stride }
+
+// Detect implements Detector.
+func (d *Fast) Detect(c *video.Clip) ([]int, error) {
+	bounds, _, err := d.DetectWithStats(c)
+	return bounds, err
+}
+
+// DetectWithStats is Detect plus telemetry on the work saved.
+func (d *Fast) DetectWithStats(c *video.Clip) ([]int, FastStats, error) {
+	var stats FastStats
+	if err := c.Validate(); err != nil {
+		return nil, stats, err
+	}
+	an := d.inner.analyzer
+	if an == nil || an.Geometry().C != c.Frames[0].W || an.Geometry().R != c.Frames[0].H {
+		var err error
+		an, err = feature.NewAnalyzer(c.Frames[0].W, c.Frames[0].H)
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+
+	n := c.Len()
+	stats.FramesTotal = n
+	feats := make([]*feature.FrameFeature, n)
+	analyze := func(i int) *feature.FrameFeature {
+		if feats[i] == nil {
+			ff := an.Analyze(c.Frames[i])
+			feats[i] = &ff
+			stats.FramesAnalyzed++
+		}
+		return feats[i]
+	}
+
+	// A stride window is "quiet" when its endpoint signs differ by no
+	// more than twice the stage-1 tolerance — lax enough to absorb slow
+	// drift across Stride frames — AND the endpoint signatures agree
+	// pixel-aligned. The signature condition costs O(L) on two frames
+	// already analyzed and catches cuts between locations whose mean
+	// colours happen to coincide, which the sign test alone cannot see.
+	quietTol := 2 * d.inner.cfg.SignTol
+
+	var bounds []int
+	for lo := 0; lo < n-1; lo += d.stride {
+		hi := lo + d.stride
+		if hi > n-1 {
+			hi = n - 1
+		}
+		a, b := analyze(lo), analyze(hi)
+		if a.SignBA.MaxChannelDiff(b.SignBA) <= quietTol &&
+			d.inner.alignedMatchFrac(a.Signature, b.Signature) >= d.inner.cfg.AlignedMatchFrac {
+			stats.IntervalsSkipped++
+			// Count the window as decided by the sign stage.
+			stats.Pairs += hi - lo
+			stats.BySign += hi - lo
+			continue
+		}
+		// Refine: run the full pipeline over every pair inside.
+		for i := lo + 1; i <= hi; i++ {
+			stats.Pairs++
+			switch d.inner.ComparePair(analyze(i-1), analyze(i)) {
+			case StageSign:
+				stats.BySign++
+			case StageSignature:
+				stats.BySig++
+			case StageTracking:
+				stats.ByTrack++
+			case StageBoundary:
+				stats.Boundary++
+				bounds = append(bounds, i)
+			}
+		}
+	}
+	return bounds, stats, nil
+}

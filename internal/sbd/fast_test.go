@@ -1,0 +1,178 @@
+package sbd
+
+import (
+	"testing"
+
+	"videodb/internal/video"
+)
+
+func fastDetector(t testing.TB, stride int) *Fast {
+	t.Helper()
+	d, err := NewFast(DefaultConfig(), stride, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewFastRejectsBadInput(t *testing.T) {
+	if _, err := NewFast(DefaultConfig(), 1, nil); err == nil {
+		t.Error("stride 1 accepted")
+	}
+	if _, err := NewFast(Config{}, 4, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFastMatchesFullOnCuts(t *testing.T) {
+	a := texturedCanvas(400, 120, 21)
+	b := texturedCanvas(400, 120, 22)
+	c := texturedCanvas(400, 120, 23)
+	clip := video.NewClip("cuts", 3)
+	clip.Append(panClip(a, 50, 0, 12)...)
+	clip.Append(panClip(b, 50, 0, 9)...)
+	clip.Append(panClip(c, 50, 0, 14)...)
+
+	full := detector(t)
+	wantBounds, err := full.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := fastDetector(t, 4)
+	gotBounds, stats, err := fast.DetectWithStats(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotBounds) != len(wantBounds) {
+		t.Fatalf("fast found %v, full found %v", gotBounds, wantBounds)
+	}
+	for i := range wantBounds {
+		if gotBounds[i] != wantBounds[i] {
+			t.Fatalf("fast found %v, full found %v", gotBounds, wantBounds)
+		}
+	}
+	if stats.FramesAnalyzed >= stats.FramesTotal {
+		t.Errorf("fast analyzed every frame (%d/%d)", stats.FramesAnalyzed, stats.FramesTotal)
+	}
+}
+
+func TestFastSkipsStaticContent(t *testing.T) {
+	canvas := texturedCanvas(400, 120, 24)
+	clip := video.NewClip("static", 3)
+	clip.Append(panClip(canvas, 50, 0, 41)...)
+	fast := fastDetector(t, 5)
+	bounds, stats, err := fast.DetectWithStats(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 0 {
+		t.Errorf("static clip produced bounds %v", bounds)
+	}
+	// Only the sample frames get analyzed: 41 frames at stride 5 →
+	// samples 0,5,...,40 = 9 frames.
+	if stats.FramesAnalyzed != 9 {
+		t.Errorf("analyzed %d frames, want 9", stats.FramesAnalyzed)
+	}
+	if stats.SavingsFrac() < 0.7 {
+		t.Errorf("savings %.2f too small", stats.SavingsFrac())
+	}
+	if stats.IntervalsSkipped != 8 {
+		t.Errorf("skipped %d intervals, want 8", stats.IntervalsSkipped)
+	}
+}
+
+func TestFastRefinesOnPan(t *testing.T) {
+	// A fast pan changes the sign across a stride window, forcing
+	// refinement — which must still conclude "same shot".
+	canvas := texturedCanvas(1200, 120, 25)
+	clip := video.NewClip("pan", 3)
+	clip.Append(panClip(canvas, 0, 10, 30)...)
+	fast := fastDetector(t, 5)
+	bounds, stats, err := fast.DetectWithStats(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 0 {
+		t.Errorf("pan produced bounds %v", bounds)
+	}
+	if stats.ByTrack+stats.BySig == 0 && stats.IntervalsSkipped == 6 {
+		t.Log("pan absorbed entirely by the quiet test (slow sign drift)")
+	}
+	if s := stats.BySign + stats.BySig + stats.ByTrack + stats.Boundary; s != stats.Pairs {
+		t.Errorf("stage decisions %d != pairs %d", s, stats.Pairs)
+	}
+}
+
+func TestFastBoundaryPositionExact(t *testing.T) {
+	// The boundary must land on the exact frame even when it sits
+	// mid-window.
+	a := texturedCanvas(400, 120, 26)
+	b := texturedCanvas(400, 120, 27)
+	for cut := 5; cut <= 9; cut++ {
+		clip := video.NewClip("cut", 3)
+		clip.Append(panClip(a, 50, 0, cut)...)
+		clip.Append(panClip(b, 50, 0, 20-cut)...)
+		fast := fastDetector(t, 4)
+		bounds, err := fast.Detect(clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bounds) != 1 || bounds[0] != cut {
+			t.Errorf("cut at %d: fast found %v", cut, bounds)
+		}
+	}
+}
+
+func TestFastPairAccounting(t *testing.T) {
+	// Pairs counted must equal n-1 regardless of skip pattern.
+	a := texturedCanvas(400, 120, 28)
+	b := texturedCanvas(400, 120, 29)
+	clip := video.NewClip("mix", 3)
+	clip.Append(panClip(a, 50, 0, 13)...)
+	clip.Append(panClip(b, 50, 0, 10)...)
+	fast := fastDetector(t, 4)
+	_, stats, err := fast.DetectWithStats(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pairs != clip.Len()-1 {
+		t.Errorf("pairs = %d, want %d", stats.Pairs, clip.Len()-1)
+	}
+}
+
+func TestFastName(t *testing.T) {
+	if got := fastDetector(t, 6).Name(); got != "camera-tracking-fast/6" {
+		t.Errorf("Name = %q", got)
+	}
+	if fastDetector(t, 6).Stride() != 6 {
+		t.Error("Stride mismatch")
+	}
+}
+
+func TestFastRejectsInvalidClip(t *testing.T) {
+	if _, err := fastDetector(t, 4).Detect(video.NewClip("empty", 3)); err == nil {
+		t.Error("empty clip accepted")
+	}
+}
+
+func BenchmarkFastVsFullStatic(b *testing.B) {
+	canvas := texturedCanvas(400, 120, 30)
+	clip := video.NewClip("static", 3)
+	clip.Append(panClip(canvas, 50, 0, 120)...)
+	full := detector(b)
+	fast := fastDetector(b, 8)
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := full.Detect(clip); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fast.Detect(clip); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

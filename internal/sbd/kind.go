@@ -1,0 +1,167 @@
+package sbd
+
+import (
+	"fmt"
+
+	"videodb/internal/feature"
+	"videodb/internal/video"
+)
+
+// BoundaryKind distinguishes abrupt cuts from gradual transitions
+// (dissolves/fades). The paper's pipeline only locates boundaries;
+// editing-effect classification is the natural refinement its cited
+// survey [2] evaluates detectors on.
+type BoundaryKind int
+
+// Boundary kinds.
+const (
+	// Cut is an abrupt shot change.
+	Cut BoundaryKind = iota
+	// Gradual is a dissolve- or fade-style transition spread over
+	// several frames.
+	Gradual
+)
+
+// String implements fmt.Stringer.
+func (k BoundaryKind) String() string {
+	if k == Gradual {
+		return "gradual"
+	}
+	return "cut"
+}
+
+// gradualWindow is how many frames on each side of a boundary the
+// classifier examines. At the 3 fps analysis rate, dissolves span
+// roughly 2–6 frames.
+const gradualWindow = 3
+
+// ClassifyBoundary labels the boundary at frame index b (the first
+// frame of the new shot) as a cut or a gradual transition. A dissolve
+// blends the outgoing and incoming shots, so the background signs of
+// frames near the boundary lie *between* the stable signs on either
+// side; at a cut they jump without intermediate values.
+func (d *CameraTracking) ClassifyBoundary(feats []feature.FrameFeature, b int) BoundaryKind {
+	if b <= 0 || b >= len(feats) {
+		return Cut
+	}
+	// Stable anchors: the farthest frames inside the window (or the
+	// clip ends).
+	lo := b - 1 - gradualWindow
+	if lo < 0 {
+		lo = 0
+	}
+	hi := b + gradualWindow
+	if hi > len(feats)-1 {
+		hi = len(feats) - 1
+	}
+	pre := feats[lo].SignBA
+	post := feats[hi].SignBA
+
+	// A gradual transition needs room for in-between frames.
+	if hi-lo < 3 {
+		return Cut
+	}
+	// Count interior frames whose sign is a strict blend of the two
+	// anchors: near the segment pre→post in colour space and clearly
+	// separated from both ends.
+	blended := 0
+	interior := 0
+	for i := lo + 1; i < hi; i++ {
+		s := feats[i].SignBA
+		dPre := s.MaxChannelDiff(pre)
+		dPost := s.MaxChannelDiff(post)
+		if dPre <= d.cfg.SignTol || dPost <= d.cfg.SignTol {
+			continue // still resting on one side
+		}
+		interior++
+		if onSegment(pre, post, s, d.cfg.MatchTol) {
+			blended++
+		}
+	}
+	if interior > 0 && blended >= 1 && blended >= interior/2 {
+		return Gradual
+	}
+	return Cut
+}
+
+// onSegment reports whether s lies within tol of the straight segment
+// from a to b in RGB space, strictly between them.
+func onSegment(a, b, s video.Pixel, tol int) bool {
+	av := [3]float64{float64(a.R), float64(a.G), float64(a.B)}
+	bv := [3]float64{float64(b.R), float64(b.G), float64(b.B)}
+	sv := [3]float64{float64(s.R), float64(s.G), float64(s.B)}
+	// Project s onto the a→b line and clamp the parameter to (0,1).
+	var ab, asDot, abLen2 float64
+	for c := 0; c < 3; c++ {
+		d := bv[c] - av[c]
+		ab += d * d
+		asDot += (sv[c] - av[c]) * d
+	}
+	abLen2 = ab
+	if abLen2 == 0 {
+		return false
+	}
+	t := asDot / abLen2
+	if t <= 0.05 || t >= 0.95 {
+		return false
+	}
+	for c := 0; c < 3; c++ {
+		p := av[c] + t*(bv[c]-av[c])
+		diff := sv[c] - p
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > float64(tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// Boundary couples a detected boundary frame with its kind.
+type Boundary struct {
+	Frame int
+	Kind  BoundaryKind
+}
+
+// String implements fmt.Stringer.
+func (b Boundary) String() string {
+	return fmt.Sprintf("%d(%s)", b.Frame, b.Kind)
+}
+
+// DetectClassified runs detection and labels every transition. A strong
+// dissolve fires the raw detector on several consecutive frame pairs;
+// such runs (gaps ≤ 2 frames) are collapsed into one Gradual boundary
+// at the run's midpoint. Isolated boundaries are classified by the
+// sign-blend test.
+func (d *CameraTracking) DetectClassified(c *video.Clip) ([]Boundary, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	an := d.analyzer
+	if an == nil || an.Geometry().C != c.Frames[0].W || an.Geometry().R != c.Frames[0].H {
+		var err error
+		an, err = feature.NewAnalyzer(c.Frames[0].W, c.Frames[0].H)
+		if err != nil {
+			return nil, err
+		}
+	}
+	feats := an.AnalyzeClip(c)
+	bounds, _ := d.DetectFeatures(feats)
+
+	var out []Boundary
+	for i := 0; i < len(bounds); {
+		j := i
+		for j+1 < len(bounds) && bounds[j+1]-bounds[j] <= 2 {
+			j++
+		}
+		if j > i {
+			// A run of adjacent boundaries: one gradual transition.
+			out = append(out, Boundary{Frame: bounds[(i+j)/2], Kind: Gradual})
+		} else {
+			out = append(out, Boundary{Frame: bounds[i], Kind: d.ClassifyBoundary(feats, bounds[i])})
+		}
+		i = j + 1
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package sbd
+
+import (
+	"testing"
+
+	"videodb/internal/synth"
+	"videodb/internal/video"
+)
+
+// classifiedClip builds a three-shot clip whose middle transition kind
+// is controlled by the caller.
+func classifiedClip(t *testing.T, tr synth.Transition) (*video.Clip, synth.GroundTruth) {
+	t.Helper()
+	// High-contrast locations so even the 20%-per-frame blend steps of
+	// a dissolve move the background signal detectably.
+	tp1 := synth.DefaultTextureParams()
+	tp1.BaseColor = video.RGB(30, 30, 40)
+	tp1.Contrast = 0.25
+	tp2 := synth.DefaultTextureParams()
+	tp2.BaseColor = video.RGB(225, 220, 210)
+	tp2.Contrast = 0.25
+	tp3 := synth.DefaultTextureParams()
+	tp3.BaseColor = video.RGB(60, 160, 80)
+	tp3.Contrast = 0.25
+	spec := synth.ClipSpec{
+		Name: "kinds", W: 160, H: 120, FPS: 3, Seed: 61,
+		Locations: []synth.TextureParams{tp1, tp2, tp3},
+		Shots: []synth.ShotSpec{
+			{Location: 0, Frames: 12, Camera: synth.Camera{X: 50, Y: 40}, NoiseSigma: 1, FlashAt: -1},
+			{Location: 1, Frames: 14, Camera: synth.Camera{X: 200, Y: 80}, NoiseSigma: 1, FlashAt: -1},
+			{Location: 2, Frames: 12, Camera: synth.Camera{X: 120, Y: 60}, NoiseSigma: 1, FlashAt: -1},
+		},
+		Transitions: []synth.Transition{synth.Cut, tr, synth.Cut},
+	}
+	clip, gt, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clip, gt
+}
+
+func TestDetectClassifiedCuts(t *testing.T) {
+	clip, gt := classifiedClip(t, synth.Cut)
+	d := detector(t)
+	bounds, err := d.DetectClassified(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != len(gt.Boundaries) {
+		t.Fatalf("detected %d boundaries, want %d", len(bounds), len(gt.Boundaries))
+	}
+	for _, b := range bounds {
+		if b.Kind != Cut {
+			t.Errorf("hard cut at %d classified %v", b.Frame, b.Kind)
+		}
+	}
+}
+
+func TestDetectClassifiedDissolve(t *testing.T) {
+	clip, gt := classifiedClip(t, synth.Dissolve)
+	d := detector(t)
+	bounds, err := d.DetectClassified(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != len(gt.Boundaries) {
+		t.Fatalf("detected %d boundaries (%v), want %d (%v)", len(bounds), bounds, len(gt.Boundaries), gt.Boundaries)
+	}
+	// The first transition is a hard cut, the second the dissolve:
+	// exactly one boundary should be labelled gradual, and it should
+	// be the one near the dissolve's ground-truth midpoint.
+	gradCount := 0
+	for _, b := range bounds {
+		if b.Kind != Gradual {
+			continue
+		}
+		gradCount++
+		mid := gt.Boundaries[0]
+		if d := b.Frame - mid; d < -2 || d > 2 {
+			t.Errorf("gradual label at %d, dissolve midpoint at %d", b.Frame, mid)
+		}
+	}
+	if gradCount != 1 {
+		t.Errorf("gradual labels = %d, want 1: %v", gradCount, bounds)
+	}
+}
+
+func TestClassifyBoundaryEdges(t *testing.T) {
+	d := detector(t)
+	// Out-of-range boundaries default to Cut without panicking.
+	if k := d.ClassifyBoundary(nil, 0); k != Cut {
+		t.Errorf("empty feats classified %v", k)
+	}
+}
+
+func TestBoundaryString(t *testing.T) {
+	b := Boundary{Frame: 42, Kind: Gradual}
+	if b.String() != "42(gradual)" {
+		t.Errorf("String = %q", b.String())
+	}
+	if Cut.String() != "cut" {
+		t.Errorf("Cut.String() = %q", Cut.String())
+	}
+}
+
+func TestDetectClassifiedRejectsInvalidClip(t *testing.T) {
+	d := detector(t)
+	if _, err := d.DetectClassified(video.NewClip("empty", 3)); err == nil {
+		t.Error("empty clip accepted")
+	}
+}

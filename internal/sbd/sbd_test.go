@@ -1,0 +1,320 @@
+package sbd
+
+import (
+	"testing"
+
+	"videodb/internal/feature"
+	"videodb/internal/rng"
+	"videodb/internal/video"
+)
+
+// texturedCanvas builds a wide background canvas with smooth random
+// texture, so camera windows into it look like a real background.
+func texturedCanvas(w, h int, seed uint64) *video.Frame {
+	r := rng.New(seed)
+	canvas := video.NewFrame(w, h)
+	// Coarse random grid, bilinearly interpolated.
+	const cell = 20
+	gw, gh := w/cell+2, h/cell+2
+	grid := make([]video.Pixel, gw*gh)
+	for i := range grid {
+		grid[i] = video.RGB(uint8(r.Intn(256)), uint8(r.Intn(256)), uint8(r.Intn(256)))
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			gx, gy := x/cell, y/cell
+			fx := float64(x%cell) / cell
+			fy := float64(y%cell) / cell
+			p00 := grid[gy*gw+gx]
+			p10 := grid[gy*gw+gx+1]
+			p01 := grid[(gy+1)*gw+gx]
+			p11 := grid[(gy+1)*gw+gx+1]
+			lerp := func(a, b uint8, t float64) float64 { return float64(a) + (float64(b)-float64(a))*t }
+			mix := func(c func(video.Pixel) uint8) uint8 {
+				top := lerp(c(p00), c(p10), fx)
+				bot := lerp(c(p01), c(p11), fx)
+				return uint8(top + (bot-top)*fy)
+			}
+			canvas.Set(x, y, video.RGB(
+				mix(func(p video.Pixel) uint8 { return p.R }),
+				mix(func(p video.Pixel) uint8 { return p.G }),
+				mix(func(p video.Pixel) uint8 { return p.B }),
+			))
+		}
+	}
+	return canvas
+}
+
+// panClip renders n frames viewing a canvas through a 160×120 window
+// moving dx pixels per frame.
+func panClip(canvas *video.Frame, start, dx, n int) []*video.Frame {
+	frames := make([]*video.Frame, n)
+	for i := 0; i < n; i++ {
+		off := start + i*dx
+		frames[i] = canvas.SubImage(off, 0, off+160, 120)
+	}
+	return frames
+}
+
+func analyzer(t testing.TB) *feature.Analyzer {
+	t.Helper()
+	a, err := feature.NewAnalyzer(160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func detector(t testing.TB) *CameraTracking {
+	t.Helper()
+	d, err := NewCameraTracking(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestShotsFromBoundaries(t *testing.T) {
+	shots := ShotsFromBoundaries([]int{3, 7}, 10)
+	want := []Shot{{0, 2}, {3, 6}, {7, 9}}
+	if len(shots) != len(want) {
+		t.Fatalf("got %v, want %v", shots, want)
+	}
+	for i := range want {
+		if shots[i] != want[i] {
+			t.Fatalf("got %v, want %v", shots, want)
+		}
+	}
+	if shots[1].Len() != 4 {
+		t.Errorf("shot len = %d, want 4", shots[1].Len())
+	}
+}
+
+func TestShotsFromBoundariesNoBounds(t *testing.T) {
+	shots := ShotsFromBoundaries(nil, 5)
+	if len(shots) != 1 || shots[0] != (Shot{0, 4}) {
+		t.Fatalf("got %v, want single shot 0-4", shots)
+	}
+}
+
+func TestShotsFromBoundariesPanics(t *testing.T) {
+	for _, bad := range [][]int{{0}, {5}, {3, 3}, {4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("boundaries %v did not panic", bad)
+				}
+			}()
+			ShotsFromBoundaries(bad, 5)
+		}()
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{SignTol: -1, MatchTol: 10, AlignedMatchFrac: 0.5, RunFrac: 0.2, MaxShiftFrac: 0.5},
+		{SignTol: 5, MatchTol: 300, AlignedMatchFrac: 0.5, RunFrac: 0.2, MaxShiftFrac: 0.5},
+		{SignTol: 5, MatchTol: 10, AlignedMatchFrac: 0, RunFrac: 0.2, MaxShiftFrac: 0.5},
+		{SignTol: 5, MatchTol: 10, AlignedMatchFrac: 0.5, RunFrac: 1.5, MaxShiftFrac: 0.5},
+		{SignTol: 5, MatchTol: 10, AlignedMatchFrac: 0.5, RunFrac: 0.2, MaxShiftFrac: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+// TestStaticShotNoBoundary: identical frames are the same shot, decided
+// by stage 1.
+func TestStaticShotNoBoundary(t *testing.T) {
+	canvas := texturedCanvas(400, 120, 1)
+	clip := video.NewClip("static", 3)
+	clip.Append(panClip(canvas, 50, 0, 10)...)
+	d := detector(t)
+	bounds, stats, err := d.DetectWithStats(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 0 {
+		t.Errorf("static shot produced boundaries %v", bounds)
+	}
+	if stats.BySign != 9 {
+		t.Errorf("stage-1 decisions = %d, want 9", stats.BySign)
+	}
+}
+
+// TestHardCutDetected: two different locations produce exactly one
+// boundary at the cut.
+func TestHardCutDetected(t *testing.T) {
+	a := texturedCanvas(400, 120, 2)
+	b := texturedCanvas(400, 120, 99)
+	clip := video.NewClip("cut", 3)
+	clip.Append(panClip(a, 50, 0, 8)...)
+	clip.Append(panClip(b, 50, 0, 8)...)
+	d := detector(t)
+	bounds, err := d.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 1 || bounds[0] != 8 {
+		t.Errorf("bounds = %v, want [8]", bounds)
+	}
+}
+
+// TestPanWithinShotNoBoundary: a camera pan inside one location must not
+// produce boundaries — the defining capability of camera tracking.
+func TestPanWithinShotNoBoundary(t *testing.T) {
+	canvas := texturedCanvas(800, 120, 3)
+	clip := video.NewClip("pan", 3)
+	clip.Append(panClip(canvas, 50, 8, 20)...) // 8 px/frame pan
+	d := detector(t)
+	bounds, err := d.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 0 {
+		t.Errorf("pan produced boundaries %v", bounds)
+	}
+}
+
+// TestPanThenCut combines both: pan inside shot 1, cut, pan inside
+// shot 2.
+func TestPanThenCut(t *testing.T) {
+	a := texturedCanvas(800, 120, 4)
+	b := texturedCanvas(800, 120, 77)
+	clip := video.NewClip("pan+cut", 3)
+	clip.Append(panClip(a, 20, 6, 15)...)
+	clip.Append(panClip(b, 300, -6, 15)...)
+	d := detector(t)
+	bounds, err := d.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 1 || bounds[0] != 15 {
+		t.Errorf("bounds = %v, want [15]", bounds)
+	}
+}
+
+// TestStageProgression: a pan too large for the aligned signature test
+// must be caught by stage 3 tracking, not declared a boundary.
+func TestStageProgression(t *testing.T) {
+	canvas := texturedCanvas(800, 120, 5)
+	f1 := canvas.SubImage(100, 0, 260, 120)
+	f2 := canvas.SubImage(140, 0, 300, 120) // 40-pixel jump: 25% of frame width
+	a := analyzer(t)
+	ff1, ff2 := a.Analyze(f1), a.Analyze(f2)
+	d := detector(t)
+	stage := d.ComparePair(&ff1, &ff2)
+	if stage == StageBoundary {
+		t.Fatalf("40-pixel pan classified as boundary")
+	}
+	t.Logf("decided by stage %v", stage)
+}
+
+// TestBestRunProperties checks stage 3's scoring function directly.
+func TestBestRunProperties(t *testing.T) {
+	d := detector(t)
+	mk := func(vals ...uint8) []video.Pixel {
+		out := make([]video.Pixel, len(vals))
+		for i, v := range vals {
+			out[i] = video.RGB(v, v, v)
+		}
+		return out
+	}
+	// Identical signatures: full-length run.
+	sig := mk(10, 40, 90, 160, 220, 10, 70, 130, 200, 250, 30, 90, 150)
+	if got := d.BestRun(sig, sig); got != len(sig) {
+		t.Errorf("identical signatures run = %d, want %d", got, len(sig))
+	}
+	// Shifted by 2: run of len-2 found at the right offset.
+	shifted := append(mk(0, 0), sig[:len(sig)-2]...)
+	if got := d.BestRun(sig, shifted); got < len(sig)-2 {
+		t.Errorf("shifted signatures run = %d, want >= %d", got, len(sig)-2)
+	}
+	// Completely different: tiny run.
+	other := mk(200, 120, 30, 240, 0, 180, 60, 255, 15, 90, 210, 45, 170)
+	if got := d.BestRun(sig, other); got > 3 {
+		t.Errorf("unrelated signatures run = %d, want small", got)
+	}
+	// Empty input.
+	if got := d.BestRun(nil, sig); got != 0 {
+		t.Errorf("empty signature run = %d, want 0", got)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	cases := map[Stage]string{
+		StageSign: "sign", StageSignature: "signature",
+		StageTracking: "tracking", StageBoundary: "boundary",
+		Stage(99): "Stage(99)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Stage(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestDetectRejectsInvalidClip(t *testing.T) {
+	d := detector(t)
+	if _, err := d.Detect(video.NewClip("empty", 3)); err == nil {
+		t.Error("empty clip accepted")
+	}
+}
+
+func TestNewCameraTrackingRejectsBadConfig(t *testing.T) {
+	if _, err := NewCameraTracking(Config{}, nil); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+// TestStatsAccounting: decisions across all stages sum to the number of
+// pairs.
+func TestStatsAccounting(t *testing.T) {
+	a := texturedCanvas(800, 120, 6)
+	b := texturedCanvas(800, 120, 55)
+	clip := video.NewClip("mix", 3)
+	clip.Append(panClip(a, 20, 0, 5)...)
+	clip.Append(panClip(a, 40, 10, 5)...)
+	clip.Append(panClip(b, 100, 0, 5)...)
+	d := detector(t)
+	_, stats, err := d.DetectWithStats(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.BySign + stats.BySig + stats.ByTrack + stats.Boundary; got != stats.Pairs {
+		t.Errorf("stage decisions %d != pairs %d", got, stats.Pairs)
+	}
+	if stats.Pairs != 14 {
+		t.Errorf("pairs = %d, want 14", stats.Pairs)
+	}
+}
+
+func BenchmarkComparePairSameShot(b *testing.B) {
+	canvas := texturedCanvas(800, 120, 7)
+	a := analyzer(b)
+	f1 := a.Analyze(canvas.SubImage(100, 0, 260, 120))
+	f2 := a.Analyze(canvas.SubImage(104, 0, 264, 120))
+	d := detector(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ComparePair(&f1, &f2)
+	}
+}
+
+func BenchmarkComparePairBoundary(b *testing.B) {
+	ca := texturedCanvas(800, 120, 8)
+	cb := texturedCanvas(800, 120, 9)
+	a := analyzer(b)
+	f1 := a.Analyze(ca.SubImage(100, 0, 260, 120))
+	f2 := a.Analyze(cb.SubImage(100, 0, 260, 120))
+	d := detector(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ComparePair(&f1, &f2)
+	}
+}

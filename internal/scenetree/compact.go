@@ -1,0 +1,49 @@
+package scenetree
+
+// Compacted returns a structural copy of the tree with single-child
+// chains collapsed: an internal node with exactly one child is replaced
+// by that child. The construction algorithm's scenario 3 wraps the
+// current top under a new empty node each time a far-back relation
+// merges two subtrees, which can leave staircases of one-child nodes;
+// a browsing UI usually wants them collapsed. Levels are renumbered
+// compactly (leaf 0, parent = max(child)+1); shots, representative
+// frames and run lengths are preserved. The original tree is not
+// modified.
+func (t *Tree) Compacted() *Tree {
+	out := &Tree{Shots: t.Shots, Leaves: make([]*Node, len(t.Leaves))}
+	out.Root = compactCopy(t.Root, out)
+	// Renumber levels bottom-up.
+	var relevel func(n *Node) int
+	relevel = func(n *Node) int {
+		if n.IsLeaf() {
+			n.Level = 0
+			return 0
+		}
+		max := 0
+		for _, c := range n.Children {
+			if l := relevel(c); l > max {
+				max = l
+			}
+		}
+		n.Level = max + 1
+		return n.Level
+	}
+	relevel(out.Root)
+	return out
+}
+
+// compactCopy deep-copies n, skipping single-child internal nodes.
+func compactCopy(n *Node, out *Tree) *Node {
+	for !n.IsLeaf() && len(n.Children) == 1 {
+		n = n.Children[0]
+	}
+	cp := &Node{Shot: n.Shot, Level: n.Level, RepFrame: n.RepFrame, RunLen: n.RunLen}
+	if n.IsLeaf() {
+		out.Leaves[n.Shot] = cp
+		return cp
+	}
+	for _, c := range n.Children {
+		cp.adopt(compactCopy(c, out))
+	}
+	return cp
+}

@@ -1,0 +1,103 @@
+package scenetree
+
+import (
+	"testing"
+
+	"videodb/internal/rng"
+)
+
+func TestCompactedRemovesChains(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := tree.Compacted()
+	if err := ct.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ct.Walk(func(n *Node) {
+		if !n.IsLeaf() && len(n.Children) == 1 {
+			t.Errorf("compacted tree still has single-child node %s", n.Name())
+		}
+	})
+	// Figure 5's tree has no chains, so compaction is a no-op here.
+	if ct.NodeCount() != tree.NodeCount() {
+		t.Errorf("chain-free tree changed size: %d -> %d", tree.NodeCount(), ct.NodeCount())
+	}
+	if ct.String() != tree.String() {
+		t.Errorf("chain-free tree changed:\n%s\nvs\n%s", ct, tree)
+	}
+}
+
+func TestCompactedCollapsesStaircase(t *testing.T) {
+	// A staircase-inducing pattern: far-back relations trigger scenario
+	// 3 repeatedly (A B C A D A E A ...).
+	specs := []shotSpec{
+		{locA, 6, 6}, {locB, 6, 6}, {locC, 6, 6}, {locA, 6, 5},
+		{locD, 6, 6}, {locA, 6, 4}, {200, 6, 3}, {locA, 6, 2},
+	}
+	// locD is 200 too; use a distinct value for shot 7 to keep it
+	// unrelated to shot 5's location.
+	specs[6] = shotSpec{base: 160, frames: 6, run: 3}
+	feats, shots := buildFeats(specs)
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := tree.Compacted()
+	if err := ct.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.NodeCount() > tree.NodeCount() {
+		t.Errorf("compaction grew the tree: %d -> %d", tree.NodeCount(), ct.NodeCount())
+	}
+	ct.Walk(func(n *Node) {
+		if !n.IsLeaf() && len(n.Children) == 1 {
+			t.Errorf("single-child node %s survived compaction", n.Name())
+		}
+	})
+	// All shots still reachable with identical representative frames.
+	for i, leaf := range ct.Leaves {
+		if leaf == nil {
+			t.Fatalf("shot %d lost in compaction", i)
+		}
+		if leaf.RepFrame != tree.Leaves[i].RepFrame {
+			t.Errorf("shot %d rep frame changed", i)
+		}
+	}
+	// Original untouched.
+	if err := tree.Validate(); err != nil {
+		t.Errorf("original tree damaged: %v", err)
+	}
+}
+
+func TestCompactedPropertyRandom(t *testing.T) {
+	bases := []uint8{10, 60, 120, 200}
+	for trial := 0; trial < 60; trial++ {
+		r := rng.New(uint64(trial + 1))
+		n := 1 + r.Intn(20)
+		specs := make([]shotSpec, n)
+		for i := range specs {
+			frames := 2 + r.Intn(8)
+			specs[i] = shotSpec{bases[r.Intn(len(bases))], frames, 1 + r.Intn(frames)}
+		}
+		feats, shots := buildFeats(specs)
+		tree, err := Build(DefaultConfig(), feats, shots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := tree.Compacted()
+		if err := ct.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ct.Height() > tree.Height() {
+			t.Fatalf("trial %d: compaction increased height", trial)
+		}
+		ct.Walk(func(nd *Node) {
+			if !nd.IsLeaf() && len(nd.Children) == 1 {
+				t.Fatalf("trial %d: chain survived", trial)
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package scenetree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the tree in Graphviz dot syntax for visual inspection —
+// the form in which Figures 6 and 7 of the paper are drawn. Leaves show
+// their frame range; internal nodes their SN name. Children are emitted
+// in temporal order.
+func (t *Tree) DOT(title string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph scenetree {\n")
+	if title != "" {
+		fmt.Fprintf(&sb, "  label=%q;\n  labelloc=t;\n", title)
+	}
+	sb.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+
+	id := make(map[*Node]int)
+	t.Walk(func(n *Node) { id[n] = len(id) })
+
+	t.Walk(func(n *Node) {
+		label := n.Name()
+		attrs := ""
+		if n.IsLeaf() {
+			s := t.Shots[n.Shot]
+			label = fmt.Sprintf("%s\\nframes %d-%d\\nrep %d", n.Name(), s.Start, s.End, n.RepFrame)
+			attrs = ", style=filled, fillcolor=\"#e8f0fe\""
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\"%s];\n", id[n], label, attrs)
+	})
+	t.Walk(func(n *Node) {
+		kids := append([]*Node(nil), n.Children...)
+		sort.Slice(kids, func(i, j int) bool { return earliestShot(kids[i]) < earliestShot(kids[j]) })
+		for _, c := range kids {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", id[n], id[c])
+		}
+	})
+	sb.WriteString("}\n")
+	return sb.String()
+}

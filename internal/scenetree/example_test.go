@@ -1,0 +1,40 @@
+package scenetree_test
+
+import (
+	"fmt"
+
+	"videodb/internal/feature"
+	"videodb/internal/sbd"
+	"videodb/internal/scenetree"
+	"videodb/internal/video"
+)
+
+// ExampleBuild constructs a scene tree for four shots where the first
+// and third share a background (an A-B-A-C pattern), showing the
+// grouping the RELATIONSHIP algorithm performs.
+func ExampleBuild() {
+	// Background signs: shots 1 and 3 match (value 10), shot 2 is a
+	// different place (90), shot 4 another (200).
+	var feats []feature.FrameFeature
+	var shots []sbd.Shot
+	for _, base := range []uint8{10, 90, 10, 200} {
+		start := len(feats)
+		for i := 0; i < 5; i++ {
+			feats = append(feats, feature.FrameFeature{SignBA: video.RGB(base, base, base)})
+		}
+		shots = append(shots, sbd.Shot{Start: start, End: len(feats) - 1})
+	}
+	tree, err := scenetree.Build(scenetree.DefaultConfig(), feats, shots)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(tree)
+	// Output:
+	// SN_1^2
+	//   SN_1^1
+	//     SN_1^0 (frames 0-4, rep 0)
+	//     SN_2^0 (frames 5-9, rep 5)
+	//     SN_3^0 (frames 10-14, rep 10)
+	//   SN_4^1
+	//     SN_4^0 (frames 15-19, rep 15)
+}

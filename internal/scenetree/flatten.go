@@ -1,0 +1,84 @@
+package scenetree
+
+import (
+	"fmt"
+
+	"videodb/internal/sbd"
+)
+
+// FlatNode is a pointer-free representation of one tree node, used for
+// persistence (gob/JSON cannot encode the parent/child cycle directly).
+type FlatNode struct {
+	// Shot, Level, RepFrame and RunLen mirror Node.
+	Shot, Level, RepFrame, RunLen int
+	// Parent is the index of the parent FlatNode in the flattened
+	// slice, or -1 for the root.
+	Parent int
+}
+
+// Flatten serialises the tree into a flat node list in depth-first
+// order with the root first, so Parent indices always precede children.
+func (t *Tree) Flatten() []FlatNode {
+	var flat []FlatNode
+	index := make(map[*Node]int)
+	var rec func(n *Node, parent int)
+	rec = func(n *Node, parent int) {
+		index[n] = len(flat)
+		flat = append(flat, FlatNode{
+			Shot: n.Shot, Level: n.Level, RepFrame: n.RepFrame, RunLen: n.RunLen,
+			Parent: parent,
+		})
+		me := index[n]
+		for _, c := range n.Children {
+			rec(c, me)
+		}
+	}
+	rec(t.Root, -1)
+	return flat
+}
+
+// Unflatten reconstructs a tree from Flatten output and the shot list it
+// was built over. It validates the encoding before returning.
+func Unflatten(flat []FlatNode, shots []sbd.Shot) (*Tree, error) {
+	if len(flat) == 0 {
+		return nil, fmt.Errorf("scenetree: empty flat encoding")
+	}
+	if flat[0].Parent != -1 {
+		return nil, fmt.Errorf("scenetree: first flat node is not the root")
+	}
+	nodes := make([]*Node, len(flat))
+	for i, fn := range flat {
+		nodes[i] = &Node{Shot: fn.Shot, Level: fn.Level, RepFrame: fn.RepFrame, RunLen: fn.RunLen}
+		if i == 0 {
+			continue
+		}
+		if fn.Parent < 0 || fn.Parent >= i {
+			return nil, fmt.Errorf("scenetree: node %d has invalid parent %d", i, fn.Parent)
+		}
+		nodes[fn.Parent].adopt(nodes[i])
+	}
+	t := &Tree{Root: nodes[0], Shots: shots, Leaves: make([]*Node, len(shots))}
+	for _, n := range nodes {
+		if n.IsLeaf() {
+			if n.Level != 0 {
+				return nil, fmt.Errorf("scenetree: leaf node with level %d", n.Level)
+			}
+			if n.Shot < 0 || n.Shot >= len(shots) {
+				return nil, fmt.Errorf("scenetree: leaf references shot %d of %d", n.Shot, len(shots))
+			}
+			if t.Leaves[n.Shot] != nil {
+				return nil, fmt.Errorf("scenetree: duplicate leaf for shot %d", n.Shot)
+			}
+			t.Leaves[n.Shot] = n
+		}
+	}
+	for k, leaf := range t.Leaves {
+		if leaf == nil {
+			return nil, fmt.Errorf("scenetree: no leaf for shot %d", k)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

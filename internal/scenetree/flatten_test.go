@@ -1,0 +1,69 @@
+package scenetree
+
+import (
+	"testing"
+
+	"videodb/internal/sbd"
+)
+
+func TestFlattenRoundTrip(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := tree.Flatten()
+	if len(flat) != tree.NodeCount() {
+		t.Fatalf("flat has %d nodes, tree has %d", len(flat), tree.NodeCount())
+	}
+	got, err := Unflatten(flat, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != tree.String() {
+		t.Errorf("round trip changed tree:\n%s\nvs\n%s", got.String(), tree.String())
+	}
+	if got.Height() != tree.Height() {
+		t.Errorf("height %d != %d", got.Height(), tree.Height())
+	}
+}
+
+func TestFlattenSingleNode(t *testing.T) {
+	feats, shots := buildFeats([]shotSpec{{locA, 5, 5}})
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unflatten(tree.Flatten(), shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root != got.Leaves[0] {
+		t.Error("single-node round trip broke root/leaf identity")
+	}
+}
+
+func TestUnflattenRejectsBadInput(t *testing.T) {
+	shots := []sbd.Shot{{Start: 0, End: 4}}
+	cases := []struct {
+		name string
+		flat []FlatNode
+	}{
+		{"empty", nil},
+		{"root-with-parent", []FlatNode{{Parent: 0}}},
+		{"forward-parent", []FlatNode{{Parent: -1, Level: 1}, {Parent: 2}, {Parent: 1}}},
+		{"leaf-bad-shot", []FlatNode{{Parent: -1, Shot: 5}}},
+		{"leaf-bad-level", []FlatNode{{Parent: -1, Level: 2}}},
+		{"missing-leaf", []FlatNode{{Parent: -1, Level: 1, Shot: 0}}},
+		{"dup-leaf", []FlatNode{
+			{Parent: -1, Level: 1, Shot: 0},
+			{Parent: 0, Shot: 0},
+			{Parent: 0, Shot: 0},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := Unflatten(c.flat, shots); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}

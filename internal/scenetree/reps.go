@@ -1,0 +1,85 @@
+package scenetree
+
+import (
+	"sort"
+
+	"videodb/internal/feature"
+)
+
+// RepFunc maps a scene's shot count s to the number of representative
+// frames g(s) used to summarise it. §3.1 notes that "instead of having
+// only one representative frame per scene, we can also use g(s) most
+// repetitive representative frames for scenes with s shots to better
+// convey their larger content".
+type RepFunc func(shots int) int
+
+// DefaultRepFunc is a slowly growing g(s): 1 frame for a single shot,
+// then one more per tripling (s=1→1, 3→2, 9→3, 27→4 ...), capped at 6.
+func DefaultRepFunc(shots int) int {
+	g := 1
+	for s := shots; s >= 3 && g < 6; s /= 3 {
+		g++
+	}
+	return g
+}
+
+// SubtreeShots returns the shot indices of all leaves under n, in
+// temporal order.
+func (n *Node) SubtreeShots() []int {
+	var shots []int
+	var rec func(m *Node)
+	rec = func(m *Node) {
+		if m.IsLeaf() {
+			shots = append(shots, m.Shot)
+			return
+		}
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	sort.Ints(shots)
+	return shots
+}
+
+// RepresentativeFrames returns up to g(s) representative frame indices
+// for the scene rooted at n, where s is the scene's shot count. Frames
+// are chosen from the scene's shots in descending order of their
+// longest same-sign run (the "most repetitive" images), ties to the
+// earlier shot, and are returned in temporal order. feats must be the
+// frame features the tree was built from.
+func (t *Tree) RepresentativeFrames(n *Node, feats []feature.FrameFeature, g RepFunc) []int {
+	if g == nil {
+		g = DefaultRepFunc
+	}
+	shots := n.SubtreeShots()
+	want := g(len(shots))
+	if want < 1 {
+		want = 1
+	}
+	if want > len(shots) {
+		want = len(shots)
+	}
+	type cand struct {
+		shot, frame, run int
+	}
+	cands := make([]cand, 0, len(shots))
+	for _, s := range shots {
+		sh := t.Shots[s]
+		frame, run := feature.LongestSignRun(feats, sh.Start, sh.End)
+		cands = append(cands, cand{shot: s, frame: frame, run: run})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].run != cands[j].run {
+			return cands[i].run > cands[j].run
+		}
+		return cands[i].shot < cands[j].shot
+	})
+	cands = cands[:want]
+	frames := make([]int, len(cands))
+	for i, c := range cands {
+		frames[i] = c.frame
+	}
+	sort.Ints(frames)
+	return frames
+}

@@ -1,0 +1,184 @@
+package scenetree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"videodb/internal/rng"
+)
+
+func TestDefaultRepFunc(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 8: 2, 9: 3, 26: 3, 27: 4, 100: 5, 10000: 6}
+	for s, want := range cases {
+		if got := DefaultRepFunc(s); got != want {
+			t.Errorf("g(%d) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestSubtreeShots(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := tree.Root.SubtreeShots()
+	if len(all) != 10 {
+		t.Fatalf("root subtree has %d shots", len(all))
+	}
+	for i, s := range all {
+		if s != i {
+			t.Fatalf("subtree shots %v not 0..9", all)
+		}
+	}
+	en2 := tree.Leaves[4].Parent
+	got := en2.SubtreeShots()
+	if len(got) != 3 || got[0] != 4 || got[2] != 6 {
+		t.Errorf("EN2 subtree shots = %v, want [4 5 6]", got)
+	}
+	if leaf := tree.Leaves[1].SubtreeShots(); len(leaf) != 1 || leaf[0] != 1 {
+		t.Errorf("leaf subtree shots = %v", leaf)
+	}
+}
+
+func TestRepresentativeFramesCount(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root covers 10 shots → g(10) = 3 frames.
+	frames := tree.RepresentativeFrames(tree.Root, feats, nil)
+	if len(frames) != 3 {
+		t.Fatalf("root reps = %v, want 3 frames", frames)
+	}
+	// Frames are in temporal order and in range.
+	for i := 1; i < len(frames); i++ {
+		if frames[i] <= frames[i-1] {
+			t.Errorf("reps not in temporal order: %v", frames)
+		}
+	}
+	// The single most repetitive frame (shot 1's run start, frame 0)
+	// must be among them.
+	if frames[0] != 0 {
+		t.Errorf("reps %v missing the dominant frame 0", frames)
+	}
+	// A leaf yields exactly its own representative frame.
+	leafReps := tree.RepresentativeFrames(tree.Leaves[6], feats, nil)
+	if len(leafReps) != 1 || leafReps[0] != tree.Leaves[6].RepFrame {
+		t.Errorf("leaf reps = %v, want [%d]", leafReps, tree.Leaves[6].RepFrame)
+	}
+}
+
+func TestRepresentativeFramesCustomG(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := tree.RepresentativeFrames(tree.Root, feats, func(s int) int { return s })
+	if len(all) != 10 {
+		t.Fatalf("g(s)=s gave %d reps", len(all))
+	}
+	one := tree.RepresentativeFrames(tree.Root, feats, func(int) int { return 0 })
+	if len(one) != 1 {
+		t.Fatalf("g(s)=0 should clamp to 1 rep, got %d", len(one))
+	}
+}
+
+// TestBuildPropertyRandomSequences: for random shot sequences over
+// random location assignments, Build always succeeds, validates, keeps
+// every shot reachable, and stays within the node-count bound
+// (≤ 2n internal nodes is loose; every internal node has ≥1 child and
+// the builder never chains more than one new empty node per shot, plus
+// one root).
+func TestBuildPropertyRandomSequences(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nShots := 1 + r.Intn(30)
+		specs := make([]shotSpec, nShots)
+		bases := []uint8{10, 60, 120, 200}
+		for i := range specs {
+			frames := 2 + r.Intn(10)
+			specs[i] = shotSpec{
+				base:   bases[r.Intn(len(bases))],
+				frames: frames,
+				run:    1 + r.Intn(frames),
+			}
+		}
+		feats, shots := buildFeats(specs)
+		tree, err := Build(DefaultConfig(), feats, shots)
+		if err != nil {
+			return false
+		}
+		if tree.Validate() != nil {
+			return false
+		}
+		if n := tree.NodeCount(); n < nShots || n > 3*nShots+1 {
+			return false
+		}
+		// Every node's representative frame lies inside its named
+		// shot's range.
+		ok := true
+		tree.Walk(func(n *Node) {
+			s := shots[n.Shot]
+			if n.RepFrame < s.Start || n.RepFrame > s.End {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildPropertyFlattenRoundTrip: Flatten/Unflatten is lossless for
+// random trees.
+func TestBuildPropertyFlattenRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nShots := 1 + r.Intn(20)
+		specs := make([]shotSpec, nShots)
+		bases := []uint8{10, 60, 120, 200}
+		for i := range specs {
+			frames := 2 + r.Intn(8)
+			specs[i] = shotSpec{bases[r.Intn(len(bases))], frames, 1 + r.Intn(frames)}
+		}
+		feats, shots := buildFeats(specs)
+		tree, err := Build(DefaultConfig(), feats, shots)
+		if err != nil {
+			return false
+		}
+		back, err := Unflatten(tree.Flatten(), shots)
+		if err != nil {
+			return false
+		}
+		return back.String() == tree.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLargestSceneForIsMaximal: the node returned by LargestSceneFor is
+// named after the shot and its parent (if any) is not.
+func TestLargestSceneForIsMaximal(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range shots {
+		n := tree.LargestSceneFor(s)
+		if n == nil {
+			t.Fatalf("no node for shot %d", s)
+		}
+		if n.Shot != s {
+			t.Errorf("shot %d mapped to node named after %d", s, n.Shot)
+		}
+		if n.Parent != nil && n.Parent.Shot == s {
+			t.Errorf("shot %d: parent %s also named after it", s, n.Parent.Name())
+		}
+	}
+}

@@ -1,0 +1,479 @@
+// Package scenetree implements the paper's browsing hierarchy (SIGMOD
+// 2000, §3): the RELATIONSHIP algorithm deciding whether two shots share
+// a background, and the fully automatic scene-tree construction
+// algorithm that merges related shots into scenes of arbitrary level.
+// The height and shape of a scene tree are determined only by the
+// semantic complexity of the video.
+package scenetree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"videodb/internal/feature"
+	"videodb/internal/sbd"
+)
+
+// DefaultRelationThresholdPct is the D_s threshold of the RELATIONSHIP
+// algorithm: two frames relate their shots when the maximum channel
+// difference of their background signs is below 10% of the 256-value
+// colour range (Eq. 2).
+const DefaultRelationThresholdPct = 10.0
+
+// Config controls tree construction.
+type Config struct {
+	// RelationThresholdPct is the RELATIONSHIP D_s threshold in percent
+	// (Eq. 2). The paper uses 10%.
+	RelationThresholdPct float64
+	// Exhaustive makes RELATIONSHIP compare every frame pair of the two
+	// shots instead of the paper's diagonal scan (which advances both
+	// frame cursors together, wrapping the second shot). The diagonal
+	// scan is the default, matching §3.1.
+	Exhaustive bool
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{RelationThresholdPct: DefaultRelationThresholdPct}
+}
+
+// Validate reports the first invalid parameter, if any.
+func (c Config) Validate() error {
+	if c.RelationThresholdPct <= 0 || c.RelationThresholdPct > 100 {
+		return fmt.Errorf("scenetree: RelationThresholdPct %v outside (0,100]", c.RelationThresholdPct)
+	}
+	return nil
+}
+
+// Related implements the RELATIONSHIP algorithm of §3.1: it reports
+// whether shots a and b are related, i.e. whether a pair of frames
+// exists (under the scan order) whose background signs differ by less
+// than the threshold. feats must cover both shots' frame ranges.
+func (c Config) Related(feats []feature.FrameFeature, a, b sbd.Shot) bool {
+	// D_s = maxChannelDiff/256*100 < pct  ⇔  maxChannelDiff < pct*2.56
+	limit := c.RelationThresholdPct * 256 / 100
+	if c.Exhaustive {
+		for i := a.Start; i <= a.End; i++ {
+			for j := b.Start; j <= b.End; j++ {
+				if float64(feats[i].SignBA.MaxChannelDiff(feats[j].SignBA)) < limit {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Paper's scan: advance i through A one frame at a time while j
+	// cycles through B.
+	j := 0
+	for i := 0; i < a.Len(); i++ {
+		fa := feats[a.Start+i].SignBA
+		fb := feats[b.Start+j].SignBA
+		if float64(fa.MaxChannelDiff(fb)) < limit {
+			return true
+		}
+		j++
+		if j >= b.Len() {
+			j = 0
+		}
+	}
+	return false
+}
+
+// Node is one scene node SN_m^level of a scene tree. Leaves (level 0)
+// correspond 1:1 to shots; internal nodes are the "empty nodes" of the
+// construction algorithm, named after a descendant shot by step 6.
+type Node struct {
+	// Shot is the 0-based index of the shot this node is named after.
+	Shot int
+	// Level is the node's level: 0 for leaves, max(child levels)+1
+	// otherwise.
+	Level int
+	// RepFrame is the absolute frame index (within the analyzed clip)
+	// of the node's representative frame.
+	RepFrame int
+	// RunLen is the length of the longest same-sign frame run inside
+	// the named shot; step 6 propagates the maximum upward.
+	RunLen int
+	// Children are ordered left to right (temporal order of creation).
+	Children []*Node
+	// Parent is nil for the root.
+	Parent *Node
+}
+
+// IsLeaf reports whether the node is a level-0 scene node.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Name returns the paper's SN notation for the node, e.g. "SN_3^1"
+// (shot numbers printed 1-based as in the paper).
+func (n *Node) Name() string {
+	return fmt.Sprintf("SN_%d^%d", n.Shot+1, n.Level)
+}
+
+// Root returns the topmost ancestor of n (n itself if parentless).
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Tree is a scene tree over one video's shots.
+type Tree struct {
+	// Root is the top scene node covering the whole video.
+	Root *Node
+	// Leaves holds the level-0 node of every shot, in shot order.
+	Leaves []*Node
+	// Shots are the frame ranges the tree was built over.
+	Shots []sbd.Shot
+}
+
+// Build runs the scene-tree construction algorithm of §3.1 over the
+// given shots and their frame features, then names every node and
+// assigns representative frames (step 6). It returns an error if the
+// inputs are inconsistent.
+//
+// One documented deviation from the paper's text (see DESIGN.md): when
+// step 3 finds no related shot among shots i−2 … 1, the builder tests
+// shot i−1 before giving up, which reproduces Figure 6(g), where shot#9
+// joins shot#8's scene.
+func Build(cfg Config, feats []feature.FrameFeature, shots []sbd.Shot) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(shots) == 0 {
+		return nil, fmt.Errorf("scenetree: no shots")
+	}
+	for k, s := range shots {
+		if s.Start < 0 || s.End >= len(feats) || s.Start > s.End {
+			return nil, fmt.Errorf("scenetree: shot %d range [%d,%d] outside %d frames", k, s.Start, s.End, len(feats))
+		}
+		if k > 0 && s.Start != shots[k-1].End+1 {
+			return nil, fmt.Errorf("scenetree: shot %d does not start where shot %d ends", k, k-1)
+		}
+	}
+
+	t := &Tree{Shots: shots}
+	t.Leaves = make([]*Node, len(shots))
+	for k, s := range shots {
+		rep, run := feature.LongestSignRun(feats, s.Start, s.End)
+		t.Leaves[k] = &Node{Shot: k, Level: 0, RepFrame: rep, RunLen: run}
+	}
+
+	// Step 1 of the paper creates the level-0 nodes; the loop starting
+	// at the third shot is steps 2–5.
+	for i := 2; i < len(shots); i++ {
+		cur := t.Leaves[i]
+		related := -1
+		for j := i - 2; j >= 0; j-- {
+			if cfg.Related(feats, shots[i], shots[j]) {
+				related = j
+				break
+			}
+		}
+		switch {
+		case related >= 0:
+			t.attachRelated(i, related)
+		case cfg.Related(feats, shots[i], shots[i-1]):
+			// Deviation documented above: shot i continues the scene
+			// of shot i−1.
+			prev := t.Leaves[i-1]
+			if prev.Parent == nil {
+				newEmpty(prev)
+			}
+			prev.Parent.adopt(cur)
+		default:
+			newEmpty(cur)
+		}
+	}
+	// Handle 1- and 2-shot videos, whose leaves never enter the loop.
+	if len(shots) <= 2 && len(shots) >= 1 {
+		if len(shots) == 2 && cfg.Related(feats, shots[1], shots[0]) {
+			en := newEmpty(t.Leaves[0])
+			en.adopt(t.Leaves[1])
+		}
+	}
+
+	// Step 5's epilogue: connect all parentless top nodes to one root.
+	tops := t.topNodes()
+	if len(tops) == 1 {
+		t.Root = tops[0]
+	} else {
+		t.Root = &Node{}
+		for _, n := range tops {
+			t.Root.adopt(n)
+		}
+	}
+
+	t.nameNodes()
+	return t, nil
+}
+
+// attachRelated performs step 4's three scenarios for shot i related to
+// shot j.
+func (t *Tree) attachRelated(i, j int) {
+	cur := t.Leaves[i]
+	prev := t.Leaves[i-1]
+	rel := t.Leaves[j]
+	switch {
+	case prev.Parent == nil && rel.Parent == nil:
+		// Scenario 1: connect all scene nodes SN_j … SN_i to a new
+		// empty node (intermediate shots are sandwiched into the same
+		// scene).
+		en := &Node{}
+		for k := j; k < i; k++ {
+			if t.Leaves[k].Parent == nil {
+				en.adopt(t.Leaves[k])
+			}
+		}
+		en.adopt(cur)
+	default:
+		if anc := lowestCommonAncestor(prev, rel); anc != nil {
+			// Scenario 2: they share an ancestor; the new shot joins it.
+			anc.adopt(cur)
+			return
+		}
+		// Scenario 3: connect SN_i to the oldest ancestor of SN_{i-1},
+		// then join the two subtrees under a new empty node.
+		if prev.Parent == nil {
+			newEmpty(prev)
+		}
+		if rel.Parent == nil {
+			newEmpty(rel)
+		}
+		prevTop := prev.Root()
+		prevTop.adopt(cur)
+		relTop := rel.Root()
+		if relTop != prevTop {
+			en := &Node{}
+			en.adopt(prevTop)
+			en.adopt(relTop)
+		}
+	}
+}
+
+// newEmpty creates an empty node adopting n and returns it.
+func newEmpty(n *Node) *Node {
+	en := &Node{}
+	en.adopt(n)
+	return en
+}
+
+// adopt appends child to n, maintaining the parent pointer.
+func (n *Node) adopt(child *Node) {
+	child.Parent = n
+	n.Children = append(n.Children, child)
+}
+
+// topNodes returns all distinct parentless ancestors of the leaves, in
+// order of their earliest shot.
+func (t *Tree) topNodes() []*Node {
+	seen := make(map[*Node]bool)
+	var tops []*Node
+	for _, leaf := range t.Leaves {
+		top := leaf.Root()
+		if !seen[top] {
+			seen[top] = true
+			tops = append(tops, top)
+		}
+	}
+	return tops
+}
+
+// lowestCommonAncestor returns the deepest node that is an ancestor of
+// (or equal to) both a and b, or nil if they are in different subtrees.
+func lowestCommonAncestor(a, b *Node) *Node {
+	anc := make(map[*Node]bool)
+	for n := a; n != nil; n = n.Parent {
+		anc[n] = true
+	}
+	for n := b; n != nil; n = n.Parent {
+		if anc[n] {
+			return n
+		}
+	}
+	return nil
+}
+
+// nameNodes performs step 6: traversing bottom-up, each empty node takes
+// the shot, representative frame and run length of the child whose shot
+// has the longest same-sign run (ties to the earliest shot), and a level
+// one above its deepest child.
+func (t *Tree) nameNodes() {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		best := -1
+		maxLevel := 0
+		for _, c := range n.Children {
+			walk(c)
+			if c.Level > maxLevel {
+				maxLevel = c.Level
+			}
+			if best == -1 ||
+				c.RunLen > n.Children[best].RunLen ||
+				(c.RunLen == n.Children[best].RunLen && c.Shot < n.Children[best].Shot) {
+				best = indexOf(n.Children, c)
+			}
+		}
+		b := n.Children[best]
+		n.Shot, n.RepFrame, n.RunLen = b.Shot, b.RepFrame, b.RunLen
+		n.Level = maxLevel + 1
+	}
+	walk(t.Root)
+}
+
+func indexOf(nodes []*Node, target *Node) int {
+	for i, n := range nodes {
+		if n == target {
+			return i
+		}
+	}
+	return -1
+}
+
+// Height returns the root's level.
+func (t *Tree) Height() int { return t.Root.Level }
+
+// NodeCount returns the total number of nodes in the tree.
+func (t *Tree) NodeCount() int {
+	count := 0
+	t.Walk(func(*Node) { count++ })
+	return count
+}
+
+// Walk visits every node depth-first, parents before children.
+func (t *Tree) Walk(fn func(*Node)) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		fn(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+}
+
+// Levels groups the tree's nodes by level, ascending.
+func (t *Tree) Levels() map[int][]*Node {
+	levels := make(map[int][]*Node)
+	t.Walk(func(n *Node) {
+		levels[n.Level] = append(levels[n.Level], n)
+	})
+	return levels
+}
+
+// LargestSceneFor returns the highest node named after the given shot —
+// the "largest scene sharing the representative frame" the similarity
+// model returns as a browsing entry point (§4.2). It returns nil if the
+// shot index is out of range.
+func (t *Tree) LargestSceneFor(shot int) *Node {
+	if shot < 0 || shot >= len(t.Leaves) {
+		return nil
+	}
+	n := t.Leaves[shot]
+	for n.Parent != nil && n.Parent.Shot == shot {
+		n = n.Parent
+	}
+	return n
+}
+
+// Validate checks the structural invariants of a finished tree: parent
+// pointers mirror child slices, every shot has a leaf, levels increase
+// toward the root, and named shots are inherited from descendants.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("scenetree: nil root")
+	}
+	if t.Root.Parent != nil {
+		return fmt.Errorf("scenetree: root has a parent")
+	}
+	var err error
+	t.Walk(func(n *Node) {
+		if err != nil {
+			return
+		}
+		for _, c := range n.Children {
+			if c.Parent != n {
+				err = fmt.Errorf("scenetree: %s has child %s with wrong parent", n.Name(), c.Name())
+				return
+			}
+			if c.Level >= n.Level {
+				err = fmt.Errorf("scenetree: %s (level %d) has child %s (level %d)", n.Name(), n.Level, c.Name(), c.Level)
+				return
+			}
+		}
+		if !n.IsLeaf() {
+			found := false
+			for _, c := range n.Children {
+				if c.Shot == n.Shot {
+					found = true
+					break
+				}
+			}
+			if !found {
+				err = fmt.Errorf("scenetree: %s not named after any child", n.Name())
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for k, leaf := range t.Leaves {
+		if leaf.Shot != k {
+			return fmt.Errorf("scenetree: leaf %d names shot %d", k, leaf.Shot)
+		}
+		if !leaf.IsLeaf() {
+			return fmt.Errorf("scenetree: leaf %d has children", k)
+		}
+		if leaf.Root() != t.Root {
+			return fmt.Errorf("scenetree: leaf %d not connected to root", k)
+		}
+	}
+	return nil
+}
+
+// String renders the tree as indented ASCII, one node per line, children
+// sorted by earliest shot, e.g.:
+//
+//	SN_1^2
+//	  SN_1^1 [shots 1-4]
+//	    SN_1^0 (frames 0-74, rep 0)
+//	    ...
+func (t *Tree) String() string {
+	var sb strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Name())
+		if n.IsLeaf() {
+			s := t.Shots[n.Shot]
+			fmt.Fprintf(&sb, " (frames %d-%d, rep %d)", s.Start, s.End, n.RepFrame)
+		}
+		sb.WriteByte('\n')
+		kids := append([]*Node(nil), n.Children...)
+		sort.Slice(kids, func(i, j int) bool { return earliestShot(kids[i]) < earliestShot(kids[j]) })
+		for _, c := range kids {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+	return sb.String()
+}
+
+// earliestShot returns the smallest shot index in n's subtree.
+func earliestShot(n *Node) int {
+	if n.IsLeaf() {
+		return n.Shot
+	}
+	min := -1
+	for _, c := range n.Children {
+		if s := earliestShot(c); min == -1 || s < min {
+			min = s
+		}
+	}
+	return min
+}

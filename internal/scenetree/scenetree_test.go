@@ -1,0 +1,451 @@
+package scenetree
+
+import (
+	"strings"
+	"testing"
+
+	"videodb/internal/feature"
+	"videodb/internal/sbd"
+	"videodb/internal/video"
+)
+
+// shotSpec describes a synthetic shot for tree tests: a base sign value
+// (one of a few well-separated "locations"), a frame count, and the
+// length of the longest constant-sign run (placed at the shot start; the
+// remaining frames alternate ±5 around the base so no longer run forms).
+type shotSpec struct {
+	base   uint8
+	frames int
+	run    int
+}
+
+// buildFeats renders shot specs into frame features and shot ranges.
+func buildFeats(specs []shotSpec) ([]feature.FrameFeature, []sbd.Shot) {
+	var feats []feature.FrameFeature
+	var shots []sbd.Shot
+	for _, sp := range specs {
+		start := len(feats)
+		for i := 0; i < sp.frames; i++ {
+			v := sp.base
+			if i >= sp.run {
+				// Alternate +5/+10 so every post-run run has length 1
+				// while staying within the 10% relation threshold of
+				// the base.
+				if i%2 == 0 {
+					v += 5
+				} else {
+					v += 10
+				}
+			}
+			feats = append(feats, feature.FrameFeature{SignBA: video.RGB(v, v, v), SignOA: video.RGB(v, v, v)})
+		}
+		shots = append(shots, sbd.Shot{Start: start, End: len(feats) - 1})
+	}
+	return feats, shots
+}
+
+// Locations separated by ≥40 per channel so cross-location D_s ≥ 15.6%.
+const (
+	locA uint8 = 10
+	locB uint8 = 60
+	locC uint8 = 120
+	locD uint8 = 200
+)
+
+// figure5Specs reproduces the clip of Figure 5 / Table 3: shots
+// A B A1 B1 C A2 C1 D D1 D2 with the paper's frame counts. Run lengths
+// are chosen so the naming of Figure 6(g) comes out: shot#1 dominates
+// its subtree, shot#7 dominates EN2, shot#8 dominates EN4.
+func figure5Specs() []shotSpec {
+	return []shotSpec{
+		{locA, 75, 70},  // #1 A
+		{locB, 25, 10},  // #2 B
+		{locA, 40, 15},  // #3 A1
+		{locB, 30, 12},  // #4 B1
+		{locC, 120, 30}, // #5 C
+		{locA, 60, 20},  // #6 A2
+		{locC, 65, 50},  // #7 C1
+		{locD, 80, 40},  // #8 D
+		{locD, 55, 30},  // #9 D1
+		{locD, 75, 35},  // #10 D2
+	}
+}
+
+func TestRelatedSameLocation(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	cfg := DefaultConfig()
+	if !cfg.Related(feats, shots[2], shots[0]) {
+		t.Error("A1 and A should be related")
+	}
+	if cfg.Related(feats, shots[4], shots[0]) {
+		t.Error("C and A should not be related")
+	}
+	if !cfg.Related(feats, shots[8], shots[7]) {
+		t.Error("D1 and D should be related")
+	}
+}
+
+func TestRelatedExhaustiveSupersetOfDiagonal(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	diag := DefaultConfig()
+	exh := DefaultConfig()
+	exh.Exhaustive = true
+	for i := range shots {
+		for j := range shots {
+			if i == j {
+				continue
+			}
+			if diag.Related(feats, shots[i], shots[j]) && !exh.Related(feats, shots[i], shots[j]) {
+				t.Errorf("diagonal found relation (%d,%d) exhaustive missed", i, j)
+			}
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pct := range []float64{0, -5, 150} {
+		if err := (Config{RelationThresholdPct: pct}).Validate(); err == nil {
+			t.Errorf("threshold %v validated", pct)
+		}
+	}
+}
+
+// TestFigure6Structure reproduces the full walkthrough of Figure 6: the
+// exact grouping, naming and levels of the final tree.
+func TestFigure6Structure(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// EN1 = SN_1^1 groups shots 1-4 (indices 0-3).
+	en1 := tree.Leaves[0].Parent
+	if en1 == nil {
+		t.Fatal("shot 1 has no parent")
+	}
+	wantChildren(t, "EN1", en1, 0, 1, 2, 3)
+	if en1.Shot != 0 || en1.Level != 1 {
+		t.Errorf("EN1 named %s, want SN_1^1", en1.Name())
+	}
+
+	// EN2 = SN_7^1 groups shots 5-7 (indices 4-6).
+	en2 := tree.Leaves[4].Parent
+	if en2 == nil {
+		t.Fatal("shot 5 has no parent")
+	}
+	wantChildren(t, "EN2", en2, 4, 5, 6)
+	if en2.Shot != 6 || en2.Level != 1 {
+		t.Errorf("EN2 named %s, want SN_7^1", en2.Name())
+	}
+
+	// EN3 = SN_1^2 groups EN1 and EN2.
+	en3 := en1.Parent
+	if en3 == nil || en2.Parent != en3 {
+		t.Fatal("EN1 and EN2 do not share a parent")
+	}
+	if en3.Shot != 0 || en3.Level != 2 {
+		t.Errorf("EN3 named %s, want SN_1^2", en3.Name())
+	}
+
+	// EN4 = SN_8^1 groups shots 8-10 (indices 7-9).
+	en4 := tree.Leaves[7].Parent
+	if en4 == nil {
+		t.Fatal("shot 8 has no parent")
+	}
+	wantChildren(t, "EN4", en4, 7, 8, 9)
+	if en4.Shot != 7 || en4.Level != 1 {
+		t.Errorf("EN4 named %s, want SN_8^1", en4.Name())
+	}
+
+	// Root groups EN3 and EN4, named after shot 1, level 3.
+	root := tree.Root
+	if en3.Parent != root || en4.Parent != root {
+		t.Fatal("EN3/EN4 not children of root")
+	}
+	if root.Shot != 0 || root.Level != 3 {
+		t.Errorf("root named %s, want SN_1^3", root.Name())
+	}
+	if tree.Height() != 3 {
+		t.Errorf("height = %d, want 3", tree.Height())
+	}
+	if tree.NodeCount() != 15 { // 10 leaves + EN1..EN4 + root
+		t.Errorf("node count = %d, want 15", tree.NodeCount())
+	}
+}
+
+func wantChildren(t *testing.T, label string, n *Node, shots ...int) {
+	t.Helper()
+	got := make(map[int]bool)
+	for _, c := range n.Children {
+		if !c.IsLeaf() {
+			t.Errorf("%s has non-leaf child %s", label, c.Name())
+			continue
+		}
+		got[c.Shot] = true
+	}
+	if len(got) != len(shots) {
+		t.Errorf("%s has %d children, want %d", label, len(got), len(shots))
+	}
+	for _, s := range shots {
+		if !got[s] {
+			t.Errorf("%s missing child shot %d", label, s+1)
+		}
+	}
+}
+
+// TestRepresentativeFrames: each leaf's representative frame starts the
+// longest sign run; internal nodes inherit from the dominant child.
+func TestRepresentativeFrames(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shot 1 (index 0) has its 70-frame run at frame 0.
+	if tree.Leaves[0].RepFrame != 0 || tree.Leaves[0].RunLen != 70 {
+		t.Errorf("leaf 0 rep = (%d,%d), want (0,70)", tree.Leaves[0].RepFrame, tree.Leaves[0].RunLen)
+	}
+	// Shot 7 (index 6) starts at frame 290 per Table 3 frame counts
+	// (75+25+40+30+120+60 = 350... compute from shots).
+	if tree.Leaves[6].RepFrame != shots[6].Start {
+		t.Errorf("leaf 7 rep = %d, want shot start %d", tree.Leaves[6].RepFrame, shots[6].Start)
+	}
+	// Root inherits shot 1's representative frame.
+	if tree.Root.RepFrame != 0 {
+		t.Errorf("root rep frame = %d, want 0", tree.Root.RepFrame)
+	}
+}
+
+func TestLargestSceneFor(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shot 1 dominates up to the root.
+	if got := tree.LargestSceneFor(0); got != tree.Root {
+		t.Errorf("largest scene for shot 1 = %s, want root", got.Name())
+	}
+	// Shot 7 dominates EN2 only.
+	if got := tree.LargestSceneFor(6); got.Level != 1 || got.Shot != 6 {
+		t.Errorf("largest scene for shot 7 = %s, want SN_7^1", got.Name())
+	}
+	// Shot 2 dominates nothing: its leaf.
+	if got := tree.LargestSceneFor(1); got != tree.Leaves[1] {
+		t.Errorf("largest scene for shot 2 = %s, want its leaf", got.Name())
+	}
+	if tree.LargestSceneFor(-1) != nil || tree.LargestSceneFor(99) != nil {
+		t.Error("out-of-range shot returned a node")
+	}
+}
+
+func TestSingleShotTree(t *testing.T) {
+	feats, shots := buildFeats([]shotSpec{{locA, 10, 10}})
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != tree.Leaves[0] {
+		t.Error("single-shot tree root should be the leaf")
+	}
+	if tree.Height() != 0 {
+		t.Errorf("height = %d, want 0", tree.Height())
+	}
+}
+
+func TestTwoShotTrees(t *testing.T) {
+	// Related pair: one scene.
+	feats, shots := buildFeats([]shotSpec{{locA, 10, 10}, {locA, 8, 8}})
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height() != 1 || len(tree.Root.Children) != 2 {
+		t.Errorf("related pair: height %d, %d children", tree.Height(), len(tree.Root.Children))
+	}
+
+	// Unrelated pair: still one root joining both.
+	feats, shots = buildFeats([]shotSpec{{locA, 10, 10}, {locD, 8, 8}})
+	tree, err = Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height() != 1 || len(tree.Root.Children) != 2 {
+		t.Errorf("unrelated pair: height %d, %d children", tree.Height(), len(tree.Root.Children))
+	}
+}
+
+// TestAllUnrelatedShots: n mutually unrelated shots produce a flat tree:
+// each gets its own empty parent, all joined under one root.
+func TestAllUnrelatedShots(t *testing.T) {
+	// Use exhaustive=false defaults; locations far apart.
+	feats, shots := buildFeats([]shotSpec{
+		{10, 10, 10}, {60, 10, 10}, {120, 10, 10}, {200, 10, 10},
+	})
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height() != 2 {
+		t.Errorf("height = %d, want 2 (leaf → own empty node → root)", tree.Height())
+	}
+}
+
+// TestAllRelatedShots: n mutually related shots collapse into a single
+// scene at level 1.
+func TestAllRelatedShots(t *testing.T) {
+	feats, shots := buildFeats([]shotSpec{
+		{locA, 10, 10}, {locA, 10, 9}, {locA, 10, 8}, {locA, 10, 7}, {locA, 10, 6},
+	})
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height() != 1 {
+		t.Errorf("height = %d, want 1", tree.Height())
+	}
+	if len(tree.Root.Children) != 5 {
+		t.Errorf("root has %d children, want 5", len(tree.Root.Children))
+	}
+	if tree.Root.Shot != 0 {
+		t.Errorf("root named after shot %d, want 0 (longest run)", tree.Root.Shot)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	if _, err := Build(Config{}, feats, shots); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := Build(DefaultConfig(), feats, nil); err == nil {
+		t.Error("no shots accepted")
+	}
+	bad := append([]sbd.Shot(nil), shots...)
+	bad[3].Start += 2 // gap
+	if _, err := Build(DefaultConfig(), feats, bad); err == nil {
+		t.Error("non-contiguous shots accepted")
+	}
+	if _, err := Build(DefaultConfig(), feats[:10], shots); err == nil {
+		t.Error("out-of-range shots accepted")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, _ := Build(DefaultConfig(), feats, shots)
+	levels := tree.Levels()
+	if len(levels[0]) != 10 {
+		t.Errorf("level 0 has %d nodes, want 10", len(levels[0]))
+	}
+	if len(levels[1]) != 3 { // EN1, EN2, EN4
+		t.Errorf("level 1 has %d nodes, want 3", len(levels[1]))
+	}
+	if len(levels[2]) != 1 || len(levels[3]) != 1 {
+		t.Errorf("levels 2/3 have %d/%d nodes, want 1/1", len(levels[2]), len(levels[3]))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, _ := Build(DefaultConfig(), feats, shots)
+	s := tree.String()
+	if !strings.Contains(s, "SN_1^3") {
+		t.Errorf("rendering missing root name:\n%s", s)
+	}
+	if !strings.Contains(s, "SN_7^1") {
+		t.Errorf("rendering missing EN2 name:\n%s", s)
+	}
+	if strings.Count(s, "\n") != 15 {
+		t.Errorf("rendering has %d lines, want 15:\n%s", strings.Count(s, "\n"), s)
+	}
+}
+
+func TestNodeName(t *testing.T) {
+	n := &Node{Shot: 6, Level: 1}
+	if n.Name() != "SN_7^1" {
+		t.Errorf("Name = %q, want SN_7^1", n.Name())
+	}
+}
+
+// TestChronologyInvariant: for any video, every node's subtree covers a
+// contiguous temporal range? The paper's algorithm does NOT guarantee
+// this in scenario 3 (a far-back related shot merges subtrees), but
+// level-1 scenes built by scenario 1 are contiguous. We assert the
+// weaker invariant: every shot appears in exactly one leaf and the tree
+// is connected (Validate), and check determinism by building twice.
+func TestBuildDeterministic(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	t1, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.String() != t2.String() {
+		t.Error("builds differ:\n" + t1.String() + "\nvs\n" + t2.String())
+	}
+}
+
+func BenchmarkBuildFigure5(b *testing.B) {
+	feats, shots := buildFeats(figure5Specs())
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(cfg, feats, shots); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, err := Build(DefaultConfig(), feats, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := tree.DOT("figure 6")
+	if !strings.HasPrefix(dot, "digraph scenetree {") || !strings.HasSuffix(dot, "}\n") {
+		t.Errorf("malformed dot output:\n%s", dot)
+	}
+	if !strings.Contains(dot, `label="figure 6"`) {
+		t.Error("title missing")
+	}
+	// 15 nodes and 14 edges.
+	if got := strings.Count(dot, "["); got != 15+1 { // +1 for the node defaults line
+		t.Errorf("node lines = %d, want 16:\n%s", got, dot)
+	}
+	if got := strings.Count(dot, "->"); got != 14 {
+		t.Errorf("edges = %d, want 14", got)
+	}
+	if !strings.Contains(dot, "SN_7^1") {
+		t.Error("node names missing")
+	}
+	// Untitled trees omit the label line.
+	if strings.Contains(tree.DOT(""), "labelloc") {
+		t.Error("untitled tree has a label")
+	}
+}

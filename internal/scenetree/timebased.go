@@ -1,0 +1,67 @@
+package scenetree
+
+import (
+	"fmt"
+
+	"videodb/internal/feature"
+	"videodb/internal/sbd"
+)
+
+// BuildTimeBased constructs the time-only browsing hierarchy of the
+// paper's reference [18] (Zhang, Smoliar & Wu): the video is divided
+// into segments of equal consecutive shot counts, each segment into
+// equal sub-segments, and so on — no visual content is consulted. The
+// paper's §1 criticizes exactly this; building it lets the scene-tree
+// quality experiments quantify the criticism. Representative frames
+// still use the longest-sign-run rule so the comparison isolates the
+// grouping policy.
+//
+// branching is the number of children per internal node (≥ 2).
+func BuildTimeBased(feats []feature.FrameFeature, shots []sbd.Shot, branching int) (*Tree, error) {
+	if branching < 2 {
+		return nil, fmt.Errorf("scenetree: time-based branching %d < 2", branching)
+	}
+	if len(shots) == 0 {
+		return nil, fmt.Errorf("scenetree: no shots")
+	}
+	for k, s := range shots {
+		if s.Start < 0 || s.End >= len(feats) || s.Start > s.End {
+			return nil, fmt.Errorf("scenetree: shot %d range [%d,%d] outside %d frames", k, s.Start, s.End, len(feats))
+		}
+	}
+
+	t := &Tree{Shots: shots}
+	t.Leaves = make([]*Node, len(shots))
+	level := make([]*Node, len(shots))
+	for k, s := range shots {
+		rep, run := feature.LongestSignRun(feats, s.Start, s.End)
+		t.Leaves[k] = &Node{Shot: k, Level: 0, RepFrame: rep, RunLen: run}
+		level[k] = t.Leaves[k]
+	}
+
+	// Repeatedly group `branching` consecutive nodes under a parent
+	// until one node remains.
+	for len(level) > 1 {
+		var next []*Node
+		for i := 0; i < len(level); i += branching {
+			j := i + branching
+			if j > len(level) {
+				j = len(level)
+			}
+			if j-i == 1 {
+				// A lone trailing node moves up unchanged.
+				next = append(next, level[i])
+				continue
+			}
+			parent := &Node{}
+			for _, c := range level[i:j] {
+				parent.adopt(c)
+			}
+			next = append(next, parent)
+		}
+		level = next
+	}
+	t.Root = level[0]
+	t.nameNodes()
+	return t, nil
+}

@@ -1,0 +1,95 @@
+package scenetree
+
+import "testing"
+
+func TestBuildTimeBasedStructure(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	tree, err := BuildTimeBased(feats, shots, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 shots at branching 3: level 1 has ⌈10/3⌉ = 4 groups (3,3,3,1 —
+	// the lone node moves up), so 10 leaves → {3,3,3,+1 leaf} → 4 nodes
+	// → 2 → 1.
+	if tree.Root == nil || tree.Height() < 2 {
+		t.Errorf("height = %d", tree.Height())
+	}
+	// Every level-1 node groups only consecutive shots.
+	for _, n := range tree.Levels()[1] {
+		shotsSeen := n.SubtreeShots()
+		for i := 1; i < len(shotsSeen); i++ {
+			if shotsSeen[i] != shotsSeen[i-1]+1 {
+				t.Errorf("time-based group not consecutive: %v", shotsSeen)
+			}
+		}
+	}
+	// Content is ignored: shots 1 and 3 (both location A, related) land
+	// in different groups because they are 2 apart with branching 3...
+	// (structure only depends on counts). Just confirm leaves preserved.
+	if len(tree.Leaves) != 10 {
+		t.Errorf("%d leaves", len(tree.Leaves))
+	}
+}
+
+func TestBuildTimeBasedSingleShot(t *testing.T) {
+	feats, shots := buildFeats([]shotSpec{{locA, 5, 5}})
+	tree, err := BuildTimeBased(feats, shots, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != tree.Leaves[0] {
+		t.Error("single-shot time-based tree should be the leaf")
+	}
+}
+
+func TestBuildTimeBasedErrors(t *testing.T) {
+	feats, shots := buildFeats(figure5Specs())
+	if _, err := BuildTimeBased(feats, shots, 1); err == nil {
+		t.Error("branching 1 accepted")
+	}
+	if _, err := BuildTimeBased(feats, nil, 3); err == nil {
+		t.Error("no shots accepted")
+	}
+	if _, err := BuildTimeBased(feats[:5], shots, 3); err == nil {
+		t.Error("out-of-range shots accepted")
+	}
+}
+
+func TestTimeBasedIgnoresContent(t *testing.T) {
+	// Two videos with identical shot counts but different content
+	// produce identical structure.
+	featsA, shotsA := buildFeats([]shotSpec{
+		{locA, 5, 5}, {locA, 5, 5}, {locA, 5, 5}, {locA, 5, 5},
+	})
+	featsB, shotsB := buildFeats([]shotSpec{
+		{locA, 5, 5}, {locB, 5, 5}, {locC, 5, 5}, {locD, 5, 5},
+	})
+	ta, err := BuildTimeBased(featsA, shotsA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := BuildTimeBased(featsB, shotsB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Height() != tb.Height() || ta.NodeCount() != tb.NodeCount() {
+		t.Error("time-based structure depended on content")
+	}
+	// While the content-based builder distinguishes them: four related
+	// shots form one flat scene; four unrelated shots form a deeper
+	// structure.
+	ca, err := Build(DefaultConfig(), featsA, shotsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Build(DefaultConfig(), featsB, shotsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Height() == cb.Height() && ca.NodeCount() == cb.NodeCount() {
+		t.Error("content-based builder did not distinguish the videos")
+	}
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"videodb/internal/core"
+	"videodb/internal/synth"
+	"videodb/internal/video"
+)
+
+// memMedia is an in-memory MediaSource.
+type memMedia map[string]*video.Clip
+
+func (m memMedia) Load(name string) (*video.Clip, error) {
+	c, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("no clip %q", name)
+	}
+	return c, nil
+}
+
+func mediaServer(t *testing.T) (*httptest.Server, *video.Clip) {
+	t.Helper()
+	spec, err := synth.BuildClip(synth.GenreDrama, synth.ClipParams{
+		Name: "media", Shots: 6, DurationSec: 30, Seed: 606,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, _, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.Open(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Ingest(clip); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db).WithMedia(memMedia{"media": clip})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, clip
+}
+
+func getPNG(t *testing.T, url string) (int, int, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, 0, 0
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/png" {
+		t.Fatalf("content type %q", ct)
+	}
+	img, err := png.Decode(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	return resp.StatusCode, b.Dx(), b.Dy()
+}
+
+func TestFrameEndpoint(t *testing.T) {
+	ts, clip := mediaServer(t)
+	code, w, h := getPNG(t, ts.URL+"/api/frame?clip=media&frame=0")
+	if code != 200 || w != clip.Frames[0].W || h != clip.Frames[0].H {
+		t.Fatalf("frame endpoint: code %d, %dx%d", code, w, h)
+	}
+	// Cache path: a second fetch works identically.
+	if code, _, _ := getPNG(t, ts.URL+"/api/frame?clip=media&frame=1"); code != 200 {
+		t.Error("second frame fetch failed")
+	}
+	for _, bad := range []string{
+		"/api/frame?frame=0",
+		"/api/frame?clip=media&frame=x",
+		"/api/frame?clip=media&frame=99999",
+		"/api/frame?clip=missing&frame=0",
+	} {
+		if code, _, _ := getPNG(t, ts.URL+bad); code == 200 {
+			t.Errorf("%s succeeded", bad)
+		}
+	}
+}
+
+func TestStoryboardEndpoint(t *testing.T) {
+	ts, _ := mediaServer(t)
+	code, w, h := getPNG(t, ts.URL+"/api/storyboard?clip=media&cols=3")
+	if code != 200 || w == 0 || h == 0 {
+		t.Fatalf("storyboard endpoint: code %d, %dx%d", code, w, h)
+	}
+	if code, _, _ := getPNG(t, ts.URL+"/api/storyboard?clip=media&cols=0"); code == 200 {
+		t.Error("zero cols accepted")
+	}
+	if code, _, _ := getPNG(t, ts.URL+"/api/storyboard?clip=missing"); code == 200 {
+		t.Error("missing clip accepted")
+	}
+	if code, _, _ := getPNG(t, ts.URL+"/api/storyboard"); code == 200 {
+		t.Error("missing clip param accepted")
+	}
+}
+
+func TestMediaEndpointsWithoutSource(t *testing.T) {
+	db, err := core.Open(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/frame?clip=x&frame=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("frame without media returned %d", resp.StatusCode)
+	}
+}
+
+func TestMediaCacheEviction(t *testing.T) {
+	clips := memMedia{}
+	db, err := core.Open(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < mediaCacheCap+2; i++ {
+		name := fmt.Sprintf("c%d", i)
+		c := video.NewClip(name, 3)
+		f := video.NewFrame(16, 12)
+		f.Fill(video.RGB(uint8(i*20), 0, 0))
+		c.Append(f)
+		clips[name] = c
+	}
+	srv := New(db).WithMedia(clips)
+	for i := 0; i < mediaCacheCap+2; i++ {
+		if _, err := srv.media.load(fmt.Sprintf("c%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(srv.media.clips); n > mediaCacheCap {
+		t.Errorf("cache holds %d clips, cap %d", n, mediaCacheCap)
+	}
+	// Reloading an evicted clip still works.
+	if _, err := srv.media.load("c0"); err != nil {
+		t.Fatal(err)
+	}
+}

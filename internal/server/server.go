@@ -1,0 +1,254 @@
+// Package server exposes a video database over HTTP with a small JSON
+// API, the networked face of the paper's "large video database" use
+// cases (digital libraries, public information systems):
+//
+//	GET /api/clips                          list ingested clips
+//	GET /api/clips/{name}                   one clip's shot table
+//	GET /api/clips/{name}/tree              the clip's scene tree
+//	GET /api/query?varba=25&varoa=4         variance query (Eqs. 7–8)
+//	GET /api/query?impression=bg%3Dhigh+obj%3Dlow
+//	GET /api/similar?clip=NAME&shot=3&k=3   query by example shot
+//
+// All endpoints are read-only; ingestion happens out of band (vdbctl).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"videodb/internal/core"
+	"videodb/internal/impression"
+	"videodb/internal/scenetree"
+	"videodb/internal/varindex"
+)
+
+// Server serves a database over HTTP.
+type Server struct {
+	db    *core.Database
+	media *mediaCache
+}
+
+// New returns a server for the given database.
+func New(db *core.Database) *Server {
+	return &Server{db: db}
+}
+
+// Handler returns the HTTP handler implementing the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/clips", s.handleClips)
+	mux.HandleFunc("GET /api/clips/{name}", s.handleClip)
+	mux.HandleFunc("GET /api/clips/{name}/tree", s.handleTree)
+	mux.HandleFunc("GET /api/query", s.handleQuery)
+	mux.HandleFunc("GET /api/similar", s.handleSimilar)
+	mux.HandleFunc("GET /api/frame", s.handleFrame)
+	mux.HandleFunc("GET /api/storyboard", s.handleStoryboard)
+	mux.HandleFunc("GET /", s.handleIndex)
+	return mux
+}
+
+// ClipSummary is the JSON shape of a clip listing entry.
+type ClipSummary struct {
+	Name       string `json:"name"`
+	Frames     int    `json:"frames"`
+	FPS        int    `json:"fps"`
+	Shots      int    `json:"shots"`
+	TreeHeight int    `json:"treeHeight"`
+}
+
+// ShotJSON is the JSON shape of one shot.
+type ShotJSON struct {
+	Shot     int     `json:"shot"`
+	Start    int     `json:"start"`
+	End      int     `json:"end"`
+	VarBA    float64 `json:"varBA"`
+	VarOA    float64 `json:"varOA"`
+	Dv       float64 `json:"dv"`
+	RepFrame int     `json:"repFrame"`
+}
+
+// NodeJSON is the JSON shape of a scene-tree node.
+type NodeJSON struct {
+	Name     string     `json:"name"`
+	Shot     int        `json:"shot"`
+	Level    int        `json:"level"`
+	RepFrame int        `json:"repFrame"`
+	Children []NodeJSON `json:"children,omitempty"`
+}
+
+// MatchJSON is the JSON shape of one query match.
+type MatchJSON struct {
+	Clip  string  `json:"clip"`
+	Shot  int     `json:"shot"`
+	Start int     `json:"start"`
+	End   int     `json:"end"`
+	VarBA float64 `json:"varBA"`
+	VarOA float64 `json:"varOA"`
+	Dv    float64 `json:"dv"`
+	Scene string  `json:"scene,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleClips(w http.ResponseWriter, _ *http.Request) {
+	var out []ClipSummary
+	for _, name := range s.db.Clips() {
+		rec, _ := s.db.Clip(name)
+		out = append(out, ClipSummary{
+			Name: rec.Name, Frames: rec.Frames, FPS: rec.FPS,
+			Shots: len(rec.Shots), TreeHeight: rec.Tree.Height(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleClip(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.db.Clip(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("clip %q not found", r.PathValue("name")))
+		return
+	}
+	shots := make([]ShotJSON, len(rec.Shots))
+	for i, sr := range rec.Shots {
+		shots[i] = ShotJSON{
+			Shot: i, Start: sr.Shot.Start, End: sr.Shot.End,
+			VarBA: sr.Feature.VarBA, VarOA: sr.Feature.VarOA,
+			Dv: sr.Feature.Dv(), RepFrame: sr.RepFrame,
+		}
+	}
+	writeJSON(w, struct {
+		ClipSummary
+		ShotTable []ShotJSON `json:"shotTable"`
+	}{
+		ClipSummary{rec.Name, rec.Frames, rec.FPS, len(rec.Shots), rec.Tree.Height()},
+		shots,
+	})
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+	tree, err := s.db.Browse(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, nodeJSON(tree.Root))
+}
+
+func nodeJSON(n *scenetree.Node) NodeJSON {
+	out := NodeJSON{Name: n.Name(), Shot: n.Shot, Level: n.Level, RepFrame: n.RepFrame}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, nodeJSON(c))
+	}
+	return out
+}
+
+// parseFloat reads a float query parameter with a default.
+func parseFloat(r *http.Request, key string, def float64) (float64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %w", key, err)
+	}
+	return v, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var q varindex.Query
+	if imp := r.URL.Query().Get("impression"); imp != "" {
+		parsed, err := impression.Parse(imp)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		q = parsed.Query()
+	} else {
+		var err error
+		if q.VarBA, err = parseFloat(r, "varba", -1); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if q.VarOA, err = parseFloat(r, "varoa", -1); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if q.VarBA < 0 || q.VarOA < 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("need varba and varoa (or impression=...)"))
+			return
+		}
+	}
+	opt := s.db.Options().Query
+	var err error
+	if opt.Alpha, err = parseFloat(r, "alpha", opt.Alpha); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if opt.Beta, err = parseFloat(r, "beta", opt.Beta); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	matches, err := s.db.QueryWithOptions(q, opt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, matchesJSON(matches))
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	clip := r.URL.Query().Get("clip")
+	if clip == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("need clip parameter"))
+		return
+	}
+	shot, err := strconv.Atoi(r.URL.Query().Get("shot"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parameter shot: %w", err))
+		return
+	}
+	k := 3
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		if k, err = strconv.Atoi(ks); err != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parameter k must be a positive integer"))
+			return
+		}
+	}
+	matches, err := s.db.QueryByShot(clip, shot, k)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, matchesJSON(matches))
+}
+
+func matchesJSON(matches []core.Match) []MatchJSON {
+	out := make([]MatchJSON, 0, len(matches))
+	for _, m := range matches {
+		mj := MatchJSON{
+			Clip: m.Entry.Clip, Shot: m.Entry.Shot,
+			Start: m.Entry.Start, End: m.Entry.End,
+			VarBA: m.Entry.VarBA, VarOA: m.Entry.VarOA, Dv: m.Entry.Dv(),
+		}
+		if m.Scene != nil {
+			mj.Scene = m.Scene.Name()
+		}
+		out = append(out, mj)
+	}
+	return out
+}

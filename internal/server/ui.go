@@ -1,0 +1,127 @@
+package server
+
+import "net/http"
+
+// handleIndex serves the embedded single-page browsing UI: clip list,
+// per-clip shot table and scene tree, storyboard image when a media
+// source is attached, and a query-by-impression form.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+// indexHTML is the embedded UI. It talks only to the JSON/PNG API, so
+// everything it shows is reachable programmatically too.
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>videodb — browsing and indexing large video databases</title>
+<style>
+  body { font-family: sans-serif; margin: 1.5rem; color: #222; }
+  h1 { font-size: 1.3rem; }
+  h2 { font-size: 1.05rem; margin-top: 1.5rem; }
+  table { border-collapse: collapse; margin-top: .5rem; }
+  th, td { border: 1px solid #ccc; padding: .25rem .6rem; font-size: .85rem; }
+  th { background: #f0f0f5; }
+  tr.clickable:hover { background: #eef4ff; cursor: pointer; }
+  pre { background: #f7f7fa; padding: .75rem; overflow-x: auto; font-size: .8rem; }
+  img.storyboard { max-width: 100%; border: 1px solid #ccc; margin-top: .5rem; }
+  form { margin: .75rem 0; }
+  input, select, button { font-size: .9rem; padding: .2rem .4rem; }
+  .muted { color: #888; font-size: .8rem; }
+</style>
+</head>
+<body>
+<h1>videodb</h1>
+<p class="muted">Camera-tracking shot detection, scene trees and
+variance-based indexing (Oh &amp; Hua, SIGMOD 2000).</p>
+
+<h2>Query by impression</h2>
+<form id="queryForm">
+  background=<select id="bg"><option>none</option><option>low</option><option selected>medium</option><option>high</option></select>
+  object=<select id="obj"><option>none</option><option selected>low</option><option>medium</option><option>high</option></select>
+  <button type="submit">search</button>
+</form>
+<div id="queryResults"></div>
+
+<h2>Clips</h2>
+<div id="clips">loading…</div>
+
+<h2 id="clipTitle"></h2>
+<div id="clipDetail"></div>
+
+<script>
+const el = id => document.getElementById(id);
+const esc = s => String(s).replace(/[&<>"]/g, c => ({'&':'&amp;','<':'&lt;','>':'&gt;','"':'&quot;'}[c]));
+
+async function loadClips() {
+  const clips = await (await fetch('/api/clips')).json() || [];
+  if (!clips.length) { el('clips').textContent = 'no clips ingested'; return; }
+  let html = '<table><tr><th>name</th><th>frames</th><th>fps</th><th>shots</th><th>tree height</th></tr>';
+  for (const c of clips) {
+    html += '<tr class="clickable" onclick="showClip(\'' + esc(c.name) + '\')">' +
+      '<td>' + esc(c.name) + '</td><td>' + c.frames + '</td><td>' + c.fps +
+      '</td><td>' + c.shots + '</td><td>' + c.treeHeight + '</td></tr>';
+  }
+  el('clips').innerHTML = html + '</table><p class="muted">click a clip for its shot table and scene tree</p>';
+}
+
+function renderTree(n, depth) {
+  let out = '  '.repeat(depth) + n.name + ' (rep frame ' + n.repFrame + ')\n';
+  for (const c of n.children || []) out += renderTree(c, depth + 1);
+  return out;
+}
+
+async function showClip(name) {
+  el('clipTitle').textContent = name;
+  const clip = await (await fetch('/api/clips/' + encodeURIComponent(name))).json();
+  const tree = await (await fetch('/api/clips/' + encodeURIComponent(name) + '/tree')).json();
+  let html = '<table><tr><th>shot</th><th>frames</th><th>VarBA</th><th>VarOA</th><th>Dv</th><th>rep</th><th></th></tr>';
+  for (const s of clip.shotTable || []) {
+    html += '<tr><td>' + s.shot + '</td><td>' + s.start + '-' + s.end + '</td>' +
+      '<td>' + s.varBA.toFixed(2) + '</td><td>' + s.varOA.toFixed(2) + '</td>' +
+      '<td>' + s.dv.toFixed(2) + '</td><td>' + s.repFrame + '</td>' +
+      '<td><a href="#" onclick="similar(\'' + esc(name) + '\',' + s.shot + ');return false">similar</a></td></tr>';
+  }
+  html += '</table>';
+  html += '<h3>scene tree</h3><pre>' + esc(renderTree(tree, 0)) + '</pre>';
+  html += '<h3>storyboard</h3><img class="storyboard" src="/api/storyboard?clip=' +
+    encodeURIComponent(name) + '" alt="storyboard (needs -corpus)" ' +
+    'onerror="this.outerHTML=\'<p class=muted>storyboard unavailable (start vdbserver with -corpus)</p>\'">';
+  el('clipDetail').innerHTML = html;
+}
+
+function matchTable(matches) {
+  if (!matches || !matches.length) return '<p class="muted">no matching shots</p>';
+  let html = '<table><tr><th>clip</th><th>shot</th><th>frames</th><th>Dv</th><th>start browsing at</th></tr>';
+  for (const m of matches) {
+    html += '<tr><td>' + esc(m.clip) + '</td><td>' + m.shot + '</td><td>' +
+      m.start + '-' + m.end + '</td><td>' + m.dv.toFixed(2) + '</td><td>' +
+      esc(m.scene || '-') + '</td></tr>';
+  }
+  return html + '</table>';
+}
+
+async function similar(clip, shot) {
+  const m = await (await fetch('/api/similar?clip=' + encodeURIComponent(clip) + '&shot=' + shot + '&k=5')).json();
+  el('queryResults').innerHTML = '<p>shots similar to ' + esc(clip) + '#' + shot + ':</p>' + matchTable(m);
+  window.scrollTo(0, 0);
+}
+
+el('queryForm').addEventListener('submit', async e => {
+  e.preventDefault();
+  const imp = 'background=' + el('bg').value + ' object=' + el('obj').value;
+  const m = await (await fetch('/api/query?impression=' + encodeURIComponent(imp))).json();
+  el('queryResults').innerHTML = '<p>' + esc(imp) + ':</p>' + matchTable(m);
+});
+
+loadClips();
+</script>
+</body>
+</html>
+`

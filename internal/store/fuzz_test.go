@@ -1,0 +1,57 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"videodb/internal/video"
+)
+
+// FuzzReadClip: arbitrary bytes must never panic the VDBF reader, and a
+// valid round trip must survive as a seed.
+func FuzzReadClip(f *testing.F) {
+	clip := video.NewClip("seed", 3)
+	fr := video.NewFrame(8, 6)
+	fr.Fill(video.RGB(10, 20, 30))
+	clip.Append(fr)
+	var buf bytes.Buffer
+	if err := WriteClip(&buf, clip); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte("VDBF\x01\x00\x04\x00name"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadClip(bytes.NewReader(data))
+		if err == nil {
+			// Anything accepted must be internally consistent.
+			if verr := c.Validate(); verr != nil {
+				t.Fatalf("accepted clip fails validation: %v", verr)
+			}
+		}
+	})
+}
+
+// FuzzReadY4M: arbitrary bytes must never panic the Y4M parser.
+func FuzzReadY4M(f *testing.F) {
+	f.Add("YUV4MPEG2 W4 H2 F30:1 C420\nFRAME\n" + strings.Repeat("\x80", 12))
+	f.Add("YUV4MPEG2 W2 H2 F25:1 C444\nFRAME\n" + strings.Repeat("\x10", 12))
+	f.Add("YUV4MPEG2")
+	f.Add("")
+	f.Add("YUV4MPEG2 W99999999 H99999999 F1:1 C444\nFRAME\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		// Guard against quadratic blowup on absurd declared sizes: the
+		// reader must reject or terminate quickly; nothing to assert
+		// beyond no-panic and consistency.
+		c, err := ReadY4M(strings.NewReader(data), "fuzz")
+		if err == nil {
+			if verr := c.Validate(); verr != nil {
+				t.Fatalf("accepted clip fails validation: %v", verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package store
+
+import (
+	"fmt"
+	"image"
+	_ "image/jpeg" // frame decoders for ImportImageDir
+	_ "image/png"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"videodb/internal/video"
+)
+
+// ImportImageDir builds a clip from a directory of numbered image
+// frames (PNG or JPEG), the classic `ffmpeg -i in.avi frames/%05d.png`
+// interchange. Files are taken in lexicographic order; all frames must
+// share dimensions. fps is the nominal rate of the extracted frames.
+func ImportImageDir(dir, name string, fps int) (*video.Clip, error) {
+	if fps <= 0 {
+		return nil, fmt.Errorf("store: import fps %d not positive", fps)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".png", ".jpg", ".jpeg":
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("store: no image frames in %s", dir)
+	}
+	sort.Strings(paths)
+
+	clip := video.NewClip(name, fps)
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		img, _, err := image.Decode(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("store: decoding %s: %w", p, err)
+		}
+		clip.Append(video.FromImage(img))
+	}
+	return clip, clip.Validate()
+}

@@ -1,0 +1,330 @@
+// Package store persists video clips in the VDBF container format — a
+// small, checksummed binary format the cmd tools and examples use to
+// move synthetic corpora between processes — and provides a directory
+// catalog over VDBF files.
+//
+// Layout (all integers little-endian):
+//
+//	magic   "VDBF"                      4 bytes
+//	version uint16                      currently 1
+//	nameLen uint16, name                UTF-8 clip name
+//	fps     uint32
+//	width   uint32
+//	height  uint32
+//	frames  uint32
+//	frame payloads                      frames × (1 marker + data)
+//	crc32   uint32 (IEEE, over everything after the magic)
+//
+// Each frame is stored either raw (marker 0: 3·w·h bytes RGB) or
+// run-length encoded (marker 1: repeated [count uint8, r, g, b], counts
+// summing to w·h) — whichever is smaller. Synthetic frames compress
+// well under RLE because sprites and flat texture cells produce runs.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"videodb/internal/video"
+)
+
+// Magic identifies VDBF files.
+const Magic = "VDBF"
+
+// Version is the current format version.
+const Version = 1
+
+const (
+	frameRaw = 0
+	frameRLE = 1
+)
+
+// WriteClip serialises the clip to w.
+func WriteClip(w io.Writer, c *video.Clip) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if len(c.Name) > 0xffff {
+		return fmt.Errorf("store: clip name too long (%d bytes)", len(c.Name))
+	}
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(w, crc)
+
+	if _, err := w.Write([]byte(Magic)); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var hdr []byte
+	hdr = le.AppendUint16(hdr, Version)
+	hdr = le.AppendUint16(hdr, uint16(len(c.Name)))
+	hdr = append(hdr, c.Name...)
+	hdr = le.AppendUint32(hdr, uint32(c.FPS))
+	hdr = le.AppendUint32(hdr, uint32(c.Frames[0].W))
+	hdr = le.AppendUint32(hdr, uint32(c.Frames[0].H))
+	hdr = le.AppendUint32(hdr, uint32(len(c.Frames)))
+	if _, err := out.Write(hdr); err != nil {
+		return err
+	}
+	for _, f := range c.Frames {
+		if err := writeFrame(out, f); err != nil {
+			return err
+		}
+	}
+	var tail []byte
+	tail = le.AppendUint32(tail, crc.Sum32())
+	_, err := w.Write(tail)
+	return err
+}
+
+func writeFrame(w io.Writer, f *video.Frame) error {
+	rle := encodeRLE(f)
+	raw := 3 * len(f.Pix)
+	if rle != nil && len(rle) < raw {
+		if _, err := w.Write([]byte{frameRLE}); err != nil {
+			return err
+		}
+		_, err := w.Write(rle)
+		return err
+	}
+	if _, err := w.Write([]byte{frameRaw}); err != nil {
+		return err
+	}
+	buf := make([]byte, raw)
+	for i, p := range f.Pix {
+		buf[3*i], buf[3*i+1], buf[3*i+2] = p.R, p.G, p.B
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// encodeRLE returns the RLE encoding of f, or nil if it would exceed the
+// raw size (saving the work of finishing a hopeless encoding).
+func encodeRLE(f *video.Frame) []byte {
+	max := 3 * len(f.Pix)
+	out := make([]byte, 0, max/2)
+	i := 0
+	for i < len(f.Pix) {
+		p := f.Pix[i]
+		run := 1
+		for i+run < len(f.Pix) && run < 255 && f.Pix[i+run] == p {
+			run++
+		}
+		out = append(out, byte(run), p.R, p.G, p.B)
+		if len(out) >= max {
+			return nil
+		}
+		i += run
+	}
+	return out
+}
+
+// ReadClip deserialises a clip from r, verifying the checksum.
+func ReadClip(r io.Reader) (*video.Clip, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("store: bad magic %q", magic)
+	}
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(br, crc)
+
+	var version, nameLen uint16
+	if err := binary.Read(tr, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != Version {
+		return nil, fmt.Errorf("store: unsupported version %d", version)
+	}
+	if err := binary.Read(tr, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(tr, name); err != nil {
+		return nil, err
+	}
+	var fps, w, h, n uint32
+	for _, p := range []*uint32{&fps, &w, &h, &n} {
+		if err := binary.Read(tr, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	const maxDim = 1 << 14
+	if w == 0 || h == 0 || w > maxDim || h > maxDim {
+		return nil, fmt.Errorf("store: implausible frame size %dx%d", w, h)
+	}
+	if n == 0 || n > 1<<24 {
+		return nil, fmt.Errorf("store: implausible frame count %d", n)
+	}
+	clip := video.NewClip(string(name), int(fps))
+	for i := uint32(0); i < n; i++ {
+		f, err := readFrame(tr, int(w), int(h))
+		if err != nil {
+			return nil, fmt.Errorf("store: frame %d: %w", i, err)
+		}
+		clip.Append(f)
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("store: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("store: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	return clip, clip.Validate()
+}
+
+func readFrame(r io.Reader, w, h int) (*video.Frame, error) {
+	var marker [1]byte
+	if _, err := io.ReadFull(r, marker[:]); err != nil {
+		return nil, err
+	}
+	f := video.NewFrame(w, h)
+	switch marker[0] {
+	case frameRaw:
+		buf := make([]byte, 3*w*h)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for i := range f.Pix {
+			f.Pix[i] = video.Pixel{R: buf[3*i], G: buf[3*i+1], B: buf[3*i+2]}
+		}
+	case frameRLE:
+		i := 0
+		var rec [4]byte
+		for i < len(f.Pix) {
+			if _, err := io.ReadFull(r, rec[:]); err != nil {
+				return nil, err
+			}
+			run := int(rec[0])
+			if run == 0 || i+run > len(f.Pix) {
+				return nil, fmt.Errorf("invalid RLE run %d at pixel %d", run, i)
+			}
+			p := video.Pixel{R: rec[1], G: rec[2], B: rec[3]}
+			for k := 0; k < run; k++ {
+				f.Pix[i+k] = p
+			}
+			i += run
+		}
+	default:
+		return nil, fmt.Errorf("unknown frame marker %d", marker[0])
+	}
+	return f, nil
+}
+
+// SaveClipFile writes the clip to path atomically (write to a temp file
+// in the same directory, then rename).
+func SaveClipFile(path string, c *video.Clip) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".vdbf-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := WriteClip(bw, c); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadClipFile reads a clip from path.
+func LoadClipFile(path string) (*video.Clip, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadClip(f)
+}
+
+// Ext is the conventional file extension for VDBF clips.
+const Ext = ".vdbf"
+
+// Catalog lists the VDBF clips in a directory.
+type Catalog struct {
+	// Dir is the directory scanned.
+	Dir string
+	// Paths maps clip names (from the file header) to file paths.
+	Paths map[string]string
+}
+
+// OpenCatalog scans dir for *.vdbf files and reads their headers.
+func OpenCatalog(dir string) (*Catalog, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	cat := &Catalog{Dir: dir, Paths: make(map[string]string)}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), Ext) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		name, err := readName(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: %w", path, err)
+		}
+		cat.Paths[name] = path
+	}
+	return cat, nil
+}
+
+// readName reads just the clip name from a VDBF header.
+func readName(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return "", err
+	}
+	if string(hdr[:4]) != Magic {
+		return "", fmt.Errorf("bad magic")
+	}
+	nameLen := binary.LittleEndian.Uint16(hdr[6:8])
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(f, name); err != nil {
+		return "", err
+	}
+	return string(name), nil
+}
+
+// Names returns the catalog's clip names, sorted.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.Paths))
+	for n := range c.Paths {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load reads the named clip.
+func (c *Catalog) Load(name string) (*video.Clip, error) {
+	path, ok := c.Paths[name]
+	if !ok {
+		return nil, fmt.Errorf("store: clip %q not in catalog", name)
+	}
+	return LoadClipFile(path)
+}

@@ -1,0 +1,221 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"videodb/internal/synth"
+	"videodb/internal/video"
+	"videodb/internal/vtest"
+)
+
+func testClip(t *testing.T) *video.Clip {
+	t.Helper()
+	spec := synth.ClipSpec{
+		Name: "round-trip", W: 160, H: 120, FPS: 3, Seed: 7,
+		Locations: []synth.TextureParams{synth.DefaultTextureParams()},
+		Shots: []synth.ShotSpec{
+			{Location: 0, Frames: 6, Camera: synth.Camera{X: 20, Y: 10, VX: 3}, NoiseSigma: 2, FlashAt: -1},
+		},
+	}
+	clip, _, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clip
+}
+
+func TestRoundTrip(t *testing.T) {
+	clip := testClip(t)
+	var buf bytes.Buffer
+	if err := WriteClip(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadClip(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != clip.Name || got.FPS != clip.FPS || got.Len() != clip.Len() {
+		t.Fatalf("metadata mismatch: %q %d %d", got.Name, got.FPS, got.Len())
+	}
+	for i := range clip.Frames {
+		if !clip.Frames[i].Equal(got.Frames[i]) {
+			t.Fatalf("frame %d differs after round trip", i)
+		}
+	}
+}
+
+func TestRoundTripRLEHeavyFrames(t *testing.T) {
+	// Solid frames are the RLE best case.
+	clip := video.NewClip("solid", 30)
+	f := video.NewFrame(64, 48)
+	f.Fill(video.RGB(10, 200, 30))
+	clip.Append(f, f.Clone(), f.Clone())
+	var buf bytes.Buffer
+	if err := WriteClip(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 1000 {
+		t.Errorf("solid frames encoded to %d bytes; RLE not effective", buf.Len())
+	}
+	got, err := ReadClip(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Frames[0].Equal(f) {
+		t.Error("RLE round trip corrupted frame")
+	}
+}
+
+func TestRoundTripRawFallback(t *testing.T) {
+	// High-entropy frames defeat RLE and must fall back to raw.
+	clip := video.NewClip("noise", 30)
+	canvas := vtest.TexturedCanvas(64, 48, 3)
+	for i := range canvas.Pix {
+		canvas.Pix[i].R = uint8(i * 7)
+		canvas.Pix[i].G = uint8(i * 13)
+		canvas.Pix[i].B = uint8(i)
+	}
+	clip.Append(canvas)
+	var buf bytes.Buffer
+	if err := WriteClip(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadClip(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Frames[0].Equal(canvas) {
+		t.Error("raw round trip corrupted frame")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	clip := testClip(t)
+	var buf bytes.Buffer
+	if err := WriteClip(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xff
+	if _, err := ReadClip(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupted file accepted")
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := ReadClip(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	clip := testClip(t)
+	var buf bytes.Buffer
+	if err := WriteClip(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, n := range []int{3, 10, len(data) / 2, len(data) - 2} {
+		if _, err := ReadClip(bytes.NewReader(data[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestWriteRejectsInvalidClip(t *testing.T) {
+	if err := WriteClip(&bytes.Buffer{}, video.NewClip("empty", 3)); err == nil {
+		t.Fatal("empty clip written")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	clip := testClip(t)
+	path := filepath.Join(dir, "clip"+Ext)
+	if err := SaveClipFile(path, clip); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadClipFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != clip.Len() {
+		t.Fatalf("loaded %d frames, want %d", got.Len(), clip.Len())
+	}
+	// No temp files left behind.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after save", len(entries))
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	dir := t.TempDir()
+	a := testClip(t)
+	a.Name = "alpha"
+	b := testClip(t)
+	b.Name = "beta"
+	if err := SaveClipFile(filepath.Join(dir, "a"+Ext), a); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveClipFile(filepath.Join(dir, "b"+Ext), b); err != nil {
+		t.Fatal(err)
+	}
+	// A non-VDBF file is ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := cat.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("catalog names = %v", names)
+	}
+	got, err := cat.Load("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "alpha" {
+		t.Errorf("loaded clip named %q", got.Name)
+	}
+	if _, err := cat.Load("missing"); err == nil {
+		t.Error("missing clip loaded")
+	}
+}
+
+func TestCatalogRejectsCorruptHeader(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad"+Ext), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCatalog(dir); err == nil {
+		t.Error("catalog accepted corrupt file")
+	}
+}
+
+func BenchmarkWriteClip(b *testing.B) {
+	spec := synth.ClipSpec{
+		Name: "bench", W: 160, H: 120, FPS: 3, Seed: 7,
+		Locations: []synth.TextureParams{synth.DefaultTextureParams()},
+		Shots: []synth.ShotSpec{
+			{Location: 0, Frames: 30, Camera: synth.Camera{X: 20, Y: 10, VX: 3}, NoiseSigma: 2, FlashAt: -1},
+		},
+	}
+	clip, _, err := synth.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteClip(&buf, clip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

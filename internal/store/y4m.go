@@ -1,0 +1,202 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"videodb/internal/video"
+)
+
+// Y4M support: the YUV4MPEG2 uncompressed video interchange format, the
+// simplest bridge between this system and real decoded video (ffmpeg
+// writes it with `-f yuv4mpeg2`). Only the common C420jpeg/C420mpeg2/
+// C420 (4:2:0) and C444 chroma modes are handled.
+//
+//	YUV4MPEG2 W<width> H<height> F<num>:<den> [Ip] [A1:1] [C420]\n
+//	FRAME\n <Y plane> <Cb plane> <Cr plane>   (repeated)
+
+// ReadY4M parses a YUV4MPEG2 stream into a clip. The clip's FPS is the
+// rounded frame rate; name labels the clip.
+func ReadY4M(r io.Reader, name string) (*video.Clip, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("store: reading y4m header: %w", err)
+	}
+	header = strings.TrimSuffix(header, "\n")
+	fields := strings.Fields(header)
+	if len(fields) == 0 || fields[0] != "YUV4MPEG2" {
+		return nil, fmt.Errorf("store: not a YUV4MPEG2 stream")
+	}
+	var w, h, fpsNum, fpsDen int
+	chroma := "C420"
+	for _, f := range fields[1:] {
+		if len(f) < 2 {
+			continue
+		}
+		switch f[0] {
+		case 'W':
+			w, err = strconv.Atoi(f[1:])
+		case 'H':
+			h, err = strconv.Atoi(f[1:])
+		case 'F':
+			num, den, ok := strings.Cut(f[1:], ":")
+			if !ok {
+				return nil, fmt.Errorf("store: bad y4m frame rate %q", f)
+			}
+			if fpsNum, err = strconv.Atoi(num); err != nil {
+				return nil, fmt.Errorf("store: bad y4m frame rate %q", f)
+			}
+			fpsDen, err = strconv.Atoi(den)
+		case 'C':
+			chroma = f
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: bad y4m header field %q: %w", f, err)
+		}
+	}
+	const maxDim = 1 << 14
+	if w <= 0 || h <= 0 || w > maxDim || h > maxDim {
+		return nil, fmt.Errorf("store: implausible y4m dimensions %dx%d", w, h)
+	}
+	fps := 30
+	if fpsNum > 0 && fpsDen > 0 {
+		fps = (fpsNum + fpsDen/2) / fpsDen
+		if fps < 1 {
+			fps = 1
+		}
+	}
+	is444 := false
+	switch {
+	case strings.HasPrefix(chroma, "C420"):
+	case chroma == "C444":
+		is444 = true
+	default:
+		return nil, fmt.Errorf("store: unsupported y4m chroma mode %q", chroma)
+	}
+	if !is444 && (w%2 != 0 || h%2 != 0) {
+		return nil, fmt.Errorf("store: 4:2:0 y4m needs even dimensions, got %dx%d", w, h)
+	}
+
+	ySize := w * h
+	cSize := ySize
+	if !is444 {
+		cSize = (w / 2) * (h / 2)
+	}
+	yBuf := make([]byte, ySize)
+	cbBuf := make([]byte, cSize)
+	crBuf := make([]byte, cSize)
+
+	clip := video.NewClip(name, fps)
+	for {
+		frameHdr, err := br.ReadString('\n')
+		if err == io.EOF && frameHdr == "" {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: reading y4m frame header: %w", err)
+		}
+		if !strings.HasPrefix(frameHdr, "FRAME") {
+			return nil, fmt.Errorf("store: bad y4m frame marker %q", strings.TrimSpace(frameHdr))
+		}
+		for _, buf := range [][]byte{yBuf, cbBuf, crBuf} {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("store: reading y4m frame %d: %w", clip.Len(), err)
+			}
+		}
+		clip.Append(yuvFrame(w, h, yBuf, cbBuf, crBuf, is444))
+	}
+	if clip.Len() == 0 {
+		return nil, fmt.Errorf("store: y4m stream has no frames")
+	}
+	return clip, clip.Validate()
+}
+
+// yuvFrame converts planar YCbCr to an RGB frame (BT.601 full-range).
+func yuvFrame(w, h int, y, cb, cr []byte, is444 bool) *video.Frame {
+	f := video.NewFrame(w, h)
+	for row := 0; row < h; row++ {
+		for col := 0; col < w; col++ {
+			var ci int
+			if is444 {
+				ci = row*w + col
+			} else {
+				ci = (row/2)*(w/2) + col/2
+			}
+			f.Pix[row*w+col] = yuvToRGB(y[row*w+col], cb[ci], cr[ci])
+		}
+	}
+	return f
+}
+
+func yuvToRGB(y, cb, cr byte) video.Pixel {
+	yy := int(y)
+	d := int(cb) - 128
+	e := int(cr) - 128
+	clamp := func(v int) uint8 {
+		if v < 0 {
+			return 0
+		}
+		if v > 255 {
+			return 255
+		}
+		return uint8(v)
+	}
+	return video.Pixel{
+		R: clamp(yy + (91881*e+32768)>>16),
+		G: clamp(yy - (22554*d+46802*e+32768)>>16),
+		B: clamp(yy + (116130*d+32768)>>16),
+	}
+}
+
+// WriteY4M writes the clip as a YUV4MPEG2 stream (C444, to avoid the
+// chroma subsampling loss on round trips).
+func WriteY4M(w io.Writer, c *video.Clip) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	width, height := c.Frames[0].W, c.Frames[0].H
+	if _, err := fmt.Fprintf(bw, "YUV4MPEG2 W%d H%d F%d:1 Ip A1:1 C444\n", width, height, c.FPS); err != nil {
+		return err
+	}
+	n := width * height
+	yBuf := make([]byte, n)
+	cbBuf := make([]byte, n)
+	crBuf := make([]byte, n)
+	for _, f := range c.Frames {
+		if _, err := bw.WriteString("FRAME\n"); err != nil {
+			return err
+		}
+		for i, p := range f.Pix {
+			y, cb, cr := rgbToYUV(p)
+			yBuf[i], cbBuf[i], crBuf[i] = y, cb, cr
+		}
+		for _, buf := range [][]byte{yBuf, cbBuf, crBuf} {
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func rgbToYUV(p video.Pixel) (y, cb, cr byte) {
+	r, g, b := int(p.R), int(p.G), int(p.B)
+	yy := (19595*r + 38470*g + 7471*b + 32768) >> 16
+	cbv := ((-11056*r-21712*g+32768*b+32768)>>16 + 128)
+	crv := ((32768*r-27440*g-5328*b+32768)>>16 + 128)
+	clamp := func(v int) byte {
+		if v < 0 {
+			return 0
+		}
+		if v > 255 {
+			return 255
+		}
+		return byte(v)
+	}
+	return clamp(yy), clamp(cbv), clamp(crv)
+}

@@ -1,0 +1,179 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"image/png"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"videodb/internal/video"
+	"videodb/internal/vtest"
+)
+
+func TestY4MRoundTrip(t *testing.T) {
+	clip := video.NewClip("y4m-rt", 30)
+	for i := 0; i < 3; i++ {
+		clip.Append(vtest.TexturedCanvas(64, 48, uint64(i+1)))
+	}
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadY4M(&buf, "y4m-rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || got.FPS != 30 {
+		t.Fatalf("got %d frames at %d fps", got.Len(), got.FPS)
+	}
+	// RGB→YCbCr→RGB is lossy but must stay within rounding distance.
+	for i := range clip.Frames {
+		if d := clip.Frames[i].MeanAbsDiff(got.Frames[i]); d > 2.0 {
+			t.Errorf("frame %d mean error %.2f after Y4M round trip", i, d)
+		}
+	}
+}
+
+func TestY4MGrayExact(t *testing.T) {
+	// Gray pixels have zero chroma and survive 4:4:4 exactly on Y.
+	clip := video.NewClip("gray", 25)
+	f := video.NewFrame(16, 16)
+	f.Fill(video.RGB(128, 128, 128))
+	clip.Append(f)
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadY4M(&buf, "gray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.MeanAbsDiff(got.Frames[0]); d > 1 {
+		t.Errorf("gray frame error %.2f", d)
+	}
+}
+
+func TestReadY4M420(t *testing.T) {
+	// Hand-build a minimal 4:2:0 stream: 4x2 frame, uniform planes.
+	var buf bytes.Buffer
+	buf.WriteString("YUV4MPEG2 W4 H2 F30:1 Ip A1:1 C420jpeg\n")
+	buf.WriteString("FRAME\n")
+	buf.Write(bytes.Repeat([]byte{128}, 8)) // Y
+	buf.Write(bytes.Repeat([]byte{128}, 2)) // Cb (2x1)
+	buf.Write(bytes.Repeat([]byte{128}, 2)) // Cr
+	clip, err := ReadY4M(&buf, "min")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clip.Len() != 1 || clip.Frames[0].W != 4 || clip.Frames[0].H != 2 {
+		t.Fatalf("parsed %d frames of %dx%d", clip.Len(), clip.Frames[0].W, clip.Frames[0].H)
+	}
+	p := clip.Frames[0].At(0, 0)
+	if p.MaxChannelDiff(video.RGB(128, 128, 128)) > 1 {
+		t.Errorf("neutral YUV decoded to %v", p)
+	}
+}
+
+func TestReadY4MErrors(t *testing.T) {
+	cases := map[string]string{
+		"not y4m":        "MPEG4 W4 H2\n",
+		"no dims":        "YUV4MPEG2 F30:1\nFRAME\n",
+		"bad rate":       "YUV4MPEG2 W4 H2 F30\n",
+		"odd 420":        "YUV4MPEG2 W5 H3 F30:1 C420\n",
+		"bad chroma":     "YUV4MPEG2 W4 H2 F30:1 C422\n",
+		"bad marker":     "YUV4MPEG2 W4 H2 F30:1 C420\nGRAME\n",
+		"empty stream":   "YUV4MPEG2 W4 H2 F30:1 C420\n",
+		"truncated data": "YUV4MPEG2 W4 H2 F30:1 C420\nFRAME\n\x01\x02",
+	}
+	for name, data := range cases {
+		if _, err := ReadY4M(strings.NewReader(data), "x"); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestY4MFractionalRate(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("YUV4MPEG2 W2 H2 F30000:1001 C444\n")
+	buf.WriteString("FRAME\n")
+	buf.Write(bytes.Repeat([]byte{100}, 12))
+	clip, err := ReadY4M(&buf, "ntsc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clip.FPS != 30 {
+		t.Errorf("NTSC rate rounded to %d, want 30", clip.FPS)
+	}
+}
+
+func TestImportImageDir(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 4; i++ {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("frame-%03d.png", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := vtest.TexturedCanvas(32, 24, uint64(i+10)).ToImage()
+		if err := png.Encode(f, img); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	// A stray non-image file is ignored.
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644)
+
+	clip, err := ImportImageDir(dir, "frames", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clip.Len() != 4 || clip.FPS != 3 {
+		t.Fatalf("imported %d frames at %d fps", clip.Len(), clip.FPS)
+	}
+	// PNG is lossless: frame 2 must match its source exactly.
+	want := vtest.TexturedCanvas(32, 24, 12)
+	if !clip.Frames[2].Equal(want) {
+		t.Error("imported frame differs from source")
+	}
+}
+
+func TestImportImageDirErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ImportImageDir(dir, "x", 3); err == nil {
+		t.Error("empty directory accepted")
+	}
+	if _, err := ImportImageDir(dir, "x", 0); err == nil {
+		t.Error("zero fps accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "bad.png"), []byte("not a png"), 0o644)
+	if _, err := ImportImageDir(dir, "x", 3); err == nil {
+		t.Error("corrupt png accepted")
+	}
+	if _, err := ImportImageDir(filepath.Join(dir, "missing"), "x", 3); err == nil {
+		t.Error("missing directory accepted")
+	}
+}
+
+// TestY4MAnalysisEquivalence: a clip surviving a Y4M round trip must
+// segment identically — the interchange path cannot perturb detection.
+func TestY4MAnalysisEquivalence(t *testing.T) {
+	clip := vtest.TwoShotClip("y4m-seg", 41, 42, 6, 12)
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadY4M(&buf, "y4m-seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != clip.Len() {
+		t.Fatal("length changed")
+	}
+	for i := range clip.Frames {
+		if d := clip.Frames[i].MeanAbsDiff(back.Frames[i]); d > 2 {
+			t.Fatalf("frame %d error %.2f too large for analysis equivalence", i, d)
+		}
+	}
+}

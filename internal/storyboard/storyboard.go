@@ -1,0 +1,97 @@
+// Package storyboard composes visual summaries of a video from its
+// scene tree: a grid of representative frames, the artifact a browsing
+// UI renders and the natural visualisation of §3's claim that
+// "representative frames serve well as a summary of important events in
+// the underlying video" (§5.2).
+package storyboard
+
+import (
+	"fmt"
+
+	"videodb/internal/feature"
+	"videodb/internal/scenetree"
+	"videodb/internal/video"
+)
+
+// Options controls storyboard layout.
+type Options struct {
+	// Columns is the number of frames per row.
+	Columns int
+	// Margin is the pixel gap around frames.
+	Margin int
+	// Background fills the gaps.
+	Background video.Pixel
+}
+
+// DefaultOptions returns a 4-column layout with a dark background.
+func DefaultOptions() Options {
+	return Options{Columns: 4, Margin: 6, Background: video.RGB(24, 24, 28)}
+}
+
+// Validate reports the first invalid option.
+func (o Options) Validate() error {
+	if o.Columns < 1 {
+		return fmt.Errorf("storyboard: columns %d < 1", o.Columns)
+	}
+	if o.Margin < 0 {
+		return fmt.Errorf("storyboard: negative margin %d", o.Margin)
+	}
+	return nil
+}
+
+// Compose renders the given frame indices of a clip into one image.
+func Compose(clip *video.Clip, frames []int, opt Options) (*video.Frame, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := clip.Validate(); err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("storyboard: no frames selected")
+	}
+	for _, f := range frames {
+		if f < 0 || f >= clip.Len() {
+			return nil, fmt.Errorf("storyboard: frame %d outside [0,%d)", f, clip.Len())
+		}
+	}
+	fw, fh := clip.Frames[0].W, clip.Frames[0].H
+	cols := opt.Columns
+	if cols > len(frames) {
+		cols = len(frames)
+	}
+	rows := (len(frames) + cols - 1) / cols
+	w := cols*fw + (cols+1)*opt.Margin
+	h := rows*fh + (rows+1)*opt.Margin
+	out := video.NewFrame(w, h)
+	out.Fill(opt.Background)
+	for i, fi := range frames {
+		col, row := i%cols, i/cols
+		x0 := opt.Margin + col*(fw+opt.Margin)
+		y0 := opt.Margin + row*(fh+opt.Margin)
+		src := clip.Frames[fi]
+		for y := 0; y < fh; y++ {
+			for x := 0; x < fw; x++ {
+				out.Set(x0+x, y0+y, src.At(x, y))
+			}
+		}
+	}
+	return out, nil
+}
+
+// ForScene builds the storyboard of a scene node: its g(s)
+// representative frames laid out in temporal order.
+func ForScene(clip *video.Clip, tree *scenetree.Tree, node *scenetree.Node, feats []feature.FrameFeature, opt Options) (*video.Frame, error) {
+	frames := tree.RepresentativeFrames(node, feats, nil)
+	return Compose(clip, frames, opt)
+}
+
+// ForClip builds the whole-video storyboard: one representative frame
+// per shot, in temporal order.
+func ForClip(clip *video.Clip, tree *scenetree.Tree, opt Options) (*video.Frame, error) {
+	frames := make([]int, len(tree.Leaves))
+	for i, leaf := range tree.Leaves {
+		frames[i] = leaf.RepFrame
+	}
+	return Compose(clip, frames, opt)
+}

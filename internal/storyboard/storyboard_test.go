@@ -1,0 +1,119 @@
+package storyboard
+
+import (
+	"testing"
+
+	"videodb/internal/core"
+	"videodb/internal/feature"
+	"videodb/internal/synth"
+	"videodb/internal/video"
+)
+
+func testClipAndTree(t *testing.T) (*video.Clip, *core.ClipRecord) {
+	t.Helper()
+	spec, err := synth.BuildClip(synth.GenreDrama, synth.ClipParams{
+		Name: "sb", Shots: 8, DurationSec: 40, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, _, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.Open(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := db.Ingest(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clip, rec
+}
+
+func TestComposeLayout(t *testing.T) {
+	clip := video.NewClip("c", 3)
+	for i := 0; i < 6; i++ {
+		f := video.NewFrame(20, 10)
+		f.Fill(video.RGB(uint8(40*i), 0, 0))
+		clip.Append(f)
+	}
+	opt := Options{Columns: 3, Margin: 2, Background: video.RGB(1, 2, 3)}
+	out, err := Compose(clip, []int{0, 1, 2, 3, 4}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 columns × 2 rows: width 3*20+4*2=68, height 2*10+3*2=26.
+	if out.W != 68 || out.H != 26 {
+		t.Fatalf("storyboard is %dx%d, want 68x26", out.W, out.H)
+	}
+	// Margins hold the background colour.
+	if out.At(0, 0) != (video.RGB(1, 2, 3)) {
+		t.Error("margin not background")
+	}
+	// First tile holds frame 0's colour.
+	if out.At(3, 3) != (video.RGB(0, 0, 0)) {
+		t.Errorf("tile 0 pixel = %v", out.At(3, 3))
+	}
+	// Second tile holds frame 1's colour.
+	if out.At(2+20+2+1, 3) != (video.RGB(40, 0, 0)) {
+		t.Errorf("tile 1 pixel = %v", out.At(25, 3))
+	}
+	// The empty sixth cell stays background.
+	if out.At(68-3, 26-3) != (video.RGB(1, 2, 3)) {
+		t.Error("unused cell not background")
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	clip := video.NewClip("c", 3)
+	clip.Append(video.NewFrame(8, 8))
+	if _, err := Compose(clip, nil, DefaultOptions()); err == nil {
+		t.Error("empty frame list accepted")
+	}
+	if _, err := Compose(clip, []int{5}, DefaultOptions()); err == nil {
+		t.Error("out-of-range frame accepted")
+	}
+	if _, err := Compose(clip, []int{0}, Options{Columns: 0}); err == nil {
+		t.Error("zero columns accepted")
+	}
+	if _, err := Compose(clip, []int{0}, Options{Columns: 2, Margin: -1}); err == nil {
+		t.Error("negative margin accepted")
+	}
+	if _, err := Compose(video.NewClip("empty", 3), []int{0}, DefaultOptions()); err == nil {
+		t.Error("invalid clip accepted")
+	}
+}
+
+func TestForClip(t *testing.T) {
+	clip, rec := testClipAndTree(t)
+	out, err := ForClip(clip, rec.Tree, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := DefaultOptions().Columns
+	if len(rec.Shots) < cols {
+		cols = len(rec.Shots)
+	}
+	wantW := cols*160 + (cols+1)*DefaultOptions().Margin
+	if out.W != wantW {
+		t.Errorf("storyboard width %d, want %d", out.W, wantW)
+	}
+}
+
+func TestForScene(t *testing.T) {
+	clip, rec := testClipAndTree(t)
+	an, err := feature.NewAnalyzer(160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := an.AnalyzeClip(clip)
+	out, err := ForScene(clip, rec.Tree, rec.Tree.Root, feats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.W == 0 || out.H == 0 {
+		t.Error("empty scene storyboard")
+	}
+}

@@ -1,0 +1,232 @@
+package synth
+
+import (
+	"fmt"
+
+	"videodb/internal/rng"
+	"videodb/internal/video"
+)
+
+// Transition is the edit joining a shot to its predecessor.
+type Transition int
+
+// Transition kinds.
+const (
+	// Cut is an abrupt transition (the overwhelmingly common case).
+	Cut Transition = iota
+	// Dissolve cross-fades DissolveFrames frames between the two
+	// shots; the ground-truth boundary sits at the dissolve midpoint.
+	Dissolve
+	// Fade darkens the outgoing shot's last FadeFrames to black and
+	// brightens the incoming shot's first FadeFrames from black; the
+	// ground-truth boundary stays at the first incoming frame.
+	Fade
+)
+
+// DissolveFrames is the length of a dissolve at the analysis frame rate
+// (3 fps): 4 frames ≈ 1.3 seconds.
+const DissolveFrames = 4
+
+// FadeFrames is the length of each half of a fade-through-black at the
+// analysis frame rate.
+const FadeFrames = 3
+
+// ClipSpec describes a full clip to generate.
+type ClipSpec struct {
+	// Name labels the clip in catalogs and tables.
+	Name string
+	// W, H is the frame size; FPS the nominal frame rate.
+	W, H, FPS int
+	// Locations parameterises each location's texture; shot specs index
+	// into this list.
+	Locations []TextureParams
+	// Shots lists the shots in temporal order.
+	Shots []ShotSpec
+	// Transitions[i] joins Shots[i-1] to Shots[i]; index 0 is unused.
+	// A nil slice means all cuts.
+	Transitions []Transition
+	// Seed drives every random decision during rendering.
+	Seed uint64
+}
+
+// Validate reports the first inconsistency in the spec.
+func (c ClipSpec) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("synth: clip has no name")
+	}
+	if c.W <= 0 || c.H <= 0 || c.FPS <= 0 {
+		return fmt.Errorf("synth: clip %q has invalid geometry %dx%d@%d", c.Name, c.W, c.H, c.FPS)
+	}
+	if len(c.Shots) == 0 {
+		return fmt.Errorf("synth: clip %q has no shots", c.Name)
+	}
+	if c.Transitions != nil && len(c.Transitions) != len(c.Shots) {
+		return fmt.Errorf("synth: clip %q has %d transitions for %d shots", c.Name, len(c.Transitions), len(c.Shots))
+	}
+	for i, s := range c.Shots {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("shot %d: %w", i, err)
+		}
+		if s.Location >= len(c.Locations) {
+			return fmt.Errorf("synth: shot %d references location %d of %d", i, s.Location, len(c.Locations))
+		}
+	}
+	return nil
+}
+
+// ShotTruth is the ground truth for one rendered shot.
+type ShotTruth struct {
+	// Start and End are the shot's frame range (inclusive) in the
+	// rendered clip. Dissolve frames belong to the incoming shot from
+	// the dissolve midpoint onward.
+	Start, End int
+	// Location is the location ID the shot was filmed at.
+	Location int
+	// Class is the semantic class.
+	Class Class
+}
+
+// GroundTruth is the full label set of a generated clip.
+type GroundTruth struct {
+	// Boundaries lists the frame indices starting each new shot
+	// (excluding frame 0), ascending.
+	Boundaries []int
+	// Shots holds one record per shot, in order.
+	Shots []ShotTruth
+}
+
+// Generate renders the clip and its ground truth. Rendering is
+// deterministic in the spec (including Seed).
+func Generate(spec ClipSpec) (*video.Clip, GroundTruth, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, GroundTruth{}, err
+	}
+	r := rng.New(spec.Seed)
+	locs := make([]*Location, len(spec.Locations))
+	for i, tp := range spec.Locations {
+		locs[i] = NewLocation(i, spec.Seed, tp)
+	}
+
+	clip := video.NewClip(spec.Name, spec.FPS)
+	var gt GroundTruth
+
+	var prevTail []*video.Frame // frames of the previous shot, for dissolves
+	for i, shot := range spec.Shots {
+		frames, err := RenderShot(shot, locs[shot.Location], spec.W, spec.H, r.Split())
+		if err != nil {
+			return nil, GroundTruth{}, fmt.Errorf("shot %d: %w", i, err)
+		}
+		tr := Cut
+		if spec.Transitions != nil {
+			tr = spec.Transitions[i]
+		}
+		if i > 0 && tr == Dissolve && len(prevTail) >= DissolveFrames && len(frames) > DissolveFrames {
+			// Cross-fade the last DissolveFrames of the previous shot
+			// with the first DissolveFrames of this one, replacing the
+			// previous shot's tail in place.
+			n := clip.Len()
+			for k := 0; k < DissolveFrames; k++ {
+				alpha := float64(k+1) / float64(DissolveFrames+1)
+				mixed := blend(prevTail[len(prevTail)-DissolveFrames+k], frames[k], alpha)
+				clip.Frames[n-DissolveFrames+k] = mixed
+			}
+			frames = frames[DissolveFrames:]
+			// Ground truth: the boundary is at the midpoint of the
+			// dissolve. The previous shot's End shrinks accordingly.
+			mid := n - DissolveFrames + DissolveFrames/2
+			gt.Shots[len(gt.Shots)-1].End = mid - 1
+			gt.Boundaries = append(gt.Boundaries, mid)
+			gt.Shots = append(gt.Shots, ShotTruth{
+				Start:    mid,
+				End:      n + len(frames) - 1,
+				Location: shot.Location,
+				Class:    shot.Class,
+			})
+			clip.Append(frames...)
+			prevTail = frames
+			continue
+		}
+		if i > 0 && tr == Fade && clip.Len() >= FadeFrames && len(frames) > FadeFrames {
+			// Darken the outgoing tail toward black and brighten the
+			// incoming head from black.
+			n := clip.Len()
+			for k := 0; k < FadeFrames; k++ {
+				alpha := float64(FadeFrames-k) / float64(FadeFrames+1)
+				clip.Frames[n-FadeFrames+k] = dim(clip.Frames[n-FadeFrames+k], alpha)
+			}
+			for k := 0; k < FadeFrames; k++ {
+				alpha := float64(k+1) / float64(FadeFrames+1)
+				frames[k] = dim(frames[k], alpha)
+			}
+		}
+		if i > 0 {
+			gt.Boundaries = append(gt.Boundaries, clip.Len())
+		}
+		gt.Shots = append(gt.Shots, ShotTruth{
+			Start:    clip.Len(),
+			End:      clip.Len() + len(frames) - 1,
+			Location: shot.Location,
+			Class:    shot.Class,
+		})
+		clip.Append(frames...)
+		prevTail = frames
+	}
+	return clip, gt, nil
+}
+
+// dim returns a copy of f scaled toward black by alpha (1 = unchanged,
+// 0 = black).
+func dim(f *video.Frame, alpha float64) *video.Frame {
+	out := video.NewFrame(f.W, f.H)
+	for i, p := range f.Pix {
+		out.Pix[i] = video.Pixel{
+			R: clamp8(float64(p.R) * alpha),
+			G: clamp8(float64(p.G) * alpha),
+			B: clamp8(float64(p.B) * alpha),
+		}
+	}
+	return out
+}
+
+// blend mixes two frames: (1−alpha)·a + alpha·b.
+func blend(a, b *video.Frame, alpha float64) *video.Frame {
+	out := video.NewFrame(a.W, a.H)
+	for i := range out.Pix {
+		pa, pb := a.Pix[i], b.Pix[i]
+		out.Pix[i] = video.Pixel{
+			R: clamp8(float64(pa.R)*(1-alpha) + float64(pb.R)*alpha),
+			G: clamp8(float64(pa.G)*(1-alpha) + float64(pb.G)*alpha),
+			B: clamp8(float64(pa.B)*(1-alpha) + float64(pb.B)*alpha),
+		}
+	}
+	return out
+}
+
+// Validate checks a ground truth against its clip: boundaries ascending
+// and in range, shots contiguous and covering every frame.
+func (gt GroundTruth) Validate(frameCount int) error {
+	prev := 0
+	for _, b := range gt.Boundaries {
+		if b <= prev || b >= frameCount {
+			return fmt.Errorf("synth: boundary %d out of order or range", b)
+		}
+		prev = b
+	}
+	if len(gt.Shots) != len(gt.Boundaries)+1 {
+		return fmt.Errorf("synth: %d shots for %d boundaries", len(gt.Shots), len(gt.Boundaries))
+	}
+	pos := 0
+	for i, s := range gt.Shots {
+		if s.Start != pos {
+			return fmt.Errorf("synth: shot %d starts at %d, want %d", i, s.Start, pos)
+		}
+		if s.End < s.Start {
+			return fmt.Errorf("synth: shot %d empty range [%d,%d]", i, s.Start, s.End)
+		}
+		pos = s.End + 1
+	}
+	if pos != frameCount {
+		return fmt.Errorf("synth: shots cover %d frames of %d", pos, frameCount)
+	}
+	return nil
+}

@@ -1,0 +1,377 @@
+package synth
+
+import (
+	"fmt"
+
+	"videodb/internal/rng"
+	"videodb/internal/video"
+)
+
+// Genre is a statistical profile of a video category: shot length
+// distribution, camera and object motion, texture style, and the
+// editing hazards (dissolves, same-set cuts, flashes) that make SBD
+// miss boundaries or report false ones. Profiles are how synthetic
+// stand-ins for the paper's 22 test clips are parameterised (Table 5).
+type Genre struct {
+	// Name labels the genre in tables.
+	Name string
+	// RevisitProb is the probability a new shot returns to an earlier
+	// location (dialogue intercutting); revisits power the scene tree.
+	RevisitProb float64
+	// MaxLocations caps the number of distinct locations.
+	MaxLocations int
+	// PanProb is the probability a shot has deliberate camera motion.
+	PanProb float64
+	// PanSpeedMax bounds the pan speed (canvas pixels per frame).
+	PanSpeedMax float64
+	// JitterSigma is handheld jitter (0 for tripod genres).
+	JitterSigma float64
+	// SpritesMin and SpritesMax bound the number of foreground objects.
+	SpritesMin, SpritesMax int
+	// SpriteSpeedMax bounds object velocity (pixels per frame).
+	SpriteSpeedMax float64
+	// NoiseSigma is the sensor noise level.
+	NoiseSigma float64
+	// ContrastMin and ContrastMax bound location texture contrast; low
+	// contrast (dark sets) degrades every detector.
+	ContrastMin, ContrastMax float64
+	// DissolveProb is the fraction of transitions that are dissolves
+	// instead of cuts (recall hazard).
+	DissolveProb float64
+	// HardCutProb is the fraction of cuts that switch to a nearby
+	// camera window at the same location — visually near-seamless
+	// (recall hazard specific to background-tracking methods and, in
+	// practice, a hard case for all of them).
+	HardCutProb float64
+	// FlashProb is the probability a shot contains a photographic
+	// flash or lightning (precision hazard).
+	FlashProb float64
+}
+
+// Profiles for the six Table 5 categories plus finer TV sub-genres.
+// Values are calibrated so detector accuracy lands in the paper's band
+// (see EXPERIMENTS.md).
+var (
+	// GenreDrama: tripod camera, dialogue intercutting, medium shots.
+	GenreDrama = Genre{
+		Name: "drama", RevisitProb: 0.55, MaxLocations: 10,
+		PanProb: 0.25, PanSpeedMax: 2.5, JitterSigma: 0.2,
+		SpritesMin: 1, SpritesMax: 2, SpriteSpeedMax: 1.2,
+		NoiseSigma: 2.5, ContrastMin: 0.45, ContrastMax: 0.75,
+		DissolveProb: 0.03, HardCutProb: 0.02, FlashProb: 0.02,
+	}
+	// GenreCartoon: flat bright backgrounds, fast objects, abrupt cuts.
+	GenreCartoon = Genre{
+		Name: "cartoon", RevisitProb: 0.45, MaxLocations: 8,
+		PanProb: 0.35, PanSpeedMax: 5, JitterSigma: 0,
+		SpritesMin: 1, SpritesMax: 3, SpriteSpeedMax: 4,
+		NoiseSigma: 1, ContrastMin: 0.3, ContrastMax: 0.55,
+		DissolveProb: 0.05, HardCutProb: 0.1, FlashProb: 0.08,
+	}
+	// GenreSitcom: few sets revisited constantly, laugh-track pacing.
+	GenreSitcom = Genre{
+		Name: "sitcom", RevisitProb: 0.7, MaxLocations: 5,
+		PanProb: 0.15, PanSpeedMax: 2, JitterSigma: 0.2,
+		SpritesMin: 1, SpritesMax: 3, SpriteSpeedMax: 1.5,
+		NoiseSigma: 2.5, ContrastMin: 0.5, ContrastMax: 0.8,
+		DissolveProb: 0.02, HardCutProb: 0.08, FlashProb: 0.02,
+	}
+	// GenreSciFi: dark low-contrast sets — the hardest recall case.
+	GenreSciFi = Genre{
+		Name: "scifi", RevisitProb: 0.6, MaxLocations: 8,
+		PanProb: 0.3, PanSpeedMax: 3, JitterSigma: 0.3,
+		SpritesMin: 1, SpritesMax: 2, SpriteSpeedMax: 2,
+		NoiseSigma: 4, ContrastMin: 0.3, ContrastMax: 0.48,
+		DissolveProb: 0.06, HardCutProb: 0.08, FlashProb: 0.05,
+	}
+	// GenreSoap: very few bright sets, slow pacing.
+	GenreSoap = Genre{
+		Name: "soap", RevisitProb: 0.75, MaxLocations: 4,
+		PanProb: 0.1, PanSpeedMax: 1.5, JitterSigma: 0.1,
+		SpritesMin: 1, SpritesMax: 2, SpriteSpeedMax: 1,
+		NoiseSigma: 2, ContrastMin: 0.5, ContrastMax: 0.75,
+		DissolveProb: 0.04, HardCutProb: 0.04, FlashProb: 0.01,
+	}
+	// GenreTalkShow: one stage, constant intercutting between nearby
+	// cameras, audience flashes — hard for recall and precision.
+	GenreTalkShow = Genre{
+		Name: "talkshow", RevisitProb: 0.85, MaxLocations: 3,
+		PanProb: 0.3, PanSpeedMax: 3, JitterSigma: 0.6,
+		SpritesMin: 2, SpritesMax: 4, SpriteSpeedMax: 2.5,
+		NoiseSigma: 3, ContrastMin: 0.4, ContrastMax: 0.6,
+		DissolveProb: 0.02, HardCutProb: 0.16, FlashProb: 0.12,
+	}
+	// GenreCommercials: rapid cuts between wholly distinct bright
+	// scenes — the easiest case.
+	GenreCommercials = Genre{
+		Name: "commercials", RevisitProb: 0.1, MaxLocations: 60,
+		PanProb: 0.3, PanSpeedMax: 4, JitterSigma: 0.2,
+		SpritesMin: 0, SpritesMax: 2, SpriteSpeedMax: 3,
+		NoiseSigma: 2, ContrastMin: 0.55, ContrastMax: 0.85,
+		DissolveProb: 0.03, HardCutProb: 0.01, FlashProb: 0.03,
+	}
+	// GenreNews: anchor desk revisited between distinct field reports.
+	GenreNews = Genre{
+		Name: "news", RevisitProb: 0.35, MaxLocations: 25,
+		PanProb: 0.2, PanSpeedMax: 2, JitterSigma: 0.3,
+		SpritesMin: 1, SpritesMax: 2, SpriteSpeedMax: 1.5,
+		NoiseSigma: 2.5, ContrastMin: 0.5, ContrastMax: 0.8,
+		DissolveProb: 0.03, HardCutProb: 0.02, FlashProb: 0.02,
+	}
+	// GenreMovie: varied locations, some dark scenes, dissolves.
+	GenreMovie = Genre{
+		Name: "movie", RevisitProb: 0.45, MaxLocations: 14,
+		PanProb: 0.35, PanSpeedMax: 3.5, JitterSigma: 0.3,
+		SpritesMin: 1, SpritesMax: 3, SpriteSpeedMax: 2.5,
+		NoiseSigma: 3, ContrastMin: 0.3, ContrastMax: 0.75,
+		DissolveProb: 0.06, HardCutProb: 0.05, FlashProb: 0.03,
+	}
+	// GenreSports: wide bright arenas, fast pans, few locations.
+	GenreSports = Genre{
+		Name: "sports", RevisitProb: 0.6, MaxLocations: 6,
+		PanProb: 0.75, PanSpeedMax: 7, JitterSigma: 0.5,
+		SpritesMin: 1, SpritesMax: 4, SpriteSpeedMax: 4,
+		NoiseSigma: 2, ContrastMin: 0.55, ContrastMax: 0.85,
+		DissolveProb: 0.01, HardCutProb: 0.03, FlashProb: 0.04,
+	}
+	// GenreDocumentary: long steady shots, archival noise, dissolves.
+	GenreDocumentary = Genre{
+		Name: "documentary", RevisitProb: 0.3, MaxLocations: 12,
+		PanProb: 0.45, PanSpeedMax: 2, JitterSigma: 0.4,
+		SpritesMin: 0, SpritesMax: 2, SpriteSpeedMax: 1.5,
+		NoiseSigma: 5, ContrastMin: 0.35, ContrastMax: 0.65,
+		DissolveProb: 0.1, HardCutProb: 0.03, FlashProb: 0.03,
+	}
+	// GenreMusicVideo: strobing edits, handheld, effects — hard for
+	// precision.
+	GenreMusicVideo = Genre{
+		Name: "musicvideo", RevisitProb: 0.5, MaxLocations: 8,
+		PanProb: 0.6, PanSpeedMax: 6, JitterSigma: 1.2,
+		SpritesMin: 1, SpritesMax: 3, SpriteSpeedMax: 4,
+		NoiseSigma: 4, ContrastMin: 0.35, ContrastMax: 0.7,
+		DissolveProb: 0.06, HardCutProb: 0.07, FlashProb: 0.15,
+	}
+)
+
+// palette of base colours locations draw from.
+var palette = []video.Pixel{
+	video.RGB(150, 120, 90),  // warm interior
+	video.RGB(90, 110, 140),  // cool interior
+	video.RGB(80, 130, 80),   // outdoor green
+	video.RGB(140, 140, 160), // urban grey
+	video.RGB(170, 150, 110), // sand
+	video.RGB(60, 70, 95),    // night
+	video.RGB(120, 95, 130),  // stage purple
+	video.RGB(100, 140, 150), // sky water
+}
+
+// ClipParams tells BuildClip how long a clip to produce.
+type ClipParams struct {
+	// Name labels the clip.
+	Name string
+	// Shots is the target shot count.
+	Shots int
+	// DurationSec is the target duration in seconds at 3 fps; shot
+	// lengths are scaled to hit it on average.
+	DurationSec float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// BuildClip generates a random clip spec from a genre profile. The
+// returned spec is deterministic in (genre, params).
+func BuildClip(g Genre, p ClipParams) (ClipSpec, error) {
+	if p.Shots <= 0 || p.DurationSec <= 0 {
+		return ClipSpec{}, fmt.Errorf("synth: clip params need positive shots and duration")
+	}
+	r := rng.New(p.Seed)
+	const fps = 3
+	meanShotFrames := p.DurationSec * fps / float64(p.Shots)
+	if meanShotFrames < 2 {
+		meanShotFrames = 2
+	}
+
+	spec := ClipSpec{Name: p.Name, W: 160, H: 120, FPS: fps, Seed: r.Uint64()}
+
+	nLoc := g.MaxLocations
+	if nLoc > p.Shots {
+		nLoc = p.Shots
+	}
+	if nLoc < 1 {
+		nLoc = 1
+	}
+	for i := 0; i < nLoc; i++ {
+		tp := DefaultTextureParams()
+		tp.BaseColor = palette[r.Intn(len(palette))]
+		tp.Contrast = r.Float64Range(g.ContrastMin, g.ContrastMax)
+		tp.CellSize = 16 + r.Intn(20)
+		spec.Locations = append(spec.Locations, tp)
+	}
+
+	used := 0 // locations introduced so far
+	prevLoc := -1
+	var prevCam Camera
+	for s := 0; s < p.Shots; s++ {
+		// Shot length: lognormal-ish around the mean, min 2 frames.
+		frames := int(meanShotFrames * r.Float64Range(0.4, 1.8))
+		if frames < 2 {
+			frames = 2
+		}
+
+		// Location choice: revisit an earlier location or introduce
+		// the next unused one.
+		var loc int
+		hardCut := false
+		switch {
+		case s == 0 || used == 0:
+			loc = 0
+			used = 1
+		case prevLoc >= 0 && r.Bool(g.HardCutProb):
+			// Same-set cut to a nearby camera window.
+			loc = prevLoc
+			hardCut = true
+		case used < nLoc && !r.Bool(g.RevisitProb):
+			loc = used
+			used++
+		default:
+			loc = r.Intn(used)
+		}
+
+		tp := spec.Locations[loc]
+		cam := Camera{Jitter: g.JitterSigma}
+		if hardCut {
+			// Jump a short distance from the previous camera window —
+			// small enough that backgrounds genuinely overlap.
+			cam.X = clampF(prevCam.X+r.Float64Range(-25, 25), 0, float64(tp.W-160))
+			cam.Y = clampF(prevCam.Y+r.Float64Range(-12, 12), 0, float64(tp.H-120))
+		} else {
+			cam.X = r.Float64Range(0, float64(tp.W-160))
+			cam.Y = r.Float64Range(0, float64(tp.H-120))
+		}
+		if r.Bool(g.PanProb) {
+			cam.VX = r.Float64Range(-g.PanSpeedMax, g.PanSpeedMax)
+			cam.VY = r.Float64Range(-g.PanSpeedMax/3, g.PanSpeedMax/3)
+		}
+
+		shot := ShotSpec{
+			Location:   loc,
+			Frames:     frames,
+			Camera:     cam,
+			NoiseSigma: g.NoiseSigma,
+			FlashAt:    -1,
+			Class:      ClassOther,
+		}
+		nSprites := g.SpritesMin
+		if g.SpritesMax > g.SpritesMin {
+			nSprites += r.Intn(g.SpritesMax - g.SpritesMin + 1)
+		}
+		for k := 0; k < nSprites; k++ {
+			shot.Sprites = append(shot.Sprites, randomSprite(r, g.SpriteSpeedMax))
+		}
+		if r.Bool(g.FlashProb) && frames > 4 {
+			shot.FlashAt = 1 + r.Intn(frames-3)
+			shot.FlashAmount = 70 + r.Intn(60)
+		}
+
+		tr := Cut
+		if s > 0 && r.Bool(g.DissolveProb) {
+			tr = Dissolve
+		}
+		spec.Shots = append(spec.Shots, shot)
+		spec.Transitions = append(spec.Transitions, tr)
+		prevLoc = loc
+		prevCam = cam
+	}
+	return spec, nil
+}
+
+// randomSprite spawns a foreground object inside the FOA region of a
+// 160×120 frame.
+func randomSprite(r *rng.RNG, speedMax float64) Sprite {
+	return Sprite{
+		X:       r.Float64Range(30, 130),
+		Y:       r.Float64Range(40, 110),
+		VX:      r.Float64Range(-speedMax, speedMax),
+		VY:      r.Float64Range(-speedMax/3, speedMax/3),
+		RX:      r.Float64Range(6, 18),
+		RY:      r.Float64Range(8, 22),
+		Color:   palette[r.Intn(len(palette))],
+		BobAmp:  r.Float64Range(0, 2),
+		BobFreq: r.Float64Range(0.3, 1.2),
+	}
+}
+
+// ClassShot builds a ShotSpec of the given semantic class for the
+// retrieval experiments (Figures 8–10). The classes are separable in the
+// (D^v, sqrt(VarBA)) plane by construction: close-ups have a static
+// camera and one large slowly-moving object; two-shots have a static
+// camera and two small near-still objects; action shots have a panning
+// camera following a moving subject.
+func ClassShot(class Class, loc int, frames int, canvasW, canvasH int, r *rng.RNG) ShotSpec {
+	shot := ShotSpec{
+		Location:   loc,
+		Frames:     frames,
+		NoiseSigma: 2,
+		FlashAt:    -1,
+		Class:      class,
+	}
+	switch class {
+	case ClassCloseup:
+		shot.Camera = Camera{
+			X: r.Float64Range(0, float64(canvasW-160)), Y: r.Float64Range(0, float64(canvasH-120)),
+			Jitter: 0.15,
+		}
+		shot.Sprites = []Sprite{{
+			X: 80 + r.Float64Range(-8, 8), Y: 75 + r.Float64Range(-5, 5),
+			VX: r.Float64Range(-0.2, 0.2), VY: 0,
+			RX: 34 + r.Float64Range(-4, 4), RY: 44 + r.Float64Range(-4, 4),
+			Color:  video.RGB(200, 165, 140),
+			BobAmp: 3, BobFreq: 0.9, // talking-head nod
+			PulseAmp: 0.08, PulseFreq: 1.7, // talking/gesturing
+		}}
+	case ClassTwoShot:
+		shot.Camera = Camera{
+			X: r.Float64Range(0, float64(canvasW-160)), Y: r.Float64Range(0, float64(canvasH-120)),
+			Jitter: 0.15,
+		}
+		shot.Sprites = []Sprite{
+			{
+				X: 52 + r.Float64Range(-5, 5), Y: 80, VX: r.Float64Range(-0.15, 0.15),
+				RX: 11, RY: 24, Color: video.RGB(190, 160, 135), BobAmp: 1, BobFreq: 0.7,
+			},
+			{
+				X: 108 + r.Float64Range(-5, 5), Y: 82, VX: r.Float64Range(-0.15, 0.15),
+				RX: 11, RY: 24, Color: video.RGB(175, 150, 130), BobAmp: 1, BobFreq: 0.5,
+			},
+		}
+	case ClassAction:
+		pan := r.Float64Range(4.5, 6)
+		if r.Bool(0.5) {
+			pan = -pan
+		}
+		startX := 0.0
+		if pan < 0 {
+			startX = float64(canvasW - 160)
+		}
+		shot.Camera = Camera{X: startX, Y: r.Float64Range(0, float64(canvasH-120)), VX: pan, Jitter: 0.6}
+		shot.Sprites = []Sprite{{
+			X: 80, Y: 78 + r.Float64Range(-6, 6),
+			VX: r.Float64Range(-0.5, 0.5), VY: r.Float64Range(-0.2, 0.2),
+			RX: 20, RY: 34, Color: video.RGB(160, 140, 120),
+			BobAmp: 2, BobFreq: 1.4, // running gait
+		}}
+	default:
+		shot.Camera = Camera{X: r.Float64Range(0, float64(canvasW-160)), Y: r.Float64Range(0, float64(canvasH-120))}
+	}
+	return shot
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

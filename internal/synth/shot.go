@@ -1,0 +1,207 @@
+package synth
+
+import (
+	"fmt"
+
+	"videodb/internal/rng"
+	"videodb/internal/video"
+)
+
+// Class is the semantic content class of a shot, used as ground truth by
+// the retrieval experiments (Figures 8–10).
+type Class int
+
+// Semantic classes mirroring the paper's retrieval examples.
+const (
+	// ClassOther is unclassified content.
+	ClassOther Class = iota
+	// ClassCloseup is a close-up of a talking person: static camera,
+	// one large slowly-moving object (Figure 8).
+	ClassCloseup
+	// ClassTwoShot is two people talking from a distance: static
+	// camera, two medium objects with little motion (Figure 9).
+	ClassTwoShot
+	// ClassAction is a single moving object with a changing background:
+	// a panning camera following the subject (Figure 10).
+	ClassAction
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassCloseup:
+		return "closeup"
+	case ClassTwoShot:
+		return "twoshot"
+	case ClassAction:
+		return "action"
+	default:
+		return "other"
+	}
+}
+
+// Camera describes the camera path within one shot: a window of the
+// frame size moving over the location canvas.
+type Camera struct {
+	// X, Y is the window's top-left corner at the shot's first frame.
+	X, Y float64
+	// VX, VY is the pan velocity in canvas pixels per frame.
+	VX, VY float64
+	// Jitter is the per-frame handheld jitter standard deviation.
+	Jitter float64
+	// Zoom is the initial magnification (1 = native; 2 = the window
+	// covers half the canvas area per axis). Zero means 1.
+	Zoom float64
+	// ZoomRate multiplies the magnification each frame (1.02 = slow
+	// zoom-in, 0.98 = zoom-out). Zero means no change. Zoom is the
+	// paper's known hard case: it changes the background without
+	// translating it, so signature shifting cannot track it.
+	ZoomRate float64
+}
+
+// ShotSpec describes one shot to render.
+type ShotSpec struct {
+	// Location indexes the clip's location list.
+	Location int
+	// Frames is the shot length in frames.
+	Frames int
+	// Camera is the camera path.
+	Camera Camera
+	// Sprites are the foreground objects.
+	Sprites []Sprite
+	// NoiseSigma is the per-pixel Gaussian sensor noise level.
+	NoiseSigma float64
+	// FlashAt, if non-negative, brightens frames [FlashAt, FlashAt+1]
+	// by FlashAmount — photo flash or lightning, a false-positive
+	// hazard for SBD.
+	FlashAt int
+	// FlashAmount is the brightness boost of a flash.
+	FlashAmount int
+	// Class is the shot's ground-truth semantic class.
+	Class Class
+}
+
+// Validate reports the first invalid field, if any.
+func (s ShotSpec) Validate() error {
+	if s.Frames <= 0 {
+		return fmt.Errorf("synth: shot has %d frames", s.Frames)
+	}
+	if s.Location < 0 {
+		return fmt.Errorf("synth: negative location %d", s.Location)
+	}
+	if s.NoiseSigma < 0 {
+		return fmt.Errorf("synth: negative noise sigma %v", s.NoiseSigma)
+	}
+	return nil
+}
+
+// RenderShot renders the shot's frames at the given frame size over the
+// location canvas. The camera window is clamped to the canvas; noise and
+// flashes are applied after compositing. The rng drives noise only, so a
+// fixed seed reproduces the shot exactly.
+func RenderShot(spec ShotSpec, loc *Location, w, h int, r *rng.RNG) ([]*video.Frame, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if loc.Canvas.W < w || loc.Canvas.H < h {
+		return nil, fmt.Errorf("synth: canvas %dx%d smaller than frame %dx%d", loc.Canvas.W, loc.Canvas.H, w, h)
+	}
+	frames := make([]*video.Frame, spec.Frames)
+	cx, cy := spec.Camera.X, spec.Camera.Y
+	zoom := spec.Camera.Zoom
+	if zoom <= 0 {
+		zoom = 1
+	}
+	for t := 0; t < spec.Frames; t++ {
+		jx, jy := 0.0, 0.0
+		if spec.Camera.Jitter > 0 {
+			jx = r.NormFloat64() * spec.Camera.Jitter
+			jy = r.NormFloat64() * spec.Camera.Jitter
+		}
+		var f *video.Frame
+		if zoom == 1 {
+			x0 := clampInt(int(cx+jx+0.5), 0, loc.Canvas.W-w)
+			y0 := clampInt(int(cy+jy+0.5), 0, loc.Canvas.H-h)
+			f = loc.Canvas.SubImage(x0, y0, x0+w, y0+h)
+		} else {
+			f = zoomedView(loc.Canvas, cx+jx, cy+jy, w, h, zoom)
+		}
+
+		for _, sp := range spec.Sprites {
+			sp.Draw(f, t)
+		}
+		if spec.NoiseSigma > 0 {
+			addNoise(f, spec.NoiseSigma, r)
+		}
+		if spec.FlashAt >= 0 && (t == spec.FlashAt || t == spec.FlashAt+1) && spec.FlashAmount > 0 {
+			brighten(f, spec.FlashAmount)
+		}
+		frames[t] = f
+		cx += spec.Camera.VX
+		cy += spec.Camera.VY
+		if spec.Camera.ZoomRate > 0 {
+			zoom *= spec.Camera.ZoomRate
+			if zoom < 0.25 {
+				zoom = 0.25
+			}
+			if zoom > 8 {
+				zoom = 8
+			}
+		}
+	}
+	return frames, nil
+}
+
+// zoomedView samples a w×h frame magnified by zoom around the window's
+// top-left anchor (x, y), with nearest-neighbour sampling clamped to
+// the canvas.
+func zoomedView(canvas *video.Frame, x, y float64, w, h int, zoom float64) *video.Frame {
+	f := video.NewFrame(w, h)
+	// Keep the window centre fixed while the visible span shrinks by
+	// the zoom factor.
+	cx := x + float64(w)/2
+	cy := y + float64(h)/2
+	spanX := float64(w) / zoom
+	spanY := float64(h) / zoom
+	for fy := 0; fy < h; fy++ {
+		sy := cy - spanY/2 + (float64(fy)+0.5)*spanY/float64(h)
+		for fx := 0; fx < w; fx++ {
+			sx := cx - spanX/2 + (float64(fx)+0.5)*spanX/float64(w)
+			f.Set(fx, fy, canvas.At(int(sx), int(sy)))
+		}
+	}
+	return f
+}
+
+func addNoise(f *video.Frame, sigma float64, r *rng.RNG) {
+	for i := range f.Pix {
+		p := f.Pix[i]
+		n := r.NormFloat64() * sigma
+		f.Pix[i] = video.Pixel{
+			R: clamp8(float64(p.R) + n),
+			G: clamp8(float64(p.G) + n),
+			B: clamp8(float64(p.B) + n),
+		}
+	}
+}
+
+func brighten(f *video.Frame, amount int) {
+	for i := range f.Pix {
+		p := f.Pix[i]
+		f.Pix[i] = video.Pixel{
+			R: clamp8(float64(int(p.R) + amount)),
+			G: clamp8(float64(int(p.G) + amount)),
+			B: clamp8(float64(int(p.B) + amount)),
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,81 @@
+package synth
+
+import (
+	"math"
+
+	"videodb/internal/video"
+)
+
+// Sprite is a foreground object rendered over the background: a shaded
+// ellipse moving in screen coordinates (the paper's FOA holds "most
+// primary objects", so sprites are spawned inside it).
+type Sprite struct {
+	// X, Y is the centre position in screen coordinates at frame 0 of
+	// the shot.
+	X, Y float64
+	// VX, VY is the velocity in pixels per frame.
+	VX, VY float64
+	// RX, RY are the ellipse radii.
+	RX, RY float64
+	// Color fills the ellipse; a simple radial shade keeps it from
+	// being flat.
+	Color video.Pixel
+	// BobAmp and BobFreq add a vertical sinusoidal bob (talking-head
+	// nodding, walking gait).
+	BobAmp, BobFreq float64
+	// PulseAmp and PulseFreq oscillate the radii by a fraction of their
+	// size (gesturing, talking): radius ·= 1 + PulseAmp·sin(PulseFreq·t).
+	PulseAmp, PulseFreq float64
+}
+
+// PositionAt returns the sprite centre at frame t of its shot.
+func (s Sprite) PositionAt(t int) (x, y float64) {
+	x = s.X + s.VX*float64(t)
+	y = s.Y + s.VY*float64(t) + s.BobAmp*math.Sin(s.BobFreq*float64(t))
+	return x, y
+}
+
+// RadiiAt returns the sprite radii at frame t of its shot.
+func (s Sprite) RadiiAt(t int) (rx, ry float64) {
+	scale := 1.0
+	if s.PulseAmp != 0 {
+		scale = 1 + s.PulseAmp*math.Sin(s.PulseFreq*float64(t))
+	}
+	return s.RX * scale, s.RY * scale
+}
+
+// Draw renders the sprite onto frame f at shot-frame t.
+func (s Sprite) Draw(f *video.Frame, t int) {
+	cx, cy := s.PositionAt(t)
+	rx, ry := s.RadiiAt(t)
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	x0 := int(cx - rx - 1)
+	x1 := int(cx + rx + 1)
+	y0 := int(cy - ry - 1)
+	y1 := int(cy + ry + 1)
+	for y := y0; y <= y1; y++ {
+		if y < 0 || y >= f.H {
+			continue
+		}
+		for x := x0; x <= x1; x++ {
+			if x < 0 || x >= f.W {
+				continue
+			}
+			dx := (float64(x) - cx) / rx
+			dy := (float64(y) - cy) / ry
+			d2 := dx*dx + dy*dy
+			if d2 > 1 {
+				continue
+			}
+			// Radial shading: centre at full colour, edge at 60%.
+			shade := 1 - 0.4*d2
+			f.Set(x, y, video.Pixel{
+				R: clamp8(float64(s.Color.R) * shade),
+				G: clamp8(float64(s.Color.G) * shade),
+				B: clamp8(float64(s.Color.B) * shade),
+			})
+		}
+	}
+}

@@ -1,0 +1,478 @@
+package synth
+
+import (
+	"testing"
+
+	"videodb/internal/rng"
+	"videodb/internal/video"
+)
+
+func TestNewLocationDeterministic(t *testing.T) {
+	p := DefaultTextureParams()
+	a := NewLocation(1, 42, p)
+	b := NewLocation(1, 42, p)
+	if !a.Canvas.Equal(b.Canvas) {
+		t.Error("same id+seed produced different canvases")
+	}
+	c := NewLocation(2, 42, p)
+	if a.Canvas.Equal(c.Canvas) {
+		t.Error("different ids produced identical canvases")
+	}
+	d := NewLocation(1, 43, p)
+	if a.Canvas.Equal(d.Canvas) {
+		t.Error("different seeds produced identical canvases")
+	}
+}
+
+func TestLocationContrast(t *testing.T) {
+	p := DefaultTextureParams()
+	p.Contrast = 0.05
+	low := NewLocation(1, 1, p)
+	p.Contrast = 0.9
+	high := NewLocation(1, 1, p)
+	spread := func(f *video.Frame) int {
+		minV, maxV := 255, 0
+		for _, px := range f.Pix {
+			if int(px.R) < minV {
+				minV = int(px.R)
+			}
+			if int(px.R) > maxV {
+				maxV = int(px.R)
+			}
+		}
+		return maxV - minV
+	}
+	if spread(low.Canvas) >= spread(high.Canvas) {
+		t.Errorf("contrast knob has no effect: low spread %d, high spread %d",
+			spread(low.Canvas), spread(high.Canvas))
+	}
+}
+
+func TestSpriteDraw(t *testing.T) {
+	f := video.NewFrame(160, 120)
+	s := Sprite{X: 80, Y: 60, RX: 10, RY: 15, Color: video.RGB(255, 0, 0)}
+	s.Draw(f, 0)
+	if f.At(80, 60).R < 200 {
+		t.Error("sprite centre not drawn")
+	}
+	if f.At(10, 10) != (video.Pixel{}) {
+		t.Error("sprite drew outside its bounds")
+	}
+	// Partially off-screen sprites must not panic.
+	edge := Sprite{X: -5, Y: 118, RX: 10, RY: 10, Color: video.RGB(0, 255, 0)}
+	edge.Draw(f, 0)
+}
+
+func TestSpriteMotion(t *testing.T) {
+	s := Sprite{X: 10, Y: 20, VX: 2, VY: 1}
+	x, y := s.PositionAt(5)
+	if x != 20 || y != 25 {
+		t.Errorf("PositionAt(5) = (%v,%v), want (20,25)", x, y)
+	}
+}
+
+func TestRenderShotBasics(t *testing.T) {
+	loc := NewLocation(0, 7, DefaultTextureParams())
+	spec := ShotSpec{Location: 0, Frames: 10, Camera: Camera{X: 50, Y: 30}, FlashAt: -1}
+	frames, err := RenderShot(spec, loc, 160, 120, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 10 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	for i, f := range frames {
+		if f.W != 160 || f.H != 120 {
+			t.Fatalf("frame %d is %dx%d", i, f.W, f.H)
+		}
+	}
+	// Static camera, no noise: frames identical.
+	if !frames[0].Equal(frames[9]) {
+		t.Error("static noiseless shot has changing frames")
+	}
+}
+
+func TestRenderShotPanMovesBackground(t *testing.T) {
+	loc := NewLocation(0, 7, DefaultTextureParams())
+	spec := ShotSpec{Location: 0, Frames: 5, Camera: Camera{X: 50, Y: 30, VX: 10}, FlashAt: -1}
+	frames, err := RenderShot(spec, loc, 160, 120, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames[0].Equal(frames[4]) {
+		t.Error("pan produced identical frames")
+	}
+	// Frame t shifted by 10 px: pixel (x+10, y) of frame 0 equals
+	// pixel (x, y) of frame 1.
+	if frames[0].At(60, 60) != frames[1].At(50, 60) {
+		t.Error("pan does not shift background coherently")
+	}
+}
+
+func TestRenderShotCameraClamped(t *testing.T) {
+	loc := NewLocation(0, 7, DefaultTextureParams())
+	spec := ShotSpec{Location: 0, Frames: 30, Camera: Camera{X: 400, Y: 200, VX: 50}, FlashAt: -1}
+	if _, err := RenderShot(spec, loc, 160, 120, rng.New(1)); err != nil {
+		t.Fatalf("camera clamping failed: %v", err)
+	}
+}
+
+func TestRenderShotFlash(t *testing.T) {
+	loc := NewLocation(0, 7, DefaultTextureParams())
+	spec := ShotSpec{Location: 0, Frames: 8, Camera: Camera{X: 50, Y: 30}, FlashAt: 3, FlashAmount: 80}
+	frames, err := RenderShot(spec, loc, 160, 120, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames[3].MeanAbsDiff(frames[0]) < 50 {
+		t.Error("flash frame not brighter")
+	}
+	if frames[5].MeanAbsDiff(frames[0]) != 0 {
+		t.Error("post-flash frame altered")
+	}
+}
+
+func TestRenderShotNoiseDeterministic(t *testing.T) {
+	loc := NewLocation(0, 7, DefaultTextureParams())
+	spec := ShotSpec{Location: 0, Frames: 4, Camera: Camera{X: 50, Y: 30}, NoiseSigma: 3, FlashAt: -1}
+	a, err := RenderShot(spec, loc, 160, 120, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RenderShot(spec, loc, 160, 120, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("noise not deterministic at frame %d", i)
+		}
+	}
+}
+
+func TestShotSpecValidate(t *testing.T) {
+	if err := (ShotSpec{Frames: 0}).Validate(); err == nil {
+		t.Error("zero frames validated")
+	}
+	if err := (ShotSpec{Frames: 5, Location: -1}).Validate(); err == nil {
+		t.Error("negative location validated")
+	}
+	if err := (ShotSpec{Frames: 5, NoiseSigma: -1}).Validate(); err == nil {
+		t.Error("negative noise validated")
+	}
+}
+
+func simpleClipSpec(seed uint64) ClipSpec {
+	tp := DefaultTextureParams()
+	return ClipSpec{
+		Name: "test", W: 160, H: 120, FPS: 3, Seed: seed,
+		Locations: []TextureParams{tp, tp},
+		Shots: []ShotSpec{
+			{Location: 0, Frames: 8, Camera: Camera{X: 10, Y: 10}, FlashAt: -1},
+			{Location: 1, Frames: 6, Camera: Camera{X: 200, Y: 50}, FlashAt: -1},
+			{Location: 0, Frames: 10, Camera: Camera{X: 300, Y: 100}, FlashAt: -1},
+		},
+	}
+}
+
+func TestGenerateClip(t *testing.T) {
+	clip, gt, err := Generate(simpleClipSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clip.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if clip.Len() != 24 {
+		t.Errorf("clip has %d frames, want 24", clip.Len())
+	}
+	if err := gt.Validate(clip.Len()); err != nil {
+		t.Fatal(err)
+	}
+	if len(gt.Boundaries) != 2 || gt.Boundaries[0] != 8 || gt.Boundaries[1] != 14 {
+		t.Errorf("boundaries = %v, want [8 14]", gt.Boundaries)
+	}
+	if gt.Shots[0].Location != 0 || gt.Shots[1].Location != 1 || gt.Shots[2].Location != 0 {
+		t.Errorf("shot locations wrong: %+v", gt.Shots)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, err := Generate(simpleClipSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(simpleClipSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Frames {
+		if !a.Frames[i].Equal(b.Frames[i]) {
+			t.Fatalf("frame %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestGenerateDissolve(t *testing.T) {
+	spec := simpleClipSpec(13)
+	spec.Transitions = []Transition{Cut, Dissolve, Cut}
+	clip, gt, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dissolve consumes DissolveFrames from the incoming shot: total
+	// length shrinks by DissolveFrames.
+	if clip.Len() != 24-DissolveFrames {
+		t.Errorf("clip has %d frames, want %d", clip.Len(), 24-DissolveFrames)
+	}
+	if err := gt.Validate(clip.Len()); err != nil {
+		t.Fatal(err)
+	}
+	if len(gt.Boundaries) != 2 {
+		t.Fatalf("boundaries = %v", gt.Boundaries)
+	}
+	// The dissolve midpoint sits inside the blended region.
+	mid := gt.Boundaries[0]
+	if mid < 5 || mid > 9 {
+		t.Errorf("dissolve boundary at %d, want near 6-8", mid)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	spec := simpleClipSpec(1)
+	spec.Name = ""
+	if _, _, err := Generate(spec); err == nil {
+		t.Error("unnamed clip accepted")
+	}
+	spec = simpleClipSpec(1)
+	spec.Shots[1].Location = 9
+	if _, _, err := Generate(spec); err == nil {
+		t.Error("out-of-range location accepted")
+	}
+	spec = simpleClipSpec(1)
+	spec.Transitions = []Transition{Cut}
+	if _, _, err := Generate(spec); err == nil {
+		t.Error("mismatched transitions accepted")
+	}
+	spec = simpleClipSpec(1)
+	spec.Shots = nil
+	if _, _, err := Generate(spec); err == nil {
+		t.Error("empty clip accepted")
+	}
+}
+
+func TestBuildClipFromGenre(t *testing.T) {
+	spec, err := BuildClip(GenreDrama, ClipParams{Name: "drama-1", Shots: 20, DurationSec: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Shots) != 20 {
+		t.Errorf("got %d shots, want 20", len(spec.Shots))
+	}
+	clip, gt, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gt.Validate(clip.Len()); err != nil {
+		t.Fatal(err)
+	}
+	// Duration within 2x of target (shot lengths are randomised).
+	if d := clip.Duration(); d < 50 || d > 250 {
+		t.Errorf("duration %.0fs, want around 120s", d)
+	}
+}
+
+func TestBuildClipDeterministic(t *testing.T) {
+	p := ClipParams{Name: "x", Shots: 10, DurationSec: 60, Seed: 3}
+	a, err := BuildClip(GenreSports, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildClip(GenreSports, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, _, err := Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _, err := Generate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Len() != cb.Len() {
+		t.Fatal("genre build not deterministic")
+	}
+	for i := range ca.Frames {
+		if !ca.Frames[i].Equal(cb.Frames[i]) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+}
+
+func TestBuildClipRevisitsLocations(t *testing.T) {
+	spec, err := BuildClip(GenreSitcom, ClipParams{Name: "s", Shots: 30, DurationSec: 150, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, s := range spec.Shots {
+		seen[s.Location]++
+	}
+	revisited := 0
+	for _, n := range seen {
+		if n > 1 {
+			revisited++
+		}
+	}
+	if revisited == 0 {
+		t.Error("sitcom profile never revisited a location")
+	}
+}
+
+func TestBuildClipParamsValidated(t *testing.T) {
+	if _, err := BuildClip(GenreDrama, ClipParams{Name: "x", Shots: 0, DurationSec: 60}); err == nil {
+		t.Error("zero shots accepted")
+	}
+	if _, err := BuildClip(GenreDrama, ClipParams{Name: "x", Shots: 5, DurationSec: 0}); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestClassShots(t *testing.T) {
+	r := rng.New(4)
+	for _, class := range []Class{ClassCloseup, ClassTwoShot, ClassAction, ClassOther} {
+		shot := ClassShot(class, 0, 12, 640, 360, r)
+		if shot.Class != class {
+			t.Errorf("class = %v, want %v", shot.Class, class)
+		}
+		if err := shot.Validate(); err != nil {
+			t.Errorf("class %v: %v", class, err)
+		}
+	}
+	// Action pans; closeup does not.
+	action := ClassShot(ClassAction, 0, 12, 640, 360, rng.New(1))
+	closeup := ClassShot(ClassCloseup, 0, 12, 640, 360, rng.New(1))
+	if action.Camera.VX == 0 {
+		t.Error("action shot has no pan")
+	}
+	if closeup.Camera.VX != 0 {
+		t.Error("closeup shot pans")
+	}
+	if len(ClassShot(ClassTwoShot, 0, 12, 640, 360, rng.New(2)).Sprites) != 2 {
+		t.Error("two-shot does not have two sprites")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{ClassOther: "other", ClassCloseup: "closeup", ClassTwoShot: "twoshot", ClassAction: "action"}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), w)
+		}
+	}
+}
+
+func BenchmarkRenderShot(b *testing.B) {
+	loc := NewLocation(0, 7, DefaultTextureParams())
+	spec := ShotSpec{Location: 0, Frames: 10, Camera: Camera{X: 50, Y: 30, VX: 2}, NoiseSigma: 2, FlashAt: -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RenderShot(spec, loc, 160, 120, rng.New(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRenderShotZoom(t *testing.T) {
+	loc := NewLocation(0, 7, DefaultTextureParams())
+	// Zoom-in: successive frames magnify around the window centre.
+	spec := ShotSpec{
+		Location: 0, Frames: 6,
+		Camera:  Camera{X: 200, Y: 100, Zoom: 1, ZoomRate: 1.1},
+		FlashAt: -1,
+	}
+	frames, err := RenderShot(spec, loc, 160, 120, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames[0].Equal(frames[5]) {
+		t.Error("zoom produced identical frames")
+	}
+	// The centre pixel stays roughly stable under a centred zoom.
+	if d := frames[0].At(80, 60).MaxChannelDiff(frames[5].At(80, 60)); d > 40 {
+		t.Errorf("zoom centre drifted by %d", d)
+	}
+	// Corners change substantially as the view narrows.
+	if d := frames[0].At(2, 2).MaxChannelDiff(frames[5].At(2, 2)); d == 0 {
+		t.Log("corner unchanged (texture may be locally flat)")
+	}
+}
+
+func TestRenderShotZoomStatic(t *testing.T) {
+	loc := NewLocation(0, 7, DefaultTextureParams())
+	// A fixed 2x zoom with no rate: all frames identical (no noise).
+	spec := ShotSpec{
+		Location: 0, Frames: 4,
+		Camera:  Camera{X: 200, Y: 100, Zoom: 2},
+		FlashAt: -1,
+	}
+	frames, err := RenderShot(spec, loc, 160, 120, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frames[0].Equal(frames[3]) {
+		t.Error("static zoomed shot has changing frames")
+	}
+	// A 2x view differs from the native view of the same window.
+	native := ShotSpec{Location: 0, Frames: 1, Camera: Camera{X: 200, Y: 100}, FlashAt: -1}
+	nf, err := RenderShot(native, loc, 160, 120, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames[0].Equal(nf[0]) {
+		t.Error("2x zoom identical to native view")
+	}
+}
+
+func TestGenerateFade(t *testing.T) {
+	spec := simpleClipSpec(17)
+	spec.Transitions = []Transition{Cut, Fade, Cut}
+	clip, gt, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fades change pixels, not frame counts: boundaries match the cut
+	// layout exactly.
+	if clip.Len() != 24 {
+		t.Errorf("clip has %d frames, want 24", clip.Len())
+	}
+	if err := gt.Validate(clip.Len()); err != nil {
+		t.Fatal(err)
+	}
+	if len(gt.Boundaries) != 2 || gt.Boundaries[0] != 8 {
+		t.Fatalf("boundaries = %v, want [8 14]", gt.Boundaries)
+	}
+	// The frame just before the fade boundary is nearly black; the
+	// frame three before is brighter.
+	dark := meanLuma(clip.Frames[7])
+	brighter := meanLuma(clip.Frames[4])
+	if dark >= brighter/2 {
+		t.Errorf("fade tail luma %.0f not well below shot luma %.0f", dark, brighter)
+	}
+	// The incoming head also rises from dark.
+	if in := meanLuma(clip.Frames[8]); in >= meanLuma(clip.Frames[13]) {
+		t.Errorf("fade head luma %.0f not below shot level %.0f", in, meanLuma(clip.Frames[13]))
+	}
+}
+
+func meanLuma(f *video.Frame) float64 {
+	var sum int
+	for _, p := range f.Pix {
+		sum += p.Luma()
+	}
+	return float64(sum) / float64(len(f.Pix))
+}

@@ -1,0 +1,134 @@
+// Package synth renders deterministic synthetic video: procedural
+// background locations viewed through a moving camera, moving foreground
+// sprites, sensor noise, and editing effects (cuts, dissolves, flashes).
+// It stands in for the paper's digitized AVI corpus (see DESIGN.md §2);
+// every clip ships with exact ground truth (shot boundaries, location
+// and semantic-class labels), which the algorithms under test never see.
+package synth
+
+import (
+	"videodb/internal/rng"
+	"videodb/internal/video"
+)
+
+// Location is a procedural background canvas larger than the video
+// frame. The camera views a window into it, so panning shifts the
+// visible background coherently — the signal camera-tracking SBD
+// exploits. Two shots at the same location share backgrounds and should
+// be grouped by the scene-tree builder.
+type Location struct {
+	// ID identifies the location within a clip's ground truth.
+	ID int
+	// Canvas holds the rendered background.
+	Canvas *video.Frame
+}
+
+// TextureParams controls the look of a location's background.
+type TextureParams struct {
+	// W, H are the canvas dimensions; they must exceed the frame size
+	// by the pan margin the camera needs.
+	W, H int
+	// BaseColor is the dominant colour of the location.
+	BaseColor video.Pixel
+	// Contrast in [0,1] scales how far the texture deviates from the
+	// base colour. Low-contrast locations (dark sci-fi sets) are harder
+	// for every detector.
+	Contrast float64
+	// CellSize is the coarsest feature size of the value-noise texture
+	// in pixels.
+	CellSize int
+	// Octaves adds finer detail layers; each halves the cell size and
+	// amplitude.
+	Octaves int
+}
+
+// DefaultTextureParams returns a mid-contrast texture sized for a
+// 160×120 frame with a generous pan margin.
+func DefaultTextureParams() TextureParams {
+	return TextureParams{
+		W: 640, H: 360,
+		BaseColor: video.RGB(128, 128, 128),
+		Contrast:  0.6,
+		CellSize:  24,
+		Octaves:   3,
+	}
+}
+
+// NewLocation renders a location with the given parameters. The same id
+// and params always produce the same canvas: the texture is seeded from
+// the id and the clip seed.
+func NewLocation(id int, seed uint64, p TextureParams) *Location {
+	r := rng.New(seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+	canvas := video.NewFrame(p.W, p.H)
+
+	// Accumulate octaves of bilinear value noise per channel.
+	acc := make([][3]float64, p.W*p.H)
+	amp := 1.0
+	totalAmp := 0.0
+	cell := p.CellSize
+	for o := 0; o < p.Octaves && cell >= 2; o++ {
+		layer := valueNoise(r.Split(), p.W, p.H, cell)
+		for i := range acc {
+			for ch := 0; ch < 3; ch++ {
+				acc[i][ch] += amp * layer[i][ch]
+			}
+		}
+		totalAmp += amp
+		amp *= 0.5
+		cell /= 2
+	}
+
+	base := [3]float64{float64(p.BaseColor.R), float64(p.BaseColor.G), float64(p.BaseColor.B)}
+	for i := range acc {
+		var px [3]uint8
+		for ch := 0; ch < 3; ch++ {
+			// Noise in [-1,1] scaled by contrast, anchored at base.
+			n := acc[i][ch]/totalAmp*2 - 1
+			v := base[ch] + n*p.Contrast*127
+			px[ch] = clamp8(v)
+		}
+		canvas.Pix[i] = video.Pixel{R: px[0], G: px[1], B: px[2]}
+	}
+	return &Location{ID: id, Canvas: canvas}
+}
+
+// valueNoise renders one octave of bilinear value noise with independent
+// channels, each cell value uniform in [0,1].
+func valueNoise(r *rng.RNG, w, h, cell int) [][3]float64 {
+	gw, gh := w/cell+2, h/cell+2
+	grid := make([][3]float64, gw*gh)
+	for i := range grid {
+		grid[i] = [3]float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	out := make([][3]float64, w*h)
+	for y := 0; y < h; y++ {
+		gy := y / cell
+		fy := float64(y%cell) / float64(cell)
+		for x := 0; x < w; x++ {
+			gx := x / cell
+			fx := float64(x%cell) / float64(cell)
+			i00 := grid[gy*gw+gx]
+			i10 := grid[gy*gw+gx+1]
+			i01 := grid[(gy+1)*gw+gx]
+			i11 := grid[(gy+1)*gw+gx+1]
+			var v [3]float64
+			for ch := 0; ch < 3; ch++ {
+				top := i00[ch] + (i10[ch]-i00[ch])*fx
+				bot := i01[ch] + (i11[ch]-i01[ch])*fx
+				v[ch] = top + (bot-top)*fy
+			}
+			out[y*w+x] = v
+		}
+	}
+	return out
+}
+
+func clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}

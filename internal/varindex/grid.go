@@ -1,0 +1,92 @@
+package varindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Grid is the quantised-matching index structure: the paper notes that
+// "another common way to handle inexact queries is to do matching on
+// quantized data" (§4.2). Entries are bucketed by the cell
+// (⌊D^v/α⌋, ⌊sqrt(VarBA)/β⌋); a query is answered by its own cell in
+// O(answer) time, independent of database size. The price relative to
+// the range-scan Index is border effects: an entry just across a cell
+// boundary is missed even when it lies within the tolerances.
+type Grid struct {
+	alpha, beta float64
+	cells       map[[2]int][]Entry
+	n           int
+}
+
+// NewGrid returns an empty grid with the given cell sizes.
+func NewGrid(alpha, beta float64) (*Grid, error) {
+	if alpha <= 0 || beta <= 0 {
+		return nil, fmt.Errorf("varindex: grid needs positive cell sizes, got α=%v β=%v", alpha, beta)
+	}
+	return &Grid{alpha: alpha, beta: beta, cells: make(map[[2]int][]Entry)}, nil
+}
+
+func (g *Grid) cellOf(dv, sqrtBA float64) [2]int {
+	return [2]int{int(math.Floor(dv / g.alpha)), int(math.Floor(sqrtBA / g.beta))}
+}
+
+// Add inserts an entry.
+func (g *Grid) Add(e Entry) {
+	c := g.cellOf(e.Dv(), e.SqrtBA())
+	g.cells[c] = append(g.cells[c], e)
+	g.n++
+}
+
+// Len returns the number of indexed shots.
+func (g *Grid) Len() int { return g.n }
+
+// Cells returns the number of occupied cells.
+func (g *Grid) Cells() int { return len(g.cells) }
+
+// Lookup returns the entries sharing the query's cell, nearest first.
+func (g *Grid) Lookup(q Query) []Entry {
+	dq, sq := q.Dv(), math.Sqrt(q.VarBA)
+	out := append([]Entry(nil), g.cells[g.cellOf(dq, sq)]...)
+	sortByDistance(out, dq, sq)
+	return out
+}
+
+// LookupNeighborhood returns the entries of the query's cell and its
+// eight neighbours, nearest first — a superset of every entry within
+// (α, β) of the query, trading a constant factor for no border misses.
+func (g *Grid) LookupNeighborhood(q Query) []Entry {
+	dq, sq := q.Dv(), math.Sqrt(q.VarBA)
+	c := g.cellOf(dq, sq)
+	var out []Entry
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			out = append(out, g.cells[[2]int{c[0] + dx, c[1] + dy}]...)
+		}
+	}
+	sortByDistance(out, dq, sq)
+	return out
+}
+
+// FromIndex builds a grid over an index's entries.
+func FromIndex(ix *Index, alpha, beta float64) (*Grid, error) {
+	g, err := NewGrid(alpha, beta)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ix.Entries() {
+		g.Add(e)
+	}
+	return g, nil
+}
+
+// CellHistogram returns occupied cell sizes in descending order, a
+// diagnostic for how evenly the feature space fills.
+func (g *Grid) CellHistogram() []int {
+	out := make([]int, 0, len(g.cells))
+	for _, entries := range g.cells {
+		out = append(out, len(entries))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

@@ -1,0 +1,127 @@
+package varindex
+
+import (
+	"testing"
+	"testing/quick"
+
+	"videodb/internal/rng"
+)
+
+func TestNewGridValidates(t *testing.T) {
+	if _, err := NewGrid(0, 1); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := NewGrid(1, -1); err == nil {
+		t.Error("negative beta accepted")
+	}
+}
+
+func TestGridLookupSameCell(t *testing.T) {
+	g, err := NewGrid(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Add(entry("a", 0, 25, 4))   // Dv=3, sqrtBA=5 → cell (3,5)
+	g.Add(entry("a", 1, 27, 4.5)) // ≈(3.07, 5.2) → cell (3,5)
+	g.Add(entry("b", 0, 100, 4))  // (8,10) → far
+	got := g.Lookup(Query{VarBA: 25.5, VarOA: 4.1})
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if g.Len() != 3 || g.Cells() != 2 {
+		t.Errorf("Len=%d Cells=%d", g.Len(), g.Cells())
+	}
+}
+
+// TestGridMatchesQuantizedSearch: the grid must return exactly what the
+// index's QuantizedSearch returns for the same tolerances.
+func TestGridMatchesQuantizedSearch(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ix := New()
+		for i := 0; i < 150; i++ {
+			ix.Add(entry("c", i, r.Float64Range(0, 40), r.Float64Range(0, 40)))
+		}
+		g, err := FromIndex(ix, 1, 1)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			q := Query{VarBA: r.Float64Range(0, 40), VarOA: r.Float64Range(0, 40)}
+			a := g.Lookup(q)
+			b, err := ix.QuantizedSearch(q, DefaultOptions())
+			if err != nil || len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i].Key() != b[i].Key() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridNeighborhoodCoversTolerance: every entry the range-scan index
+// finds within (α, β) appears in the 3×3 neighbourhood lookup.
+func TestGridNeighborhoodCoversTolerance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ix := New()
+		for i := 0; i < 150; i++ {
+			ix.Add(entry("c", i, r.Float64Range(0, 40), r.Float64Range(0, 40)))
+		}
+		g, err := FromIndex(ix, 1, 1)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			q := Query{VarBA: r.Float64Range(0, 40), VarOA: r.Float64Range(0, 40)}
+			exact, err := ix.Search(q, DefaultOptions())
+			if err != nil {
+				return false
+			}
+			super := map[string]bool{}
+			for _, e := range g.LookupNeighborhood(q) {
+				super[e.Key()] = true
+			}
+			for _, e := range exact {
+				if !super[e.Key()] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridCellHistogram(t *testing.T) {
+	g, _ := NewGrid(1, 1)
+	g.Add(entry("a", 0, 25, 4))
+	g.Add(entry("a", 1, 25, 4))
+	g.Add(entry("b", 0, 100, 4))
+	h := g.CellHistogram()
+	if len(h) != 2 || h[0] != 2 || h[1] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func BenchmarkGridLookup100k(b *testing.B) {
+	g, _ := NewGrid(1, 1)
+	r := rng.New(1)
+	for i := 0; i < 100_000; i++ {
+		g.Add(entry("c", i, r.Float64Range(0, 60), r.Float64Range(0, 60)))
+	}
+	q := Query{VarBA: 25, VarOA: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Lookup(q)
+	}
+}

@@ -1,0 +1,326 @@
+// Package varindex implements the paper's cost-effective indexing
+// mechanism (SIGMOD 2000, §4): an index table over the two-value feature
+// vector (Var^BA, Var^OA) of every shot, queried through the
+// variance-based similarity model
+//
+//	D^v = sqrt(Var^BA) − sqrt(Var^OA)
+//
+// A query (Var_q^BA, Var_q^OA) returns every shot i satisfying
+//
+//	D_q^v − α ≤ D_i^v ≤ D_q^v + α                      (Eq. 7)
+//	sqrt(Var_q^BA) − β ≤ sqrt(Var_i^BA) ≤ sqrt(Var_q^BA) + β   (Eq. 8)
+//
+// with α = β = 1.0 in the paper's system. The index keeps entries sorted
+// by D^v so Eq. 7 is a binary-search range scan; Eq. 8 filters the
+// survivors. A quantised matching mode (the "other common way to handle
+// inexact queries" the paper mentions) is also provided.
+package varindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultAlpha and DefaultBeta are the paper's query tolerances.
+const (
+	DefaultAlpha = 1.0
+	DefaultBeta  = 1.0
+)
+
+// Entry is one row of the index table (Table 4): a shot of some clip
+// with its variance feature vector.
+type Entry struct {
+	// Clip names the video clip the shot belongs to.
+	Clip string
+	// Shot is the 0-based shot index within the clip.
+	Shot int
+	// Start and End are the shot's frame range (inclusive).
+	Start, End int
+	// VarBA and VarOA are the background and object-area sign variances.
+	VarBA, VarOA float64
+	// MeanBA is the per-channel mean background sign (Eq. 4), used only
+	// by the extended similarity model (Options.Gamma > 0).
+	MeanBA [3]float64
+}
+
+// Dv returns the entry's similarity coordinate sqrt(VarBA) − sqrt(VarOA).
+func (e Entry) Dv() float64 { return math.Sqrt(e.VarBA) - math.Sqrt(e.VarOA) }
+
+// SqrtBA returns sqrt(VarBA), Eq. 8's coordinate.
+func (e Entry) SqrtBA() float64 { return math.Sqrt(e.VarBA) }
+
+// Key identifies an entry uniquely.
+func (e Entry) Key() string { return fmt.Sprintf("%s#%d", e.Clip, e.Shot) }
+
+// Query is the user's impression of how much things change in the
+// background and object areas (§4.2). MeanBA participates only under
+// the extended model (Options.Gamma > 0).
+type Query struct {
+	VarBA, VarOA float64
+	MeanBA       [3]float64
+}
+
+// Dv returns the query's similarity coordinate.
+func (q Query) Dv() float64 { return math.Sqrt(q.VarBA) - math.Sqrt(q.VarOA) }
+
+// Options controls a search.
+type Options struct {
+	// Alpha is Eq. 7's tolerance on D^v.
+	Alpha float64
+	// Beta is Eq. 8's tolerance on sqrt(VarBA).
+	Beta float64
+	// Gamma, when positive, enables the extended similarity model the
+	// paper's §6 leaves as future work ("to make the comparison more
+	// discriminating"): a matching shot's mean background sign must
+	// additionally lie within Gamma of the query's on every channel,
+	// so matches share not just a degree of change but a dominant
+	// background colour. Zero (the default) is the paper's model.
+	Gamma float64
+}
+
+// DefaultOptions returns the paper's α = β = 1.0.
+func DefaultOptions() Options {
+	return Options{Alpha: DefaultAlpha, Beta: DefaultBeta}
+}
+
+// Validate reports invalid tolerances.
+func (o Options) Validate() error {
+	if o.Alpha < 0 || o.Beta < 0 || o.Gamma < 0 {
+		return fmt.Errorf("varindex: negative tolerance α=%v β=%v γ=%v", o.Alpha, o.Beta, o.Gamma)
+	}
+	return nil
+}
+
+// meanMatches applies the extended model's filter; with Gamma == 0 it
+// always matches.
+func (o Options) meanMatches(q Query, e Entry) bool {
+	if o.Gamma == 0 {
+		return true
+	}
+	for ch := 0; ch < 3; ch++ {
+		d := e.MeanBA[ch] - q.MeanBA[ch]
+		if d < 0 {
+			d = -d
+		}
+		if d > o.Gamma {
+			return false
+		}
+	}
+	return true
+}
+
+// Index is the sorted index table. The zero value is ready to use. Add
+// entries, then Search; the sort order and the precomputed search keys
+// (D^v and sqrt(VarBA) per entry) are maintained lazily.
+type Index struct {
+	entries []Entry
+	dvs     []float64 // cached Dv per entry, aligned with entries
+	sqrts   []float64 // cached sqrt(VarBA) per entry
+	sorted  bool
+}
+
+// New returns an empty index.
+func New() *Index { return &Index{sorted: true} }
+
+// Add inserts an entry.
+func (ix *Index) Add(e Entry) {
+	ix.entries = append(ix.entries, e)
+	ix.sorted = false
+}
+
+// Len returns the number of indexed shots.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// RemoveClip deletes every entry of the named clip, returning how many
+// were removed. Order of the remaining entries is preserved, so the
+// sorted state survives.
+func (ix *Index) RemoveClip(clip string) int {
+	kept := ix.entries[:0]
+	removed := 0
+	for _, e := range ix.entries {
+		if e.Clip == clip {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	ix.entries = kept
+	if removed > 0 && ix.sorted {
+		// Rebuild the cached keys to match the compacted entries.
+		ix.sorted = false
+		ix.ensureSorted()
+	}
+	return removed
+}
+
+// Entries returns the entries sorted by D^v. The returned slice is the
+// index's backing store; callers must not modify it.
+func (ix *Index) Entries() []Entry {
+	ix.ensureSorted()
+	return ix.entries
+}
+
+func (ix *Index) ensureSorted() {
+	if ix.sorted {
+		return
+	}
+	sort.SliceStable(ix.entries, func(i, j int) bool {
+		return ix.entries[i].Dv() < ix.entries[j].Dv()
+	})
+	ix.dvs = ix.dvs[:0]
+	ix.sqrts = ix.sqrts[:0]
+	for _, e := range ix.entries {
+		ix.dvs = append(ix.dvs, e.Dv())
+		ix.sqrts = append(ix.sqrts, e.SqrtBA())
+	}
+	ix.sorted = true
+}
+
+// Search returns all entries satisfying Eqs. 7 and 8 for the query,
+// using a binary-search range scan on D^v. Results are ordered by
+// ascending distance to the query in the (D^v, sqrt(VarBA)) plane.
+func (ix *Index) Search(q Query, opt Options) ([]Entry, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	ix.ensureSorted()
+	dq := q.Dv()
+	lo := sort.Search(len(ix.entries), func(i int) bool {
+		return ix.dvs[i] >= dq-opt.Alpha
+	})
+	var out []Entry
+	sq := math.Sqrt(q.VarBA)
+	for i := lo; i < len(ix.entries); i++ {
+		if ix.dvs[i] > dq+opt.Alpha {
+			break
+		}
+		if s := ix.sqrts[i]; s < sq-opt.Beta || s > sq+opt.Beta {
+			continue
+		}
+		if !opt.meanMatches(q, ix.entries[i]) {
+			continue
+		}
+		out = append(out, ix.entries[i])
+	}
+	sortByDistance(out, dq, sq)
+	return out, nil
+}
+
+// SearchLinear is Search without the index: a full scan. It exists as
+// the baseline for the index-vs-scan ablation and must return the same
+// set as Search.
+func (ix *Index) SearchLinear(q Query, opt Options) ([]Entry, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	dq := q.Dv()
+	sq := math.Sqrt(q.VarBA)
+	var out []Entry
+	for _, e := range ix.entries {
+		dv := e.Dv()
+		if dv < dq-opt.Alpha || dv > dq+opt.Alpha {
+			continue
+		}
+		if s := e.SqrtBA(); s < sq-opt.Beta || s > sq+opt.Beta {
+			continue
+		}
+		if !opt.meanMatches(q, e) {
+			continue
+		}
+		out = append(out, e)
+	}
+	sortByDistance(out, dq, sq)
+	return out, nil
+}
+
+// TopK returns the k entries nearest the query in the (D^v, sqrt(VarBA))
+// plane among those satisfying Eqs. 7–8, the form the retrieval figures
+// (8–10) present. Fewer than k may be returned.
+func (ix *Index) TopK(q Query, opt Options, k int) ([]Entry, error) {
+	all, err := ix.Search(q, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// TopKExcluding is TopK with the query shot itself removed — retrieval
+// experiments query by an existing shot and want its neighbours.
+func (ix *Index) TopKExcluding(q Query, opt Options, k int, excludeKey string) ([]Entry, error) {
+	all, err := ix.Search(q, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, k)
+	for _, e := range all {
+		if e.Key() == excludeKey {
+			continue
+		}
+		out = append(out, e)
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// sortByDistance orders entries by Euclidean distance to (dq, sq) in the
+// similarity plane, breaking ties by clip name then shot index for
+// determinism. Distances are computed once up front: the comparator
+// must not recompute square roots O(n log n) times.
+func sortByDistance(entries []Entry, dq, sq float64) {
+	dists := make([]float64, len(entries))
+	for i, e := range entries {
+		dd := e.Dv() - dq
+		ds := e.SqrtBA() - sq
+		dists[i] = dd*dd + ds*ds
+	}
+	order := make([]int, len(entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if dists[i] != dists[j] {
+			return dists[i] < dists[j]
+		}
+		if entries[i].Clip != entries[j].Clip {
+			return entries[i].Clip < entries[j].Clip
+		}
+		return entries[i].Shot < entries[j].Shot
+	})
+	sorted := make([]Entry, len(entries))
+	for a, i := range order {
+		sorted[a] = entries[i]
+	}
+	copy(entries, sorted)
+}
+
+// QuantizedSearch implements the alternative inexact-matching strategy
+// the paper mentions: both queries and entries are quantised onto a grid
+// with cell sizes α (in D^v) and β (in sqrt(VarBA)); entries in the
+// query's cell match. Cheaper than a range scan but coarser at cell
+// borders.
+func (ix *Index) QuantizedSearch(q Query, opt Options) ([]Entry, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Alpha == 0 || opt.Beta == 0 {
+		return nil, fmt.Errorf("varindex: quantized search needs positive tolerances")
+	}
+	cellD := func(dv float64) int { return int(math.Floor(dv / opt.Alpha)) }
+	cellS := func(s float64) int { return int(math.Floor(s / opt.Beta)) }
+	qd, qs := cellD(q.Dv()), cellS(math.Sqrt(q.VarBA))
+	var out []Entry
+	for _, e := range ix.entries {
+		if cellD(e.Dv()) == qd && cellS(e.SqrtBA()) == qs && opt.meanMatches(q, e) {
+			out = append(out, e)
+		}
+	}
+	sortByDistance(out, q.Dv(), math.Sqrt(q.VarBA))
+	return out, nil
+}

@@ -1,0 +1,265 @@
+// Package video defines the in-memory representation of video data used
+// throughout the repository: RGB frames, clips (frame sequences with a
+// frame rate), and the pixel arithmetic the indexing algorithms need.
+//
+// The paper's experiments digitize video at 160×120 pixels, 30 frames/s,
+// and sample down to 3 frames/s before analysis (SIGMOD 2000, §5.1); the
+// Resample helper reproduces that step.
+package video
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+)
+
+// Pixel is one RGB sample. The paper's RGB space ranges each channel over
+// 0..255.
+type Pixel struct {
+	R, G, B uint8
+}
+
+// RGB constructs a Pixel from its three channel values.
+func RGB(r, g, b uint8) Pixel {
+	return Pixel{R: r, G: g, B: b}
+}
+
+// MaxChannelDiff returns the largest absolute per-channel difference
+// between p and q. It is the distance the RELATIONSHIP algorithm (Eq. 2)
+// and the signature matching stages use.
+func (p Pixel) MaxChannelDiff(q Pixel) int {
+	d := absDiff(p.R, q.R)
+	if g := absDiff(p.G, q.G); g > d {
+		d = g
+	}
+	if b := absDiff(p.B, q.B); b > d {
+		d = b
+	}
+	return d
+}
+
+func absDiff(a, b uint8) int {
+	if a > b {
+		return int(a) - int(b)
+	}
+	return int(b) - int(a)
+}
+
+// Luma returns the integer luminance of p (ITU-R BT.601 weights scaled to
+// integers), used by the edge-based SBD baseline.
+func (p Pixel) Luma() int {
+	return (299*int(p.R) + 587*int(p.G) + 114*int(p.B)) / 1000
+}
+
+// String implements fmt.Stringer.
+func (p Pixel) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", p.R, p.G, p.B)
+}
+
+// Frame is a single video frame: a W×H grid of RGB pixels stored
+// row-major.
+type Frame struct {
+	W, H int
+	Pix  []Pixel
+}
+
+// NewFrame allocates a zeroed (black) frame of the given dimensions.
+// It panics if either dimension is not positive.
+func NewFrame(w, h int) *Frame {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("video: invalid frame dimensions %dx%d", w, h))
+	}
+	return &Frame{W: w, H: h, Pix: make([]Pixel, w*h)}
+}
+
+// At returns the pixel at column x, row y. Out-of-range coordinates are
+// clamped to the frame border, which simplifies windowed sampling in the
+// region and synthesis code.
+func (f *Frame) At(x, y int) Pixel {
+	if x < 0 {
+		x = 0
+	} else if x >= f.W {
+		x = f.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= f.H {
+		y = f.H - 1
+	}
+	return f.Pix[y*f.W+x]
+}
+
+// Set writes the pixel at column x, row y. Out-of-range coordinates are
+// ignored.
+func (f *Frame) Set(x, y int, p Pixel) {
+	if x < 0 || x >= f.W || y < 0 || y >= f.H {
+		return
+	}
+	f.Pix[y*f.W+x] = p
+}
+
+// Fill sets every pixel of the frame to p.
+func (f *Frame) Fill(p Pixel) {
+	for i := range f.Pix {
+		f.Pix[i] = p
+	}
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	g := NewFrame(f.W, f.H)
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// Equal reports whether two frames have identical dimensions and pixels.
+func (f *Frame) Equal(g *Frame) bool {
+	if f.W != g.W || f.H != g.H {
+		return false
+	}
+	for i := range f.Pix {
+		if f.Pix[i] != g.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MeanAbsDiff returns the mean absolute per-channel difference between
+// two frames of identical dimensions. It panics on a dimension mismatch.
+func (f *Frame) MeanAbsDiff(g *Frame) float64 {
+	if f.W != g.W || f.H != g.H {
+		panic("video: MeanAbsDiff dimension mismatch")
+	}
+	var sum int64
+	for i := range f.Pix {
+		sum += int64(absDiff(f.Pix[i].R, g.Pix[i].R))
+		sum += int64(absDiff(f.Pix[i].G, g.Pix[i].G))
+		sum += int64(absDiff(f.Pix[i].B, g.Pix[i].B))
+	}
+	return float64(sum) / float64(3*len(f.Pix))
+}
+
+// SubImage copies the rectangle [x0,x1)×[y0,y1) into a new frame,
+// clamping source coordinates to the frame border.
+func (f *Frame) SubImage(x0, y0, x1, y1 int) *Frame {
+	if x1 <= x0 || y1 <= y0 {
+		panic(fmt.Sprintf("video: invalid sub-image rectangle (%d,%d)-(%d,%d)", x0, y0, x1, y1))
+	}
+	sub := NewFrame(x1-x0, y1-y0)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			sub.Set(x-x0, y-y0, f.At(x, y))
+		}
+	}
+	return sub
+}
+
+// ToImage converts the frame to a standard library image for export.
+func (f *Frame) ToImage() *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			p := f.Pix[y*f.W+x]
+			img.Set(x, y, color.RGBA{p.R, p.G, p.B, 255})
+		}
+	}
+	return img
+}
+
+// FromImage converts a standard library image to a Frame.
+func FromImage(img image.Image) *Frame {
+	b := img.Bounds()
+	f := NewFrame(b.Dx(), b.Dy())
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			r, g, bl, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			f.Pix[y*f.W+x] = Pixel{uint8(r >> 8), uint8(g >> 8), uint8(bl >> 8)}
+		}
+	}
+	return f
+}
+
+// Clip is a sequence of frames with a nominal frame rate.
+type Clip struct {
+	// Name identifies the clip in catalogs, experiment tables and logs.
+	Name string
+	// FPS is the nominal frame rate in frames per second.
+	FPS int
+	// Frames holds the decoded frames in presentation order.
+	Frames []*Frame
+}
+
+// NewClip returns an empty clip with the given name and frame rate.
+func NewClip(name string, fps int) *Clip {
+	return &Clip{Name: name, FPS: fps}
+}
+
+// Append adds frames to the end of the clip.
+func (c *Clip) Append(frames ...*Frame) {
+	c.Frames = append(c.Frames, frames...)
+}
+
+// Len returns the number of frames in the clip.
+func (c *Clip) Len() int { return len(c.Frames) }
+
+// Duration returns the clip length in seconds. A clip with FPS <= 0
+// reports 0.
+func (c *Clip) Duration() float64 {
+	if c.FPS <= 0 {
+		return 0
+	}
+	return float64(len(c.Frames)) / float64(c.FPS)
+}
+
+// DurationString formats the duration as the paper's tables do (min:sec).
+func (c *Clip) DurationString() string {
+	secs := int(c.Duration() + 0.5)
+	return fmt.Sprintf("%d:%02d", secs/60, secs%60)
+}
+
+// Resample returns a new clip containing every frame whose timestamp
+// lands on the targetFPS grid, reproducing the paper's 30→3 frames/s
+// extraction. Resampling to the same or a higher rate returns a shallow
+// copy. It panics if targetFPS is not positive.
+func (c *Clip) Resample(targetFPS int) *Clip {
+	if targetFPS <= 0 {
+		panic("video: Resample with non-positive fps")
+	}
+	out := NewClip(c.Name, targetFPS)
+	if targetFPS >= c.FPS {
+		out.FPS = c.FPS
+		out.Frames = append(out.Frames, c.Frames...)
+		return out
+	}
+	step := float64(c.FPS) / float64(targetFPS)
+	for pos := 0.0; int(pos) < len(c.Frames); pos += step {
+		out.Frames = append(out.Frames, c.Frames[int(pos)])
+	}
+	return out
+}
+
+// Validate checks structural invariants: a positive frame rate, at least
+// one frame, and uniform frame dimensions. It returns a descriptive error
+// for the first violation found.
+func (c *Clip) Validate() error {
+	if c.FPS <= 0 {
+		return fmt.Errorf("video: clip %q has non-positive fps %d", c.Name, c.FPS)
+	}
+	if len(c.Frames) == 0 {
+		return fmt.Errorf("video: clip %q has no frames", c.Name)
+	}
+	w, h := c.Frames[0].W, c.Frames[0].H
+	for i, f := range c.Frames {
+		if f == nil {
+			return fmt.Errorf("video: clip %q frame %d is nil", c.Name, i)
+		}
+		if f.W != w || f.H != h {
+			return fmt.Errorf("video: clip %q frame %d is %dx%d, want %dx%d", c.Name, i, f.W, f.H, w, h)
+		}
+		if len(f.Pix) != f.W*f.H {
+			return fmt.Errorf("video: clip %q frame %d has %d pixels, want %d", c.Name, i, len(f.Pix), f.W*f.H)
+		}
+	}
+	return nil
+}

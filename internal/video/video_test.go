@@ -1,0 +1,240 @@
+package video
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPixelMaxChannelDiff(t *testing.T) {
+	cases := []struct {
+		p, q Pixel
+		want int
+	}{
+		{Pixel{0, 0, 0}, Pixel{0, 0, 0}, 0},
+		{Pixel{255, 0, 0}, Pixel{0, 0, 0}, 255},
+		{Pixel{10, 20, 30}, Pixel{15, 18, 30}, 5},
+		{Pixel{10, 20, 30}, Pixel{10, 20, 90}, 60},
+		{Pixel{200, 100, 50}, Pixel{100, 250, 49}, 150},
+	}
+	for _, c := range cases {
+		if got := c.p.MaxChannelDiff(c.q); got != c.want {
+			t.Errorf("MaxChannelDiff(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestPixelMaxChannelDiffSymmetric(t *testing.T) {
+	f := func(r1, g1, b1, r2, g2, b2 uint8) bool {
+		p, q := Pixel{r1, g1, b1}, Pixel{r2, g2, b2}
+		d := p.MaxChannelDiff(q)
+		return d == q.MaxChannelDiff(p) && d >= 0 && d <= 255
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPixelLuma(t *testing.T) {
+	if got := (Pixel{255, 255, 255}).Luma(); got != 255 {
+		t.Errorf("white luma = %d, want 255", got)
+	}
+	if got := (Pixel{0, 0, 0}).Luma(); got != 0 {
+		t.Errorf("black luma = %d, want 0", got)
+	}
+	// Green contributes most.
+	g := (Pixel{0, 255, 0}).Luma()
+	r := (Pixel{255, 0, 0}).Luma()
+	b := (Pixel{0, 0, 255}).Luma()
+	if !(g > r && r > b) {
+		t.Errorf("luma ordering wrong: g=%d r=%d b=%d", g, r, b)
+	}
+}
+
+func TestFrameAtClamps(t *testing.T) {
+	f := NewFrame(4, 3)
+	f.Set(0, 0, Pixel{1, 2, 3})
+	f.Set(3, 2, Pixel{9, 8, 7})
+	if got := f.At(-5, -5); got != (Pixel{1, 2, 3}) {
+		t.Errorf("At(-5,-5) = %v, want clamp to (0,0)", got)
+	}
+	if got := f.At(100, 100); got != (Pixel{9, 8, 7}) {
+		t.Errorf("At(100,100) = %v, want clamp to (3,2)", got)
+	}
+}
+
+func TestFrameSetIgnoresOutOfRange(t *testing.T) {
+	f := NewFrame(2, 2)
+	f.Set(-1, 0, Pixel{255, 0, 0})
+	f.Set(0, 5, Pixel{255, 0, 0})
+	for i, p := range f.Pix {
+		if p != (Pixel{}) {
+			t.Fatalf("pixel %d modified by out-of-range Set: %v", i, p)
+		}
+	}
+}
+
+func TestNewFramePanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 5}, {5, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFrame(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewFrame(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFrameCloneIndependent(t *testing.T) {
+	f := NewFrame(3, 3)
+	f.Fill(Pixel{10, 20, 30})
+	g := f.Clone()
+	g.Set(1, 1, Pixel{99, 99, 99})
+	if f.At(1, 1) != (Pixel{10, 20, 30}) {
+		t.Error("mutating clone changed original")
+	}
+	if !f.Equal(f.Clone()) {
+		t.Error("clone not equal to original")
+	}
+}
+
+func TestFrameEqual(t *testing.T) {
+	a := NewFrame(2, 2)
+	b := NewFrame(2, 2)
+	if !a.Equal(b) {
+		t.Error("identical zero frames not equal")
+	}
+	b.Set(0, 0, Pixel{1, 0, 0})
+	if a.Equal(b) {
+		t.Error("different frames reported equal")
+	}
+	c := NewFrame(2, 3)
+	if a.Equal(c) {
+		t.Error("different dimensions reported equal")
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	a := NewFrame(2, 2)
+	b := NewFrame(2, 2)
+	if d := a.MeanAbsDiff(b); d != 0 {
+		t.Errorf("identical frames diff = %v", d)
+	}
+	b.Fill(Pixel{30, 0, 0})
+	if d := a.MeanAbsDiff(b); d != 10 {
+		t.Errorf("diff = %v, want 10 (30 on one of three channels)", d)
+	}
+}
+
+func TestSubImage(t *testing.T) {
+	f := NewFrame(10, 10)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			f.Set(x, y, Pixel{uint8(x), uint8(y), 0})
+		}
+	}
+	s := f.SubImage(2, 3, 5, 7)
+	if s.W != 3 || s.H != 4 {
+		t.Fatalf("sub-image dims %dx%d, want 3x4", s.W, s.H)
+	}
+	if got := s.At(0, 0); got != (Pixel{2, 3, 0}) {
+		t.Errorf("sub-image origin = %v, want (2,3,0)", got)
+	}
+	if got := s.At(2, 3); got != (Pixel{4, 6, 0}) {
+		t.Errorf("sub-image corner = %v, want (4,6,0)", got)
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	f := NewFrame(5, 4)
+	for i := range f.Pix {
+		f.Pix[i] = Pixel{uint8(i * 7), uint8(i * 13), uint8(i * 29)}
+	}
+	g := FromImage(f.ToImage())
+	if !f.Equal(g) {
+		t.Error("image round trip altered pixels")
+	}
+}
+
+func TestClipResample30To3(t *testing.T) {
+	c := NewClip("test", 30)
+	for i := 0; i < 300; i++ { // 10 seconds
+		c.Append(NewFrame(4, 4))
+	}
+	r := c.Resample(3)
+	if r.FPS != 3 {
+		t.Errorf("fps = %d, want 3", r.FPS)
+	}
+	if r.Len() != 30 {
+		t.Errorf("resampled length = %d, want 30 (10s at 3fps)", r.Len())
+	}
+	if got, want := r.Duration(), c.Duration(); got != want {
+		t.Errorf("duration changed: %v != %v", got, want)
+	}
+}
+
+func TestClipResampleIdentity(t *testing.T) {
+	c := NewClip("x", 3)
+	c.Append(NewFrame(2, 2), NewFrame(2, 2))
+	r := c.Resample(30)
+	if r.Len() != 2 || r.FPS != 3 {
+		t.Errorf("upsampling should be a copy: len=%d fps=%d", r.Len(), r.FPS)
+	}
+}
+
+func TestClipResampleFramesAreShared(t *testing.T) {
+	c := NewClip("x", 30)
+	for i := 0; i < 30; i++ {
+		c.Append(NewFrame(2, 2))
+	}
+	r := c.Resample(3)
+	if r.Frames[0] != c.Frames[0] {
+		t.Error("resample should share frame storage")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	c := NewClip("x", 30)
+	for i := 0; i < 30*624; i++ { // 10:24
+		c.Frames = append(c.Frames, nil)
+	}
+	if got := c.DurationString(); got != "10:24" {
+		t.Errorf("DurationString = %q, want 10:24", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := NewClip("v", 30)
+	if err := c.Validate(); err == nil {
+		t.Error("empty clip validated")
+	}
+	c.Append(NewFrame(4, 4), NewFrame(4, 4))
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid clip rejected: %v", err)
+	}
+	c.Append(NewFrame(5, 4))
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "5x4") {
+		t.Errorf("dimension mismatch not reported: %v", err)
+	}
+	c.Frames = c.Frames[:2]
+	c.FPS = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero fps validated")
+	}
+	c.FPS = 30
+	c.Frames[1] = nil
+	if err := c.Validate(); err == nil {
+		t.Error("nil frame validated")
+	}
+}
+
+func TestResamplePanicsOnBadFPS(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resample(0) did not panic")
+		}
+	}()
+	NewClip("x", 30).Resample(0)
+}

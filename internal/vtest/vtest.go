@@ -1,0 +1,68 @@
+// Package vtest provides shared helpers for tests that need realistic
+// synthetic frames without pulling in the full internal/synth generator:
+// smooth textured canvases and camera-pan clips.
+package vtest
+
+import (
+	"videodb/internal/rng"
+	"videodb/internal/video"
+)
+
+// TexturedCanvas builds a w×h canvas with smooth pseudo-random texture
+// (a coarse random grid, bilinearly interpolated). Canvases with the
+// same seed are identical; different seeds look like different places.
+func TexturedCanvas(w, h int, seed uint64) *video.Frame {
+	r := rng.New(seed)
+	canvas := video.NewFrame(w, h)
+	const cell = 20
+	gw, gh := w/cell+2, h/cell+2
+	grid := make([]video.Pixel, gw*gh)
+	for i := range grid {
+		grid[i] = video.Pixel{R: uint8(r.Intn(256)), G: uint8(r.Intn(256)), B: uint8(r.Intn(256))}
+	}
+	lerp := func(a, b uint8, t float64) float64 { return float64(a) + (float64(b)-float64(a))*t }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			gx, gy := x/cell, y/cell
+			fx := float64(x%cell) / cell
+			fy := float64(y%cell) / cell
+			p00 := grid[gy*gw+gx]
+			p10 := grid[gy*gw+gx+1]
+			p01 := grid[(gy+1)*gw+gx]
+			p11 := grid[(gy+1)*gw+gx+1]
+			mix := func(c func(video.Pixel) uint8) uint8 {
+				top := lerp(c(p00), c(p10), fx)
+				bot := lerp(c(p01), c(p11), fx)
+				return uint8(top + (bot-top)*fy)
+			}
+			canvas.Set(x, y, video.Pixel{
+				R: mix(func(p video.Pixel) uint8 { return p.R }),
+				G: mix(func(p video.Pixel) uint8 { return p.G }),
+				B: mix(func(p video.Pixel) uint8 { return p.B }),
+			})
+		}
+	}
+	return canvas
+}
+
+// PanClip renders n frames of size w×h viewing canvas through a window
+// whose left edge starts at start and moves dx pixels per frame.
+func PanClip(canvas *video.Frame, start, dx, n, w, h int) []*video.Frame {
+	frames := make([]*video.Frame, n)
+	for i := 0; i < n; i++ {
+		off := start + i*dx
+		frames[i] = canvas.SubImage(off, 0, off+w, h)
+	}
+	return frames
+}
+
+// TwoShotClip builds a clip with one hard cut at frame cutAt: frames
+// 0..cutAt-1 view canvas A statically, the rest view canvas B.
+func TwoShotClip(name string, seedA, seedB uint64, cutAt, total int) *video.Clip {
+	a := TexturedCanvas(400, 120, seedA)
+	b := TexturedCanvas(400, 120, seedB)
+	c := video.NewClip(name, 3)
+	c.Append(PanClip(a, 50, 0, cutAt, 160, 120)...)
+	c.Append(PanClip(b, 50, 0, total-cutAt, 160, 120)...)
+	return c
+}
