@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet cover bench fuzz paper corpus clean
+.PHONY: all build test test-race vet check cover bench fuzz paper corpus clean
 
 all: build vet test
 
@@ -17,6 +17,12 @@ test:
 
 test-race:
 	$(GO) test -race ./internal/core/ ./internal/feature/ ./internal/server/
+
+# The tier-1 verification gate: static checks plus the full test suite
+# under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -201,18 +201,34 @@ func cmdIngest(args []string) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no clips to ingest")
 	}
+	clips := make([]*video.Clip, 0, len(paths))
 	for _, p := range paths {
 		clip, err := store.LoadClipFile(p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", p, err)
 		}
-		rec, err := db.Ingest(clip)
-		if err != nil {
-			return fmt.Errorf("%s: %w", p, err)
-		}
-		fmt.Printf("ingested %-40q %4d shots, tree height %d\n", rec.Name, len(rec.Shots), rec.Tree.Height())
+		clips = append(clips, clip)
 	}
-	return saveDB(*dbPath, db)
+	// IngestAll analyzes concurrently and joins every failure into one
+	// error; clips that succeeded stay ingested, so the snapshot is
+	// saved even on partial failure.
+	before := make(map[string]bool)
+	for _, n := range db.Clips() {
+		before[n] = true
+	}
+	ingestErr := db.IngestAll(clips)
+	for _, c := range clips {
+		if before[c.Name] {
+			continue
+		}
+		if rec, ok := db.Clip(c.Name); ok {
+			fmt.Printf("ingested %-40q %4d shots, tree height %d\n", rec.Name, len(rec.Shots), rec.Tree.Height())
+		}
+	}
+	if err := saveDB(*dbPath, db); err != nil {
+		return err
+	}
+	return ingestErr
 }
 
 func cmdInfo(args []string) error {

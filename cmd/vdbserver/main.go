@@ -1,27 +1,43 @@
-// Command vdbserver serves a video database snapshot over HTTP.
+// Command vdbserver serves a video database over HTTP.
 //
 // Usage:
 //
 //	vdbserver -db db.snap -addr :8080 [-corpus ./corpus]
 //
-// Endpoints (GET):
+// Endpoints:
 //
-//	/api/clips                        list ingested clips (JSON)
-//	/api/clips/{name}                 one clip's shot table (JSON)
-//	/api/clips/{name}/tree            the clip's scene tree (JSON)
-//	/api/query?varba=25&varoa=4       variance-based similarity query
-//	/api/query?impression=bg%3Dhigh+obj%3Dlow
-//	/api/similar?clip=NAME&shot=3&k=3 query by example shot
-//	/api/frame?clip=NAME&frame=17     one frame as PNG (needs -corpus)
-//	/api/storyboard?clip=NAME&cols=4  per-shot storyboard PNG (needs -corpus)
+//	GET    /api/clips                        list ingested clips (JSON)
+//	POST   /api/clips                        ingest a VDBF/Y4M upload live
+//	GET    /api/clips/{name}                 one clip's shot table (JSON)
+//	DELETE /api/clips/{name}                 remove a clip
+//	GET    /api/clips/{name}/tree            the clip's scene tree (JSON)
+//	GET    /api/query?varba=25&varoa=4       variance-based similarity query
+//	GET    /api/query?impression=bg%3Dhigh+obj%3Dlow
+//	GET    /api/similar?clip=NAME&shot=3&k=3 query by example shot
+//	POST   /api/snapshot                     persist analysis state to -db
+//	GET    /api/metrics                      Prometheus text-format metrics
+//	GET    /api/frame?clip=NAME&frame=17     one frame as PNG (needs -corpus)
+//	GET    /api/storyboard?clip=NAME&cols=4  per-shot storyboard PNG (needs -corpus)
+//
+// The snapshot at -db is loaded on startup (a missing file starts an
+// empty database for live ingest) and written back by POST
+// /api/snapshot. The server recovers handler panics as 500 JSON, logs
+// every request, enforces per-request and connection-level timeouts,
+// and drains in-flight requests before exiting on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"videodb/internal/core"
 	"videodb/internal/server"
@@ -30,22 +46,29 @@ import (
 
 func main() {
 	var (
-		dbPath = flag.String("db", "db.snap", "database snapshot (from vdbctl ingest)")
-		corpus = flag.String("corpus", "", "directory of VDBF clips; enables /api/frame and /api/storyboard")
-		addr   = flag.String("addr", ":8080", "listen address")
+		dbPath  = flag.String("db", "db.snap", "database snapshot; loaded on start (missing = empty), written by POST /api/snapshot")
+		corpus  = flag.String("corpus", "", "directory of VDBF clips; enables /api/frame and /api/storyboard")
+		addr    = flag.String("addr", ":8080", "listen address")
+		maxBody = flag.Int64("maxbody", 256<<20, "POST /api/clips upload limit in bytes (0 = unlimited)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout for non-upload requests (0 = none)")
+		rdTO    = flag.Duration("read-timeout", 5*time.Minute, "http.Server read timeout (covers uploads)")
+		wrTO    = flag.Duration("write-timeout", 10*time.Minute, "http.Server write timeout (covers ingest analysis)")
+		idleTO  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
+		drain   = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
 
-	f, err := os.Open(*dbPath)
+	db, err := loadDB(*dbPath)
 	if err != nil {
 		log.Fatalf("vdbserver: %v", err)
 	}
-	db, err := core.Load(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("vdbserver: loading snapshot: %v", err)
-	}
-	srv := server.New(db)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := server.New(db,
+		server.WithLogger(logger),
+		server.WithTimeout(*timeout),
+		server.WithMaxBody(*maxBody),
+		server.WithSnapshotPath(*dbPath),
+	)
 	if *corpus != "" {
 		cat, err := store.OpenCatalog(*corpus)
 		if err != nil {
@@ -54,6 +77,57 @@ func main() {
 		srv = srv.WithMedia(cat)
 		fmt.Printf("media endpoints enabled over %s (%d clips)\n", *corpus, len(cat.Names()))
 	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *rdTO,
+		WriteTimeout:      *wrTO,
+		IdleTimeout:       *idleTO,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("serving %d clips (%d shots) on %s\n", len(db.Clips()), db.ShotCount(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("vdbserver: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("shutting down, draining in-flight requests", "grace", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		logger.Error("shutdown incomplete", "err", err)
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("vdbserver: %v", err)
+	}
+	logger.Info("exited cleanly")
+}
+
+// loadDB opens the snapshot, or an empty database when the file does
+// not exist yet (a fresh server ingesting live over POST /api/clips).
+func loadDB(path string) (*core.Database, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return core.Open(core.DefaultOptions())
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := core.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("loading snapshot %s: %w", path, err)
+	}
+	return db, nil
 }

@@ -37,7 +37,9 @@ func main() {
 		clips = append(clips, clip)
 	}
 
-	// 2. Concurrent batch ingestion.
+	// 2. Concurrent batch ingestion. IngestAll joins every per-clip
+	// failure into one error, so a partial batch failure names each
+	// failing clip.
 	db, err := core.Open(core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)

@@ -14,6 +14,7 @@ package core
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -26,6 +27,14 @@ import (
 	"videodb/internal/varindex"
 	"videodb/internal/video"
 )
+
+// ErrDuplicate reports an ingest whose clip name is already present or
+// already being analyzed; match it with errors.Is.
+var ErrDuplicate = errors.New("clip already ingested")
+
+// ErrNotFound reports an operation on a clip the database does not
+// hold; match it with errors.Is.
+var ErrNotFound = errors.New("clip not found")
 
 // Options configures a Database.
 type Options struct {
@@ -88,7 +97,11 @@ type Database struct {
 	mu    sync.RWMutex
 	opts  Options
 	clips map[string]*ClipRecord
-	index *varindex.Index
+	// reserved holds clip names whose ingest analysis is in flight, so
+	// duplicates are rejected before burning CPU on analysis and two
+	// concurrent ingests of the same name cannot both commit.
+	reserved map[string]struct{}
+	index    *varindex.Index
 }
 
 // Open creates an empty database with the given options.
@@ -106,9 +119,10 @@ func Open(opts Options) (*Database, error) {
 		return nil, fmt.Errorf("core: negative worker count %d", opts.Workers)
 	}
 	return &Database{
-		opts:  opts,
-		clips: make(map[string]*ClipRecord),
-		index: varindex.New(),
+		opts:     opts,
+		clips:    make(map[string]*ClipRecord),
+		reserved: make(map[string]struct{}),
+		index:    varindex.New(),
 	}, nil
 }
 
@@ -116,22 +130,43 @@ func Open(opts Options) (*Database, error) {
 func (db *Database) Options() Options { return db.opts }
 
 // Ingest analyzes one clip and adds it to the database. Clip names must
-// be unique.
+// be unique: the name is reserved before the (expensive) analysis runs,
+// so a duplicate fails immediately instead of after seconds of wasted
+// CPU, and two concurrent ingests of the same name cannot both commit.
 func (db *Database) Ingest(clip *video.Clip) (*ClipRecord, error) {
-	rec, entries, err := db.analyze(clip)
-	if err != nil {
+	if clip == nil || clip.Name == "" {
+		return nil, fmt.Errorf("core: clip has no name")
+	}
+	if err := db.reserve(clip.Name); err != nil {
 		return nil, err
 	}
+	rec, entries, err := db.analyze(clip)
+
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, dup := db.clips[rec.Name]; dup {
-		return nil, fmt.Errorf("core: clip %q already ingested", rec.Name)
+	delete(db.reserved, clip.Name)
+	if err != nil {
+		return nil, err
 	}
 	db.clips[rec.Name] = rec
 	for _, e := range entries {
 		db.index.Add(e)
 	}
 	return rec, nil
+}
+
+// reserve claims a clip name for an in-flight ingest.
+func (db *Database) reserve(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.clips[name]; dup {
+		return fmt.Errorf("core: clip %q: %w", name, ErrDuplicate)
+	}
+	if _, busy := db.reserved[name]; busy {
+		return fmt.Errorf("core: clip %q: concurrent ingest in flight: %w", name, ErrDuplicate)
+	}
+	db.reserved[name] = struct{}{}
+	return nil
 }
 
 // analyze runs steps 1–3 for one clip without touching shared state.
@@ -148,7 +183,7 @@ func (db *Database) analyze(clip *video.Clip) (*ClipRecord, []varindex.Entry, er
 	}
 	det, err := sbd.NewCameraTracking(db.opts.SBD, an)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("core: clip %q: %w", clip.Name, err)
 	}
 
 	// Step 1: segment into shots, computing frame features once
@@ -190,9 +225,10 @@ func (db *Database) analyze(clip *video.Clip) (*ClipRecord, []varindex.Entry, er
 	return rec, entries, nil
 }
 
-// IngestAll ingests clips concurrently (bounded by Options.Workers) and
-// returns the first error encountered, if any. Clips that ingest
-// successfully stay in the database even when others fail.
+// IngestAll ingests clips concurrently (bounded by Options.Workers).
+// Every failure is collected and returned joined with errors.Join, so a
+// multi-clip batch reports each failing clip, not just one. Clips that
+// ingest successfully stay in the database even when others fail.
 func (db *Database) IngestAll(clips []*video.Clip) error {
 	workers := db.opts.Workers
 	if workers == 0 {
@@ -224,7 +260,11 @@ func (db *Database) IngestAll(clips []*video.Clip) error {
 	close(jobs)
 	wg.Wait()
 	close(errs)
-	return <-errs
+	var all []error
+	for err := range errs {
+		all = append(all, err)
+	}
+	return errors.Join(all...)
 }
 
 // Remove deletes a clip and its index entries. It returns an error if
@@ -233,7 +273,7 @@ func (db *Database) Remove(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.clips[name]; !ok {
-		return fmt.Errorf("core: clip %q not found", name)
+		return fmt.Errorf("core: clip %q: %w", name, ErrNotFound)
 	}
 	delete(db.clips, name)
 	db.index.RemoveClip(name)
@@ -258,6 +298,21 @@ func (db *Database) Clips() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Records returns every clip record sorted by name, captured under a
+// single read lock. Use this instead of Clips+Clip pairs when listing:
+// a concurrent Remove between the two calls would make the second
+// return nothing. Records are immutable after ingest, so sharing the
+// pointers is safe.
+func (db *Database) Records() []*ClipRecord {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	recs := make([]*ClipRecord, 0, len(db.clips))
+	for _, name := range db.clipNamesLocked() {
+		recs = append(recs, db.clips[name])
+	}
+	return recs
 }
 
 // ShotCount returns the total number of indexed shots.
@@ -291,7 +346,7 @@ func (db *Database) QueryByShot(clip string, shot, k int) ([]Match, error) {
 	defer db.mu.RUnlock()
 	rec, ok := db.clips[clip]
 	if !ok {
-		return nil, fmt.Errorf("core: clip %q not found", clip)
+		return nil, fmt.Errorf("core: clip %q: %w", clip, ErrNotFound)
 	}
 	if shot < 0 || shot >= len(rec.Shots) {
 		return nil, fmt.Errorf("core: clip %q has no shot %d", clip, shot)
@@ -326,7 +381,7 @@ func (db *Database) Browse(clip string) (*scenetree.Tree, error) {
 	defer db.mu.RUnlock()
 	rec, ok := db.clips[clip]
 	if !ok {
-		return nil, fmt.Errorf("core: clip %q not found", clip)
+		return nil, fmt.Errorf("core: clip %q: %w", clip, ErrNotFound)
 	}
 	return rec.Tree, nil
 }

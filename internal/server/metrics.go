@@ -1,0 +1,162 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metricsRegistry is the in-process metrics layer: per-route request
+// counters and latency histograms, plus write-path counters. It renders
+// in the Prometheus text exposition format, so the server is scrapable
+// without taking on a client-library dependency.
+type metricsRegistry struct {
+	mu        sync.Mutex
+	requests  map[string]map[int]int64 // route -> status code -> count
+	durations map[string]*latencyHist  // route -> latency histogram
+	ingests   int64
+	removes   int64
+	snapshots int64
+}
+
+// durationBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond index lookups to multi-second live ingests.
+var durationBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{
+		requests:  make(map[string]map[int]int64),
+		durations: make(map[string]*latencyHist),
+	}
+}
+
+// latencyHist is a fixed-bucket cumulative histogram.
+type latencyHist struct {
+	counts [9]int64 // len(durationBuckets)+1, last is +Inf
+	total  int64
+	sum    float64
+}
+
+func (h *latencyHist) observe(seconds float64) {
+	i := 0
+	for i < len(durationBuckets) && seconds > durationBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += seconds
+}
+
+// observe records one served request.
+func (m *metricsRegistry) observe(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[route]
+	if byCode == nil {
+		byCode = make(map[int]int64)
+		m.requests[route] = byCode
+	}
+	byCode[code]++
+	h := m.durations[route]
+	if h == nil {
+		h = &latencyHist{}
+		m.durations[route] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// instrument wraps a route's handler so every request is counted and
+// timed under the route's pattern label.
+func (m *metricsRegistry) instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		m.observe(route, sw.status(), time.Since(start))
+	})
+}
+
+func (m *metricsRegistry) addIngest()   { m.mu.Lock(); m.ingests++; m.mu.Unlock() }
+func (m *metricsRegistry) addRemove()   { m.mu.Lock(); m.removes++; m.mu.Unlock() }
+func (m *metricsRegistry) addSnapshot() { m.mu.Lock(); m.snapshots++; m.mu.Unlock() }
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// render writes the registry plus caller-supplied gauges (database
+// sizes are read at scrape time, not tracked incrementally).
+func (m *metricsRegistry) render(w io.Writer, gauges map[string]float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	routes := make([]string, 0, len(m.requests))
+	for r := range m.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	fmt.Fprintln(w, "# HELP videodb_http_requests_total HTTP requests served, by route pattern and status code.")
+	fmt.Fprintln(w, "# TYPE videodb_http_requests_total counter")
+	for _, route := range routes {
+		codes := make([]int, 0, len(m.requests[route]))
+		for c := range m.requests[route] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "videodb_http_requests_total{route=%q,code=\"%d\"} %d\n",
+				escapeLabel(route), c, m.requests[route][c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP videodb_http_request_duration_seconds Request latency, by route pattern.")
+	fmt.Fprintln(w, "# TYPE videodb_http_request_duration_seconds histogram")
+	for _, route := range routes {
+		h := m.durations[route]
+		label := escapeLabel(route)
+		cum := int64(0)
+		for i, le := range durationBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "videodb_http_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", label, le, cum)
+		}
+		fmt.Fprintf(w, "videodb_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", label, h.total)
+		fmt.Fprintf(w, "videodb_http_request_duration_seconds_sum{route=%q} %g\n", label, h.sum)
+		fmt.Fprintf(w, "videodb_http_request_duration_seconds_count{route=%q} %d\n", label, h.total)
+	}
+
+	for _, c := range []struct {
+		name, help string
+		value      int64
+	}{
+		{"videodb_ingests_total", "Clips ingested through POST /api/clips.", m.ingests},
+		{"videodb_removes_total", "Clips removed through DELETE /api/clips/{name}.", m.removes},
+		{"videodb_snapshots_total", "Snapshots persisted through POST /api/snapshot.", m.snapshots},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
+	}
+
+	names := make([]string, 0, len(gauges))
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gauges[n])
+	}
+}
+
+// handleMetrics serves GET /api/metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w, map[string]float64{
+		"videodb_clips":         float64(len(s.db.Clips())),
+		"videodb_indexed_shots": float64(s.db.ShotCount()),
+	})
+}

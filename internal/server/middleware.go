@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusWriter records the status code and body size a handler wrote,
+// so middleware can log and meter responses after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// status returns the written status, defaulting to 200 for handlers
+// that never called WriteHeader.
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// started reports whether any part of the response reached the wire.
+func (w *statusWriter) started() bool { return w.code != 0 }
+
+// withLogging emits one structured log line per request: method, path,
+// status, response bytes, duration and peer address.
+func (s *Server) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status(),
+			"bytes", sw.bytes,
+			"duration", time.Since(start),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// withRecovery converts a handler panic into a 500 JSON response (when
+// the response has not started) instead of killing the connection, and
+// logs the stack. http.ErrAbortHandler keeps its net/http meaning.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler { //nolint:errorlint // sentinel, by contract
+				panic(v)
+			}
+			s.log.Error("panic in handler",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"panic", fmt.Sprint(v),
+				"stack", string(debug.Stack()),
+			)
+			if sw, ok := w.(*statusWriter); !ok || !sw.started() {
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal server error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// timeoutExempt reports whether a request may outlive the per-request
+// timeout: uploads and snapshots legitimately run for as long as the
+// analysis or disk write takes.
+func timeoutExempt(r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		return false
+	}
+	return r.URL.Path == "/api/clips" || r.URL.Path == "/api/snapshot"
+}
+
+// withTimeout bounds every non-exempt request to s.timeout, answering
+// 503 when the deadline passes. A timed-out handler keeps running but
+// its writes go to a discarded buffer (http.TimeoutHandler semantics).
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	if s.timeout <= 0 {
+		return next
+	}
+	bounded := http.TimeoutHandler(next, s.timeout, `{"error":"request timed out"}`)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if timeoutExempt(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		bounded.ServeHTTP(w, r)
+	})
+}

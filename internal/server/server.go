@@ -2,21 +2,33 @@
 // API, the networked face of the paper's "large video database" use
 // cases (digital libraries, public information systems):
 //
-//	GET /api/clips                          list ingested clips
-//	GET /api/clips/{name}                   one clip's shot table
-//	GET /api/clips/{name}/tree              the clip's scene tree
-//	GET /api/query?varba=25&varoa=4         variance query (Eqs. 7–8)
-//	GET /api/query?impression=bg%3Dhigh+obj%3Dlow
-//	GET /api/similar?clip=NAME&shot=3&k=3   query by example shot
+//	GET    /api/clips                          list ingested clips
+//	POST   /api/clips                          ingest a VDBF/Y4M upload live
+//	GET    /api/clips/{name}                   one clip's shot table
+//	DELETE /api/clips/{name}                   remove a clip and its index entries
+//	GET    /api/clips/{name}/tree              the clip's scene tree
+//	GET    /api/query?varba=25&varoa=4         variance query (Eqs. 7–8)
+//	GET    /api/query?impression=bg%3Dhigh+obj%3Dlow
+//	GET    /api/similar?clip=NAME&shot=3&k=3   query by example shot
+//	POST   /api/snapshot                       persist analysis state to disk
+//	GET    /api/metrics                        Prometheus text-format metrics
 //
-// All endpoints are read-only; ingestion happens out of band (vdbctl).
+// Every request passes through a middleware stack: panic recovery (a
+// handler panic answers 500 JSON instead of dropping the connection),
+// structured request logging, per-route metrics, and a per-request
+// timeout (uploads and snapshots are exempt — they legitimately run as
+// long as the analysis takes).
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
+	"time"
 
 	"videodb/internal/core"
 	"videodb/internal/impression"
@@ -26,27 +38,77 @@ import (
 
 // Server serves a database over HTTP.
 type Server struct {
-	db    *core.Database
-	media *mediaCache
+	db           *core.Database
+	media        *mediaCache
+	metrics      *metricsRegistry
+	log          *slog.Logger
+	timeout      time.Duration
+	maxBody      int64
+	snapshotPath string
+	ingestSem    chan struct{}
 }
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger directs the structured request/panic log; the default
+// discards (library embedders opt in, vdbserver wires stderr).
+func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.log = l } }
+
+// WithTimeout bounds each non-upload request; 0 disables. Default 30s.
+func WithTimeout(d time.Duration) Option { return func(s *Server) { s.timeout = d } }
+
+// WithMaxBody caps POST /api/clips upload size in bytes; 0 removes the
+// cap. Default 256 MiB.
+func WithMaxBody(n int64) Option { return func(s *Server) { s.maxBody = n } }
+
+// WithSnapshotPath enables POST /api/snapshot, persisting to path.
+func WithSnapshotPath(path string) Option { return func(s *Server) { s.snapshotPath = path } }
 
 // New returns a server for the given database.
-func New(db *core.Database) *Server {
-	return &Server{db: db}
+func New(db *core.Database, opts ...Option) *Server {
+	s := &Server{
+		db:      db,
+		metrics: newMetricsRegistry(),
+		log:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+		timeout: 30 * time.Second,
+		maxBody: 256 << 20,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	workers := db.Options().Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s.ingestSem = make(chan struct{}, workers)
+	return s
 }
 
-// Handler returns the HTTP handler implementing the API.
+// Handler returns the HTTP handler implementing the API, wrapped in the
+// logging → recovery → timeout middleware stack with per-route metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/clips", s.handleClips)
-	mux.HandleFunc("GET /api/clips/{name}", s.handleClip)
-	mux.HandleFunc("GET /api/clips/{name}/tree", s.handleTree)
-	mux.HandleFunc("GET /api/query", s.handleQuery)
-	mux.HandleFunc("GET /api/similar", s.handleSimilar)
-	mux.HandleFunc("GET /api/frame", s.handleFrame)
-	mux.HandleFunc("GET /api/storyboard", s.handleStoryboard)
-	mux.HandleFunc("GET /", s.handleIndex)
-	return mux
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.metrics.instrument(pattern, h))
+	}
+	route("GET /api/clips", s.handleClips)
+	route("POST /api/clips", s.handleIngest)
+	route("GET /api/clips/{name}", s.handleClip)
+	route("DELETE /api/clips/{name}", s.handleRemove)
+	route("GET /api/clips/{name}/tree", s.handleTree)
+	route("GET /api/query", s.handleQuery)
+	route("GET /api/similar", s.handleSimilar)
+	route("GET /api/frame", s.handleFrame)
+	route("GET /api/storyboard", s.handleStoryboard)
+	route("POST /api/snapshot", s.handleSnapshot)
+	route("GET /api/metrics", s.handleMetrics)
+	route("GET /", s.handleIndex)
+	var h http.Handler = mux
+	h = s.withTimeout(h)
+	h = s.withRecovery(h)
+	h = s.withLogging(h)
+	return h
 }
 
 // ClipSummary is the JSON shape of a clip listing entry.
@@ -97,6 +159,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
 func writeError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -104,9 +174,11 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Server) handleClips(w http.ResponseWriter, _ *http.Request) {
+	// Records captures the listing under one lock: the old Clips+Clip
+	// pair raced with concurrent DELETEs (a clip removed between the two
+	// calls came back as a nil record and panicked the handler).
 	var out []ClipSummary
-	for _, name := range s.db.Clips() {
-		rec, _ := s.db.Clip(name)
+	for _, rec := range s.db.Records() {
 		out = append(out, ClipSummary{
 			Name: rec.Name, Frames: rec.Frames, FPS: rec.FPS,
 			Shots: len(rec.Shots), TreeHeight: rec.Tree.Height(),

@@ -204,13 +204,17 @@ func TestSimilar(t *testing.T) {
 
 func TestMethodNotAllowed(t *testing.T) {
 	ts, _ := testServer(t)
-	resp, err := http.Post(ts.URL+"/api/clips", "application/json", nil)
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/api/clips", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST returned %d", resp.StatusCode)
+		t.Errorf("PUT returned %d", resp.StatusCode)
 	}
 }
 

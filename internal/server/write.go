@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"videodb/internal/core"
+	"videodb/internal/store"
+	"videodb/internal/video"
+)
+
+// handleIngest implements POST /api/clips: a live upload of a VDBF or
+// YUV4MPEG2 clip, analyzed and added to the database while queries keep
+// flowing. The format is sniffed from the stream's magic; a Y4M upload
+// needs ?name= because the container carries none (the same parameter
+// overrides a VDBF clip's embedded name). Concurrent uploads are
+// bounded by Options.Workers so a burst cannot oversubscribe the CPU.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.maxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	s.ingestSem <- struct{}{}
+	defer func() { <-s.ingestSem }()
+
+	name := r.URL.Query().Get("name")
+	br := bufio.NewReader(r.Body)
+	magic, _ := br.Peek(len("YUV4MPEG2"))
+	var clip *video.Clip
+	var err error
+	switch {
+	case bytes.HasPrefix(magic, []byte(store.Magic)):
+		clip, err = store.ReadClip(br)
+		if err == nil && name != "" {
+			clip.Name = name
+		}
+	case bytes.HasPrefix(magic, []byte("YUV4MPEG2")):
+		if name == "" {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("y4m upload needs a ?name= parameter"))
+			return
+		}
+		clip, err = store.ReadY4M(br, name)
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unrecognized upload: want a VDBF or YUV4MPEG2 body"))
+		return
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, err)
+		return
+	}
+
+	rec, err := s.db.Ingest(clip)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, core.ErrDuplicate) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	s.metrics.addIngest()
+	writeJSONStatus(w, http.StatusCreated, ClipSummary{
+		Name: rec.Name, Frames: rec.Frames, FPS: rec.FPS,
+		Shots: len(rec.Shots), TreeHeight: rec.Tree.Height(),
+	})
+}
+
+// handleRemove implements DELETE /api/clips/{name}.
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.db.Remove(name); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, core.ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	s.metrics.addRemove()
+	writeJSON(w, map[string]string{"removed": name})
+}
+
+// handleSnapshot implements POST /api/snapshot: persist the analysis
+// state to the configured path. core.Save holds only a read lock, so
+// queries keep flowing while the snapshot writes; the file appears
+// atomically (temp file + rename).
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.snapshotPath == "" {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Errorf("no snapshot path configured"))
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(s.snapshotPath), ".snap-*")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := s.db.Save(bw); err != nil {
+		tmp.Close()
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	size, _ := tmp.Seek(0, io.SeekEnd)
+	if err := tmp.Close(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.snapshotPath); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.metrics.addSnapshot()
+	writeJSON(w, map[string]any{
+		"path":  s.snapshotPath,
+		"clips": len(s.db.Clips()),
+		"shots": s.db.ShotCount(),
+		"bytes": size,
+	})
+}
