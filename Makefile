@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet check cover bench fuzz paper corpus clean
+.PHONY: all build test test-race vet doccheck check cover bench bench-micro bench-server fuzz paper corpus clean
 
 all: build vet test
 
@@ -18,17 +18,37 @@ test:
 test-race:
 	$(GO) test -race ./internal/core/ ./internal/feature/ ./internal/server/
 
+# Every package must carry a package comment (// Package x ... for
+# libraries, // Command x ... for binaries) — the revive-style
+# package-comments check, without taking on the dependency.
+doccheck:
+	@fail=0; for d in internal/* cmd/*; do \
+		grep -l -e '^// Package ' -e '^// Command ' $$d/*.go >/dev/null || \
+			{ echo "doccheck: $$d has no package comment"; fail=1; }; \
+	done; exit $$fail
+
 # The tier-1 verification gate: static checks plus the full test suite
 # under the race detector.
-check:
+check: doccheck
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./internal/...
 
-# One testing.B benchmark per paper table/figure plus ablations.
+# The standing perf baseline: a small fixed-seed vdbbench offline run
+# writing a schema-validated BENCH_offline_<timestamp>.json to the repo
+# root (see docs/BENCHMARKING.md).
 bench:
+	$(GO) run ./cmd/vdbbench -mode offline -scale 0.05 -seed 1 -queries 2000 -batch 16 -out .
+
+# Load-test a running vdbserver (start one with `go run ./cmd/vdbserver
+# -db db.snap`); writes BENCH_server_<timestamp>.json.
+bench-server:
+	$(GO) run ./cmd/vdbbench -mode server -target http://localhost:8080 -concurrency 16 -duration 10s -out .
+
+# One testing.B benchmark per paper table/figure plus ablations.
+bench-micro:
 	$(GO) test -bench=. -benchmem
 
 # Short fuzz passes over the binary parsers.

@@ -1,13 +1,9 @@
 // Benchmarks regenerating every table and figure of the paper's
 // evaluation (SIGMOD 2000, §5), plus the design ablations listed in
-// DESIGN.md §4. Each benchmark runs the corresponding experiment
-// harness end to end (synthesis + analysis), so the reported time is
-// the cost of regenerating that artifact. Accuracy numbers are reported
-// via b.ReportMetric where meaningful.
-//
-// The corpus-scale benchmarks use a reduced scale factor so `go test
-// -bench=. -benchmem` finishes in minutes; run cmd/paper with -scale 1
-// for the full-length corpus.
+// DESIGN.md §4. Methodology — what is timed, why benchScale is
+// reduced, how to read the index-vs-scan ablations — is documented in
+// docs/BENCHMARKING.md. System-level load testing (ingest throughput,
+// query latency, HTTP serving) lives in cmd/vdbbench.
 package videodb_test
 
 import (
@@ -266,9 +262,7 @@ func BenchmarkAblationLinearSearch100k(b *testing.B) {
 	}
 }
 
-// Selective-query variants (α = β = 0.1): with a small answer set the
-// range scan's advantage over the full scan is not masked by result
-// sorting.
+// Selective-query variants (α = β = 0.1; see docs/BENCHMARKING.md).
 func BenchmarkAblationIndexedSearchSelective100k(b *testing.B) {
 	ix := buildBigIndex(100_000)
 	q := varindex.Query{VarBA: 25, VarOA: 4}

@@ -1,0 +1,149 @@
+// Command vdbbench is the load generator and benchmark driver for the
+// video database. It measures the two production hot paths — ingest
+// throughput and query latency — and emits a versioned JSON artifact
+// (internal/benchfmt) so successive runs form a perf trajectory that
+// future changes can regress against.
+//
+// Two modes:
+//
+//	vdbbench -mode offline -scale 0.05 -seed 1 -queries 2000 -batch 16
+//
+// drives core.Database in-process: synthesizes the 22-clip Table 5
+// corpus at -scale, measures ingest frames/sec and clips/sec, then
+// single-query latency (p50/p90/p99) and batch-query throughput over
+// queries derived from the ingested shots' real feature vectors.
+//
+//	vdbbench -mode server -target http://localhost:8080 -concurrency 16 -duration 10s
+//
+// drives a running vdbserver over HTTP with -concurrency workers
+// issuing a GET /api/query + GET /api/clips + POST /api/query/batch
+// mix, reporting per-endpoint latency quantiles, total RPS, the error
+// rate, and the 5xx count from HDR-style histograms.
+//
+// Both modes write BENCH_<mode>_<timestamp>.json into -out.
+//
+//	vdbbench -validate BENCH_offline_20260805T120000Z.json
+//
+// decodes an artifact, checks it against the schema (version, field
+// set, metric well-formedness), prints a one-line summary and exits
+// non-zero on any mismatch — the CI smoke gate.
+//
+// docs/BENCHMARKING.md describes the methodology and every artifact
+// field.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"videodb/internal/benchfmt"
+)
+
+func main() {
+	var (
+		mode        = flag.String("mode", "offline", "benchmark mode: offline | server")
+		out         = flag.String("out", ".", "directory receiving the BENCH_*.json artifact")
+		validate    = flag.String("validate", "", "validate an existing artifact and exit (no benchmark run)")
+		seed        = flag.Uint64("seed", 1, "query-generation seed (fixed seed = reproducible query stream)")
+		queries     = flag.Int("queries", 2000, "offline: single-query measurements to take")
+		batch       = flag.Int("batch", 16, "queries per batch request; 0 skips the batch phase")
+		scale       = flag.Float64("scale", 0.05, "offline: corpus scale factor in (0,1]")
+		workers     = flag.Int("workers", 0, "offline: ingest worker bound (0 = GOMAXPROCS)")
+		target      = flag.String("target", "http://localhost:8080", "server: base URL of the vdbserver under test")
+		concurrency = flag.Int("concurrency", 16, "server: concurrent load-generating workers")
+		duration    = flag.Duration("duration", 10*time.Second, "server: measurement length")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateArtifact(*validate); err != nil {
+			fmt.Fprintf(os.Stderr, "vdbbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now().UTC()
+	var (
+		rep benchfmt.Report
+		err error
+	)
+	switch *mode {
+	case "offline":
+		rep, err = runOffline(offlineConfig{
+			Scale: *scale, Seed: *seed, Queries: *queries,
+			Batch: *batch, Workers: *workers,
+		})
+	case "server":
+		rep, err = runServer(serverConfig{
+			Target: *target, Concurrency: *concurrency,
+			Duration: *duration, Seed: *seed, Batch: *batch,
+		})
+	default:
+		err = fmt.Errorf("unknown -mode %q (want offline or server)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vdbbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep.Timestamp = start
+	path := filepath.Join(*out, benchfmt.Filename(rep.Mode, start))
+	if err := writeArtifact(path, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "vdbbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// environment snapshots where this run executes.
+func environment() benchfmt.Environment {
+	host, _ := os.Hostname()
+	return benchfmt.Environment{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Hostname:  host,
+	}
+}
+
+// writeArtifact writes the report atomically (temp file + rename), so
+// a crashed run never leaves a half-written artifact behind.
+func writeArtifact(path string, rep benchfmt.Report) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := benchfmt.Encode(tmp, rep); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// validateArtifact decodes and re-validates an artifact, printing a
+// one-line summary on success.
+func validateArtifact(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := benchfmt.Decode(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: schema v%d, mode %s, %s, %d metrics — ok\n",
+		filepath.Base(path), rep.Schema, rep.Mode,
+		rep.Timestamp.Format(time.RFC3339), len(rep.Metrics))
+	return nil
+}

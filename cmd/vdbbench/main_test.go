@@ -1,0 +1,95 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"videodb/internal/benchfmt"
+)
+
+// TestOfflineRunProducesValidArtifact runs the offline driver at the CI
+// smoke scale and pushes its report through the full artifact
+// round-trip (atomic write, decode, schema validation).
+func TestOfflineRunProducesValidArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("offline run synthesizes a corpus; skipped with -short")
+	}
+	rep, err := runOffline(offlineConfig{Scale: 0.02, Seed: 1, Queries: 200, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Timestamp = time.Now().UTC()
+
+	path := filepath.Join(t.TempDir(), benchfmt.Filename(rep.Mode, rep.Timestamp))
+	if err := writeArtifact(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateArtifact(path); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := benchfmt.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"ingest_frames_per_sec", "ingest_clips_per_sec",
+		"query_latency", "batch_latency", "batch_query_throughput",
+	} {
+		m, ok := got.Metric(name)
+		if !ok {
+			t.Errorf("artifact missing metric %q", name)
+			continue
+		}
+		if name == "query_latency" || name == "batch_latency" {
+			if m.Distribution == nil || m.Distribution.Count == 0 {
+				t.Errorf("metric %q has no distribution", name)
+			}
+		} else if m.Value <= 0 {
+			t.Errorf("metric %q = %v, want > 0", name, m.Value)
+		}
+	}
+	if m, _ := got.Metric("query_latency"); m.Distribution != nil && m.Distribution.Count != 200 {
+		t.Errorf("query_latency count = %d, want 200", m.Distribution.Count)
+	}
+}
+
+// TestValidateArtifactRejectsGarbage covers the CI gate's failure mode.
+func TestValidateArtifactRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_offline_bogus.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateArtifact(path); err == nil {
+		t.Error("validateArtifact accepted a wrong-version artifact")
+	}
+	if err := validateArtifact(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("validateArtifact accepted a missing file")
+	}
+}
+
+// TestFetchFeaturesFallsBackOnEmptyServer pins the empty-database path:
+// the load phase must still have coordinates to query with.
+func TestFetchFeaturesFallsBackOnEmptyServer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("[]"))
+	}))
+	defer ts.Close()
+	feats, err := fetchFeatures(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) == 0 {
+		t.Fatal("no fallback features for an empty server")
+	}
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"videodb/internal/benchfmt"
+	"videodb/internal/core"
+	"videodb/internal/experiments"
+	"videodb/internal/rng"
+	"videodb/internal/varindex"
+	"videodb/internal/video"
+)
+
+// offlineConfig parameterizes an in-process run.
+type offlineConfig struct {
+	Scale   float64
+	Seed    uint64
+	Queries int
+	Batch   int
+	Workers int
+}
+
+// runOffline drives core.Database directly: corpus synthesis (untimed),
+// ingest (timed), then the query phases. Synthesis is excluded from the
+// ingest measurement so frames/sec reports the analysis pipeline —
+// SBD, scene-tree construction, indexing — not the pixel generator.
+func runOffline(cfg offlineConfig) (benchfmt.Report, error) {
+	if cfg.Queries <= 0 {
+		return benchfmt.Report{}, fmt.Errorf("offline mode needs -queries > 0")
+	}
+	defs := experiments.Table5Corpus()
+	clips := make([]*video.Clip, 0, len(defs))
+	var frames int
+	for _, d := range defs {
+		clip, _, err := d.Build(cfg.Scale)
+		if err != nil {
+			return benchfmt.Report{}, fmt.Errorf("synthesizing %q: %w", d.Name, err)
+		}
+		frames += clip.Len()
+		clips = append(clips, clip)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Workers = cfg.Workers
+	db, err := core.Open(opts)
+	if err != nil {
+		return benchfmt.Report{}, err
+	}
+
+	ingestStart := time.Now()
+	if err := db.IngestAll(clips); err != nil {
+		return benchfmt.Report{}, fmt.Errorf("ingest: %w", err)
+	}
+	ingestDur := time.Since(ingestStart)
+
+	queries := sampleQueries(db, cfg.Queries, cfg.Seed)
+	queryHist := benchfmt.NewHistogram()
+	queryStart := time.Now()
+	var matched int64
+	for _, q := range queries {
+		t0 := time.Now()
+		matches, err := db.Query(q)
+		if err != nil {
+			return benchfmt.Report{}, fmt.Errorf("query: %w", err)
+		}
+		queryHist.RecordDuration(time.Since(t0))
+		matched += int64(len(matches))
+	}
+	queryDur := time.Since(queryStart)
+
+	metrics := []benchfmt.Metric{
+		{Name: "corpus_clips", Unit: "clips", Value: float64(len(clips))},
+		{Name: "corpus_frames", Unit: "frames", Value: float64(frames)},
+		{Name: "indexed_shots", Unit: "shots", Value: float64(db.ShotCount())},
+		{Name: "ingest_seconds", Unit: "seconds", Value: ingestDur.Seconds()},
+		{Name: "ingest_frames_per_sec", Unit: "frames/sec",
+			Value: float64(frames) / ingestDur.Seconds()},
+		{Name: "ingest_clips_per_sec", Unit: "clips/sec",
+			Value: float64(len(clips)) / ingestDur.Seconds()},
+		benchfmt.LatencyMetric("query_latency", queryHist),
+		{Name: "query_throughput", Unit: "queries/sec",
+			Value: float64(len(queries)) / queryDur.Seconds()},
+		{Name: "query_mean_matches", Unit: "matches/query",
+			Value: float64(matched) / float64(len(queries))},
+	}
+
+	if cfg.Batch > 0 {
+		batchHist := benchfmt.NewHistogram()
+		batchStart := time.Now()
+		var batched int
+		for lo := 0; lo < len(queries); lo += cfg.Batch {
+			hi := lo + cfg.Batch
+			if hi > len(queries) {
+				hi = len(queries)
+			}
+			t0 := time.Now()
+			if _, err := db.QueryBatch(queries[lo:hi], db.Options().Query); err != nil {
+				return benchfmt.Report{}, fmt.Errorf("batch query: %w", err)
+			}
+			batchHist.RecordDuration(time.Since(t0))
+			batched += hi - lo
+		}
+		batchDur := time.Since(batchStart)
+		metrics = append(metrics,
+			benchfmt.LatencyMetric("batch_latency", batchHist),
+			benchfmt.Metric{Name: "batch_query_throughput", Unit: "queries/sec",
+				Value: float64(batched) / batchDur.Seconds()},
+		)
+	}
+
+	fmt.Printf("offline: %d clips, %d frames ingested in %v (%.0f frames/sec)\n",
+		len(clips), frames, ingestDur.Round(time.Millisecond),
+		float64(frames)/ingestDur.Seconds())
+	d := queryHist.Distribution()
+	fmt.Printf("offline: %d queries, p50 %.3gms p90 %.3gms p99 %.3gms\n",
+		len(queries), d.P50*1e3, d.P90*1e3, d.P99*1e3)
+
+	return benchfmt.Report{
+		Mode: "offline",
+		Config: benchfmt.Config{
+			Scale: cfg.Scale, Seed: cfg.Seed, Clips: len(clips),
+			Queries: cfg.Queries, BatchSize: cfg.Batch, Workers: cfg.Workers,
+		},
+		Environment: environment(),
+		Metrics:     metrics,
+	}, nil
+}
+
+// sampleQueries derives n queries from the ingested shots' real feature
+// vectors, jittered so result sets vary: realistic selectivity instead
+// of uniform noise that would mostly miss the indexed range.
+func sampleQueries(db *core.Database, n int, seed uint64) []varindex.Query {
+	var feats []varindex.Query
+	for _, rec := range db.Records() {
+		for _, sr := range rec.Shots {
+			feats = append(feats, varindex.Query{
+				VarBA: sr.Feature.VarBA, VarOA: sr.Feature.VarOA,
+			})
+		}
+	}
+	r := rng.New(seed)
+	out := make([]varindex.Query, n)
+	for i := range out {
+		base := feats[r.Intn(len(feats))]
+		out[i] = varindex.Query{
+			VarBA: jitter(r, base.VarBA),
+			VarOA: jitter(r, base.VarOA),
+		}
+	}
+	return out
+}
+
+// jitter perturbs a variance by ±20%, clamped non-negative.
+func jitter(r *rng.RNG, v float64) float64 {
+	j := v * r.Float64Range(0.8, 1.2)
+	if j < 0 {
+		return 0
+	}
+	return j
+}

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"videodb/internal/benchfmt"
+	"videodb/internal/rng"
+)
+
+// serverConfig parameterizes an HTTP load run.
+type serverConfig struct {
+	Target      string
+	Concurrency int
+	Duration    time.Duration
+	Seed        uint64
+	Batch       int
+}
+
+// workerStats is one load worker's private tally; workers never share
+// state while the clock runs, so the hot loop takes no locks.
+type workerStats struct {
+	query, clips, batch *benchfmt.Histogram
+	byClass             [6]int64 // index status/100; 0 = transport error
+	requests            int64
+	batchedQueries      int64
+}
+
+func newWorkerStats() *workerStats {
+	return &workerStats{
+		query: benchfmt.NewHistogram(),
+		clips: benchfmt.NewHistogram(),
+		batch: benchfmt.NewHistogram(),
+	}
+}
+
+// runServer drives a running vdbserver with Concurrency workers for
+// Duration, mixing single queries (~80%), clip listings (~10%) and
+// batch queries (~10%, when Batch > 0). Queries jitter around real
+// shot features fetched from the server before the clock starts.
+func runServer(cfg serverConfig) (benchfmt.Report, error) {
+	if cfg.Concurrency < 1 {
+		return benchfmt.Report{}, fmt.Errorf("server mode needs -concurrency >= 1")
+	}
+	base := strings.TrimRight(cfg.Target, "/")
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency * 2,
+			MaxIdleConnsPerHost: cfg.Concurrency * 2,
+		},
+	}
+
+	feats, err := fetchFeatures(client, base)
+	if err != nil {
+		return benchfmt.Report{}, err
+	}
+
+	deadline := time.Now().Add(cfg.Duration)
+	stats := make([]*workerStats, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		st := newWorkerStats()
+		stats[w] = st
+		wg.Add(1)
+		go func(workerSeed uint64) {
+			defer wg.Done()
+			loadWorker(client, base, feats, cfg.Batch, workerSeed, deadline, st)
+		}(cfg.Seed + uint64(w)*7919)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := newWorkerStats()
+	for _, st := range stats {
+		total.query.Merge(st.query)
+		total.clips.Merge(st.clips)
+		total.batch.Merge(st.batch)
+		for i, c := range st.byClass {
+			total.byClass[i] += c
+		}
+		total.requests += st.requests
+		total.batchedQueries += st.batchedQueries
+	}
+	if total.requests == 0 {
+		return benchfmt.Report{}, fmt.Errorf("no requests completed against %s", base)
+	}
+
+	all := benchfmt.NewHistogram()
+	all.Merge(total.query)
+	all.Merge(total.clips)
+	all.Merge(total.batch)
+	errored := total.byClass[0] + total.byClass[4] + total.byClass[5]
+	metrics := []benchfmt.Metric{
+		{Name: "requests_total", Unit: "requests", Value: float64(total.requests)},
+		{Name: "requests_per_sec", Unit: "requests/sec",
+			Value: float64(total.requests) / elapsed.Seconds()},
+		{Name: "error_rate", Unit: "ratio",
+			Value: float64(errored) / float64(total.requests)},
+		{Name: "http_4xx", Unit: "requests", Value: float64(total.byClass[4])},
+		{Name: "http_5xx", Unit: "requests", Value: float64(total.byClass[5])},
+		{Name: "transport_errors", Unit: "requests", Value: float64(total.byClass[0])},
+		benchfmt.LatencyMetric("request_latency", all),
+		benchfmt.LatencyMetric("query_latency", total.query),
+	}
+	if total.clips.Count() > 0 {
+		metrics = append(metrics, benchfmt.LatencyMetric("clips_latency", total.clips))
+	}
+	if total.batch.Count() > 0 {
+		metrics = append(metrics,
+			benchfmt.LatencyMetric("batch_latency", total.batch),
+			benchfmt.Metric{Name: "batch_query_throughput", Unit: "queries/sec",
+				Value: float64(total.batchedQueries) / elapsed.Seconds()})
+	}
+
+	d := all.Distribution()
+	fmt.Printf("server: %d requests in %v — %.0f req/s, p50 %.3gms p90 %.3gms p99 %.3gms, %d 5xx, %d 4xx, %d transport errors\n",
+		total.requests, elapsed.Round(time.Millisecond),
+		float64(total.requests)/elapsed.Seconds(),
+		d.P50*1e3, d.P90*1e3, d.P99*1e3,
+		total.byClass[5], total.byClass[4], total.byClass[0])
+
+	return benchfmt.Report{
+		Mode: "server",
+		Config: benchfmt.Config{
+			Seed: cfg.Seed, BatchSize: cfg.Batch, Target: base,
+			Concurrency: cfg.Concurrency, Duration: cfg.Duration.String(),
+		},
+		Environment: environment(),
+		Metrics:     metrics,
+	}, nil
+}
+
+// feature is one shot's queryable coordinates.
+type feature struct{ varBA, varOA float64 }
+
+// fetchFeatures walks /api/clips and each clip's shot table so the
+// load phase can query around real feature vectors. An empty database
+// is served with synthetic coordinates instead.
+func fetchFeatures(client *http.Client, base string) ([]feature, error) {
+	resp, err := client.Get(base + "/api/clips")
+	if err != nil {
+		return nil, fmt.Errorf("probing %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("probing %s: status %d", base, resp.StatusCode)
+	}
+	var clips []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&clips); err != nil {
+		return nil, fmt.Errorf("probing %s: %w", base, err)
+	}
+
+	var feats []feature
+	for _, c := range clips {
+		r, err := client.Get(base + "/api/clips/" + url.PathEscape(c.Name))
+		if err != nil {
+			return nil, fmt.Errorf("fetching clip %q: %w", c.Name, err)
+		}
+		var detail struct {
+			ShotTable []struct {
+				VarBA float64 `json:"varBA"`
+				VarOA float64 `json:"varOA"`
+			} `json:"shotTable"`
+		}
+		err = json.NewDecoder(r.Body).Decode(&detail)
+		r.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("fetching clip %q: %w", c.Name, err)
+		}
+		for _, s := range detail.ShotTable {
+			feats = append(feats, feature{s.VarBA, s.VarOA})
+		}
+	}
+	if len(feats) == 0 {
+		// Empty server: spread synthetic coordinates over the plausible
+		// variance range so queries still exercise the index path.
+		for i := 0; i < 64; i++ {
+			feats = append(feats, feature{float64(i), float64(i) / 4})
+		}
+	}
+	return feats, nil
+}
+
+// loadWorker issues requests until the deadline, tallying into st.
+func loadWorker(client *http.Client, base string, feats []feature, batchSize int, seed uint64, deadline time.Time, st *workerStats) {
+	r := rng.New(seed)
+	for time.Now().Before(deadline) {
+		roll := r.Float64()
+		switch {
+		case batchSize > 0 && roll < 0.10:
+			st.doBatch(client, base, feats, batchSize, r)
+		case roll < 0.20:
+			st.do(client, st.clips, http.MethodGet, base+"/api/clips", nil)
+		default:
+			f := feats[r.Intn(len(feats))]
+			u := fmt.Sprintf("%s/api/query?varba=%g&varoa=%g",
+				base, jitter(r, f.varBA), jitter(r, f.varOA))
+			st.do(client, st.query, http.MethodGet, u, nil)
+		}
+	}
+}
+
+// doBatch posts one batch of jittered feature queries.
+func (st *workerStats) doBatch(client *http.Client, base string, feats []feature, n int, r *rng.RNG) {
+	qs := make([]map[string]float64, n)
+	for i := range qs {
+		f := feats[r.Intn(len(feats))]
+		qs[i] = map[string]float64{
+			"varba": jitter(r, f.varBA),
+			"varoa": jitter(r, f.varOA),
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"queries": qs})
+	st.do(client, st.batch, http.MethodPost, base+"/api/query/batch", body)
+	st.batchedQueries += int64(n)
+}
+
+// do issues one request, draining the body so connections are reused,
+// and records latency and status class.
+func (st *workerStats) do(client *http.Client, hist *benchfmt.Histogram, method, u string, body []byte) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, u, rd)
+	if err != nil {
+		st.requests++
+		st.byClass[0]++
+		return
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	st.requests++
+	if err != nil {
+		st.byClass[0]++
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	hist.RecordDuration(time.Since(t0))
+	if c := resp.StatusCode / 100; c >= 1 && c <= 5 {
+		st.byClass[c]++
+	}
+}

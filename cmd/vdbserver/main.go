@@ -18,6 +18,8 @@
 //	GET    /api/metrics                      Prometheus text-format metrics
 //	GET    /api/frame?clip=NAME&frame=17     one frame as PNG (needs -corpus)
 //	GET    /api/storyboard?clip=NAME&cols=4  per-shot storyboard PNG (needs -corpus)
+//	POST   /api/query/batch                  many variance queries in one request
+//	GET    /debug/pprof/                     runtime profiling (needs -pprof)
 //
 // The snapshot at -db is loaded on startup (a missing file starts an
 // empty database for live ingest) and written back by POST
@@ -34,6 +36,7 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,6 +58,7 @@ func main() {
 		wrTO    = flag.Duration("write-timeout", 10*time.Minute, "http.Server write timeout (covers ingest analysis)")
 		idleTO  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
 		drain   = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU, heap, goroutine, trace)")
 	)
 	flag.Parse()
 
@@ -78,9 +82,25 @@ func main() {
 		fmt.Printf("media endpoints enabled over %s (%d clips)\n", *corpus, len(cat.Names()))
 	}
 
+	// The pprof mux sits outside the API middleware stack on purpose:
+	// the per-request timeout would truncate a 30-second CPU profile,
+	// and profile downloads have no business in the request metrics.
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Info("pprof endpoints enabled", "path", "/debug/pprof/")
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *rdTO,
 		WriteTimeout:      *wrTO,

@@ -1,0 +1,174 @@
+package benchfmt
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() Report {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Record(float64(i) * 1e-4) // 0.1ms .. 100ms
+	}
+	return Report{
+		Mode:      "offline",
+		Timestamp: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		Config:    Config{Scale: 0.05, Seed: 1, Clips: 22, Queries: 1000, BatchSize: 16},
+		Environment: Environment{
+			GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", NumCPU: 8,
+		},
+		Metrics: []Metric{
+			{Name: "ingest_frames_per_sec", Unit: "frames/sec", Value: 1234.5},
+			{Name: "ingest_clips_per_sec", Unit: "clips/sec", Value: 3.2},
+			LatencyMetric("query_latency", h),
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := sampleReport()
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Schema != SchemaVersion {
+		t.Errorf("schema = %d, want %d", out.Schema, SchemaVersion)
+	}
+	if out.Mode != in.Mode || !out.Timestamp.Equal(in.Timestamp) {
+		t.Errorf("identity fields drifted: %+v", out)
+	}
+	if out.Config != in.Config || out.Environment != in.Environment {
+		t.Errorf("config/env drifted: %+v vs %+v", out.Config, out.Environment)
+	}
+	if len(out.Metrics) != len(in.Metrics) {
+		t.Fatalf("%d metrics, want %d", len(out.Metrics), len(in.Metrics))
+	}
+	m, ok := out.Metric("query_latency")
+	if !ok || m.Distribution == nil {
+		t.Fatal("query_latency metric lost its distribution")
+	}
+	want := in.Metrics[2].Distribution
+	if m.Distribution.Count != want.Count || m.Distribution.P99 != want.P99 {
+		t.Errorf("distribution drifted: %+v vs %+v", m.Distribution, want)
+	}
+}
+
+func TestDecodeRejectsWrongSchemaVersion(t *testing.T) {
+	in := sampleReport()
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	bumped := strings.Replace(buf.String(), `"schema": 1`, `"schema": 99`, 1)
+	_, err := Decode(strings.NewReader(bumped))
+	if !errors.Is(err, ErrSchema) {
+		t.Fatalf("Decode(schema=99) err = %v, want ErrSchema", err)
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	in := sampleReport()
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	widened := strings.Replace(buf.String(), `"mode"`, `"surprise": true, "mode"`, 1)
+	if _, err := Decode(strings.NewReader(widened)); err == nil {
+		t.Fatal("Decode accepted an artifact with an unknown field")
+	}
+}
+
+func TestValidateCatchesMalformedReports(t *testing.T) {
+	base := sampleReport()
+	base.Schema = SchemaVersion
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"no mode", func(r *Report) { r.Mode = "" }},
+		{"no timestamp", func(r *Report) { r.Timestamp = time.Time{} }},
+		{"no metrics", func(r *Report) { r.Metrics = nil }},
+		{"unnamed metric", func(r *Report) { r.Metrics[0].Name = "" }},
+		{"unitless metric", func(r *Report) { r.Metrics[0].Unit = "" }},
+		{"duplicate metric", func(r *Report) { r.Metrics[1].Name = r.Metrics[0].Name }},
+		{"disordered quantiles", func(r *Report) { r.Metrics[2].Distribution.P90 = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := base
+			r.Metrics = append([]Metric(nil), base.Metrics...)
+			d := *base.Metrics[2].Distribution
+			r.Metrics[2].Distribution = &d
+			tc.mutate(&r)
+			if err := r.Validate(); err == nil {
+				t.Error("Validate accepted a malformed report")
+			}
+		})
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 10000; i++ {
+		h.Record(float64(i) * 1e-5) // uniform 10µs .. 100ms
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, tc := range []struct {
+		q, want float64
+	}{{0.50, 0.05}, {0.90, 0.09}, {0.99, 0.099}} {
+		got := h.Quantile(tc.q)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > histGrowth-1 {
+			t.Errorf("Quantile(%v) = %v, want %v ±%v%%", tc.q, got, tc.want, (histGrowth-1)*100)
+		}
+	}
+	if got := h.Quantile(0); got != h.min {
+		t.Errorf("Quantile(0) = %v, want min %v", got, h.min)
+	}
+	if got := h.Quantile(1); got != h.max {
+		t.Errorf("Quantile(1) = %v, want max %v", got, h.max)
+	}
+	if mean := h.Mean(); math.Abs(mean-0.050005) > 1e-9 {
+		t.Errorf("Mean = %v", mean)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, whole := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		v := float64(i) * 1e-4
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Count() != whole.Count() || math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+		t.Fatalf("merge lost observations: %d/%v vs %d/%v",
+			a.Count(), a.Mean(), whole.Count(), whole.Mean())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("Quantile(%v) differs after merge", q)
+		}
+	}
+}
+
+func TestFilename(t *testing.T) {
+	ts := time.Date(2026, 8, 5, 9, 30, 15, 0, time.UTC)
+	if got, want := Filename("offline", ts), "BENCH_offline_20260805T093015Z.json"; got != want {
+		t.Errorf("Filename = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,147 @@
+package benchfmt
+
+import (
+	"math"
+	"time"
+)
+
+// Histogram bucket geometry: geometric buckets from 1µs upward growing
+// 7% per bucket (HDR-style — relative error is bounded by the growth
+// factor at every magnitude, unlike fixed-width buckets). 280 buckets
+// reach past 100s, far beyond any request this repo serves.
+const (
+	histMin     = 1e-6
+	histGrowth  = 1.07
+	histBuckets = 280
+)
+
+// histBound returns bucket i's upper bound in seconds.
+func histBound(i int) float64 {
+	return histMin * math.Pow(histGrowth, float64(i))
+}
+
+// Histogram is a fixed-geometry latency histogram with bounded
+// relative error (±7% per recorded value) and O(1) recording. The
+// zero value is not ready; use NewHistogram. Not safe for concurrent
+// use — give each worker its own and Merge at the end.
+type Histogram struct {
+	counts [histBuckets]int64
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// bucketFor maps a value in seconds to its bucket index.
+func bucketFor(seconds float64) int {
+	if seconds <= histMin {
+		return 0
+	}
+	i := 1 + int(math.Log(seconds/histMin)/math.Log(histGrowth))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Record adds one observation in seconds.
+func (h *Histogram) Record(seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	h.counts[bucketFor(seconds)]++
+	h.count++
+	h.sum += seconds
+	h.min = math.Min(h.min, seconds)
+	h.max = math.Max(h.max, seconds)
+}
+
+// RecordDuration adds one observation.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(d.Seconds()) }
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	h.min = math.Min(h.min, o.min)
+	h.max = math.Max(h.max, o.max)
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the exact mean of all observations (the sum is tracked
+// outside the buckets, so the mean carries no bucketing error).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns the value at quantile q in [0,1], accurate to the
+// bucket growth factor, clamped to the exact observed min and max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank <= 1 {
+		return h.min
+	}
+	if rank >= h.count {
+		return h.max
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			// Report the bucket's geometric midpoint.
+			lo := histMin
+			if i > 0 {
+				lo = histBound(i - 1)
+			}
+			v := math.Sqrt(lo * histBound(i))
+			return math.Min(math.Max(v, h.min), h.max)
+		}
+	}
+	return h.max
+}
+
+// Distribution summarises the histogram for a Report metric.
+func (h *Histogram) Distribution() *Distribution {
+	if h.count == 0 {
+		return nil
+	}
+	return &Distribution{
+		Count: h.count,
+		Min:   h.min,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.max,
+	}
+}
+
+// LatencyMetric builds a Metric whose Value is the histogram mean and
+// whose Distribution carries the quantiles.
+func LatencyMetric(name string, h *Histogram) Metric {
+	return Metric{
+		Name:         name,
+		Unit:         "seconds",
+		Value:        h.Mean(),
+		Distribution: h.Distribution(),
+	}
+}

@@ -339,6 +339,28 @@ func (db *Database) QueryWithOptions(q varindex.Query, opt varindex.Options) ([]
 	return db.resolve(entries), nil
 }
 
+// QueryBatch runs many similarity searches under a single read lock,
+// returning one match slice per query in order. Amortizing the lock
+// (and, through the HTTP layer, the per-request overhead) is what makes
+// bulk similarity lookups cheap: a caller scoring hundreds of candidate
+// impressions pays for one lock acquisition instead of hundreds. The
+// result set is consistent — no concurrent ingest or remove can land
+// between two queries of the same batch. A query that fails validation
+// aborts the batch with an error naming its index.
+func (db *Database) QueryBatch(qs []varindex.Query, opt varindex.Options) ([][]Match, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([][]Match, len(qs))
+	for i, q := range qs {
+		entries, err := db.index.Search(q, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+		out[i] = db.resolve(entries)
+	}
+	return out, nil
+}
+
 // QueryByShot searches for shots similar to an existing shot, excluding
 // the shot itself, returning at most k matches.
 func (db *Database) QueryByShot(clip string, shot, k int) ([]Match, error) {

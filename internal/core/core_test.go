@@ -445,3 +445,49 @@ func TestRemoveClip(t *testing.T) {
 		t.Errorf("re-ingest after removal failed: %v", err)
 	}
 }
+
+func TestQueryBatchMatchesSequentialQueries(t *testing.T) {
+	db := openDB(t)
+	clip, _ := corpusClip(t, "batch", 4)
+	rec, err := db.Ingest(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]varindex.Query, 0, len(rec.Shots)+1)
+	for _, sr := range rec.Shots {
+		queries = append(queries, varindex.Query{VarBA: sr.Feature.VarBA, VarOA: sr.Feature.VarOA})
+	}
+	queries = append(queries, varindex.Query{VarBA: 1e6, VarOA: 0}) // matches nothing
+
+	batches, err := db.QueryBatch(queries, db.Options().Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != len(queries) {
+		t.Fatalf("%d result slices, want %d", len(batches), len(queries))
+	}
+	for i, q := range queries {
+		single, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(single) != len(batches[i]) {
+			t.Fatalf("query %d: sequential returned %d matches, batch %d", i, len(single), len(batches[i]))
+		}
+		for j := range single {
+			if single[j].Entry != batches[i][j].Entry || single[j].Scene != batches[i][j].Scene {
+				t.Errorf("query %d match %d differs between batch and sequential", i, j)
+			}
+		}
+	}
+	if len(batches[len(batches)-1]) != 0 {
+		t.Error("impossible query matched shots")
+	}
+}
+
+func TestQueryBatchRejectsBadOptions(t *testing.T) {
+	db := openDB(t)
+	if _, err := db.QueryBatch([]varindex.Query{{VarBA: 1, VarOA: 1}}, varindex.Options{Alpha: -1}); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}

@@ -1,0 +1,6 @@
+// Package experiments contains the workload definitions and harnesses
+// that regenerate every table and figure of the paper's evaluation
+// (SIGMOD 2000, §5). Each experiment is deterministic: workloads are
+// synthesised from fixed seeds (see DESIGN.md for the substitution
+// rationale) and the harness prints the same rows the paper reports.
+package experiments

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"videodb/internal/impression"
+	"videodb/internal/varindex"
+)
+
+// defaultMaxBatch bounds the number of queries one POST /api/query/batch
+// request may carry; WithMaxBatch overrides it.
+const defaultMaxBatch = 1000
+
+// batchBodyLimit caps a batch request body. Batches are pure JSON —
+// even a maximal one is well under a mebibyte — so anything larger is
+// a client error, not a workload.
+const batchBodyLimit = 1 << 20
+
+// BatchQueryJSON is one query of a batch request: either an impression
+// string or a numeric (varba, varoa) pair, mirroring GET /api/query.
+type BatchQueryJSON struct {
+	Impression string   `json:"impression,omitempty"`
+	VarBA      *float64 `json:"varba,omitempty"`
+	VarOA      *float64 `json:"varoa,omitempty"`
+}
+
+// BatchRequestJSON is the body of POST /api/query/batch. Alpha and
+// Beta default to the database's configured tolerances when omitted.
+type BatchRequestJSON struct {
+	Queries []BatchQueryJSON `json:"queries"`
+	Alpha   *float64         `json:"alpha,omitempty"`
+	Beta    *float64         `json:"beta,omitempty"`
+}
+
+// BatchResponseJSON is the response of POST /api/query/batch: one
+// match slice per query, in request order.
+type BatchResponseJSON struct {
+	Results [][]MatchJSON `json:"results"`
+}
+
+// toQuery validates one batch entry and converts it to an index query.
+func (b BatchQueryJSON) toQuery(i int) (varindex.Query, error) {
+	if b.Impression != "" {
+		if b.VarBA != nil || b.VarOA != nil {
+			return varindex.Query{}, fmt.Errorf("query %d: give impression or varba/varoa, not both", i)
+		}
+		im, err := impression.Parse(b.Impression)
+		if err != nil {
+			return varindex.Query{}, fmt.Errorf("query %d: %w", i, err)
+		}
+		return im.Query(), nil
+	}
+	if b.VarBA == nil || b.VarOA == nil {
+		return varindex.Query{}, fmt.Errorf("query %d: need varba and varoa (or impression)", i)
+	}
+	if *b.VarBA < 0 || *b.VarOA < 0 {
+		return varindex.Query{}, fmt.Errorf("query %d: negative variance", i)
+	}
+	return varindex.Query{VarBA: *b.VarBA, VarOA: *b.VarOA}, nil
+}
+
+// handleQueryBatch implements POST /api/query/batch: many similarity
+// queries answered in one round trip and under one core read lock,
+// amortizing both the HTTP and the locking overhead of bulk lookups.
+// Status codes: 400 for an empty or malformed body, 413 for a batch
+// over the configured size limit, 422 for a body that parses but whose
+// queries are semantically invalid.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, batchBodyLimit))
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, fmt.Errorf("reading batch body: %w", err))
+		return
+	}
+	if len(body) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch body"))
+		return
+	}
+	var req BatchRequestJSON
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding batch body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch has no queries"))
+		return
+	}
+	if len(req.Queries) > s.maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), s.maxBatch))
+		return
+	}
+
+	opt := s.db.Options().Query
+	if req.Alpha != nil {
+		opt.Alpha = *req.Alpha
+	}
+	if req.Beta != nil {
+		opt.Beta = *req.Beta
+	}
+	if err := opt.Validate(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	queries := make([]varindex.Query, len(req.Queries))
+	for i, bq := range req.Queries {
+		q, err := bq.toQuery(i)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		queries[i] = q
+	}
+
+	batches, err := s.db.QueryBatch(queries, opt)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.metrics.addBatch(len(queries))
+	resp := BatchResponseJSON{Results: make([][]MatchJSON, len(batches))}
+	for i, matches := range batches {
+		resp.Results[i] = matchesJSON(matches)
+	}
+	writeJSON(w, resp)
+}

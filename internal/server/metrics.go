@@ -18,9 +18,11 @@ type metricsRegistry struct {
 	mu        sync.Mutex
 	requests  map[string]map[int]int64 // route -> status code -> count
 	durations map[string]*latencyHist  // route -> latency histogram
-	ingests   int64
-	removes   int64
-	snapshots int64
+	ingests      int64
+	removes      int64
+	snapshots    int64
+	batches      int64
+	batchQueries int64
 }
 
 // durationBuckets are the histogram upper bounds in seconds, spanning
@@ -84,6 +86,14 @@ func (m *metricsRegistry) addIngest()   { m.mu.Lock(); m.ingests++; m.mu.Unlock(
 func (m *metricsRegistry) addRemove()   { m.mu.Lock(); m.removes++; m.mu.Unlock() }
 func (m *metricsRegistry) addSnapshot() { m.mu.Lock(); m.snapshots++; m.mu.Unlock() }
 
+// addBatch records one served batch of n queries.
+func (m *metricsRegistry) addBatch(n int) {
+	m.mu.Lock()
+	m.batches++
+	m.batchQueries += int64(n)
+	m.mu.Unlock()
+}
+
 // escapeLabel escapes a Prometheus label value.
 func escapeLabel(v string) string {
 	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
@@ -138,6 +148,8 @@ func (m *metricsRegistry) render(w io.Writer, gauges map[string]float64) {
 		{"videodb_ingests_total", "Clips ingested through POST /api/clips.", m.ingests},
 		{"videodb_removes_total", "Clips removed through DELETE /api/clips/{name}.", m.removes},
 		{"videodb_snapshots_total", "Snapshots persisted through POST /api/snapshot.", m.snapshots},
+		{"videodb_query_batches_total", "Batch requests served through POST /api/query/batch.", m.batches},
+		{"videodb_batch_queries_total", "Individual queries answered inside batch requests.", m.batchQueries},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
 	}

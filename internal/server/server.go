@@ -9,6 +9,7 @@
 //	GET    /api/clips/{name}/tree              the clip's scene tree
 //	GET    /api/query?varba=25&varoa=4         variance query (Eqs. 7–8)
 //	GET    /api/query?impression=bg%3Dhigh+obj%3Dlow
+//	POST   /api/query/batch                    many variance queries, one round trip
 //	GET    /api/similar?clip=NAME&shot=3&k=3   query by example shot
 //	POST   /api/snapshot                       persist analysis state to disk
 //	GET    /api/metrics                        Prometheus text-format metrics
@@ -44,6 +45,7 @@ type Server struct {
 	log          *slog.Logger
 	timeout      time.Duration
 	maxBody      int64
+	maxBatch     int
 	snapshotPath string
 	ingestSem    chan struct{}
 }
@@ -62,6 +64,10 @@ func WithTimeout(d time.Duration) Option { return func(s *Server) { s.timeout = 
 // cap. Default 256 MiB.
 func WithMaxBody(n int64) Option { return func(s *Server) { s.maxBody = n } }
 
+// WithMaxBatch caps the number of queries one POST /api/query/batch
+// request may carry. Default 1000.
+func WithMaxBatch(n int) Option { return func(s *Server) { s.maxBatch = n } }
+
 // WithSnapshotPath enables POST /api/snapshot, persisting to path.
 func WithSnapshotPath(path string) Option { return func(s *Server) { s.snapshotPath = path } }
 
@@ -71,8 +77,9 @@ func New(db *core.Database, opts ...Option) *Server {
 		db:      db,
 		metrics: newMetricsRegistry(),
 		log:     slog.New(slog.NewTextHandler(io.Discard, nil)),
-		timeout: 30 * time.Second,
-		maxBody: 256 << 20,
+		timeout:  30 * time.Second,
+		maxBody:  256 << 20,
+		maxBatch: defaultMaxBatch,
 	}
 	for _, o := range opts {
 		o(s)
@@ -98,6 +105,7 @@ func (s *Server) Handler() http.Handler {
 	route("DELETE /api/clips/{name}", s.handleRemove)
 	route("GET /api/clips/{name}/tree", s.handleTree)
 	route("GET /api/query", s.handleQuery)
+	route("POST /api/query/batch", s.handleQueryBatch)
 	route("GET /api/similar", s.handleSimilar)
 	route("GET /api/frame", s.handleFrame)
 	route("GET /api/storyboard", s.handleStoryboard)

@@ -1,9 +1,3 @@
-// Package synth renders deterministic synthetic video: procedural
-// background locations viewed through a moving camera, moving foreground
-// sprites, sensor noise, and editing effects (cuts, dissolves, flashes).
-// It stands in for the paper's digitized AVI corpus (see DESIGN.md §2);
-// every clip ships with exact ground truth (shot boundaries, location
-// and semantic-class labels), which the algorithms under test never see.
 package synth
 
 import (
