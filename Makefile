@@ -2,7 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet doccheck check cover bench bench-micro bench-server fuzz paper corpus clean
+# Coverage floor (percent) enforced over the orchestration and serving
+# layers — the packages the ingest pipeline and HTTP API live in.
+COVERPKGS   = ./internal/core/...,./internal/server/...
+COVER_FLOOR = 60
+
+# Fresh benchmark artifacts land in a scratch directory, never the repo
+# root: keeping them apart from the committed baseline under results/
+# means the BENCH_offline_*.json glob always names exactly the artifacts
+# of the current run, even with stale files in the tree.
+BENCH_DIR = bench-out
+BASELINE  = results/BENCH_offline_baseline.json
+
+.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server fuzz paper corpus clean
 
 all: build vet test
 
@@ -27,25 +39,52 @@ doccheck:
 			{ echo "doccheck: $$d has no package comment"; fail=1; }; \
 	done; exit $$fail
 
-# The tier-1 verification gate: static checks plus the full test suite
-# under the race detector.
-check: doccheck
-	$(GO) vet ./...
-	$(GO) test -race ./...
+# The tier-1 verification gate: the build first (vet assumes a
+# compiling tree and its errors are noisier than the compiler's), then
+# static checks, then the full test suite under the race detector with
+# a coverage profile for cover-gate. internal/experiments — the paper
+# reproduction harness, by far the slowest suite — runs uninstrumented:
+# atomic coverage counters on the core statements it hammers roughly
+# double its runtime while adding nothing the integration and unit
+# suites don't already cover.
+check: build doccheck vet
+	$(GO) test -race -timeout 30m -covermode=atomic -coverprofile=coverage.out -coverpkg=$(COVERPKGS) $$($(GO) list ./... | grep -v videodb/internal/experiments)
+	$(GO) test -race -timeout 30m ./internal/experiments/
 
 cover:
 	$(GO) test -cover ./internal/...
 
+# Enforce the coverage floor over $(COVERPKGS) using the profile that
+# `make check` wrote.
+cover-gate:
+	@test -f coverage.out || { echo "cover-gate: no coverage.out; run 'make check' first"; exit 1; }
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "cover-gate: core+server coverage $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f) ? 1 : 0 }' || \
+		{ echo "cover-gate: coverage below $(COVER_FLOOR)% floor"; exit 1; }
+
 # The standing perf baseline: a small fixed-seed vdbbench offline run
-# writing a schema-validated BENCH_offline_<timestamp>.json to the repo
-# root (see docs/BENCHMARKING.md).
+# writing a schema-validated BENCH_offline_<timestamp>.json into
+# $(BENCH_DIR) (see docs/BENCHMARKING.md).
 bench:
-	$(GO) run ./cmd/vdbbench -mode offline -scale 0.05 -seed 1 -queries 2000 -batch 16 -out .
+	@mkdir -p $(BENCH_DIR)
+	$(GO) run ./cmd/vdbbench -mode offline -scale 0.05 -seed 1 -queries 2000 -batch 16 -out $(BENCH_DIR)
+
+# The CI perf-regression gate: run the smoke benchmark into a clean
+# scratch directory, validate the artifact, then compare it against the
+# committed baseline — ingest frames/sec or query p90 regressing more
+# than 15% fails the build.
+bench-gate:
+	rm -rf $(BENCH_DIR) && mkdir -p $(BENCH_DIR)
+	$(GO) run ./cmd/vdbbench -mode offline -scale 0.02 -seed 1 -queries 200 -batch 8 -out $(BENCH_DIR)
+	$(GO) run ./cmd/vdbbench -validate $(BENCH_DIR)/BENCH_offline_*.json
+	$(GO) run ./cmd/vdbbench -compare $(BASELINE) $(BENCH_DIR)/BENCH_offline_*.json -tolerance 0.15
 
 # Load-test a running vdbserver (start one with `go run ./cmd/vdbserver
 # -db db.snap`); writes BENCH_server_<timestamp>.json.
 bench-server:
-	$(GO) run ./cmd/vdbbench -mode server -target http://localhost:8080 -concurrency 16 -duration 10s -out .
+	@mkdir -p $(BENCH_DIR)
+	$(GO) run ./cmd/vdbbench -mode server -target http://localhost:8080 -concurrency 16 -duration 10s -out $(BENCH_DIR)
 
 # One testing.B benchmark per paper table/figure plus ablations.
 bench-micro:
@@ -67,4 +106,4 @@ corpus:
 	$(GO) run ./cmd/synthgen -out corpus -set examples -truth
 
 clean:
-	rm -rf corpus db.snap
+	rm -rf corpus db.snap $(BENCH_DIR) coverage.out

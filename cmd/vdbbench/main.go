@@ -28,6 +28,13 @@
 // set, metric well-formedness), prints a one-line summary and exits
 // non-zero on any mismatch — the CI smoke gate.
 //
+//	vdbbench -compare old.json new.json -tolerance 0.15
+//
+// evaluates a candidate artifact against a baseline: the gated
+// hot-path metrics (offline ingest frames/sec, query p90 latency) must
+// not regress by more than -tolerance, or the command prints the gate
+// table and exits non-zero — the CI perf-regression gate.
+//
 // docs/BENCHMARKING.md describes the methodology and every artifact
 // field.
 package main
@@ -52,15 +59,27 @@ func main() {
 		queries     = flag.Int("queries", 2000, "offline: single-query measurements to take")
 		batch       = flag.Int("batch", 16, "queries per batch request; 0 skips the batch phase")
 		scale       = flag.Float64("scale", 0.05, "offline: corpus scale factor in (0,1]")
-		workers     = flag.Int("workers", 0, "offline: ingest worker bound (0 = GOMAXPROCS)")
+		compare     = flag.String("compare", "", "baseline artifact; compare against the candidate artifact argument and exit")
+		tolerance   = flag.Float64("tolerance", 0.15, "compare: fractional regression allowed before the gate fails")
 		target      = flag.String("target", "http://localhost:8080", "server: base URL of the vdbserver under test")
 		concurrency = flag.Int("concurrency", 16, "server: concurrent load-generating workers")
 		duration    = flag.Duration("duration", 10*time.Second, "server: measurement length")
 	)
+	var workers int
+	flag.IntVar(&workers, "workers", 0, "offline: per-frame ingest analysis workers (0 = GOMAXPROCS, 1 = serial)")
+	flag.IntVar(&workers, "j", 0, "alias for -workers")
 	flag.Parse()
 
 	if *validate != "" {
 		if err := validateArtifact(*validate); err != nil {
+			fmt.Fprintf(os.Stderr, "vdbbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *compare != "" {
+		if err := compareArtifacts(*compare, flag.Args(), *tolerance); err != nil {
 			fmt.Fprintf(os.Stderr, "vdbbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -76,7 +95,7 @@ func main() {
 	case "offline":
 		rep, err = runOffline(offlineConfig{
 			Scale: *scale, Seed: *seed, Queries: *queries,
-			Batch: *batch, Workers: *workers,
+			Batch: *batch, Workers: workers,
 		})
 	case "server":
 		rep, err = runServer(serverConfig{
@@ -128,6 +147,74 @@ func writeArtifact(path string, rep benchfmt.Report) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// compareArtifacts runs the perf-regression gate: decode baseline and
+// candidate, evaluate the gated metrics at the tolerance, print the
+// gate table, and return an error when any metric regressed. rest is
+// everything after the parsed flags — the candidate path plus any
+// trailing flags (`vdbbench -compare old.json new.json -tolerance
+// 0.15` puts -tolerance after the first positional argument, where the
+// stdlib flag parser stops), which are re-parsed here so both flag
+// orders work.
+func compareArtifacts(baselinePath string, rest []string, tol float64) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	tolFlag := fs.Float64("tolerance", tol, "fractional regression allowed before the gate fails")
+	if len(rest) < 1 {
+		return fmt.Errorf("-compare needs a candidate artifact: vdbbench -compare old.json new.json [-tolerance 0.15]")
+	}
+	candidatePath := rest[0]
+	if err := fs.Parse(rest[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments after candidate artifact: %v", fs.Args())
+	}
+	baseline, err := readArtifact(baselinePath)
+	if err != nil {
+		return err
+	}
+	candidate, err := readArtifact(candidatePath)
+	if err != nil {
+		return err
+	}
+	if !benchfmt.SameEnvironment(baseline.Environment, candidate.Environment) {
+		fmt.Fprintf(os.Stderr, "vdbbench: warning: baseline and candidate environments differ (%s/%s/%s/%dcpu vs %s/%s/%s/%dcpu); deltas include hardware noise\n",
+			baseline.Environment.GoVersion, baseline.Environment.GOOS, baseline.Environment.GOARCH, baseline.Environment.NumCPU,
+			candidate.Environment.GoVersion, candidate.Environment.GOOS, candidate.Environment.GOARCH, candidate.Environment.NumCPU)
+	}
+	comps, err := benchfmt.Compare(baseline, candidate, *tolFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("perf gate: %s vs %s (tolerance %.0f%%)\n",
+		filepath.Base(baselinePath), filepath.Base(candidatePath), *tolFlag*100)
+	regressed := 0
+	for _, c := range comps {
+		fmt.Println("  " + c.String())
+		if c.Regressed {
+			regressed++
+		}
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d of %d gated metrics regressed beyond %.0f%%", regressed, len(comps), *tolFlag*100)
+	}
+	fmt.Printf("perf gate: ok (%d metrics within tolerance)\n", len(comps))
+	return nil
+}
+
+// readArtifact decodes one artifact file.
+func readArtifact(path string) (benchfmt.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return benchfmt.Report{}, err
+	}
+	defer f.Close()
+	rep, err := benchfmt.Decode(f)
+	if err != nil {
+		return benchfmt.Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }
 
 // validateArtifact decodes and re-validates an artifact, printing a

@@ -43,6 +43,7 @@ func TestOfflineRunProducesValidArtifact(t *testing.T) {
 	}
 	for _, name := range []string{
 		"ingest_frames_per_sec", "ingest_clips_per_sec",
+		"ingest_workers", "ingest_frames_per_sec_serial", "ingest_parallel_speedup",
 		"query_latency", "batch_latency", "batch_query_throughput",
 	} {
 		m, ok := got.Metric(name)
@@ -74,6 +75,52 @@ func TestValidateArtifactRejectsGarbage(t *testing.T) {
 	}
 	if err := validateArtifact(filepath.Join(t.TempDir(), "absent.json")); err == nil {
 		t.Error("validateArtifact accepted a missing file")
+	}
+}
+
+// TestCompareArtifactsCLI exercises the gate end to end through the
+// same code path the CI bench-gate job invokes, including the ISSUE's
+// literal argument order (candidate path before trailing -tolerance).
+func TestCompareArtifactsCLI(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, fps float64) string {
+		h := benchfmt.NewHistogram()
+		for i := 1; i <= 100; i++ {
+			h.Record(float64(i) * 1e-4)
+		}
+		rep := benchfmt.Report{
+			Mode:      "offline",
+			Timestamp: time.Now().UTC(),
+			Config:    benchfmt.Config{Scale: 0.02, Seed: 1, Clips: 22, Queries: 100},
+			Environment: benchfmt.Environment{
+				GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", NumCPU: 8,
+			},
+			Metrics: []benchfmt.Metric{
+				{Name: "ingest_frames_per_sec", Unit: "frames/sec", Value: fps},
+				benchfmt.LatencyMetric("query_latency", h),
+			},
+		}
+		path := filepath.Join(dir, name)
+		if err := writeArtifact(path, rep); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := write("old.json", 1000)
+	same := write("same.json", 1000)
+	slow := write("slow.json", 700) // 30% drop: beyond any sane tolerance
+
+	if err := compareArtifacts(old, []string{same, "-tolerance", "0.15"}, 0.15); err != nil {
+		t.Errorf("identical artifacts failed the gate: %v", err)
+	}
+	if err := compareArtifacts(old, []string{slow}, 0.15); err == nil {
+		t.Error("30%% ingest regression passed the gate")
+	}
+	if err := compareArtifacts(old, nil, 0.15); err == nil {
+		t.Error("missing candidate path accepted")
+	}
+	if err := compareArtifacts(old, []string{slow, "-tolerance", "0.5"}, 0.15); err != nil {
+		t.Errorf("trailing -tolerance not honored: %v", err)
 	}
 }
 

@@ -25,6 +25,12 @@ type offlineConfig struct {
 // ingest (timed), then the query phases. Synthesis is excluded from the
 // ingest measurement so frames/sec reports the analysis pipeline —
 // SBD, scene-tree construction, indexing — not the pixel generator.
+//
+// Ingest is measured twice: once fully serial (-j 1) as the reference,
+// then at the configured width (-j, 0 = GOMAXPROCS), whose figures are
+// the artifact's headline `ingest_*` metrics and the perf gate's
+// subject. The ratio lands in `ingest_parallel_speedup`, so every
+// artifact documents what the parallel pipeline buys on its hardware.
 func runOffline(cfg offlineConfig) (benchfmt.Report, error) {
 	if cfg.Queries <= 0 {
 		return benchfmt.Report{}, fmt.Errorf("offline mode needs -queries > 0")
@@ -42,8 +48,19 @@ func runOffline(cfg offlineConfig) (benchfmt.Report, error) {
 	}
 
 	opts := core.DefaultOptions()
-	opts.Workers = cfg.Workers
-	db, err := core.Open(opts)
+
+	// Serial reference pass (-j 1) into a throwaway database.
+	serialDB, err := core.Open(opts, core.WithParallelism(1))
+	if err != nil {
+		return benchfmt.Report{}, err
+	}
+	serialStart := time.Now()
+	if err := serialDB.IngestAll(clips); err != nil {
+		return benchfmt.Report{}, fmt.Errorf("serial ingest: %w", err)
+	}
+	serialDur := time.Since(serialStart)
+
+	db, err := core.Open(opts, core.WithParallelism(cfg.Workers))
 	if err != nil {
 		return benchfmt.Report{}, err
 	}
@@ -78,6 +95,12 @@ func runOffline(cfg offlineConfig) (benchfmt.Report, error) {
 			Value: float64(frames) / ingestDur.Seconds()},
 		{Name: "ingest_clips_per_sec", Unit: "clips/sec",
 			Value: float64(len(clips)) / ingestDur.Seconds()},
+		{Name: "ingest_workers", Unit: "workers", Value: float64(db.Workers())},
+		{Name: "ingest_serial_seconds", Unit: "seconds", Value: serialDur.Seconds()},
+		{Name: "ingest_frames_per_sec_serial", Unit: "frames/sec",
+			Value: float64(frames) / serialDur.Seconds()},
+		{Name: "ingest_parallel_speedup", Unit: "x",
+			Value: serialDur.Seconds() / ingestDur.Seconds()},
 		benchfmt.LatencyMetric("query_latency", queryHist),
 		{Name: "query_throughput", Unit: "queries/sec",
 			Value: float64(len(queries)) / queryDur.Seconds()},
@@ -109,9 +132,12 @@ func runOffline(cfg offlineConfig) (benchfmt.Report, error) {
 		)
 	}
 
-	fmt.Printf("offline: %d clips, %d frames ingested in %v (%.0f frames/sec)\n",
+	fmt.Printf("offline: %d clips, %d frames ingested in %v (%.0f frames/sec, -j %d)\n",
 		len(clips), frames, ingestDur.Round(time.Millisecond),
-		float64(frames)/ingestDur.Seconds())
+		float64(frames)/ingestDur.Seconds(), db.Workers())
+	fmt.Printf("offline: serial reference (-j 1) %v (%.0f frames/sec) — speedup %.2fx\n",
+		serialDur.Round(time.Millisecond), float64(frames)/serialDur.Seconds(),
+		serialDur.Seconds()/ingestDur.Seconds())
 	d := queryHist.Distribution()
 	fmt.Printf("offline: %d queries, p50 %.3gms p90 %.3gms p99 %.3gms\n",
 		len(queries), d.P50*1e3, d.P90*1e3, d.P99*1e3)

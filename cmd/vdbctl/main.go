@@ -5,7 +5,7 @@
 // Usage:
 //
 //	vdbctl ingest -db db.snap clip1.vdbf clip2.vdbf ...
-//	vdbctl ingest -db db.snap -dir ./corpus
+//	vdbctl ingest -db db.snap -dir ./corpus [-j workers]
 //	vdbctl info   -db db.snap
 //	vdbctl tree   -db db.snap -clip "Wag the Dog"
 //	vdbctl query  -db db.snap -varba 25 -varoa 4 [-alpha 1 -beta 1]
@@ -88,17 +88,18 @@ commands:
 }
 
 // loadDB opens an existing snapshot, or a fresh database if the file
-// does not exist yet.
-func loadDB(path string) (*core.Database, error) {
+// does not exist yet. OpenOptions (e.g. a -j flag's WithParallelism)
+// apply either way.
+func loadDB(path string, extra ...core.OpenOption) (*core.Database, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return core.Open(core.DefaultOptions())
+		return core.Open(core.DefaultOptions(), extra...)
 	}
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return core.Load(f)
+	return core.Load(f, extra...)
 }
 
 func saveDB(path string, db *core.Database) error {
@@ -182,9 +183,10 @@ func cmdIngest(args []string) error {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	dbPath := fs.String("db", "db.snap", "snapshot file")
 	dir := fs.String("dir", "", "ingest every VDBF clip in this directory")
+	jobs := fs.Int("j", 0, "per-frame analysis workers (0 = GOMAXPROCS, 1 = serial)")
 	fs.Parse(args)
 
-	db, err := loadDB(*dbPath)
+	db, err := loadDB(*dbPath, core.WithParallelism(*jobs))
 	if err != nil {
 		return err
 	}
@@ -209,9 +211,10 @@ func cmdIngest(args []string) error {
 		}
 		clips = append(clips, clip)
 	}
-	// IngestAll analyzes concurrently and joins every failure into one
-	// error; clips that succeeded stay ingested, so the snapshot is
-	// saved even on partial failure.
+	// IngestAll analyzes clips in order — each clip's per-frame
+	// pipeline fans out across -j workers — and joins every failure
+	// into one error; clips that succeeded stay ingested, so the
+	// snapshot is saved even on partial failure.
 	before := make(map[string]bool)
 	for _, n := range db.Clips() {
 		before[n] = true

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -59,10 +60,11 @@ func main() {
 		idleTO  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
 		drain   = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
 		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU, heap, goroutine, trace)")
+		jobs    = flag.Int("j", 0, "per-frame ingest analysis workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
-	db, err := loadDB(*dbPath)
+	db, err := loadDB(*dbPath, core.WithParallelism(*jobs))
 	if err != nil {
 		log.Fatalf("vdbserver: %v", err)
 	}
@@ -98,6 +100,9 @@ func main() {
 		logger.Info("pprof endpoints enabled", "path", "/debug/pprof/")
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -106,10 +111,13 @@ func main() {
 		WriteTimeout:      *wrTO,
 		IdleTimeout:       *idleTO,
 		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
+		// Deriving request contexts from the signal context cancels
+		// in-flight ingest analysis pipelines on shutdown: a SIGTERM
+		// aborts the worker pool mid-clip (the upload answers 503)
+		// instead of holding the drain window open for minutes of
+		// analysis nobody will wait for.
+		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	fmt.Printf("serving %d clips (%d shots) on %s\n", len(db.Clips()), db.ShotCount(), *addr)
 	serveErr := make(chan error, 1)
@@ -136,16 +144,17 @@ func main() {
 
 // loadDB opens the snapshot, or an empty database when the file does
 // not exist yet (a fresh server ingesting live over POST /api/clips).
-func loadDB(path string) (*core.Database, error) {
+// OpenOptions (e.g. -j's WithParallelism) apply either way.
+func loadDB(path string, extra ...core.OpenOption) (*core.Database, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return core.Open(core.DefaultOptions())
+		return core.Open(core.DefaultOptions(), extra...)
 	}
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	db, err := core.Load(f)
+	db, err := core.Load(f, extra...)
 	if err != nil {
 		return nil, fmt.Errorf("loading snapshot %s: %w", path, err)
 	}

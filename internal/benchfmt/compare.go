@@ -1,0 +1,144 @@
+package benchfmt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Comparison is one gated metric's old-vs-new evaluation.
+type Comparison struct {
+	// Metric names what was compared: a metric name, with ".p90"
+	// appended when the gate reads a distribution quantile instead of
+	// the scalar value.
+	Metric string
+	// Old and New are the baseline and candidate readings.
+	Old, New float64
+	// Delta is the fractional change (New−Old)/Old.
+	Delta float64
+	// HigherIsBetter records the metric's good direction (throughputs
+	// true, latencies false).
+	HigherIsBetter bool
+	// Regressed reports whether New is worse than Old by more than the
+	// tolerance, in the metric's harmful direction.
+	Regressed bool
+}
+
+// String formats the comparison as one gate-report line.
+func (c Comparison) String() string {
+	verdict := "ok"
+	if c.Regressed {
+		verdict = "REGRESSED"
+	}
+	return fmt.Sprintf("%-28s old %12.4g  new %12.4g  %+6.1f%%  %s",
+		c.Metric, c.Old, c.New, 100*c.Delta, verdict)
+}
+
+// gate declares one metric the perf-regression gate enforces.
+type gate struct {
+	metric string
+	// quantile selects a distribution quantile ("p90") instead of the
+	// scalar value when non-empty.
+	quantile       string
+	higherIsBetter bool
+	// slack is an absolute change (in the metric's unit) that must ALSO
+	// be exceeded before a relative regression counts. Indexed queries
+	// at smoke scale answer in microseconds, where a 15% relative move
+	// is timer jitter; a real regression (say an O(n) scan replacing
+	// the index) clears any sane absolute bar instantly.
+	slack float64
+}
+
+// offlineGates are the hot-path metrics the CI bench-gate enforces for
+// offline artifacts: ingest throughput must not fall and query p90
+// latency must not rise by more than the tolerance (and, for the
+// microsecond-scale latency, by at least 0.5ms absolute).
+var offlineGates = []gate{
+	{metric: "ingest_frames_per_sec", higherIsBetter: true},
+	{metric: "query_latency", quantile: "p90", higherIsBetter: false, slack: 500e-6},
+}
+
+// Compare evaluates a candidate report against a baseline at the given
+// fractional tolerance (0.15 = 15%), checking the gated hot-path
+// metrics of the reports' mode. Both reports must be the same mode and
+// carry every gated metric; a missing metric is an error, not a pass —
+// a benchmark that silently stopped measuring a hot path must not turn
+// the gate green. The returned comparisons include non-regressed
+// metrics so callers can print the full gate table.
+func Compare(baseline, candidate Report, tolerance float64) ([]Comparison, error) {
+	if tolerance <= 0 || tolerance >= 1 {
+		return nil, fmt.Errorf("benchfmt: tolerance %v outside (0,1)", tolerance)
+	}
+	if baseline.Mode != candidate.Mode {
+		return nil, fmt.Errorf("benchfmt: comparing %s baseline against %s candidate", baseline.Mode, candidate.Mode)
+	}
+	if baseline.Mode != "offline" {
+		return nil, fmt.Errorf("benchfmt: no gates defined for mode %q", baseline.Mode)
+	}
+	out := make([]Comparison, 0, len(offlineGates))
+	for _, g := range offlineGates {
+		oldV, err := gateValue(baseline, g)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		newV, err := gateValue(candidate, g)
+		if err != nil {
+			return nil, fmt.Errorf("candidate: %w", err)
+		}
+		c := Comparison{
+			Metric:         g.metric,
+			Old:            oldV,
+			New:            newV,
+			HigherIsBetter: g.higherIsBetter,
+		}
+		if g.quantile != "" {
+			c.Metric += "." + g.quantile
+		}
+		if oldV != 0 {
+			c.Delta = (newV - oldV) / oldV
+		}
+		if g.higherIsBetter {
+			c.Regressed = newV < oldV*(1-tolerance) && oldV-newV > g.slack
+		} else {
+			c.Regressed = newV > oldV*(1+tolerance) && newV-oldV > g.slack
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// gateValue extracts a gate's reading from a report.
+func gateValue(r Report, g gate) (float64, error) {
+	m, ok := r.Metric(g.metric)
+	if !ok {
+		return 0, fmt.Errorf("benchfmt: report has no metric %q", g.metric)
+	}
+	v := m.Value
+	if g.quantile != "" {
+		if m.Distribution == nil {
+			return 0, fmt.Errorf("benchfmt: metric %q has no distribution", g.metric)
+		}
+		switch g.quantile {
+		case "p50":
+			v = m.Distribution.P50
+		case "p90":
+			v = m.Distribution.P90
+		case "p99":
+			v = m.Distribution.P99
+		default:
+			return 0, fmt.Errorf("benchfmt: unknown quantile %q", g.quantile)
+		}
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("benchfmt: metric %q reads %v", g.metric, v)
+	}
+	return v, nil
+}
+
+// SameEnvironment reports whether two runs executed on comparable
+// hardware and toolchain (hostname excluded — CI runners are
+// ephemeral). Comparisons across differing environments are noise;
+// callers should surface a warning rather than fail.
+func SameEnvironment(a, b Environment) bool {
+	return a.GoVersion == b.GoVersion && a.GOOS == b.GOOS &&
+		a.GOARCH == b.GOARCH && a.NumCPU == b.NumCPU
+}

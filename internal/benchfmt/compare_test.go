@@ -1,0 +1,154 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+// gatedReport builds an offline report with the two gated metrics set
+// to the given readings (ingest throughput and query p90 latency).
+func gatedReport(fps, p90 float64) Report {
+	rep := sampleReport()
+	rep.Metrics = []Metric{
+		{Name: "ingest_frames_per_sec", Unit: "frames/sec", Value: fps},
+		{Name: "query_latency", Unit: "seconds", Value: p90 / 2, Distribution: &Distribution{
+			Count: 1000, Min: p90 / 10, Max: p90 * 2,
+			Mean: p90 / 2, P50: p90 / 2, P90: p90, P99: p90 * 1.5,
+		}},
+	}
+	return rep
+}
+
+func TestCompareIdenticalReportsPass(t *testing.T) {
+	base := gatedReport(1000, 0.010)
+	comps, err := Compare(base, base, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("%d comparisons, want 2", len(comps))
+	}
+	for _, c := range comps {
+		if c.Regressed {
+			t.Errorf("%s regressed on identical reports: %+v", c.Metric, c)
+		}
+		if c.Delta != 0 {
+			t.Errorf("%s delta = %v on identical reports", c.Metric, c.Delta)
+		}
+	}
+}
+
+// TestCompareFlagsInjectedRegression is the acceptance criterion in
+// miniature: a 20% drop in ingest throughput must turn the gate red at
+// the default 15% tolerance.
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	base := gatedReport(1000, 0.010)
+
+	slowIngest := gatedReport(800, 0.010) // 20% fewer frames/sec
+	comps, err := Compare(base, slowIngest, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !comps[0].Regressed {
+		t.Errorf("20%% ingest drop not flagged: %+v", comps[0])
+	}
+	if comps[1].Regressed {
+		t.Errorf("unchanged latency flagged: %+v", comps[1])
+	}
+	if !strings.Contains(comps[0].String(), "REGRESSED") {
+		t.Errorf("String() hides the verdict: %q", comps[0].String())
+	}
+
+	slowQueries := gatedReport(1000, 0.012) // p90 up 20%
+	comps, err = Compare(base, slowQueries, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if comps[0].Regressed || !comps[1].Regressed {
+		t.Errorf("latency regression misattributed: %+v", comps)
+	}
+}
+
+func TestCompareWithinToleranceNoise(t *testing.T) {
+	base := gatedReport(1000, 0.010)
+	// 10% worse on both axes: inside the 15% band, gate stays green.
+	noisy := gatedReport(900, 0.011)
+	comps, err := Compare(base, noisy, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	for _, c := range comps {
+		if c.Regressed {
+			t.Errorf("10%% noise flagged at 15%% tolerance: %+v", c)
+		}
+	}
+	// Microsecond-scale latency jitter: +100% relative but far under
+	// the 0.5ms absolute slack — timer noise, not a regression.
+	microBase := gatedReport(1000, 10e-6)
+	microJitter := gatedReport(1000, 20e-6)
+	comps, err = Compare(microBase, microJitter, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if comps[1].Regressed {
+		t.Errorf("sub-slack latency jitter flagged: %+v", comps[1])
+	}
+	// Improvements never fail the gate.
+	better := gatedReport(2000, 0.005)
+	comps, err = Compare(base, better, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	for _, c := range comps {
+		if c.Regressed {
+			t.Errorf("improvement flagged as regression: %+v", c)
+		}
+	}
+}
+
+func TestCompareRejectsBadInputs(t *testing.T) {
+	base := gatedReport(1000, 0.010)
+
+	if _, err := Compare(base, base, 0); err == nil {
+		t.Error("tolerance 0 accepted")
+	}
+	if _, err := Compare(base, base, 1.5); err == nil {
+		t.Error("tolerance 1.5 accepted")
+	}
+
+	server := base
+	server.Mode = "server"
+	if _, err := Compare(base, server, 0.15); err == nil {
+		t.Error("cross-mode comparison accepted")
+	}
+	if _, err := Compare(server, server, 0.15); err == nil {
+		t.Error("ungated mode accepted")
+	}
+
+	// A candidate that silently stopped measuring a gated hot path must
+	// error, not pass.
+	missing := gatedReport(1000, 0.010)
+	missing.Metrics = missing.Metrics[:1]
+	if _, err := Compare(base, missing, 0.15); err == nil {
+		t.Error("missing gated metric accepted")
+	}
+
+	noDist := gatedReport(1000, 0.010)
+	noDist.Metrics[1].Distribution = nil
+	if _, err := Compare(base, noDist, 0.15); err == nil {
+		t.Error("gated quantile without distribution accepted")
+	}
+}
+
+func TestSameEnvironment(t *testing.T) {
+	a := Environment{GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", NumCPU: 8, Hostname: "ci-1"}
+	b := a
+	b.Hostname = "ci-2" // ephemeral runners: hostname excluded
+	if !SameEnvironment(a, b) {
+		t.Error("hostname difference treated as environment change")
+	}
+	b.NumCPU = 4
+	if SameEnvironment(a, b) {
+		t.Error("CPU-count difference missed")
+	}
+}

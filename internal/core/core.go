@@ -8,11 +8,15 @@
 //	Step 3: a variance-based index over all shots, answering similarity
 //	        queries with the scene nodes at which to start browsing.
 //
-// A Database is safe for concurrent use; ingestion of independent clips
-// proceeds in parallel.
+// A Database is safe for concurrent use. Ingest runs a two-phase
+// pipeline: per-frame analysis fans out across a bounded worker pool
+// (Options.Workers, see WithParallelism) into an ordered stream that
+// the strictly sequential pairwise shot detector consumes in frame
+// order, so parallel and serial ingests are bit-identical.
 package core
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -20,6 +24,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"videodb/internal/feature"
 	"videodb/internal/sbd"
@@ -44,8 +49,23 @@ type Options struct {
 	Tree scenetree.Config
 	// Query holds the default α/β similarity tolerances.
 	Query varindex.Options
-	// Workers bounds ingest concurrency; 0 means GOMAXPROCS.
+	// Workers bounds the per-frame worker pool of the ingest pipeline;
+	// 0 means GOMAXPROCS. Set it through WithParallelism when opening
+	// or loading a database.
 	Workers int
+}
+
+// OpenOption adjusts a database's Options beyond what a caller built
+// the struct with — the hook CLI flags (vdbctl/vdbserver -j) use to
+// override knobs a snapshot carries.
+type OpenOption func(*Options)
+
+// WithParallelism bounds the ingest pipeline's per-frame worker pool:
+// n workers fan out the reduction of each frame to signature and signs
+// while the sequential three-stage boundary test consumes the results
+// in frame order. 0 restores the default, GOMAXPROCS.
+func WithParallelism(n int) OpenOption {
+	return func(o *Options) { o.Workers = n }
 }
 
 // DefaultOptions returns the paper's parameters throughout.
@@ -68,6 +88,28 @@ type ShotRecord struct {
 	RepFrame int
 }
 
+// IngestStats is the pipeline telemetry of one clip's ingest: which
+// phases the wall-clock went to and how wide the per-frame pool ran.
+// It is not persisted in snapshots — a loaded record reports zeros.
+type IngestStats struct {
+	// Workers is the per-frame worker bound the pipeline ran with
+	// (resolved, never 0).
+	Workers int
+	// AnalyzeSeconds is the wall-clock time of the overlapped phase:
+	// parallel per-frame reduction plus the sequential boundary test
+	// consuming it.
+	AnalyzeSeconds float64
+	// DetectSeconds is the share of AnalyzeSeconds the consumer spent
+	// in the sequential three-stage test — the Amdahl floor of the
+	// pipeline.
+	DetectSeconds float64
+	// TreeSeconds is scene-tree construction time.
+	TreeSeconds float64
+	// IndexSeconds is per-shot feature extraction and index-entry
+	// construction time.
+	IndexSeconds float64
+}
+
 // ClipRecord is the stored state of one ingested clip.
 type ClipRecord struct {
 	// Name is the clip's unique name.
@@ -80,6 +122,9 @@ type ClipRecord struct {
 	Tree *scenetree.Tree
 	// Stats is the SBD stage telemetry.
 	Stats sbd.Stats
+	// Pipeline is the ingest-pipeline telemetry (zero on records loaded
+	// from a snapshot).
+	Pipeline IngestStats
 }
 
 // Match is one query result: the matching shot plus the largest scene
@@ -104,8 +149,12 @@ type Database struct {
 	index    *varindex.Index
 }
 
-// Open creates an empty database with the given options.
-func Open(opts Options) (*Database, error) {
+// Open creates an empty database with the given options, adjusted by
+// any OpenOptions.
+func Open(opts Options, extra ...OpenOption) (*Database, error) {
+	for _, o := range extra {
+		o(&opts)
+	}
 	if err := opts.SBD.Validate(); err != nil {
 		return nil, err
 	}
@@ -129,18 +178,37 @@ func Open(opts Options) (*Database, error) {
 // Options returns the database's configuration.
 func (db *Database) Options() Options { return db.opts }
 
+// Workers returns the resolved per-frame worker bound of the ingest
+// pipeline (Options.Workers with 0 mapped to GOMAXPROCS).
+func (db *Database) Workers() int {
+	if db.opts.Workers > 0 {
+		return db.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Ingest analyzes one clip and adds it to the database. Clip names must
 // be unique: the name is reserved before the (expensive) analysis runs,
 // so a duplicate fails immediately instead of after seconds of wasted
 // CPU, and two concurrent ingests of the same name cannot both commit.
 func (db *Database) Ingest(clip *video.Clip) (*ClipRecord, error) {
+	return db.IngestContext(context.Background(), clip)
+}
+
+// IngestContext is Ingest under a context: cancelling ctx stops the
+// analysis pipeline promptly (no goroutines outlive the call), releases
+// the clip's name reservation, and leaves the database unchanged. The
+// HTTP layer threads each upload's request context through here, so an
+// abandoned upload or a server shutdown aborts the analysis instead of
+// burning CPU on a result nobody will read.
+func (db *Database) IngestContext(ctx context.Context, clip *video.Clip) (*ClipRecord, error) {
 	if clip == nil || clip.Name == "" {
 		return nil, fmt.Errorf("core: clip has no name")
 	}
 	if err := db.reserve(clip.Name); err != nil {
 		return nil, err
 	}
-	rec, entries, err := db.analyze(clip)
+	rec, entries, err := db.analyze(ctx, clip)
 
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -170,7 +238,16 @@ func (db *Database) reserve(name string) error {
 }
 
 // analyze runs steps 1–3 for one clip without touching shared state.
-func (db *Database) analyze(clip *video.Clip) (*ClipRecord, []varindex.Entry, error) {
+//
+// Step 1 is the two-phase pipeline: a bounded worker pool
+// (Options.Workers, 0 meaning GOMAXPROCS) fans the per-frame reduction
+// — FBA/FOA extraction, TBA transform, pyramid → signature → signs —
+// out across frames, while the caller's goroutine consumes the results
+// strictly in frame order and runs the sequential three-stage
+// sign/signature/background-tracking test between consecutive frames.
+// Only the pairwise comparison is order-dependent, so shot boundaries
+// are bit-identical to a fully serial run at any worker count.
+func (db *Database) analyze(ctx context.Context, clip *video.Clip) (*ClipRecord, []varindex.Entry, error) {
 	if err := clip.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -186,20 +263,37 @@ func (db *Database) analyze(clip *video.Clip) (*ClipRecord, []varindex.Entry, er
 		return nil, nil, fmt.Errorf("core: clip %q: %w", clip.Name, err)
 	}
 
-	// Step 1: segment into shots, computing frame features once
-	// (parallel across frames; Options.Workers bounds it, 0 meaning
-	// GOMAXPROCS).
-	feats := an.AnalyzeClipParallel(clip, db.opts.Workers)
-	bounds, stats := det.DetectFeatures(feats)
+	// Step 1: segment into shots, computing frame features once.
+	pstats := IngestStats{Workers: db.Workers()}
+	feats := make([]feature.FrameFeature, 0, clip.Len())
+	stream := det.NewStream()
+	var detectDur time.Duration
+	analyzeStart := time.Now()
+	err = an.AnalyzeClipStream(ctx, clip, db.opts.Workers,
+		func(i int, ff feature.FrameFeature) {
+			feats = append(feats, ff)
+			t0 := time.Now()
+			stream.Push(&feats[i])
+			detectDur += time.Since(t0)
+		})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: clip %q: %w", clip.Name, err)
+	}
+	pstats.AnalyzeSeconds = time.Since(analyzeStart).Seconds()
+	pstats.DetectSeconds = detectDur.Seconds()
+	bounds, stats := stream.Result()
 	shots := sbd.ShotsFromBoundaries(bounds, clip.Len())
 
 	// Step 2: build the scene tree.
+	treeStart := time.Now()
 	tree, err := scenetree.Build(db.opts.Tree, feats, shots)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: clip %q: %w", clip.Name, err)
 	}
+	pstats.TreeSeconds = time.Since(treeStart).Seconds()
 
 	// Step 3: per-shot feature vectors and index entries.
+	indexStart := time.Now()
 	rec := &ClipRecord{
 		Name:   clip.Name,
 		Frames: clip.Len(),
@@ -222,47 +316,39 @@ func (db *Database) analyze(clip *video.Clip) (*ClipRecord, []varindex.Entry, er
 			MeanBA: sf.MeanBA,
 		})
 	}
+	pstats.IndexSeconds = time.Since(indexStart).Seconds()
+	rec.Pipeline = pstats
 	return rec, entries, nil
 }
 
-// IngestAll ingests clips concurrently (bounded by Options.Workers).
-// Every failure is collected and returned joined with errors.Join, so a
-// multi-clip batch reports each failing clip, not just one. Clips that
-// ingest successfully stay in the database even when others fail.
+// IngestAll ingests clips in order. Every failure is collected and
+// returned joined with errors.Join, so a multi-clip batch reports each
+// failing clip, not just one. Clips that ingest successfully stay in
+// the database even when others fail.
+//
+// Clips are processed sequentially on purpose: each clip's frame
+// pipeline already fans out across Options.Workers cores, so running
+// clips concurrently on top of it would oversubscribe the CPU without
+// adding throughput. This also makes batch ingest deterministic —
+// clips land in argument order.
 func (db *Database) IngestAll(clips []*video.Clip) error {
-	workers := db.opts.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(clips) {
-		workers = len(clips)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan *video.Clip)
-	errs := make(chan error, len(clips))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for clip := range jobs {
-				if _, err := db.Ingest(clip); err != nil {
-					errs <- err
-				}
-			}
-		}()
-	}
-	for _, c := range clips {
-		jobs <- c
-	}
-	close(jobs)
-	wg.Wait()
-	close(errs)
+	return db.IngestAllContext(context.Background(), clips)
+}
+
+// IngestAllContext is IngestAll under a context. Cancellation stops
+// between clips and aborts the in-flight clip's analysis; clips already
+// committed stay in the database, and the cancellation error joins the
+// per-clip failures.
+func (db *Database) IngestAllContext(ctx context.Context, clips []*video.Clip) error {
 	var all []error
-	for err := range errs {
-		all = append(all, err)
+	for _, c := range clips {
+		if err := ctx.Err(); err != nil {
+			all = append(all, err)
+			break
+		}
+		if _, err := db.IngestContext(ctx, c); err != nil {
+			all = append(all, err)
+		}
 	}
 	return errors.Join(all...)
 }
@@ -448,13 +534,14 @@ func (db *Database) clipNamesLocked() []string {
 }
 
 // Load reads a snapshot written by Save and returns the reconstructed
-// database.
-func Load(r io.Reader) (*Database, error) {
+// database. OpenOptions override knobs the snapshot carries (e.g.
+// WithParallelism for a CLI -j flag).
+func Load(r io.Reader, extra ...OpenOption) (*Database, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
-	db, err := Open(snap.Options)
+	db, err := Open(snap.Options, extra...)
 	if err != nil {
 		return nil, err
 	}

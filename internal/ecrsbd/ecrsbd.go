@@ -14,6 +14,9 @@ package ecrsbd
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"videodb/internal/video"
 )
@@ -197,20 +200,67 @@ func ECR(prev, cur []bool, w, h, radius int) (ecr float64, prevCount, curCount i
 	return rOut, prevCount, curCount
 }
 
+// Reduce is the detector's pure per-frame reduction step: the binary
+// edge map of one frame under the configured threshold. It depends on
+// no other frame, so callers may fan it out across a worker pool and
+// keep only the pairwise Compare sequential.
+func (d *Detector) Reduce(f *video.Frame) []bool {
+	return EdgeMap(f, d.cfg.EdgeThreshold)
+}
+
+// Compare is the pairwise step over two precomputed edge maps: the edge
+// change ratio, forced to 0 when either map has too few edge pixels for
+// a stable ratio.
+func (d *Detector) Compare(prev, cur []bool, w, h int) float64 {
+	ecr, pc, cc := ECR(prev, cur, w, h, d.cfg.DilateRadius)
+	if pc < d.cfg.MinEdgePixels || cc < d.cfg.MinEdgePixels {
+		return 0
+	}
+	return ecr
+}
+
 // Series computes the per-pair ECR values for a clip.
 func (d *Detector) Series(c *video.Clip) []float64 {
+	return d.SeriesParallel(c, 1)
+}
+
+// SeriesParallel is Series with the per-frame Reduce step spread over
+// the given number of workers (0 = GOMAXPROCS). Edge maps are
+// independent per frame, so the result is identical to Series.
+func (d *Detector) SeriesParallel(c *video.Clip, workers int) []float64 {
 	maps := make([][]bool, len(c.Frames))
-	for i, f := range c.Frames {
-		maps[i] = EdgeMap(f, d.cfg.EdgeThreshold)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c.Frames) {
+		workers = len(c.Frames)
+	}
+	if workers <= 1 {
+		for i, f := range c.Frames {
+			maps[i] = d.Reduce(f)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(c.Frames) {
+						return
+					}
+					maps[i] = d.Reduce(c.Frames[i])
+				}
+			}()
+		}
+		wg.Wait()
 	}
 	w, h := c.Frames[0].W, c.Frames[0].H
 	series := make([]float64, len(c.Frames)-1)
 	for i := 1; i < len(maps); i++ {
-		ecr, pc, cc := ECR(maps[i-1], maps[i], w, h, d.cfg.DilateRadius)
-		if pc < d.cfg.MinEdgePixels || cc < d.cfg.MinEdgePixels {
-			ecr = 0 // too few edges for a stable ratio
-		}
-		series[i-1] = ecr
+		series[i-1] = d.Compare(maps[i-1], maps[i], w, h)
 	}
 	return series
 }

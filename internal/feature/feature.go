@@ -6,11 +6,11 @@
 package feature
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"videodb/internal/pyramid"
 	"videodb/internal/region"
@@ -78,18 +78,21 @@ func NewAnalyzerWithGeometry(g region.Geometry) *Analyzer {
 // Geometry returns the region geometry the analyzer uses.
 func (a *Analyzer) Geometry() region.Geometry { return a.geom }
 
-// Analyze computes the frame's features. It panics if f does not match
-// the analyzer's frame size (the underlying region extraction checks).
-// Only the returned Signature slice is freshly allocated; all working
-// memory comes from the analyzer's pool.
+// Analyze computes the frame's features — the pure per-frame reduce
+// step of the ingest pipeline: FBA/FOA extraction, TBA transform, then
+// the Gaussian-pyramid reduction to signature and signs. It depends on
+// no other frame, so frames may be analyzed in any order or in
+// parallel. It panics if f does not match the analyzer's frame size
+// (the underlying region extraction checks). Only the returned
+// Signature slice is freshly allocated; all working memory comes from
+// the analyzer's pool.
 func (a *Analyzer) Analyze(f *video.Frame) FrameFeature {
 	s := a.pool.Get().(*scratch)
 	defer a.pool.Put(s)
 
 	a.geom.TBAInto(f, s.tba)
 	sig := make([]video.Pixel, a.geom.L)
-	s.red.SignatureInto(s.tba, sig)
-	signBA := s.red.LineToPixel(sig)
+	signBA := s.red.Reduce(s.tba, sig)
 
 	a.geom.FOAInto(f, s.foa)
 	signOA := s.red.Sign(s.foa)
@@ -112,33 +115,115 @@ func (a *Analyzer) AnalyzeClip(c *video.Clip) []FrameFeature {
 // identical to AnalyzeClip; on multicore machines ingest becomes
 // analysis-bound rather than core-bound.
 func (a *Analyzer) AnalyzeClipParallel(c *video.Clip, workers int) []FrameFeature {
+	out := make([]FrameFeature, len(c.Frames))
+	// Background context: the stream can only fail on cancellation.
+	_ = a.AnalyzeClipStream(context.Background(), c, workers,
+		func(i int, ff FrameFeature) { out[i] = ff })
+	return out
+}
+
+// frameResult carries one analyzed frame from a worker to the ordered
+// consumer.
+type frameResult struct {
+	idx  int
+	feat FrameFeature
+}
+
+// AnalyzeClipStream analyzes a clip's frames with a bounded worker pool
+// (workers ≤ 1 analyzes inline; 0 = GOMAXPROCS) and delivers every
+// frame's feature to yield strictly in frame order, from the caller's
+// goroutine. This is the fan-out half of the two-phase ingest pipeline:
+// the embarrassingly parallel per-frame reduction runs on the pool
+// while the caller's yield — typically the sequential three-stage
+// shot-boundary test, which compares consecutive frames — consumes an
+// ordered stream, so results are identical to AnalyzeClip regardless
+// of worker count.
+//
+// A reorder window bounded by the worker count keeps memory flat when
+// one frame analyzes slowly. Cancelling ctx stops the pool promptly and
+// returns ctx.Err(); no goroutines outlive the call.
+func (a *Analyzer) AnalyzeClipStream(ctx context.Context, c *video.Clip, workers int, yield func(i int, ff FrameFeature)) error {
+	n := len(c.Frames)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(c.Frames) {
-		workers = len(c.Frames)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		return a.AnalyzeClip(c)
+		for i, f := range c.Frames {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			yield(i, a.Analyze(f))
+		}
+		return nil
 	}
-	out := make([]FrameFeature, len(c.Frames))
-	var next atomic.Int64
+
+	// Indices are issued to the pool in ascending order, so the at most
+	// workers+window outstanding frames are always the smallest
+	// unconsumed indices — the ordered consumer can always make
+	// progress and the reorder buffer stays bounded.
+	window := 2 * workers
+	jobs := make(chan int)
+	results := make(chan frameResult, window)
+	done := ctx.Done()
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(c.Frames) {
+			for i := range jobs {
+				r := frameResult{idx: i, feat: a.Analyze(c.Frames[i])}
+				select {
+				case results <- r:
+				case <-done:
 					return
 				}
-				out[i] = a.Analyze(c.Frames[i])
 			}
 		}()
 	}
-	wg.Wait()
-	return out
+	go func() { // dispatcher
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+	go func() { // closer: lets the consumer detect early worker exit
+		wg.Wait()
+		close(results)
+	}()
+
+	pending := make(map[int]FrameFeature, window)
+	next := 0
+	for next < n {
+		select {
+		case r, ok := <-results:
+			if !ok {
+				// Workers quit before frame n−1: only cancellation
+				// does that.
+				return ctx.Err()
+			}
+			pending[r.idx] = r.feat
+			for {
+				ff, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				yield(next, ff)
+				next++
+			}
+		case <-done:
+			return ctx.Err()
+		}
+	}
+	return nil
 }
 
 // ShotFeature is the per-shot feature vector of §4.1: the variances of

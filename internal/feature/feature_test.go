@@ -1,9 +1,13 @@
 package feature
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"videodb/internal/pyramid"
 	"videodb/internal/video"
@@ -279,6 +283,91 @@ func TestAnalyzeConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestAnalyzeClipStreamYieldsInOrder pins the ordered fan-in contract
+// the sequential shot detector depends on: whatever the worker count,
+// yield sees frame 0, 1, 2, ... exactly once each, with features
+// identical to the serial path (signature vectors included).
+func TestAnalyzeClipStreamYieldsInOrder(t *testing.T) {
+	a, err := NewAnalyzer(160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := video.NewClip("stream", 3)
+	for i := 0; i < 23; i++ {
+		f := video.NewFrame(160, 120)
+		for j := range f.Pix {
+			f.Pix[j] = video.RGB(uint8(i*29+j), uint8(j/5), uint8(i*3))
+		}
+		c.Append(f)
+	}
+	serial := a.AnalyzeClip(c)
+	for _, workers := range []int{1, 2, 7, 32} {
+		next := 0
+		err := a.AnalyzeClipStream(context.Background(), c, workers, func(i int, ff FrameFeature) {
+			if i != next {
+				t.Fatalf("workers=%d: yielded frame %d, want %d", workers, i, next)
+			}
+			next++
+			if ff.SignBA != serial[i].SignBA || ff.SignOA != serial[i].SignOA {
+				t.Fatalf("workers=%d frame %d: signs differ from serial", workers, i)
+			}
+			for j := range serial[i].Signature {
+				if ff.Signature[j] != serial[i].Signature[j] {
+					t.Fatalf("workers=%d frame %d: signature[%d] differs", workers, i, j)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if next != c.Len() {
+			t.Fatalf("workers=%d: yielded %d frames, want %d", workers, next, c.Len())
+		}
+	}
+}
+
+// TestAnalyzeClipStreamCancel cancels mid-stream (from inside yield,
+// the way the ingest pipeline's caller would) and verifies the stream
+// stops with the context's error and winds its goroutines down.
+func TestAnalyzeClipStreamCancel(t *testing.T) {
+	a, err := NewAnalyzer(160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := video.NewClip("cancel", 3)
+	for i := 0; i < 64; i++ {
+		f := video.NewFrame(160, 120)
+		c.Append(f)
+	}
+	before := runtime.NumGoroutine()
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		seen := 0
+		err := a.AnalyzeClipStream(ctx, c, workers, func(i int, ff FrameFeature) {
+			seen++
+			if seen == 5 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if seen >= c.Len() {
+			t.Fatalf("workers=%d: stream ran to completion despite cancel", workers)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after cancelled streams", before, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 func TestAnalyzeClipParallelMatchesSerial(t *testing.T) {

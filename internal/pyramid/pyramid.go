@@ -255,6 +255,17 @@ func (r *Reducer) SignatureInto(g *video.Frame, dst []video.Pixel) {
 	}
 }
 
+// Reduce is the pure per-frame reduction step of the ingest pipeline:
+// it computes g's signature into dst (len ≥ g.W) and collapses that
+// line to the sign, sharing the column pass between the two outputs.
+// It has no dependency on any other frame, which is what lets ingest
+// fan frames out to a worker pool and keep only the pairwise
+// signature comparison sequential. Panics mirror SignatureInto's.
+func (r *Reducer) Reduce(g *video.Frame, dst []video.Pixel) video.Pixel {
+	r.SignatureInto(g, dst)
+	return r.LineToPixel(dst[:g.W])
+}
+
 // LineToPixel collapses a size-set-length line to one pixel without
 // allocating. The line is not modified.
 func (r *Reducer) LineToPixel(line []video.Pixel) video.Pixel {

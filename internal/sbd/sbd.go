@@ -203,23 +203,58 @@ func (d *CameraTracking) DetectWithStats(c *video.Clip) ([]int, Stats, error) {
 // DetectFeatures runs the pipeline over precomputed frame features and
 // returns boundary indices plus stage telemetry.
 func (d *CameraTracking) DetectFeatures(feats []feature.FrameFeature) ([]int, Stats) {
-	var bounds []int
-	var stats Stats
-	for i := 1; i < len(feats); i++ {
-		stats.Pairs++
-		switch d.ComparePair(&feats[i-1], &feats[i]) {
-		case StageSign:
-			stats.BySign++
-		case StageSignature:
-			stats.BySig++
-		case StageTracking:
-			stats.ByTrack++
-		case StageBoundary:
-			stats.Boundary++
-			bounds = append(bounds, i)
-		}
+	s := d.NewStream()
+	for i := range feats {
+		s.Push(&feats[i])
 	}
-	return bounds, stats
+	return s.Result()
+}
+
+// Stream is the sequential half of the two-phase ingest pipeline: it
+// consumes precomputed frame features strictly in frame order, one at
+// a time, and accumulates the three-stage boundary decisions. Feeding
+// it the frames of a clip in order yields exactly DetectFeatures'
+// result — the parallel ingest path uses it while a worker pool runs
+// the per-frame reduction ahead of it. A Stream is not safe for
+// concurrent use.
+type Stream struct {
+	det    *CameraTracking
+	prev   feature.FrameFeature
+	idx    int
+	bounds []int
+	stats  Stats
+}
+
+// NewStream returns an empty boundary-decision stream for the detector.
+func (d *CameraTracking) NewStream() *Stream {
+	return &Stream{det: d}
+}
+
+// Push feeds the next frame's feature (frame index = number of prior
+// pushes) and decides the pair it completes, if any.
+func (s *Stream) Push(ff *feature.FrameFeature) {
+	defer func() { s.prev = *ff; s.idx++ }()
+	if s.idx == 0 {
+		return
+	}
+	s.stats.Pairs++
+	switch s.det.ComparePair(&s.prev, ff) {
+	case StageSign:
+		s.stats.BySign++
+	case StageSignature:
+		s.stats.BySig++
+	case StageTracking:
+		s.stats.ByTrack++
+	case StageBoundary:
+		s.stats.Boundary++
+		s.bounds = append(s.bounds, s.idx)
+	}
+}
+
+// Result returns the boundary indices and stage telemetry accumulated
+// so far.
+func (s *Stream) Result() ([]int, Stats) {
+	return s.bounds, s.stats
 }
 
 // ComparePair classifies a pair of consecutive frames, returning the

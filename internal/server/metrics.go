@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"videodb/internal/core"
 )
 
 // metricsRegistry is the in-process metrics layer: per-route request
@@ -15,14 +17,19 @@ import (
 // in the Prometheus text exposition format, so the server is scrapable
 // without taking on a client-library dependency.
 type metricsRegistry struct {
-	mu        sync.Mutex
-	requests  map[string]map[int]int64 // route -> status code -> count
-	durations map[string]*latencyHist  // route -> latency histogram
+	mu           sync.Mutex
+	requests     map[string]map[int]int64 // route -> status code -> count
+	durations    map[string]*latencyHist  // route -> latency histogram
 	ingests      int64
+	ingestFrames int64
 	removes      int64
 	snapshots    int64
 	batches      int64
 	batchQueries int64
+	// ingestPhase accumulates ingest-pipeline time by phase label
+	// (analyze, detect, tree, index); detect is the sequential share
+	// inside analyze, not an additional phase.
+	ingestPhase map[string]float64
 }
 
 // durationBuckets are the histogram upper bounds in seconds, spanning
@@ -31,8 +38,9 @@ var durationBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
 
 func newMetricsRegistry() *metricsRegistry {
 	return &metricsRegistry{
-		requests:  make(map[string]map[int]int64),
-		durations: make(map[string]*latencyHist),
+		requests:    make(map[string]map[int]int64),
+		durations:   make(map[string]*latencyHist),
+		ingestPhase: make(map[string]float64),
 	}
 }
 
@@ -82,7 +90,19 @@ func (m *metricsRegistry) instrument(route string, next http.Handler) http.Handl
 	})
 }
 
-func (m *metricsRegistry) addIngest()   { m.mu.Lock(); m.ingests++; m.mu.Unlock() }
+// addIngest records one live-ingested clip: its frame count and where
+// the pipeline's time went.
+func (m *metricsRegistry) addIngest(frames int, st core.IngestStats) {
+	m.mu.Lock()
+	m.ingests++
+	m.ingestFrames += int64(frames)
+	m.ingestPhase["analyze"] += st.AnalyzeSeconds
+	m.ingestPhase["detect"] += st.DetectSeconds
+	m.ingestPhase["tree"] += st.TreeSeconds
+	m.ingestPhase["index"] += st.IndexSeconds
+	m.mu.Unlock()
+}
+
 func (m *metricsRegistry) addRemove()   { m.mu.Lock(); m.removes++; m.mu.Unlock() }
 func (m *metricsRegistry) addSnapshot() { m.mu.Lock(); m.snapshots++; m.mu.Unlock() }
 
@@ -146,12 +166,19 @@ func (m *metricsRegistry) render(w io.Writer, gauges map[string]float64) {
 		value      int64
 	}{
 		{"videodb_ingests_total", "Clips ingested through POST /api/clips.", m.ingests},
+		{"videodb_ingest_frames_total", "Frames analyzed by live ingests through POST /api/clips.", m.ingestFrames},
 		{"videodb_removes_total", "Clips removed through DELETE /api/clips/{name}.", m.removes},
 		{"videodb_snapshots_total", "Snapshots persisted through POST /api/snapshot.", m.snapshots},
 		{"videodb_query_batches_total", "Batch requests served through POST /api/query/batch.", m.batches},
 		{"videodb_batch_queries_total", "Individual queries answered inside batch requests.", m.batchQueries},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
+	}
+
+	fmt.Fprintln(w, "# HELP videodb_ingest_phase_seconds_total Ingest-pipeline time by phase; detect is the sequential share inside analyze.")
+	fmt.Fprintln(w, "# TYPE videodb_ingest_phase_seconds_total counter")
+	for _, phase := range []string{"analyze", "detect", "index", "tree"} {
+		fmt.Fprintf(w, "videodb_ingest_phase_seconds_total{phase=%q} %g\n", phase, m.ingestPhase[phase])
 	}
 
 	names := make([]string, 0, len(gauges))
@@ -168,7 +195,8 @@ func (m *metricsRegistry) render(w io.Writer, gauges map[string]float64) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.render(w, map[string]float64{
-		"videodb_clips":         float64(len(s.db.Clips())),
-		"videodb_indexed_shots": float64(s.db.ShotCount()),
+		"videodb_clips":          float64(len(s.db.Clips())),
+		"videodb_indexed_shots":  float64(s.db.ShotCount()),
+		"videodb_ingest_workers": float64(s.db.Workers()),
 	})
 }

@@ -27,7 +27,6 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
-	"runtime"
 	"strconv"
 	"time"
 
@@ -74,9 +73,9 @@ func WithSnapshotPath(path string) Option { return func(s *Server) { s.snapshotP
 // New returns a server for the given database.
 func New(db *core.Database, opts ...Option) *Server {
 	s := &Server{
-		db:      db,
-		metrics: newMetricsRegistry(),
-		log:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+		db:       db,
+		metrics:  newMetricsRegistry(),
+		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
 		timeout:  30 * time.Second,
 		maxBody:  256 << 20,
 		maxBatch: defaultMaxBatch,
@@ -84,11 +83,11 @@ func New(db *core.Database, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
-	workers := db.Options().Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	s.ingestSem = make(chan struct{}, workers)
+	// Each ingest's frame pipeline already fans out across the
+	// database's worker budget, so admitting more than two concurrent
+	// upload analyses (one analyzing, one parsing its upload) would
+	// oversubscribe the CPU rather than add throughput.
+	s.ingestSem = make(chan struct{}, 2)
 	return s
 }
 

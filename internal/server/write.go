@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -19,8 +20,13 @@ import (
 // YUV4MPEG2 clip, analyzed and added to the database while queries keep
 // flowing. The format is sniffed from the stream's magic; a Y4M upload
 // needs ?name= because the container carries none (the same parameter
-// overrides a VDBF clip's embedded name). Concurrent uploads are
-// bounded by Options.Workers so a burst cannot oversubscribe the CPU.
+// overrides a VDBF clip's embedded name). Each clip's analysis fans out
+// across the database's worker budget internally, so concurrent upload
+// analyses are capped at two — one analyzing while the next parses its
+// upload — instead of one slot per worker. The request context is
+// threaded into the analysis pipeline: an abandoned upload or a server
+// shutdown cancels the in-flight analysis instead of burning CPU on a
+// result nobody will read.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.maxBody > 0 {
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
@@ -61,16 +67,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rec, err := s.db.Ingest(clip)
+	rec, err := s.db.IngestContext(r.Context(), clip)
 	if err != nil {
 		code := http.StatusUnprocessableEntity
-		if errors.Is(err, core.ErrDuplicate) {
+		switch {
+		case errors.Is(err, core.ErrDuplicate):
 			code = http.StatusConflict
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Client gone or server draining: the analysis was aborted
+			// mid-pipeline, nothing was committed.
+			code = http.StatusServiceUnavailable
 		}
 		writeError(w, code, err)
 		return
 	}
-	s.metrics.addIngest()
+	s.metrics.addIngest(rec.Frames, rec.Pipeline)
 	writeJSONStatus(w, http.StatusCreated, ClipSummary{
 		Name: rec.Name, Frames: rec.Frames, FPS: rec.FPS,
 		Shots: len(rec.Shots), TreeHeight: rec.Tree.Height(),
