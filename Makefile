@@ -4,7 +4,7 @@ GO ?= go
 
 # Coverage floor (percent) enforced over the orchestration and serving
 # layers — the packages the ingest pipeline and HTTP API live in.
-COVERPKGS   = ./internal/core/...,./internal/server/...
+COVERPKGS   = ./internal/core/...,./internal/server/...,./internal/wal/...,./internal/fsx/...
 COVER_FLOOR = 60
 
 # Fresh benchmark artifacts land in a scratch directory, never the repo
@@ -14,7 +14,7 @@ COVER_FLOOR = 60
 BENCH_DIR = bench-out
 BASELINE  = results/BENCH_offline_baseline.json
 
-.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server fuzz paper corpus clean
+.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server fuzz fuzz-smoke paper corpus clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/core/ ./internal/feature/ ./internal/server/
+	$(GO) test -race ./internal/core/ ./internal/feature/ ./internal/server/ ./internal/wal/
 
 # Every package must carry a package comment (// Package x ... for
 # libraries, // Command x ... for binaries) — the revive-style
@@ -90,11 +90,24 @@ bench-server:
 bench-micro:
 	$(GO) test -bench=. -benchmem
 
-# Short fuzz passes over the binary parsers.
+# Short fuzz passes over the binary parsers and recovery paths.
 fuzz:
 	$(GO) test -fuzz FuzzReadClip -fuzztime 30s ./internal/store/
 	$(GO) test -fuzz FuzzReadY4M -fuzztime 30s ./internal/store/
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/impression/
+	$(GO) test -fuzz FuzzLoad -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzJournalReplay -fuzztime 30s ./internal/wal/
+
+# Run every Fuzz* target in the tree for 10 seconds each — the CI
+# smoke pass. Discovers targets dynamically so new fuzzers are picked
+# up without editing this file.
+fuzz-smoke:
+	@fail=0; for pkg in $$($(GO) list ./...); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg 2>/dev/null | grep '^Fuzz'); do \
+			echo "fuzz-smoke: $$pkg $$target"; \
+			$(GO) test -fuzz "^$$target$$" -fuzztime 10s -run '^$$' $$pkg || fail=1; \
+		done; \
+	done; exit $$fail
 
 # Regenerate every paper artifact at a moderate scale (see
 # EXPERIMENTS.md for the full-scale invocations).

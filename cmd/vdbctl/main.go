@@ -5,12 +5,19 @@
 // Usage:
 //
 //	vdbctl ingest -db db.snap clip1.vdbf clip2.vdbf ...
-//	vdbctl ingest -db db.snap -dir ./corpus [-j workers]
-//	vdbctl info   -db db.snap
+//	vdbctl ingest -db db.snap -dir ./corpus [-j workers] [-wal db.snap.wal] [-sync always]
+//	vdbctl info   -db db.snap [-wal db.snap.wal]
 //	vdbctl tree   -db db.snap -clip "Wag the Dog"
 //	vdbctl query  -db db.snap -varba 25 -varoa 4 [-alpha 1 -beta 1]
 //	vdbctl similar -db db.snap -clip "Wag the Dog" -shot 12 -k 3
 //	vdbctl export -in clip.vdbf -frame 17 -png out.png
+//
+// ingest write-ahead journals every clip (default <db>.wal, -wal none
+// disables): a crash mid-batch loses nothing already analyzed, and the
+// next ingest or a vdbserver start replays the journal over the old
+// snapshot. After the snapshot saves, the journal is rotated empty.
+// info replays the journal read-only to show what recovery would
+// serve; tree, query, and similar read the snapshot alone.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 
 	"videodb/internal/core"
 	"videodb/internal/feature"
+	"videodb/internal/fsx"
 	"videodb/internal/impression"
 	"videodb/internal/motion"
 	"videodb/internal/sbd"
@@ -31,6 +39,7 @@ import (
 	"videodb/internal/storyboard"
 	"videodb/internal/varindex"
 	"videodb/internal/video"
+	"videodb/internal/wal"
 )
 
 func main() {
@@ -102,22 +111,24 @@ func loadDB(path string, extra ...core.OpenOption) (*core.Database, error) {
 	return core.Load(f, extra...)
 }
 
+// saveDB writes the snapshot atomically and durably: a crash leaves
+// either the old snapshot or the new one, never a torn mix.
 func saveDB(path string, db *core.Database) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
+	_, err := fsx.AtomicWrite(path, db.Save)
+	return err
+}
+
+// journalPath resolves a -wal flag: empty derives <db>.wal, the
+// sentinel "none" disables the journal.
+func journalPath(walFlag, dbPath string) string {
+	switch walFlag {
+	case "":
+		return dbPath + ".wal"
+	case "none":
+		return ""
+	default:
+		return walFlag
 	}
-	if err := db.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }
 
 // cmdImport converts external video (YUV4MPEG2 streams or numbered
@@ -184,17 +195,45 @@ func cmdIngest(args []string) error {
 	dbPath := fs.String("db", "db.snap", "snapshot file")
 	dir := fs.String("dir", "", "ingest every VDBF clip in this directory")
 	jobs := fs.Int("j", 0, "per-frame analysis workers (0 = GOMAXPROCS, 1 = serial)")
+	walFlag := fs.String("wal", "", "write-ahead journal (default <db>.wal, \"none\" disables)")
+	syncMode := fs.String("sync", "always", "journal sync policy: always | interval | none")
 	fs.Parse(args)
 
 	db, err := loadDB(*dbPath, core.WithParallelism(*jobs))
 	if err != nil {
 		return err
 	}
+	// With a journal, each clip is durable the moment its ingest
+	// returns — a crash mid-batch loses nothing already analyzed, and
+	// the next run replays the journal over the old snapshot.
+	var journal *wal.ClipJournal
+	if path := journalPath(*walFlag, *dbPath); path != "" {
+		policy, err := wal.ParsePolicy(*syncMode)
+		if err != nil {
+			return err
+		}
+		j, res, err := wal.RecoverAndOpen(db, path, policy, 0)
+		if err != nil {
+			return fmt.Errorf("recovering journal %s: %w", path, err)
+		}
+		journal = j
+		defer journal.Close()
+		if res.Damaged {
+			fmt.Fprintf(os.Stderr, "vdbctl: journal %s had a torn tail; kept %d records, cut %d bytes (%s)\n",
+				path, res.Records, res.TruncatedBytes(), res.Reason)
+		} else if res.Records > 0 {
+			fmt.Printf("replayed %d journaled records over %s\n", res.Records, *dbPath)
+		}
+		db.SetJournal(journal)
+	}
 	paths := fs.Args()
 	if *dir != "" {
 		cat, err := store.OpenCatalog(*dir)
 		if err != nil {
 			return err
+		}
+		for path, reason := range cat.Skipped {
+			fmt.Fprintf(os.Stderr, "vdbctl: skipping unreadable clip file %s: %s\n", path, reason)
 		}
 		for _, name := range cat.Names() {
 			paths = append(paths, cat.Paths[name])
@@ -231,16 +270,52 @@ func cmdIngest(args []string) error {
 	if err := saveDB(*dbPath, db); err != nil {
 		return err
 	}
+	// The snapshot now holds everything the journal does, so the
+	// journal can start over.
+	if journal != nil {
+		if err := journal.Rotate(); err != nil {
+			fmt.Fprintf(os.Stderr, "vdbctl: rotating journal: %v (replay stays idempotent)\n", err)
+		}
+	}
 	return ingestErr
 }
 
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	dbPath := fs.String("db", "db.snap", "snapshot file")
+	walFlag := fs.String("wal", "", "also replay this journal, read-only (default <db>.wal, \"none\" skips)")
 	fs.Parse(args)
 	db, err := loadDB(*dbPath)
 	if err != nil {
 		return err
+	}
+	// Read-only replay: show what a recovering server would serve,
+	// without truncating a damaged tail (that is the writer's job).
+	if path := journalPath(*walFlag, *dbPath); path != "" {
+		if f, err := os.Open(path); err == nil {
+			res, rerr := wal.Replay(f, func(r wal.Record) error {
+				switch r.Op {
+				case wal.OpIngest:
+					_, err := db.ApplyIngestRecord(r.Data)
+					return err
+				case wal.OpDelete:
+					db.ApplyDelete(string(r.Data))
+				}
+				return nil
+			})
+			f.Close()
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "vdbctl: journal %s: replay stopped: %v\n", path, rerr)
+			} else {
+				fmt.Printf("journal: %d records", res.Records)
+				if res.Damaged {
+					fmt.Printf(" (torn tail: %s, %d bytes would be truncated on recovery)", res.Reason, res.TruncatedBytes())
+				}
+				fmt.Println()
+			}
+		} else if !os.IsNotExist(err) {
+			return err
+		}
 	}
 	fmt.Printf("clips: %d, indexed shots: %d\n", len(db.Clips()), db.ShotCount())
 	for _, name := range db.Clips() {

@@ -23,7 +23,12 @@
 //
 // The snapshot at -db is loaded on startup (a missing file starts an
 // empty database for live ingest) and written back by POST
-// /api/snapshot. The server recovers handler panics as 500 JSON, logs
+// /api/snapshot. A write-ahead journal at -wal (default <db>.wal,
+// "none" disables) records every ingest and delete under the -sync
+// policy (always | interval | none); on startup the journal is
+// replayed over the snapshot, any torn tail from a crash is truncated
+// with a logged warning, and a successful POST /api/snapshot rotates
+// the journal. The server recovers handler panics as 500 JSON, logs
 // every request, enforces per-request and connection-level timeouts,
 // and drains in-flight requests before exiting on SIGINT/SIGTERM.
 package main
@@ -46,6 +51,7 @@ import (
 	"videodb/internal/core"
 	"videodb/internal/server"
 	"videodb/internal/store"
+	"videodb/internal/wal"
 )
 
 func main() {
@@ -59,8 +65,11 @@ func main() {
 		wrTO    = flag.Duration("write-timeout", 10*time.Minute, "http.Server write timeout (covers ingest analysis)")
 		idleTO  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
 		drain   = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
-		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU, heap, goroutine, trace)")
-		jobs    = flag.Int("j", 0, "per-frame ingest analysis workers (0 = GOMAXPROCS, 1 = serial)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU, heap, goroutine, trace)")
+		jobs     = flag.Int("j", 0, "per-frame ingest analysis workers (0 = GOMAXPROCS, 1 = serial)")
+		walPath  = flag.String("wal", "", "write-ahead journal path (default <db>.wal, \"none\" disables durability)")
+		syncMode = flag.String("sync", "interval", "journal sync policy: always | interval | none")
+		syncIvl  = flag.Duration("sync-interval", time.Second, "background fsync cadence for -sync interval")
 	)
 	flag.Parse()
 
@@ -69,12 +78,35 @@ func main() {
 		log.Fatalf("vdbserver: %v", err)
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	srv := server.New(db,
+
+	opts := []server.Option{
 		server.WithLogger(logger),
 		server.WithTimeout(*timeout),
 		server.WithMaxBody(*maxBody),
 		server.WithSnapshotPath(*dbPath),
-	)
+	}
+	var journal *wal.ClipJournal
+	if path := journalPath(*walPath, *dbPath); path != "" {
+		policy, err := wal.ParsePolicy(*syncMode)
+		if err != nil {
+			log.Fatalf("vdbserver: %v", err)
+		}
+		j, res, err := wal.RecoverAndOpen(db, path, policy, *syncIvl)
+		if err != nil {
+			log.Fatalf("vdbserver: recovering journal %s: %v", path, err)
+		}
+		journal = j
+		if res.Damaged {
+			logger.Warn("journal had a torn or corrupt tail; truncated to last valid record",
+				"path", path, "replayed", res.Records,
+				"truncatedBytes", res.TruncatedBytes(), "reason", res.Reason)
+		} else {
+			logger.Info("journal replayed", "path", path, "records", res.Records, "sync", policy)
+		}
+		db.SetJournal(journal)
+		opts = append(opts, server.WithJournal(journal), server.WithRecoveryInfo(res))
+	}
+	srv := server.New(db, opts...)
 	if *corpus != "" {
 		cat, err := store.OpenCatalog(*corpus)
 		if err != nil {
@@ -139,7 +171,28 @@ func main() {
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("vdbserver: %v", err)
 	}
+	// All mutating requests have drained; the journal's final fsync puts
+	// every record on disk before the process exits.
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			logger.Error("closing journal", "err", err)
+			os.Exit(1)
+		}
+	}
 	logger.Info("exited cleanly")
+}
+
+// journalPath resolves the -wal flag: empty derives <db>.wal, the
+// sentinel "none" disables journaling entirely.
+func journalPath(walFlag, dbPath string) string {
+	switch walFlag {
+	case "":
+		return dbPath + ".wal"
+	case "none":
+		return ""
+	default:
+		return walFlag
+	}
 }
 
 // loadDB opens the snapshot, or an empty database when the file does

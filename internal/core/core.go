@@ -17,10 +17,8 @@ package core
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -147,6 +145,9 @@ type Database struct {
 	// concurrent ingests of the same name cannot both commit.
 	reserved map[string]struct{}
 	index    *varindex.Index
+	// journal, when set, receives every mutation before it commits —
+	// the write-ahead discipline SetJournal documents.
+	journal Journal
 }
 
 // Open creates an empty database with the given options, adjusted by
@@ -215,6 +216,14 @@ func (db *Database) IngestContext(ctx context.Context, clip *video.Clip) (*ClipR
 	delete(db.reserved, clip.Name)
 	if err != nil {
 		return nil, err
+	}
+	// Write-ahead: the journal record must be durable (per its sync
+	// policy) before the clip becomes visible. A journal failure rejects
+	// the ingest — the in-memory state never runs ahead of the log.
+	if db.journal != nil {
+		if jerr := db.journal.LogIngest(rec); jerr != nil {
+			return nil, fmt.Errorf("core: clip %q: journaling ingest: %w", clip.Name, jerr)
+		}
 	}
 	db.clips[rec.Name] = rec
 	for _, e := range entries {
@@ -361,6 +370,12 @@ func (db *Database) Remove(name string) error {
 	if _, ok := db.clips[name]; !ok {
 		return fmt.Errorf("core: clip %q: %w", name, ErrNotFound)
 	}
+	// Write-ahead, like IngestContext: log the delete before applying it.
+	if db.journal != nil {
+		if jerr := db.journal.LogDelete(name); jerr != nil {
+			return fmt.Errorf("core: clip %q: journaling delete: %w", name, jerr)
+		}
+	}
 	delete(db.clips, name)
 	db.index.RemoveClip(name)
 	return nil
@@ -494,36 +509,6 @@ func (db *Database) Browse(clip string) (*scenetree.Tree, error) {
 	return rec.Tree, nil
 }
 
-// snapshot is the gob-encoded persistent form of a database.
-type snapshot struct {
-	Options Options
-	Clips   []clipSnapshot
-}
-
-type clipSnapshot struct {
-	Name        string
-	Frames, FPS int
-	Shots       []ShotRecord
-	Tree        []scenetree.FlatNode
-	Stats       sbd.Stats
-}
-
-// Save writes the database's analysis state (not the pixels) to w. The
-// snapshot can be reloaded with Load, skipping re-analysis.
-func (db *Database) Save(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	snap := snapshot{Options: db.opts}
-	for _, name := range db.clipNamesLocked() {
-		rec := db.clips[name]
-		snap.Clips = append(snap.Clips, clipSnapshot{
-			Name: rec.Name, Frames: rec.Frames, FPS: rec.FPS,
-			Shots: rec.Shots, Tree: rec.Tree.Flatten(), Stats: rec.Stats,
-		})
-	}
-	return gob.NewEncoder(w).Encode(snap)
-}
-
 func (db *Database) clipNamesLocked() []string {
 	names := make([]string, 0, len(db.clips))
 	for n := range db.clips {
@@ -531,42 +516,4 @@ func (db *Database) clipNamesLocked() []string {
 	}
 	sort.Strings(names)
 	return names
-}
-
-// Load reads a snapshot written by Save and returns the reconstructed
-// database. OpenOptions override knobs the snapshot carries (e.g.
-// WithParallelism for a CLI -j flag).
-func Load(r io.Reader, extra ...OpenOption) (*Database, error) {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
-	}
-	db, err := Open(snap.Options, extra...)
-	if err != nil {
-		return nil, err
-	}
-	for _, cs := range snap.Clips {
-		shots := make([]sbd.Shot, len(cs.Shots))
-		for i, sr := range cs.Shots {
-			shots[i] = sr.Shot
-		}
-		tree, err := scenetree.Unflatten(cs.Tree, shots)
-		if err != nil {
-			return nil, fmt.Errorf("core: clip %q: %w", cs.Name, err)
-		}
-		rec := &ClipRecord{
-			Name: cs.Name, Frames: cs.Frames, FPS: cs.FPS,
-			Shots: cs.Shots, Tree: tree, Stats: cs.Stats,
-		}
-		db.clips[cs.Name] = rec
-		for k, sr := range cs.Shots {
-			db.index.Add(varindex.Entry{
-				Clip: cs.Name, Shot: k,
-				Start: sr.Shot.Start, End: sr.Shot.End,
-				VarBA: sr.Feature.VarBA, VarOA: sr.Feature.VarOA,
-				MeanBA: sr.Feature.MeanBA,
-			})
-		}
-	}
-	return db, nil
 }

@@ -1,0 +1,301 @@
+// Durability: the framed, checksummed snapshot format and the
+// write-ahead journal hooks. A database's persistent life is
+//
+//	snapshot (Save, atomic replace)  +  journal of later mutations
+//
+// and recovery is Load(snapshot) followed by replaying the journal's
+// records through ApplyIngestRecord/ApplyDelete — both idempotent, so
+// a crash between "snapshot written" and "journal rotated" only makes
+// replay re-apply state the snapshot already holds.
+
+package core
+
+import (
+	stdbufio "bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"videodb/internal/sbd"
+	"videodb/internal/scenetree"
+	"videodb/internal/varindex"
+)
+
+// SnapshotMagic identifies a framed snapshot file. Snapshots written
+// before the framing (bare gob) load transparently; Save always writes
+// the framed form.
+const SnapshotMagic = "VDBS"
+
+// SnapshotVersion is the current framed-snapshot format version.
+// Version 1 is, notionally, the legacy unframed gob stream.
+const SnapshotVersion = 2
+
+// snapshotHeaderSize: magic(4) + version(2) + clip count(4) +
+// payload length(8) + payload CRC32C(4).
+const snapshotHeaderSize = 22
+
+// maxSnapshotPayload caps what Load will read for a framed payload; a
+// header claiming more is corruption, not a database.
+const maxSnapshotPayload = int64(1) << 40
+
+// snapshotCastagnoli is the snapshot/journal checksum polynomial.
+var snapshotCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptSnapshot reports a framed snapshot whose checksum, length
+// or structure does not hold together; match it with errors.Is.
+var ErrCorruptSnapshot = errors.New("corrupt snapshot")
+
+// snapshot is the gob-encoded persistent form of a database.
+type snapshot struct {
+	Options Options
+	Clips   []clipSnapshot
+}
+
+// clipSnapshot is the persistent form of one clip's analysis state —
+// shots, flattened tree, detector stats; never pixels. It is also the
+// journal's OpIngest payload.
+type clipSnapshot struct {
+	Name        string
+	Frames, FPS int
+	Shots       []ShotRecord
+	Tree        []scenetree.FlatNode
+	Stats       sbd.Stats
+}
+
+// snapshotOf captures one record's persistent state.
+func snapshotOf(rec *ClipRecord) clipSnapshot {
+	return clipSnapshot{
+		Name: rec.Name, Frames: rec.Frames, FPS: rec.FPS,
+		Shots: rec.Shots, Tree: rec.Tree.Flatten(), Stats: rec.Stats,
+	}
+}
+
+// record validates the snapshot and rebuilds the live ClipRecord plus
+// its index entries.
+func (cs *clipSnapshot) record() (*ClipRecord, []varindex.Entry, error) {
+	shots := make([]sbd.Shot, len(cs.Shots))
+	for i, sr := range cs.Shots {
+		shots[i] = sr.Shot
+	}
+	tree, err := scenetree.Unflatten(cs.Tree, shots)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: clip %q: %w", cs.Name, err)
+	}
+	rec := &ClipRecord{
+		Name: cs.Name, Frames: cs.Frames, FPS: cs.FPS,
+		Shots: cs.Shots, Tree: tree, Stats: cs.Stats,
+	}
+	entries := make([]varindex.Entry, 0, len(cs.Shots))
+	for k, sr := range cs.Shots {
+		entries = append(entries, varindex.Entry{
+			Clip: cs.Name, Shot: k,
+			Start: sr.Shot.Start, End: sr.Shot.End,
+			VarBA: sr.Feature.VarBA, VarOA: sr.Feature.VarOA,
+			MeanBA: sr.Feature.MeanBA,
+		})
+	}
+	return rec, entries, nil
+}
+
+// Save writes the database's analysis state (not the pixels) to w in
+// the framed format: magic, format version, clip count, payload length
+// and CRC32C, then the gob payload. The snapshot can be reloaded with
+// Load, skipping re-analysis. Save holds only a read lock, so queries
+// keep flowing while it runs; callers wanting crash-safe placement on
+// disk should write through fsx.AtomicWrite.
+func (db *Database) Save(w io.Writer) error {
+	db.mu.RLock()
+	snap := snapshot{Options: db.opts}
+	for _, name := range db.clipNamesLocked() {
+		snap.Clips = append(snap.Clips, snapshotOf(db.clips[name]))
+	}
+	db.mu.RUnlock()
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	hdr := make([]byte, 0, snapshotHeaderSize)
+	hdr = append(hdr, SnapshotMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, SnapshotVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(snap.Clips)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(payload.Len()))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(payload.Bytes(), snapshotCastagnoli))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
+}
+
+// Load reads a snapshot written by Save — or a legacy bare-gob
+// snapshot from before the framing — and returns the reconstructed
+// database. A framed snapshot is verified end to end (length, CRC32C,
+// clip count) before any of it is trusted; corruption reports
+// ErrCorruptSnapshot. OpenOptions override knobs the snapshot carries
+// (e.g. WithParallelism for a CLI -j flag).
+func Load(r io.Reader, extra ...OpenOption) (*Database, error) {
+	br := peekable(r)
+	head, err := br.Peek(len(SnapshotMagic))
+	if err != nil && len(head) == 0 {
+		return nil, fmt.Errorf("core: reading snapshot: %w: %v", ErrCorruptSnapshot, err)
+	}
+	var snap snapshot
+	if string(head) == SnapshotMagic {
+		if err := decodeFramed(br, &snap); err != nil {
+			return nil, err
+		}
+	} else {
+		// Legacy pre-framing snapshot: a bare gob stream, loadable but
+		// unchecksummed; the next Save writes the framed form.
+		if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+			return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+		}
+	}
+
+	db, err := Open(snap.Options, extra...)
+	if err != nil {
+		return nil, err
+	}
+	for i := range snap.Clips {
+		rec, entries, err := snap.Clips[i].record()
+		if err != nil {
+			return nil, err
+		}
+		db.clips[rec.Name] = rec
+		for _, e := range entries {
+			db.index.Add(e)
+		}
+	}
+	return db, nil
+}
+
+// decodeFramed verifies and decodes a framed snapshot from br.
+func decodeFramed(br peekReader, snap *snapshot) error {
+	hdr := make([]byte, snapshotHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return fmt.Errorf("core: snapshot header: %w: %v", ErrCorruptSnapshot, err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != SnapshotVersion {
+		return fmt.Errorf("core: %w: unsupported snapshot version %d", ErrCorruptSnapshot, v)
+	}
+	clipCount := binary.LittleEndian.Uint32(hdr[6:10])
+	payloadLen := binary.LittleEndian.Uint64(hdr[10:18])
+	wantCRC := binary.LittleEndian.Uint32(hdr[18:22])
+	if payloadLen > uint64(maxSnapshotPayload) {
+		return fmt.Errorf("core: %w: implausible payload length %d", ErrCorruptSnapshot, payloadLen)
+	}
+	// Read through a LimitReader into a growing buffer: a corrupt header
+	// claiming terabytes costs only the bytes actually present.
+	var payload bytes.Buffer
+	n, err := io.Copy(&payload, io.LimitReader(br, int64(payloadLen)))
+	if err != nil {
+		return fmt.Errorf("core: snapshot payload: %w: %v", ErrCorruptSnapshot, err)
+	}
+	if uint64(n) != payloadLen {
+		return fmt.Errorf("core: %w: snapshot payload truncated (%d of %d bytes)", ErrCorruptSnapshot, n, payloadLen)
+	}
+	if got := crc32.Checksum(payload.Bytes(), snapshotCastagnoli); got != wantCRC {
+		return fmt.Errorf("core: %w: snapshot checksum mismatch (file %08x, computed %08x)", ErrCorruptSnapshot, wantCRC, got)
+	}
+	if err := gob.NewDecoder(&payload).Decode(snap); err != nil {
+		return fmt.Errorf("core: %w: decoding snapshot payload: %v", ErrCorruptSnapshot, err)
+	}
+	if uint32(len(snap.Clips)) != clipCount {
+		return fmt.Errorf("core: %w: header says %d clips, payload has %d", ErrCorruptSnapshot, clipCount, len(snap.Clips))
+	}
+	return nil
+}
+
+// peekReader is the bufio.Reader slice Load needs.
+type peekReader interface {
+	io.Reader
+	Peek(n int) ([]byte, error)
+}
+
+// peekable wraps r for peeking, reusing an existing buffered reader.
+func peekable(r io.Reader) peekReader {
+	if br, ok := r.(peekReader); ok {
+		return br
+	}
+	return stdbufio.NewReader(r)
+}
+
+// Journal receives every mutation before it commits. Implementations
+// (wal.ClipJournal) persist the record under their sync policy and
+// return only once it is as durable as that policy promises; an error
+// aborts the mutation. Calls arrive serialized under the database's
+// write lock, so journal order always equals commit order.
+type Journal interface {
+	// LogIngest records a clip about to become visible.
+	LogIngest(rec *ClipRecord) error
+	// LogDelete records a removal about to apply.
+	LogDelete(name string) error
+}
+
+// SetJournal installs (or, with nil, removes) the database's
+// write-ahead journal. Install it after Load/replay and before serving
+// traffic: records applied during recovery are not re-journaled.
+func (db *Database) SetJournal(j Journal) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.journal = j
+}
+
+// EncodeClipRecord serializes one clip's analysis state as a journal
+// payload (the same gob clip snapshot Save embeds).
+func EncodeClipRecord(rec *ClipRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	cs := snapshotOf(rec)
+	if err := gob.NewEncoder(&buf).Encode(&cs); err != nil {
+		return nil, fmt.Errorf("core: encoding clip record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ApplyIngestRecord decodes an EncodeClipRecord payload and installs
+// the clip, bypassing the journal — this is the replay side of
+// recovery. It is idempotent: re-applying a clip the database already
+// holds (a crash between snapshot and journal rotation) replaces it
+// and its index entries wholesale. The payload is fully validated
+// before any state changes, so a corrupt record never half-applies.
+func (db *Database) ApplyIngestRecord(payload []byte) (string, error) {
+	var cs clipSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&cs); err != nil {
+		return "", fmt.Errorf("core: decoding ingest record: %w", err)
+	}
+	if cs.Name == "" {
+		return "", fmt.Errorf("core: ingest record has no clip name")
+	}
+	rec, entries, err := cs.record()
+	if err != nil {
+		return "", err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.clips[rec.Name]; exists {
+		db.index.RemoveClip(rec.Name)
+	}
+	db.clips[rec.Name] = rec
+	for _, e := range entries {
+		db.index.Add(e)
+	}
+	return rec.Name, nil
+}
+
+// ApplyDelete removes a clip during replay, bypassing the journal.
+// Deleting a clip that is not present is a no-op, for the same
+// idempotence reason as ApplyIngestRecord.
+func (db *Database) ApplyDelete(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.clips[name]; !ok {
+		return
+	}
+	delete(db.clips, name)
+	db.index.RemoveClip(name)
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"videodb/internal/vtest"
+)
+
+// cheapDB builds a database holding n tiny two-shot clips — fast
+// enough to use inside fuzz seeds and torture loops.
+func cheapDB(t testing.TB, n int) *Database {
+	t.Helper()
+	db := openDB(t)
+	for i := 0; i < n; i++ {
+		clip := vtest.TwoShotClip(fmt.Sprintf("tiny-%d", i), uint64(i*2+1), uint64(i*2+2), 8, 16)
+		if _, err := db.Ingest(clip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func savedBytes(t testing.TB, db *Database) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSaveWritesFramedFormat(t *testing.T) {
+	data := savedBytes(t, cheapDB(t, 1))
+	if len(data) < snapshotHeaderSize {
+		t.Fatalf("snapshot too short: %d bytes", len(data))
+	}
+	if string(data[:4]) != SnapshotMagic {
+		t.Fatalf("snapshot starts with %q, want %q", data[:4], SnapshotMagic)
+	}
+}
+
+// Every single-byte corruption of a framed snapshot must be detected
+// and reported as ErrCorruptSnapshot — never loaded, never a panic.
+func TestLoadDetectsEveryByteFlip(t *testing.T) {
+	data := savedBytes(t, cheapDB(t, 2))
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		db, err := Load(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("flip at byte %d loaded successfully", i)
+		}
+		if db != nil {
+			t.Fatalf("flip at byte %d returned a database alongside error %v", i, err)
+		}
+		// Flips inside the framed region must carry the sentinel; a flip
+		// in the magic makes it a (garbage) legacy stream instead.
+		if i >= len(SnapshotMagic) && !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("flip at byte %d: error %v is not ErrCorruptSnapshot", i, err)
+		}
+	}
+}
+
+func TestLoadDetectsTruncation(t *testing.T) {
+	data := savedBytes(t, cheapDB(t, 1))
+	for _, cut := range []int{0, 1, len(SnapshotMagic), snapshotHeaderSize - 1, snapshotHeaderSize, len(data) / 2, len(data) - 1} {
+		if _, err := Load(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("snapshot truncated to %d bytes loaded successfully", cut)
+		}
+	}
+}
+
+// A pre-framing snapshot is a bare gob stream; it must keep loading.
+func TestLegacySnapshotLoads(t *testing.T) {
+	db := cheapDB(t, 2)
+	db.mu.RLock()
+	snap := snapshot{Options: db.opts}
+	for _, name := range db.clipNamesLocked() {
+		snap.Clips = append(snap.Clips, snapshotOf(db.clips[name]))
+	}
+	db.mu.RUnlock()
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&legacy)
+	if err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
+	}
+	if len(got.Clips()) != 2 || got.ShotCount() != db.ShotCount() {
+		t.Fatalf("legacy load: %d clips / %d shots, want 2 / %d", len(got.Clips()), got.ShotCount(), db.ShotCount())
+	}
+}
+
+func TestApplyIngestRecordIdempotent(t *testing.T) {
+	src := cheapDB(t, 1)
+	rec, _ := src.Clip("tiny-0")
+	payload, err := EncodeClipRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := openDB(t)
+	for round := 0; round < 3; round++ {
+		name, err := dst.ApplyIngestRecord(payload)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if name != "tiny-0" {
+			t.Fatalf("round %d: applied clip %q", round, name)
+		}
+		if got := len(dst.Clips()); got != 1 {
+			t.Fatalf("round %d: %d clips after apply", round, got)
+		}
+		if dst.ShotCount() != src.ShotCount() {
+			t.Fatalf("round %d: %d shots, want %d (stale index entries?)", round, dst.ShotCount(), src.ShotCount())
+		}
+	}
+	// The replayed clip answers queries like the original.
+	sf := rec.Shots[0].Feature
+	matches, err := dst.QueryByShot("tiny-0", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatalf("replayed clip invisible to queries (feature %+v)", sf)
+	}
+}
+
+func TestApplyIngestRecordRejectsGarbage(t *testing.T) {
+	db := openDB(t)
+	for _, payload := range [][]byte{nil, {}, []byte("not a gob stream")} {
+		if _, err := db.ApplyIngestRecord(payload); err == nil {
+			t.Errorf("garbage payload %q applied", payload)
+		}
+	}
+	if len(db.Clips()) != 0 {
+		t.Fatalf("failed applies left %d clips behind", len(db.Clips()))
+	}
+}
+
+func TestApplyDeleteIdempotent(t *testing.T) {
+	db := cheapDB(t, 1)
+	db.ApplyDelete("no-such-clip") // must not panic or disturb state
+	if len(db.Clips()) != 1 {
+		t.Fatalf("deleting a missing clip changed the database")
+	}
+	db.ApplyDelete("tiny-0")
+	db.ApplyDelete("tiny-0")
+	if len(db.Clips()) != 0 || db.ShotCount() != 0 {
+		t.Fatalf("delete left residue: %d clips, %d shots", len(db.Clips()), db.ShotCount())
+	}
+}
+
+// recordingJournal captures journal calls; failNext injects an error.
+type recordingJournal struct {
+	mu       sync.Mutex
+	ingests  []string
+	deletes  []string
+	failNext error
+}
+
+func (j *recordingJournal) LogIngest(rec *ClipRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.failNext; err != nil {
+		j.failNext = nil
+		return err
+	}
+	j.ingests = append(j.ingests, rec.Name)
+	return nil
+}
+
+func (j *recordingJournal) LogDelete(name string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.failNext; err != nil {
+		j.failNext = nil
+		return err
+	}
+	j.deletes = append(j.deletes, name)
+	return nil
+}
+
+func TestJournalSeesEveryMutation(t *testing.T) {
+	j := &recordingJournal{}
+	db := openDB(t)
+	db.SetJournal(j)
+	if _, err := db.Ingest(vtest.TwoShotClip("a", 1, 2, 8, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Ingest(vtest.TwoShotClip("b", 3, 4, 8, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "b"}; len(j.ingests) != 2 || j.ingests[0] != want[0] || j.ingests[1] != want[1] {
+		t.Fatalf("journaled ingests %v, want %v", j.ingests, want)
+	}
+	if len(j.deletes) != 1 || j.deletes[0] != "a" {
+		t.Fatalf("journaled deletes %v, want [a]", j.deletes)
+	}
+}
+
+// Write-ahead semantics: a journal failure must abort the mutation so
+// the in-memory state never runs ahead of the log.
+func TestJournalFailureAbortsMutation(t *testing.T) {
+	j := &recordingJournal{failNext: errors.New("disk full")}
+	db := openDB(t)
+	db.SetJournal(j)
+	if _, err := db.Ingest(vtest.TwoShotClip("doomed", 1, 2, 8, 16)); err == nil {
+		t.Fatal("ingest succeeded despite journal failure")
+	}
+	if _, ok := db.Clip("doomed"); ok {
+		t.Fatal("aborted ingest is visible")
+	}
+	if db.ShotCount() != 0 {
+		t.Fatalf("aborted ingest left %d index entries", db.ShotCount())
+	}
+	// The name must not stay reserved: the same clip ingests cleanly
+	// once the journal recovers.
+	if _, err := db.Ingest(vtest.TwoShotClip("doomed", 1, 2, 8, 16)); err != nil {
+		t.Fatalf("re-ingest after journal failure: %v", err)
+	}
+
+	j.failNext = errors.New("disk full")
+	if err := db.Remove("doomed"); err == nil {
+		t.Fatal("remove succeeded despite journal failure")
+	}
+	if _, ok := db.Clip("doomed"); !ok {
+		t.Fatal("aborted remove deleted the clip anyway")
+	}
+}
+
+// Concurrent ingest, snapshot, query and journal traffic must be free
+// of data races (run under -race) and every Save must observe a
+// consistent state.
+func TestConcurrentIngestSnapshotJournal(t *testing.T) {
+	j := &recordingJournal{}
+	db := openDB(t)
+	db.SetJournal(j)
+
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				name := fmt.Sprintf("c-%d-%d", w, i)
+				clip := vtest.TwoShotClip(name, uint64(w*100+i*2+1), uint64(w*100+i*2+2), 8, 16)
+				if _, err := db.Ingest(clip); err != nil {
+					t.Errorf("ingest %s: %v", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			data := savedBytes(t, db)
+			if _, err := Load(bytes.NewReader(data)); err != nil {
+				t.Errorf("snapshot %d inconsistent: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			db.Clips()
+			db.ShotCount()
+		}
+	}()
+	wg.Wait()
+
+	if got := len(db.Clips()); got != writers*3 {
+		t.Fatalf("%d clips after concurrent ingest, want %d", got, writers*3)
+	}
+	if got := len(j.ingests); got != writers*3 {
+		t.Fatalf("journal saw %d ingests, want %d", got, writers*3)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"videodb/internal/vtest"
+)
+
+// FuzzLoad: the snapshot decoder faces whatever is on disk after a
+// crash. Arbitrary bytes must never panic Load, and any input it does
+// accept must decode into an internally consistent database.
+func FuzzLoad(f *testing.F) {
+	db, err := Open(DefaultOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := db.Ingest(vtest.TwoShotClip("seed", 1, 2, 8, 16)); err != nil {
+		f.Fatal(err)
+	}
+	var framed bytes.Buffer
+	if err := db.Save(&framed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(framed.Bytes())
+
+	// Flipped payload-CRC byte and a mid-payload truncation.
+	flipped := append([]byte(nil), framed.Bytes()...)
+	flipped[snapshotHeaderSize-1] ^= 1
+	f.Add(flipped)
+	f.Add(framed.Bytes()[:framed.Len()/2])
+
+	// Legacy bare-gob stream (pre-framing snapshot).
+	var legacy bytes.Buffer
+	db.mu.RLock()
+	snap := snapshot{Options: db.opts}
+	for _, name := range db.clipNamesLocked() {
+		snap.Clips = append(snap.Clips, snapshotOf(db.clips[name]))
+	}
+	db.mu.RUnlock()
+	if err := gob.NewEncoder(&legacy).Encode(snap); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(legacy.Bytes())
+
+	f.Add([]byte{})
+	f.Add([]byte(SnapshotMagic))
+	f.Add([]byte("not a snapshot at all, just text"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if got != nil {
+				t.Fatalf("Load returned a database alongside error %v", err)
+			}
+			return
+		}
+		// Accepted: the database must hold together — every clip listed,
+		// fetchable, with a browsable tree, and the index row count must
+		// match the shots the clips carry.
+		shots := 0
+		for _, name := range got.Clips() {
+			rec, ok := got.Clip(name)
+			if !ok {
+				t.Fatalf("clip %q listed but not fetchable", name)
+			}
+			shots += len(rec.Shots)
+			if _, err := got.Browse(name); err != nil {
+				t.Fatalf("clip %q loaded with unbrowsable tree: %v", name, err)
+			}
+		}
+		if got.ShotCount() != shots {
+			t.Fatalf("index holds %d entries, clips hold %d shots", got.ShotCount(), shots)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the error every injected fault reports; tests match it
+// with errors.Is to tell a deliberate failure from a real one.
+var ErrInjected = errors.New("fsx: injected fault")
+
+// SyncFile is the slice of *os.File the durability layer writes
+// through: sequential writes, fsync, truncate, close. FaultFile wraps
+// any SyncFile, so tests can slide it under the journal writer or an
+// atomic-write payload without touching production code.
+type SyncFile interface {
+	io.Writer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// FaultFile wraps a SyncFile and injects failures on cue: hard write
+// errors after a byte budget, silent short writes (the io.Writer
+// contract violation a buggy filesystem produces), and fsync/close
+// failures. The zero thresholds mean "never" (disabled is <0 for the
+// byte cues, false for the flags).
+type FaultFile struct {
+	// F is the wrapped file.
+	F SyncFile
+	// FailWriteAfter makes writes fail with ErrInjected once this many
+	// bytes have been written; the write that crosses the budget is
+	// partially applied first, like a real device running out of space
+	// mid-buffer. <0 disables.
+	FailWriteAfter int64
+	// ShortWriteAt makes the write that crosses this byte count report
+	// fewer bytes than asked with a nil error — the contract violation
+	// robust callers must turn into io.ErrShortWrite. <0 disables.
+	ShortWriteAt int64
+	// FailSync makes Sync fail with ErrInjected.
+	FailSync bool
+	// FailClose makes Close fail with ErrInjected (after closing the
+	// underlying file, so tests do not leak descriptors).
+	FailClose bool
+	// Written counts bytes actually handed to the underlying file.
+	Written int64
+	// Syncs counts successful Sync calls.
+	Syncs int64
+}
+
+// NewFaultFile wraps f with every fault disabled.
+func NewFaultFile(f SyncFile) *FaultFile {
+	return &FaultFile{F: f, FailWriteAfter: -1, ShortWriteAt: -1}
+}
+
+func (ff *FaultFile) Write(p []byte) (int, error) {
+	if ff.FailWriteAfter >= 0 {
+		if ff.Written >= ff.FailWriteAfter {
+			return 0, ErrInjected
+		}
+		if budget := ff.FailWriteAfter - ff.Written; int64(len(p)) > budget {
+			n, err := ff.F.Write(p[:budget])
+			ff.Written += int64(n)
+			if err != nil {
+				return n, err
+			}
+			return n, ErrInjected
+		}
+	}
+	if ff.ShortWriteAt >= 0 && ff.Written+int64(len(p)) > ff.ShortWriteAt {
+		keep := ff.ShortWriteAt - ff.Written
+		if keep < 0 {
+			keep = 0
+		}
+		n, err := ff.F.Write(p[:keep])
+		ff.Written += int64(n)
+		return n, err // short write, nil error: the violation under test
+	}
+	n, err := ff.F.Write(p)
+	ff.Written += int64(n)
+	return n, err
+}
+
+func (ff *FaultFile) Sync() error {
+	if ff.FailSync {
+		return ErrInjected
+	}
+	if err := ff.F.Sync(); err != nil {
+		return err
+	}
+	ff.Syncs++
+	return nil
+}
+
+func (ff *FaultFile) Truncate(size int64) error { return ff.F.Truncate(size) }
+
+func (ff *FaultFile) Seek(offset int64, whence int) (int64, error) {
+	return ff.F.Seek(offset, whence)
+}
+
+func (ff *FaultFile) Close() error {
+	err := ff.F.Close()
+	if ff.FailClose {
+		return ErrInjected
+	}
+	return err
+}
+
+// FailAfter wraps w so writes fail with ErrInjected once n bytes have
+// passed through, partially applying the crossing write — the shape of
+// a process dying mid-write. Use it to abort an AtomicWrite payload at
+// an exact offset.
+func FailAfter(w io.Writer, n int64) io.Writer {
+	return &failWriter{w: w, budget: n}
+}
+
+type failWriter struct {
+	w      io.Writer
+	budget int64
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, ErrInjected
+	}
+	if int64(len(p)) > f.budget {
+		n, err := f.w.Write(p[:f.budget])
+		f.budget -= int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjected
+	}
+	n, err := f.w.Write(p)
+	f.budget -= int64(n)
+	return n, err
+}

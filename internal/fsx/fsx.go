@@ -1,0 +1,105 @@
+// Package fsx holds the filesystem discipline the durability layer is
+// built on: crash-safe atomic file replacement (temp file → flush →
+// fsync → rename → parent-directory fsync) and fault-injection wrappers
+// that let tests kill a write mid-record or fail an fsync on cue.
+//
+// Every on-disk artifact the database replaces wholesale — snapshots,
+// VDBF clips — goes through AtomicWrite, so a crash at any instant
+// leaves either the complete old file or the complete new file, never a
+// torn mix. Append-only files (the write-ahead journal) have their own
+// torn-tail recovery in package wal and do not use AtomicWrite.
+package fsx
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWrite replaces the file at path with whatever write produces,
+// atomically with respect to crashes: the bytes go to a temp file in
+// the same directory, are flushed and fsynced, and only then renamed
+// over path, with a parent-directory fsync making the rename itself
+// durable. If write (or any later step) fails, path is untouched and
+// the temp file is removed. It returns the number of bytes the payload
+// wrote.
+func AtomicWrite(path string, write func(io.Writer) error) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	tmpName := tmp.Name()
+	// The temp file is removed on every failure path; open is tracked so
+	// the deferred cleanup never double-closes after the success path.
+	open := true
+	defer func() {
+		if open {
+			tmp.Close()
+		}
+		if tmpName != "" {
+			os.Remove(tmpName)
+		}
+	}()
+
+	// CreateTemp makes 0600 files; widen to the 0644 a plain os.Create
+	// would typically produce so replaced files keep readable perms.
+	if err := tmp.Chmod(0o644); err != nil {
+		return 0, err
+	}
+
+	bw := bufio.NewWriter(tmp)
+	cw := &countingWriter{w: bw}
+	if err := write(cw); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	// Sync before rename: otherwise the rename can become durable before
+	// the data, and a power loss yields a complete-looking file of
+	// garbage at the final path.
+	if err := tmp.Sync(); err != nil {
+		return cw.n, err
+	}
+	if err := tmp.Close(); err != nil {
+		open = false
+		return cw.n, err
+	}
+	open = false
+	if err := os.Rename(tmpName, path); err != nil {
+		return cw.n, err
+	}
+	tmpName = "" // renamed away; nothing to remove
+	return cw.n, SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making a rename (or create/remove) inside
+// it durable. Filesystems that refuse to fsync directories report an
+// EINVAL-style error; those are swallowed — the caller did all it
+// could.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}
+
+// countingWriter counts the payload bytes through AtomicWrite.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

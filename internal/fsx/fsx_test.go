@@ -1,0 +1,150 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicWriteCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	n, err := AtomicWrite(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first version")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len("first version")) {
+		t.Errorf("reported %d bytes, want %d", n, len("first version"))
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first version" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if _, err := AtomicWrite(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second version")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second version" {
+		t.Errorf("replace left %q", got)
+	}
+}
+
+// TestAtomicWriteFailureKeepsOldFile is the rename-atomicity proof: a
+// payload that dies mid-write (the in-process stand-in for a crash)
+// must leave the previous file byte-identical and no temp debris.
+func TestAtomicWriteFailureKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	const old = "precious old state"
+	if _, err := AtomicWrite(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, old)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := strings.Repeat("NEW", 100)
+	for cut := int64(0); cut <= int64(len(payload)); cut += 37 {
+		_, err := AtomicWrite(path, func(w io.Writer) error {
+			_, err := io.WriteString(FailAfter(w, cut), payload)
+			return err
+		})
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("cut at %d: error = %v, want injected fault", cut, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil || string(got) != old {
+			t.Fatalf("cut at %d: old file damaged: %q, %v", cut, got, err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		var names []string
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Errorf("temp debris left behind: %v", names)
+	}
+}
+
+func TestAtomicWriteErrorPropagates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x")
+	boom := errors.New("payload boom")
+	if _, err := AtomicWrite(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want payload's", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("failed first write left a file behind")
+	}
+}
+
+func TestAtomicWriteMissingDir(t *testing.T) {
+	if _, err := AtomicWrite(filepath.Join(t.TempDir(), "no", "such", "dir", "f"),
+		func(io.Writer) error { return nil }); err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+}
+
+func TestFaultFileWriteBudget(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := NewFaultFile(f)
+	ff.FailWriteAfter = 10
+	n, err := ff.Write([]byte("0123456789abcdef"))
+	if n != 10 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: n=%d err=%v, want 10, injected", n, err)
+	}
+	if n, err := ff.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-budget write: n=%d err=%v", n, err)
+	}
+	if ff.Written != 10 {
+		t.Errorf("Written = %d, want 10", ff.Written)
+	}
+	ff.Close()
+}
+
+func TestFaultFileShortWrite(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ff := NewFaultFile(f)
+	ff.ShortWriteAt = 4
+	n, err := ff.Write([]byte("0123456789"))
+	if n != 4 || err != nil {
+		t.Fatalf("short write: n=%d err=%v, want 4, nil", n, err)
+	}
+}
+
+func TestFaultFileSyncAndClose(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := NewFaultFile(f)
+	if err := ff.Sync(); err != nil || ff.Syncs != 1 {
+		t.Fatalf("healthy sync: %v (syncs %d)", err, ff.Syncs)
+	}
+	ff.FailSync = true
+	if err := ff.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fail-on-sync: %v", err)
+	}
+	ff.FailClose = true
+	if err := ff.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fail-on-close: %v", err)
+	}
+}

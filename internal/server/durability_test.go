@@ -1,0 +1,216 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"videodb/internal/core"
+	"videodb/internal/vtest"
+	"videodb/internal/wal"
+)
+
+// durableDB opens a database journaling to walPath.
+func durableDB(t *testing.T, walPath string) (*core.Database, *wal.ClipJournal) {
+	t.Helper()
+	db, err := core.Open(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, res, err := wal.RecoverAndOpen(db, walPath, wal.PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged {
+		t.Fatalf("fresh journal damaged: %+v", res)
+	}
+	db.SetJournal(j)
+	return db, j
+}
+
+// The end-to-end crash-recovery scenario: a server persists a
+// snapshot, journals two more ingests, and dies mid-append. The next
+// boot must serve every durably-journaled clip, expose the recovery
+// outcome and journal counters at /api/metrics, and rotate the
+// journal on the next snapshot.
+func TestServerRecoversFromTornJournal(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "videodb.snap")
+	walPath := filepath.Join(dir, "videodb.wal")
+
+	// Life one: one clip snapshotted, two only journaled.
+	db1, j1 := durableDB(t, walPath)
+	if _, err := db1.Ingest(vtest.TwoShotClip("snapped", 1, 2, 8, 16)); err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(New(db1,
+		WithSnapshotPath(snapPath), WithJournal(j1)).Handler())
+	resp, err := http.Post(srv1.URL+"/api/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot returned %d", resp.StatusCode)
+	}
+	if _, err := db1.Ingest(vtest.TwoShotClip("journaled-a", 3, 4, 8, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db1.Ingest(vtest.TwoShotClip("journaled-b", 5, 6, 8, 16)); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash: a third append dies partway through, leaving a torn
+	// record after the two good ones.
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0, 0, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Life two: the startup sequence vdbserver runs.
+	snapFile, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := core.Load(snapFile)
+	snapFile.Close()
+	if err != nil {
+		t.Fatalf("snapshot written by life one unreadable: %v", err)
+	}
+	j2, res, err := wal.RecoverAndOpen(db2, walPath, wal.PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Damaged || res.Records != 2 {
+		t.Fatalf("recovery result %+v, want 2 records and a truncated tail", res)
+	}
+	db2.SetJournal(j2)
+	defer j2.Close()
+	srv2 := httptest.NewServer(New(db2,
+		WithSnapshotPath(snapPath), WithJournal(j2), WithRecoveryInfo(res)).Handler())
+	defer srv2.Close()
+
+	// Every durable clip is served.
+	var clips []ClipSummary
+	if code := getJSON(t, srv2.URL+"/api/clips", &clips); code != http.StatusOK {
+		t.Fatalf("GET /api/clips returned %d", code)
+	}
+	if len(clips) != 3 {
+		t.Fatalf("recovered server lists %d clips, want 3: %+v", len(clips), clips)
+	}
+	for _, want := range []string{"snapped", "journaled-a", "journaled-b"} {
+		if code := getJSON(t, srv2.URL+"/api/clips/"+want, nil); code != http.StatusOK {
+			t.Errorf("GET /api/clips/%s returned %d", want, code)
+		}
+	}
+
+	// The recovery outcome and journal counters are scrapable.
+	body := getMetrics(t, srv2.URL)
+	for _, want := range []string{
+		"videodb_recovery_damaged 1",
+		"videodb_recovery_replayed_records 2",
+		"videodb_wal_records_total",
+		"videodb_wal_bytes",
+		"videodb_wal_fsync_seconds_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(body, "videodb_recovery_truncated_bytes 6") {
+		t.Errorf("metrics missing truncated-bytes gauge; body has %q", grepLine(body, "truncated"))
+	}
+
+	// A fresh snapshot rotates the journal back to just its header.
+	resp, err = http.Post(srv2.URL+"/api/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot on recovered server returned %d", resp.StatusCode)
+	}
+	st := j2.Stats()
+	if st.Rotations != 1 {
+		t.Fatalf("journal rotations = %d after snapshot, want 1", st.Rotations)
+	}
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != st.Bytes || fi.Size() >= 64 {
+		t.Fatalf("journal is %d bytes after rotation (stats say %d)", fi.Size(), st.Bytes)
+	}
+	if !strings.Contains(getMetrics(t, srv2.URL), "videodb_snapshot_last_success_timestamp_seconds") {
+		t.Error("metrics missing snapshot timestamp after successful snapshot")
+	}
+
+	// Life three starts from the rotated journal: clean replay, same
+	// three clips.
+	snapFile, err = os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db3, err := core.Load(snapFile)
+	snapFile.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := wal.RecoverDatabase(db3, walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Damaged || res3.Records != 0 {
+		t.Fatalf("post-rotation replay %+v, want clean and empty", res3)
+	}
+	if got := len(db3.Clips()); got != 3 {
+		t.Fatalf("life three has %d clips, want 3", got)
+	}
+}
+
+// Without a journal or recovery info the new metrics stay absent — no
+// misleading zero-valued series.
+func TestMetricsOmitWalSeriesWhenUnconfigured(t *testing.T) {
+	ts, _ := testServer(t)
+	body := getMetrics(t, ts.URL)
+	for _, absent := range []string{"videodb_wal_", "videodb_recovery_"} {
+		if strings.Contains(body, absent) {
+			t.Errorf("metrics contain %q series without a journal", absent)
+		}
+	}
+}
+
+func getMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func grepLine(body, substr string) string {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) {
+			return line
+		}
+	}
+	return ""
+}

@@ -26,6 +26,9 @@ type metricsRegistry struct {
 	snapshots    int64
 	batches      int64
 	batchQueries int64
+	// snapshotLastUnix is the wall-clock time of the last successful
+	// POST /api/snapshot, as Unix seconds; 0 until one succeeds.
+	snapshotLastUnix float64
 	// ingestPhase accumulates ingest-pipeline time by phase label
 	// (analyze, detect, tree, index); detect is the sequential share
 	// inside analyze, not an additional phase.
@@ -103,8 +106,14 @@ func (m *metricsRegistry) addIngest(frames int, st core.IngestStats) {
 	m.mu.Unlock()
 }
 
-func (m *metricsRegistry) addRemove()   { m.mu.Lock(); m.removes++; m.mu.Unlock() }
-func (m *metricsRegistry) addSnapshot() { m.mu.Lock(); m.snapshots++; m.mu.Unlock() }
+func (m *metricsRegistry) addRemove() { m.mu.Lock(); m.removes++; m.mu.Unlock() }
+
+func (m *metricsRegistry) addSnapshot() {
+	m.mu.Lock()
+	m.snapshots++
+	m.snapshotLastUnix = float64(time.Now().Unix())
+	m.mu.Unlock()
+}
 
 // addBatch records one served batch of n queries.
 func (m *metricsRegistry) addBatch(n int) {
@@ -120,9 +129,10 @@ func escapeLabel(v string) string {
 	return r.Replace(v)
 }
 
-// render writes the registry plus caller-supplied gauges (database
-// sizes are read at scrape time, not tracked incrementally).
-func (m *metricsRegistry) render(w io.Writer, gauges map[string]float64) {
+// render writes the registry plus caller-supplied counters and gauges
+// (journal totals and database sizes are read at scrape time, not
+// tracked incrementally).
+func (m *metricsRegistry) render(w io.Writer, counters, gauges map[string]float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -181,22 +191,53 @@ func (m *metricsRegistry) render(w io.Writer, gauges map[string]float64) {
 		fmt.Fprintf(w, "videodb_ingest_phase_seconds_total{phase=%q} %g\n", phase, m.ingestPhase[phase])
 	}
 
-	names := make([]string, 0, len(gauges))
-	for n := range gauges {
-		names = append(names, n)
+	if m.snapshotLastUnix > 0 {
+		fmt.Fprintln(w, "# HELP videodb_snapshot_last_success_timestamp_seconds Unix time of the last successful snapshot.")
+		fmt.Fprintf(w, "# TYPE videodb_snapshot_last_success_timestamp_seconds gauge\nvideodb_snapshot_last_success_timestamp_seconds %g\n", m.snapshotLastUnix)
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gauges[n])
+
+	for _, set := range []struct {
+		kind   string
+		values map[string]float64
+	}{{"counter", counters}, {"gauge", gauges}} {
+		names := make([]string, 0, len(set.values))
+		for n := range set.values {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", n, set.kind, n, set.values[n])
+		}
 	}
 }
 
 // handleMetrics serves GET /api/metrics in Prometheus text format.
+// Journal counters come straight from the writer's lifetime stats at
+// scrape time; recovery gauges describe the last startup replay.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.render(w, map[string]float64{
+	counters := map[string]float64{}
+	gauges := map[string]float64{
 		"videodb_clips":          float64(len(s.db.Clips())),
 		"videodb_indexed_shots":  float64(s.db.ShotCount()),
 		"videodb_ingest_workers": float64(s.db.Workers()),
-	})
+	}
+	if s.journal != nil {
+		st := s.journal.Stats()
+		counters["videodb_wal_records_total"] = float64(st.Records)
+		counters["videodb_wal_fsyncs_total"] = float64(st.Fsyncs)
+		counters["videodb_wal_fsync_seconds_total"] = st.FsyncSeconds
+		counters["videodb_wal_rotations_total"] = float64(st.Rotations)
+		gauges["videodb_wal_bytes"] = float64(st.Bytes)
+	}
+	if s.recovery != nil {
+		gauges["videodb_recovery_replayed_records"] = float64(s.recovery.Records)
+		gauges["videodb_recovery_truncated_bytes"] = float64(s.recovery.TruncatedBytes())
+		damaged := 0.0
+		if s.recovery.Damaged {
+			damaged = 1
+		}
+		gauges["videodb_recovery_damaged"] = damaged
+	}
+	s.metrics.render(w, counters, gauges)
 }

@@ -34,6 +34,7 @@ import (
 	"videodb/internal/impression"
 	"videodb/internal/scenetree"
 	"videodb/internal/varindex"
+	"videodb/internal/wal"
 )
 
 // Server serves a database over HTTP.
@@ -47,6 +48,8 @@ type Server struct {
 	maxBatch     int
 	snapshotPath string
 	ingestSem    chan struct{}
+	journal      *wal.ClipJournal
+	recovery     *wal.ReplayResult
 }
 
 // Option configures a Server.
@@ -69,6 +72,19 @@ func WithMaxBatch(n int) Option { return func(s *Server) { s.maxBatch = n } }
 
 // WithSnapshotPath enables POST /api/snapshot, persisting to path.
 func WithSnapshotPath(path string) Option { return func(s *Server) { s.snapshotPath = path } }
+
+// WithJournal attaches the database's write-ahead journal so the
+// server can rotate it after a successful snapshot and export its
+// counters at /api/metrics. The caller keeps ownership: install it on
+// the database with SetJournal and close it at shutdown.
+func WithJournal(j *wal.ClipJournal) Option { return func(s *Server) { s.journal = j } }
+
+// WithRecoveryInfo records the startup journal-replay outcome so
+// operators can see at /api/metrics whether the last boot replayed
+// records or truncated a torn tail.
+func WithRecoveryInfo(res wal.ReplayResult) Option {
+	return func(s *Server) { s.recovery = &res }
+}
 
 // New returns a server for the given database.
 func New(db *core.Database, opts ...Option) *Server {

@@ -6,12 +6,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
-	"os"
-	"path/filepath"
 
 	"videodb/internal/core"
+	"videodb/internal/fsx"
 	"videodb/internal/store"
 	"videodb/internal/video"
 )
@@ -105,45 +103,38 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 
 // handleSnapshot implements POST /api/snapshot: persist the analysis
 // state to the configured path. core.Save holds only a read lock, so
-// queries keep flowing while the snapshot writes; the file appears
-// atomically (temp file + rename).
+// queries keep flowing while the snapshot writes; fsx.AtomicWrite
+// makes the file appear atomically and durably (temp file, fsync,
+// rename, directory fsync). With a journal attached, a successful
+// snapshot rotates it: everything the journal held is now in the
+// snapshot, so replay starts empty.
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	if s.snapshotPath == "" {
 		writeError(w, http.StatusNotImplemented,
 			fmt.Errorf("no snapshot path configured"))
 		return
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(s.snapshotPath), ".snap-*")
+	size, err := fsx.AtomicWrite(s.snapshotPath, s.db.Save)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	defer os.Remove(tmp.Name())
-	bw := bufio.NewWriter(tmp)
-	if err := s.db.Save(bw); err != nil {
-		tmp.Close()
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	if err := bw.Flush(); err != nil {
-		tmp.Close()
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	size, _ := tmp.Seek(0, io.SeekEnd)
-	if err := tmp.Close(); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	if err := os.Rename(tmp.Name(), s.snapshotPath); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+	rotated := false
+	if s.journal != nil {
+		// The snapshot is durable either way; a failed rotation only
+		// means replay re-applies records idempotently next startup.
+		if err := s.journal.Rotate(); err != nil {
+			s.log.Warn("journal rotation after snapshot failed", "error", err)
+		} else {
+			rotated = true
+		}
 	}
 	s.metrics.addSnapshot()
 	writeJSON(w, map[string]any{
-		"path":  s.snapshotPath,
-		"clips": len(s.db.Clips()),
-		"shots": s.db.ShotCount(),
-		"bytes": size,
+		"path":           s.snapshotPath,
+		"clips":          len(s.db.Clips()),
+		"shots":          s.db.ShotCount(),
+		"bytes":          size,
+		"rotatedJournal": rotated,
 	})
 }

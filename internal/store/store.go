@@ -27,11 +27,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"videodb/internal/fsx"
 	"videodb/internal/video"
 )
 
@@ -222,28 +224,14 @@ func readFrame(r io.Reader, w, h int) (*video.Frame, error) {
 	return f, nil
 }
 
-// SaveClipFile writes the clip to path atomically (write to a temp file
-// in the same directory, then rename).
+// SaveClipFile writes the clip to path atomically and durably: a crash
+// at any point leaves either the old file or the new one, never a
+// torn mix.
 func SaveClipFile(path string, c *video.Clip) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".vdbf-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	bw := bufio.NewWriter(tmp)
-	if err := WriteClip(bw, c); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	_, err := fsx.AtomicWrite(path, func(w io.Writer) error {
+		return WriteClip(w, c)
+	})
+	return err
 }
 
 // LoadClipFile reads a clip from path.
@@ -265,15 +253,23 @@ type Catalog struct {
 	Dir string
 	// Paths maps clip names (from the file header) to file paths.
 	Paths map[string]string
+	// Skipped maps file paths that looked like VDBF clips but whose
+	// headers would not read (truncated, foreign, corrupt) to the reason
+	// they were left out of the catalog.
+	Skipped map[string]string
 }
 
-// OpenCatalog scans dir for *.vdbf files and reads their headers.
+// OpenCatalog scans dir for *.vdbf files and reads their headers. A
+// file whose header will not read — a torn write from a crash, say —
+// is skipped with a logged warning and recorded in Skipped rather than
+// failing the whole catalog: one bad file must not take the corpus
+// down with it.
 func OpenCatalog(dir string) (*Catalog, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	cat := &Catalog{Dir: dir, Paths: make(map[string]string)}
+	cat := &Catalog{Dir: dir, Paths: make(map[string]string), Skipped: make(map[string]string)}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), Ext) {
 			continue
@@ -281,7 +277,9 @@ func OpenCatalog(dir string) (*Catalog, error) {
 		path := filepath.Join(dir, e.Name())
 		name, err := readName(path)
 		if err != nil {
-			return nil, fmt.Errorf("store: %s: %w", path, err)
+			slog.Warn("store: skipping unreadable clip file", "path", path, "error", err)
+			cat.Skipped[path] = err.Error()
+			continue
 		}
 		cat.Paths[name] = path
 	}

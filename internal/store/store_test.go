@@ -189,13 +189,83 @@ func TestCatalog(t *testing.T) {
 	}
 }
 
-func TestCatalogRejectsCorruptHeader(t *testing.T) {
+// One torn or corrupt .vdbf file among valid ones must not take the
+// whole catalog down: it is skipped, recorded, and the rest load.
+func TestCatalogSkipsCorruptFiles(t *testing.T) {
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, "bad"+Ext), []byte("garbage"), 0o644); err != nil {
+	a := testClip(t)
+	a.Name = "alpha"
+	if err := SaveClipFile(filepath.Join(dir, "a"+Ext), a); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenCatalog(dir); err == nil {
-		t.Error("catalog accepted corrupt file")
+	b := testClip(t)
+	b.Name = "beta"
+	bPath := filepath.Join(dir, "b"+Ext)
+	if err := SaveClipFile(bPath, b); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a truncated copy of a real clip (torn write) and a file of
+	// garbage (foreign or scrambled).
+	data, err := os.ReadFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tornPath := filepath.Join(dir, "torn"+Ext)
+	if err := os.WriteFile(tornPath, data[:6], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	garbagePath := filepath.Join(dir, "garbage"+Ext)
+	if err := os.WriteFile(garbagePath, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cat, err := OpenCatalog(dir)
+	if err != nil {
+		t.Fatalf("catalog failed outright on a corrupt member: %v", err)
+	}
+	names := cat.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("catalog names = %v, want [alpha beta]", names)
+	}
+	if len(cat.Skipped) != 2 {
+		t.Fatalf("Skipped = %v, want 2 entries", cat.Skipped)
+	}
+	for _, p := range []string{tornPath, garbagePath} {
+		if reason, ok := cat.Skipped[p]; !ok || reason == "" {
+			t.Errorf("%s not recorded in Skipped (got %v)", p, cat.Skipped)
+		}
+	}
+	if _, err := cat.Load("beta"); err != nil {
+		t.Errorf("valid clip unloadable next to corrupt files: %v", err)
+	}
+}
+
+// A failed save must leave an existing clip file untouched — the
+// atomic-write discipline SaveClipFile inherits from fsx.
+func TestSaveClipFileFailureKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "clip"+Ext)
+	good := testClip(t)
+	if err := SaveClipFile(path, good); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveClipFile(path, video.NewClip("", 0)); err == nil {
+		t.Fatal("invalid clip saved successfully")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed save modified the existing file")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("failed save left %d entries in directory", len(entries))
 	}
 }
 

@@ -1,0 +1,333 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"videodb/internal/core"
+	"videodb/internal/vtest"
+)
+
+func openCoreDB(t testing.TB) *core.Database {
+	t.Helper()
+	db, err := core.Open(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func ingestTiny(t testing.TB, db *core.Database, name string, seed uint64) {
+	t.Helper()
+	if _, err := db.Ingest(vtest.TwoShotClip(name, seed, seed+1, 8, 16)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// journaledDB opens a database with a live clip journal at path.
+func journaledDB(t testing.TB, path string, policy Policy) (*core.Database, *ClipJournal) {
+	t.Helper()
+	db := openCoreDB(t)
+	j, res, err := RecoverAndOpen(db, path, policy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged {
+		t.Fatalf("fresh journal reported damage: %+v", res)
+	}
+	db.SetJournal(j)
+	t.Cleanup(func() { j.Close() })
+	return db, j
+}
+
+// assertSameDB checks that two databases hold identical clip sets and
+// answer shot queries identically — the differential check recovery
+// tests lean on.
+func assertSameDB(t *testing.T, got, want *core.Database) {
+	t.Helper()
+	gc, wc := got.Clips(), want.Clips()
+	if len(gc) != len(wc) {
+		t.Fatalf("recovered %d clips %v, want %d %v", len(gc), gc, len(wc), wc)
+	}
+	for i := range wc {
+		if gc[i] != wc[i] {
+			t.Fatalf("clip list differs: %v vs %v", gc, wc)
+		}
+	}
+	if got.ShotCount() != want.ShotCount() {
+		t.Fatalf("recovered %d index entries, want %d", got.ShotCount(), want.ShotCount())
+	}
+	for _, name := range wc {
+		wrec, _ := want.Clip(name)
+		grec, ok := got.Clip(name)
+		if !ok {
+			t.Fatalf("clip %q missing after recovery", name)
+		}
+		if len(grec.Shots) != len(wrec.Shots) || grec.Frames != wrec.Frames || grec.FPS != wrec.FPS {
+			t.Fatalf("clip %q differs after recovery", name)
+		}
+		for shot := range wrec.Shots {
+			wm, err := want.QueryByShot(name, shot, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gm, err := got.QueryByShot(name, shot, 8)
+			if err != nil {
+				t.Fatalf("query %s/%d after recovery: %v", name, shot, err)
+			}
+			if len(gm) != len(wm) {
+				t.Fatalf("query %s/%d: %d matches, want %d", name, shot, len(gm), len(wm))
+			}
+			for k := range wm {
+				if gm[k].Entry.Clip != wm[k].Entry.Clip || gm[k].Entry.Shot != wm[k].Entry.Shot {
+					t.Fatalf("query %s/%d result %d differs: %+v vs %+v", name, shot, k, gm[k].Entry, wm[k].Entry)
+				}
+			}
+		}
+	}
+}
+
+// A journal alone — no snapshot — rebuilds the exact database state,
+// including deletes.
+func TestRecoverDatabaseDifferential(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clips.wal")
+	db, _ := journaledDB(t, path, PolicyAlways)
+	for i := 0; i < 3; i++ {
+		ingestTiny(t, db, fmt.Sprintf("clip-%d", i), uint64(10+i*2))
+	}
+	if err := db.Remove("clip-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := openCoreDB(t)
+	res, err := RecoverDatabase(recovered, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged || res.Records != 4 {
+		t.Fatalf("replay result %+v, want 4 clean records", res)
+	}
+	assertSameDB(t, recovered, db)
+}
+
+// Crash between "snapshot written" and "journal rotated": replaying
+// the whole journal over the snapshot re-applies records the snapshot
+// already holds. Idempotence must make that a no-op.
+func TestSnapshotPlusFullJournalEqualsMemory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clips.wal")
+	db, _ := journaledDB(t, path, PolicyAlways)
+	ingestTiny(t, db, "early-0", 30)
+	ingestTiny(t, db, "early-1", 40)
+
+	var snap bytes.Buffer
+	if err := db.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// No rotation — the crash hit here. One more mutation lands in the
+	// journal only.
+	ingestTiny(t, db, "late", 50)
+
+	recovered, err := core.Load(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RecoverDatabase(recovered, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged || res.Records != 3 {
+		t.Fatalf("replay result %+v, want 3 clean records", res)
+	}
+	assertSameDB(t, recovered, db)
+}
+
+// After rotation the journal is empty: snapshot + rotated journal must
+// equal memory, and replaying twice must change nothing.
+func TestReplayIdempotentAfterRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clips.wal")
+	db, j := journaledDB(t, path, PolicyAlways)
+	ingestTiny(t, db, "kept", 60)
+
+	var snap bytes.Buffer
+	if err := db.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	ingestTiny(t, db, "fresh", 70)
+
+	recovered, err := core.Load(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		res, err := RecoverDatabase(recovered, path)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.Damaged || res.Records != 1 {
+			t.Fatalf("round %d: replay result %+v, want 1 clean record", round, res)
+		}
+		assertSameDB(t, recovered, db)
+	}
+}
+
+// A record whose frame checks out but whose payload is not a valid
+// mutation must be treated as corruption: keep the prefix, truncate
+// the rest, never fail startup.
+func TestRecoverDatabaseTruncatesUndecodableRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clips.wal")
+	db, j := journaledDB(t, path, PolicyAlways)
+	ingestTiny(t, db, "good", 80)
+	if err := j.w.Append(OpIngest, []byte("not a gob clip snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := openCoreDB(t)
+	res, err := RecoverDatabase(recovered, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Damaged || res.Records != 1 {
+		t.Fatalf("replay result %+v, want damage after 1 record", res)
+	}
+	if _, ok := recovered.Clip("good"); !ok {
+		t.Fatal("valid prefix record lost")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != res.ValidBytes {
+		t.Fatalf("journal is %d bytes after recovery, want %d", fi.Size(), res.ValidBytes)
+	}
+	// The cut tail must not resurface: a second recovery is clean and
+	// identical, and the journal accepts appends again.
+	again := openCoreDB(t)
+	res2, err := RecoverDatabase(again, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Damaged || res2.Records != 1 {
+		t.Fatalf("re-recovery result %+v, want 1 clean record", res2)
+	}
+	assertSameDB(t, again, recovered)
+
+	w, err := OpenWriter(path, PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := NewClipJournal(w)
+	again.SetJournal(j2)
+	ingestTiny(t, again, "after-cut", 90)
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Torture the clip journal the way the generic torture tests hit the
+// frame layer: cut the file at every record boundary and at sampled
+// intra-record offsets; recovery must always yield the longest valid
+// prefix of ingested clips.
+func TestClipJournalTortureTruncate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "clips.wal")
+	db, j := journaledDB(t, path, PolicyAlways)
+
+	boundaries := []int64{headerSize}
+	names := []string{}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("t-%d", i)
+		ingestTiny(t, db, name, uint64(100+i*2))
+		names = append(names, name)
+		boundaries = append(boundaries, j.Stats().Bytes)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != boundaries[len(boundaries)-1] {
+		t.Fatalf("journal is %d bytes, stats say %d", len(data), boundaries[len(boundaries)-1])
+	}
+
+	// recordsBelow: how many whole records fit under a cut at off.
+	recordsBelow := func(off int64) int {
+		n := 0
+		for i := 1; i < len(boundaries); i++ {
+			if boundaries[i] <= off {
+				n = i
+			}
+		}
+		return n
+	}
+
+	cuts := append([]int64(nil), boundaries...)
+	for i := 1; i < len(boundaries); i++ {
+		prev, cur := boundaries[i-1], boundaries[i]
+		cuts = append(cuts, prev+1, (prev+cur)/2, cur-1)
+	}
+	for _, cut := range cuts {
+		tpath := filepath.Join(dir, fmt.Sprintf("cut-%d.wal", cut))
+		if err := os.WriteFile(tpath, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recovered := openCoreDB(t)
+		res, err := RecoverDatabase(recovered, tpath)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := recordsBelow(cut)
+		if res.Records != want {
+			t.Fatalf("cut %d: recovered %d records, want %d (%+v)", cut, res.Records, want, res)
+		}
+		for k, name := range names {
+			_, ok := recovered.Clip(name)
+			if wantClip := k < want; ok != wantClip {
+				t.Fatalf("cut %d: clip %q present=%v, want %v", cut, name, ok, wantClip)
+			}
+		}
+	}
+}
+
+// PolicyInterval journals stay consistent under concurrent ingest
+// while the flusher runs (exercised under -race).
+func TestClipJournalConcurrentInterval(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clips.wal")
+	db, j := journaledDB(t, path, PolicyInterval)
+	_ = j
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			ingestTiny(t, db, fmt.Sprintf("iv-%d", i), uint64(200+i*2))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent ingest wedged")
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recovered := openCoreDB(t)
+	res, err := RecoverDatabase(recovered, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged || res.Records != 4 {
+		t.Fatalf("replay result %+v, want 4 clean records", res)
+	}
+	assertSameDB(t, recovered, db)
+}

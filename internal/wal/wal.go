@@ -1,0 +1,524 @@
+// Package wal is the write-ahead journal of the video database: an
+// append-only file of length-prefixed, CRC32C-checksummed, versioned
+// mutation records that makes every acknowledged Ingest and Delete
+// survive a crash between snapshots.
+//
+// File layout (all integers little-endian):
+//
+//	magic   "VDBW"             4 bytes
+//	version uint16             currently 1
+//	records ...                until EOF
+//
+// Each record:
+//
+//	length  uint32             len(payload), ≤ MaxRecord
+//	crc     uint32             CRC32C (Castagnoli) of payload
+//	payload [version u8][op u8][data ...]
+//
+// The reader (Replay) verifies each frame and stops at the first torn
+// or corrupt record, reporting the longest valid prefix; Recover
+// additionally truncates the file back to that prefix so the journal
+// can be appended to again. A journal is therefore never "unreadable":
+// any crash — mid-record, mid-length-word, even mid-header — loses at
+// most the un-synced tail, never the records before it.
+//
+// The Writer offers three sync policies: PolicyAlways fsyncs after
+// every append (no acknowledged mutation is ever lost), PolicyInterval
+// fsyncs from a background ticker (bounded loss window), PolicyNone
+// leaves flushing to the OS (process-crash safe, power-loss unsafe).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Magic identifies a journal file.
+const Magic = "VDBW"
+
+// Version is the current journal file-format version.
+const Version = 1
+
+// recordVersion is the per-record payload version byte.
+const recordVersion = 1
+
+// MaxRecord bounds one record's payload; a length word above it is
+// corruption (and caps what a reader will allocate for a frame).
+const MaxRecord = 256 << 20
+
+// headerSize is the file header length: magic + uint16 version.
+const headerSize = 6
+
+// frameHeaderSize is the per-record frame header: length + CRC words.
+const frameHeaderSize = 8
+
+// castagnoli is the CRC32C table (the polynomial with hardware support
+// on both amd64 and arm64, and the conventional choice for storage
+// checksums).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Mutation op codes carried in each record's payload.
+const (
+	// OpIngest records one ingested clip; the data is the gob clip
+	// snapshot core.EncodeClipRecord produces.
+	OpIngest byte = 1
+	// OpDelete records a removal; the data is the clip name.
+	OpDelete byte = 2
+)
+
+// Policy selects when appends reach stable storage.
+type Policy int
+
+const (
+	// PolicyAlways fsyncs after every append, inside the mutation's
+	// critical section: an acknowledged write is on disk.
+	PolicyAlways Policy = iota
+	// PolicyInterval fsyncs from a background ticker; a crash loses at
+	// most one interval of acknowledged writes.
+	PolicyInterval
+	// PolicyNone never fsyncs explicitly; the OS flushes when it
+	// pleases. Survives a process crash, not a power loss.
+	PolicyNone
+)
+
+// ParsePolicy maps the CLI spellings (always|interval|none) to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return PolicyAlways, nil
+	case "interval":
+		return PolicyInterval, nil
+	case "none":
+		return PolicyNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or none)", s)
+}
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyAlways:
+		return "always"
+	case PolicyInterval:
+		return "interval"
+	case PolicyNone:
+		return "none"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// File is the slice of *os.File the writer needs; tests slide an
+// fsx.FaultFile underneath to kill writes mid-record or fail fsyncs.
+type File interface {
+	io.Writer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// Stats is a point-in-time snapshot of a Writer's lifetime counters
+// (the /api/metrics source).
+type Stats struct {
+	// Records is the number of records appended by this writer.
+	Records int64
+	// Bytes is the journal's current size, header included.
+	Bytes int64
+	// Fsyncs is the number of successful fsyncs.
+	Fsyncs int64
+	// FsyncSeconds is the total wall-clock time spent in fsync.
+	FsyncSeconds float64
+	// Rotations is the number of successful Rotate calls.
+	Rotations int64
+}
+
+// Writer appends records to a journal. It is safe for concurrent use;
+// in practice core.Database serializes appends under its write lock so
+// journal order always equals commit order.
+type Writer struct {
+	mu      sync.Mutex
+	f       File
+	size    int64
+	dirty   bool
+	err     error // sticky: after a failed append the tail is suspect
+	stats   Stats
+	policy  Policy
+	stopc   chan struct{}
+	stopped sync.WaitGroup
+}
+
+// OpenWriter opens (creating if needed) the journal at path for
+// appending. A zero-length file gets a fresh header; an existing file
+// must carry a valid header — run Recover first to repair a torn one.
+// With PolicyInterval, interval bounds the background fsync cadence
+// (≤0 means one second).
+func OpenWriter(path string, policy Policy, interval time.Duration) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > 0 && st.Size() < headerSize {
+		// A crash torn the header itself; nothing after it can be valid.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if st.Size() >= headerSize {
+		hdr := make([]byte, headerSize)
+		if _, err := f.ReadAt(hdr, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if string(hdr[:4]) != Magic {
+			f.Close()
+			return nil, fmt.Errorf("wal: %s is not a journal (magic %q)", path, hdr[:4])
+		}
+		if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+			f.Close()
+			return nil, fmt.Errorf("wal: %s: unsupported journal version %d", path, v)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	st, _ = f.Stat()
+	return newWriter(f, st.Size(), policy, interval)
+}
+
+// NewWriter wraps an already-positioned File (tests use a FaultFile
+// over a temp file). size is the file's current length; a zero size
+// writes a fresh header.
+func NewWriter(f File, size int64, policy Policy, interval time.Duration) (*Writer, error) {
+	return newWriter(f, size, policy, interval)
+}
+
+func newWriter(f File, size int64, policy Policy, interval time.Duration) (*Writer, error) {
+	w := &Writer{f: f, size: size, policy: policy}
+	if size == 0 {
+		hdr := make([]byte, 0, headerSize)
+		hdr = append(hdr, Magic...)
+		hdr = binary.LittleEndian.AppendUint16(hdr, Version)
+		if err := w.writeLocked(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := w.syncLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if policy == PolicyInterval {
+		if interval <= 0 {
+			interval = time.Second
+		}
+		w.stopc = make(chan struct{})
+		w.stopped.Add(1)
+		go w.flushLoop(interval)
+	}
+	return w, nil
+}
+
+// Append writes one record and applies the sync policy. On any write
+// error the writer goes sticky-failed: the file tail may be torn, so
+// further appends are refused with the same error until the journal is
+// recovered and reopened.
+func (w *Writer) Append(op byte, data []byte) error {
+	if len(data) > MaxRecord-2 {
+		return fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(data))
+	}
+	payload := make([]byte, 0, 2+len(data))
+	payload = append(payload, recordVersion, op)
+	payload = append(payload, data...)
+	frame := make([]byte, 0, frameHeaderSize+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.writeLocked(frame); err != nil {
+		return err
+	}
+	w.stats.Records++
+	if w.policy == PolicyAlways {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+func (w *Writer) writeLocked(b []byte) error {
+	n, err := w.f.Write(b)
+	w.size += int64(n)
+	if err == nil && n != len(b) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		w.err = fmt.Errorf("wal: append failed, journal tail suspect: %w", err)
+		return w.err
+	}
+	w.dirty = true
+	return nil
+}
+
+func (w *Writer) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	t0 := time.Now()
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: fsync failed, journal tail suspect: %w", err)
+		return w.err
+	}
+	w.stats.FsyncSeconds += time.Since(t0).Seconds()
+	w.stats.Fsyncs++
+	w.dirty = false
+	return nil
+}
+
+// Sync forces the journal to stable storage regardless of policy.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.syncLocked()
+}
+
+// Rotate empties the journal after a successful snapshot: everything
+// it recorded is now in the snapshot, so the file shrinks back to a
+// bare header. Replay after a crash between snapshot and rotation is
+// safe because applying a record twice is idempotent.
+func (w *Writer) Rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		w.err = fmt.Errorf("wal: rotate failed: %w", err)
+		return w.err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		w.err = fmt.Errorf("wal: rotate failed: %w", err)
+		return w.err
+	}
+	w.size = 0
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, Magic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, Version)
+	if err := w.writeLocked(hdr); err != nil {
+		return err
+	}
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	w.stats.Rotations++
+	return nil
+}
+
+// Stats returns the writer's lifetime counters and current size.
+func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.stats
+	st.Bytes = w.size
+	return st
+}
+
+// Err reports the sticky failure, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close stops the background flusher, syncs once more and closes the
+// file.
+func (w *Writer) Close() error {
+	if w.stopc != nil {
+		close(w.stopc)
+		w.stopped.Wait()
+		w.stopc = nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var firstErr error
+	if w.err == nil {
+		firstErr = w.syncLocked()
+	}
+	if err := w.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+func (w *Writer) flushLoop(interval time.Duration) {
+	defer w.stopped.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopc:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.err == nil && w.dirty {
+				// Best effort: the sticky error also fails the next
+				// Append, which is where the caller can act on it.
+				_ = w.syncLocked()
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Record is one decoded journal record.
+type Record struct {
+	// Op is the mutation op code (OpIngest, OpDelete).
+	Op byte
+	// Data is the op payload (gob clip snapshot, or clip name bytes).
+	Data []byte
+}
+
+// ReplayResult describes what a Replay (or Recover) found.
+type ReplayResult struct {
+	// Records is the number of valid records replayed.
+	Records int
+	// ValidBytes is the length of the longest valid prefix, header
+	// included.
+	ValidBytes int64
+	// TotalBytes is the input length actually seen.
+	TotalBytes int64
+	// Damaged reports that the input ended in a torn or corrupt record
+	// (TotalBytes > ValidBytes).
+	Damaged bool
+	// Reason says what stopped the replay when Damaged.
+	Reason string
+}
+
+// TruncatedBytes is the tail length a damaged journal loses.
+func (r ReplayResult) TruncatedBytes() int64 { return r.TotalBytes - r.ValidBytes }
+
+// Replay streams records from r, calling apply for each valid record in
+// order. It stops — without error — at the first torn or corrupt
+// frame, reporting the longest valid prefix; arbitrary garbage input
+// yields a result, never a panic. An apply error aborts the replay and
+// is returned (the journal itself may be fine; the state is not).
+func Replay(r io.Reader, apply func(Record) error) (ReplayResult, error) {
+	var res ReplayResult
+	damaged := func(reason string) (ReplayResult, error) {
+		res.Damaged = true
+		res.Reason = reason
+		return res, nil
+	}
+
+	hdr := make([]byte, headerSize)
+	n, err := io.ReadFull(r, hdr)
+	res.TotalBytes = int64(n)
+	if n == 0 && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+		return res, nil // empty journal: nothing recorded yet
+	}
+	if err == io.ErrUnexpectedEOF {
+		return damaged("torn file header")
+	}
+	if err != nil {
+		return res, fmt.Errorf("wal: reading header: %w", err)
+	}
+	if string(hdr[:4]) != Magic {
+		return damaged(fmt.Sprintf("bad magic %q", hdr[:4]))
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+		return damaged(fmt.Sprintf("unsupported journal version %d", v))
+	}
+	res.ValidBytes = headerSize
+
+	frame := make([]byte, frameHeaderSize)
+	var payload []byte
+	for {
+		n, err := io.ReadFull(r, frame)
+		res.TotalBytes += int64(n)
+		if err == io.EOF {
+			return res, nil // clean end on a record boundary
+		}
+		if err == io.ErrUnexpectedEOF {
+			return damaged("torn record header")
+		}
+		if err != nil {
+			return res, fmt.Errorf("wal: reading record header: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		wantCRC := binary.LittleEndian.Uint32(frame[4:8])
+		if length < 2 || length > MaxRecord {
+			return damaged(fmt.Sprintf("implausible record length %d", length))
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		n, err = io.ReadFull(r, payload)
+		res.TotalBytes += int64(n)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return damaged("torn record payload")
+		}
+		if err != nil {
+			return res, fmt.Errorf("wal: reading record payload: %w", err)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+			return damaged(fmt.Sprintf("record %d checksum mismatch (file %08x, computed %08x)", res.Records, wantCRC, got))
+		}
+		if payload[0] != recordVersion {
+			return damaged(fmt.Sprintf("record %d has unsupported version %d", res.Records, payload[0]))
+		}
+		rec := Record{Op: payload[1], Data: payload[2:]}
+		if apply != nil {
+			if err := apply(rec); err != nil {
+				return res, fmt.Errorf("wal: applying record %d: %w", res.Records, err)
+			}
+		}
+		res.Records++
+		res.ValidBytes = res.TotalBytes
+	}
+}
+
+// Recover replays the journal at path into apply and, if the file ends
+// in a torn or corrupt record, truncates it back to the longest valid
+// prefix so a Writer can append again. A missing file is an empty
+// journal. Recovery never fails on corruption — only on I/O errors or
+// an apply error.
+func Recover(path string, apply func(Record) error) (ReplayResult, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return ReplayResult{}, nil
+	}
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	defer f.Close()
+	res, err := Replay(f, apply)
+	if err != nil {
+		return res, err
+	}
+	if res.Damaged {
+		if err := f.Truncate(res.ValidBytes); err != nil {
+			return res, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return res, fmt.Errorf("wal: syncing truncation: %w", err)
+		}
+	}
+	return res, nil
+}

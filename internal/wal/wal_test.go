@@ -1,0 +1,377 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"videodb/internal/fsx"
+)
+
+// journalPath makes a scratch journal path.
+func journalPath(t testing.TB) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "db.wal")
+}
+
+// appendN writes n records with deterministic payloads and closes.
+func appendN(t testing.TB, path string, n int) {
+	t.Helper()
+	w, err := OpenWriter(path, PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		op := OpIngest
+		if i%3 == 2 {
+			op = OpDelete
+		}
+		if err := w.Append(op, testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testPayload is record i's deterministic body, varying in size so
+// frames land at irregular offsets.
+func testPayload(i int) []byte {
+	return bytes.Repeat([]byte{byte('a' + i%26)}, 5+i*7%40)
+}
+
+// collect replays the file at path into a slice.
+func collect(t testing.TB, path string) ([]Record, ReplayResult) {
+	t.Helper()
+	var recs []Record
+	res, err := Recover(path, func(r Record) error {
+		recs = append(recs, Record{Op: r.Op, Data: append([]byte(nil), r.Data...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, res
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := journalPath(t)
+	appendN(t, path, 7)
+	recs, res := collect(t, path)
+	if res.Damaged {
+		t.Fatalf("clean journal reported damaged: %+v", res)
+	}
+	if len(recs) != 7 || res.Records != 7 {
+		t.Fatalf("replayed %d records, want 7", len(recs))
+	}
+	for i, r := range recs {
+		wantOp := OpIngest
+		if i%3 == 2 {
+			wantOp = OpDelete
+		}
+		if r.Op != wantOp || !bytes.Equal(r.Data, testPayload(i)) {
+			t.Errorf("record %d mismatch: op=%d len=%d", i, r.Op, len(r.Data))
+		}
+	}
+}
+
+func TestReplayEmptyAndMissing(t *testing.T) {
+	recs, res := collect(t, journalPath(t)) // missing file
+	if len(recs) != 0 || res.Records != 0 || res.Damaged {
+		t.Errorf("missing journal: %+v", res)
+	}
+	res2, err := Replay(bytes.NewReader(nil), nil)
+	if err != nil || res2.Damaged || res2.Records != 0 {
+		t.Errorf("empty journal: %+v, %v", res2, err)
+	}
+}
+
+func TestOpenWriterRejectsForeignFile(t *testing.T) {
+	path := journalPath(t)
+	if err := os.WriteFile(path, []byte("definitely not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWriter(path, PolicyNone, 0); err == nil {
+		t.Fatal("foreign file opened as journal")
+	}
+}
+
+func TestReopenAppendsAfterExistingRecords(t *testing.T) {
+	path := journalPath(t)
+	appendN(t, path, 3)
+	w, err := OpenWriter(path, PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(OpDelete, []byte("later")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	recs, res := collect(t, path)
+	if res.Damaged || len(recs) != 4 {
+		t.Fatalf("after reopen: %d records, damaged=%v", len(recs), res.Damaged)
+	}
+	if string(recs[3].Data) != "later" {
+		t.Errorf("appended record lost: %q", recs[3].Data)
+	}
+}
+
+func TestRotateEmptiesJournal(t *testing.T) {
+	path := journalPath(t)
+	w, err := OpenWriter(path, PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Append(OpIngest, testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Bytes != headerSize || st.Rotations != 1 {
+		t.Errorf("after rotate: bytes=%d rotations=%d", st.Bytes, st.Rotations)
+	}
+	if st.Records != 4 {
+		t.Errorf("lifetime record counter reset by rotate: %d", st.Records)
+	}
+	// Post-rotation appends land in the fresh journal.
+	if err := w.Append(OpDelete, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	recs, res := collect(t, path)
+	if res.Damaged || len(recs) != 1 || string(recs[0].Data) != "fresh" {
+		t.Fatalf("post-rotation journal wrong: %d recs, damaged=%v", len(recs), res.Damaged)
+	}
+}
+
+func TestStatsCountFsyncs(t *testing.T) {
+	path := journalPath(t)
+	w, err := OpenWriter(path, PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := w.Stats().Fsyncs
+	for i := 0; i < 3; i++ {
+		if err := w.Append(OpIngest, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.Fsyncs != base+3 {
+		t.Errorf("fsyncs = %d, want %d (one per append under PolicyAlways)", st.Fsyncs, base+3)
+	}
+	if st.FsyncSeconds < 0 {
+		t.Errorf("negative fsync seconds %g", st.FsyncSeconds)
+	}
+	w.Close()
+}
+
+func TestPolicyIntervalBackgroundFlush(t *testing.T) {
+	path := journalPath(t)
+	w, err := OpenWriter(path, PolicyInterval, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	base := w.Stats().Fsyncs
+	if err := w.Append(OpIngest, []byte("interval")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Stats().Fsyncs == base {
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"always": PolicyAlways, "interval": PolicyInterval, "none": PolicyNone} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("Policy.String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+// fault opens a real temp file and wraps it in a FaultFile-backed
+// writer.
+func faultWriter(t testing.TB, ff func(*fsx.FaultFile)) (*Writer, *fsx.FaultFile) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "w.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := fsx.NewFaultFile(f)
+	if ff != nil {
+		ff(fault)
+	}
+	w, err := NewWriter(fault, 0, PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, fault
+}
+
+func TestAppendFailureGoesSticky(t *testing.T) {
+	w, fault := faultWriter(t, nil)
+	if err := w.Append(OpIngest, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	fault.FailWriteAfter = fault.Written + 10 // dies mid-next-record
+	err := w.Append(OpIngest, bytes.Repeat([]byte("x"), 64))
+	if !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("mid-record failure: %v", err)
+	}
+	// Every later append is refused with the sticky error: the tail is
+	// torn and blindly appending after it would corrupt the journal.
+	fault.FailWriteAfter = -1
+	if err := w.Append(OpIngest, []byte("after")); err == nil {
+		t.Fatal("append accepted after a torn write")
+	}
+	if w.Err() == nil {
+		t.Error("sticky error not reported")
+	}
+}
+
+func TestShortWriteBecomesError(t *testing.T) {
+	w, fault := faultWriter(t, nil)
+	fault.ShortWriteAt = headerSize + 5
+	err := w.Append(OpIngest, bytes.Repeat([]byte("y"), 32))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write surfaced as %v, want ErrShortWrite", err)
+	}
+	if w.Err() == nil {
+		t.Error("short write did not go sticky")
+	}
+}
+
+func TestFsyncFailureGoesSticky(t *testing.T) {
+	w, fault := faultWriter(t, nil)
+	fault.FailSync = true
+	err := w.Append(OpIngest, []byte("z"))
+	if !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("failed fsync surfaced as %v", err)
+	}
+	if err := w.Append(OpIngest, []byte("z2")); err == nil {
+		t.Fatal("append accepted after failed fsync")
+	}
+}
+
+// TestTornTailRecoveredThenWritable is the full crash-reopen cycle: a
+// writer dies mid-record, Recover truncates the torn tail, a fresh
+// writer appends, and everything replays.
+func TestTornTailRecoveredThenWritable(t *testing.T) {
+	path := journalPath(t)
+	appendN(t, path, 5)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file mid-way through the last record.
+	if err := os.WriteFile(path, clean[:len(clean)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, res := collect(t, path)
+	if !res.Damaged || len(recs) != 4 {
+		t.Fatalf("torn tail: %d records, damaged=%v (%s)", len(recs), res.Damaged, res.Reason)
+	}
+	if res.TruncatedBytes() <= 0 {
+		t.Errorf("truncated bytes = %d", res.TruncatedBytes())
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != res.ValidBytes {
+		t.Errorf("file not truncated to valid prefix: %d vs %d", st.Size(), res.ValidBytes)
+	}
+	// The journal is append-ready again.
+	w, err := OpenWriter(path, PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(OpDelete, []byte("post-crash")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	recs, res = collect(t, path)
+	if res.Damaged || len(recs) != 5 || string(recs[4].Data) != "post-crash" {
+		t.Fatalf("post-recovery journal wrong: %d recs, damaged=%v", len(recs), res.Damaged)
+	}
+}
+
+func TestApplyErrorAbortsReplay(t *testing.T) {
+	path := journalPath(t)
+	appendN(t, path, 3)
+	boom := errors.New("apply boom")
+	n := 0
+	_, err := Recover(path, func(Record) error {
+		n++
+		if n == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("apply error lost: %v", err)
+	}
+}
+
+func TestReplayStopsAtImplausibleLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.Write([]byte{1, 0}) // version
+	// A frame header claiming a multi-gigabyte record.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	res, err := Replay(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Damaged || res.Records != 0 || res.ValidBytes != headerSize {
+		t.Errorf("oversize length: %+v", res)
+	}
+}
+
+func ExampleReplay() {
+	var buf bytes.Buffer
+	f := nopFile{&buf}
+	w, _ := NewWriter(f, 0, PolicyNone, 0)
+	w.Append(OpIngest, []byte("clip-a"))
+	w.Append(OpDelete, []byte("clip-a"))
+	res, _ := Replay(bytes.NewReader(buf.Bytes()), func(r Record) error {
+		fmt.Printf("op=%d data=%s\n", r.Op, r.Data)
+		return nil
+	})
+	fmt.Printf("records=%d damaged=%v\n", res.Records, res.Damaged)
+	// Output:
+	// op=1 data=clip-a
+	// op=2 data=clip-a
+	// records=2 damaged=false
+}
+
+// nopFile adapts a bytes.Buffer to the File interface for the example.
+type nopFile struct{ b *bytes.Buffer }
+
+func (n nopFile) Write(p []byte) (int, error)    { return n.b.Write(p) }
+func (n nopFile) Seek(int64, int) (int64, error) { return 0, nil }
+func (n nopFile) Sync() error                    { return nil }
+func (n nopFile) Truncate(int64) error           { return nil }
+func (n nopFile) Close() error                   { return nil }
