@@ -104,25 +104,73 @@ func (cs *clipSnapshot) record() (*ClipRecord, []varindex.Entry, error) {
 // Save writes the database's analysis state (not the pixels) to w in
 // the framed format: magic, format version, clip count, payload length
 // and CRC32C, then the gob payload. The snapshot can be reloaded with
-// Load, skipping re-analysis. Save holds only a read lock, so queries
-// keep flowing while it runs; callers wanting crash-safe placement on
-// disk should write through fsx.AtomicWrite.
+// Load, skipping re-analysis. Save holds only a read lock while it
+// captures state, so queries keep flowing; callers wanting crash-safe
+// placement on disk should write through fsx.AtomicWrite. Callers that
+// will rotate a journal afterwards must use BeginSnapshot instead, so
+// the rotation cut point is captured atomically with the state.
 func (db *Database) Save(w io.Writer) error {
-	db.mu.RLock()
-	snap := snapshot{Options: db.opts}
-	for _, name := range db.clipNamesLocked() {
-		snap.Clips = append(snap.Clips, snapshotOf(db.clips[name]))
-	}
-	db.mu.RUnlock()
+	return db.BeginSnapshot().Encode(w)
+}
 
+// SnapshotCutter is the optional Journal refinement BeginSnapshot
+// consults: CutPoint reports the journal's current end offset. Read
+// under the database lock — which serializes all journal appends — it
+// marks the exact boundary between records a snapshot captures and
+// records it does not, so rotation can discard precisely the former.
+type SnapshotCutter interface {
+	CutPoint() int64
+}
+
+// PendingSnapshot is a consistent point-in-time capture of the
+// database: the state Encode will write, plus the journal cut point
+// that state corresponds to. Because both are read under one hold of
+// the database lock, a record is at or below the cut if and only if
+// the snapshot contains its effect — rotating the journal to the cut
+// (wal.Writer.RotateTo) after Encode succeeds can therefore never
+// erase an acknowledged mutation the snapshot missed.
+type PendingSnapshot struct {
+	snap   snapshot
+	cut    int64
+	hasCut bool
+}
+
+// BeginSnapshot captures the database state and, if a journal
+// implementing SnapshotCutter is installed, its cut point — both under
+// a single read-lock acquisition. The expensive encoding happens later
+// in Encode, outside any lock.
+func (db *Database) BeginSnapshot() *PendingSnapshot {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ps := &PendingSnapshot{snap: snapshot{Options: db.opts}}
+	for _, name := range db.clipNamesLocked() {
+		ps.snap.Clips = append(ps.snap.Clips, snapshotOf(db.clips[name]))
+	}
+	if sc, ok := db.journal.(SnapshotCutter); ok {
+		ps.cut, ps.hasCut = sc.CutPoint(), true
+	}
+	return ps
+}
+
+// Clips reports how many clips the capture holds.
+func (ps *PendingSnapshot) Clips() int { return len(ps.snap.Clips) }
+
+// JournalCut returns the journal offset captured with the state, and
+// whether one was available (a journal was installed and supports
+// SnapshotCutter).
+func (ps *PendingSnapshot) JournalCut() (int64, bool) { return ps.cut, ps.hasCut }
+
+// Encode writes the captured state in the framed snapshot format; its
+// signature fits fsx.AtomicWrite.
+func (ps *PendingSnapshot) Encode(w io.Writer) error {
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+	if err := gob.NewEncoder(&payload).Encode(ps.snap); err != nil {
 		return fmt.Errorf("core: encoding snapshot: %w", err)
 	}
 	hdr := make([]byte, 0, snapshotHeaderSize)
 	hdr = append(hdr, SnapshotMagic...)
 	hdr = binary.LittleEndian.AppendUint16(hdr, SnapshotVersion)
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(snap.Clips)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(ps.snap.Clips)))
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(payload.Len()))
 	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(payload.Bytes(), snapshotCastagnoli))
 	if _, err := w.Write(hdr); err != nil {

@@ -40,6 +40,10 @@ type FaultFile struct {
 	ShortWriteAt int64
 	// FailSync makes Sync fail with ErrInjected.
 	FailSync bool
+	// FailNextSyncs makes only the next N Sync calls fail with
+	// ErrInjected, each failure decrementing the counter — a transient
+	// fsync error, unlike the permanent FailSync.
+	FailNextSyncs int
 	// FailClose makes Close fail with ErrInjected (after closing the
 	// underlying file, so tests do not leak descriptors).
 	FailClose bool
@@ -83,6 +87,10 @@ func (ff *FaultFile) Write(p []byte) (int, error) {
 }
 
 func (ff *FaultFile) Sync() error {
+	if ff.FailNextSyncs > 0 {
+		ff.FailNextSyncs--
+		return ErrInjected
+	}
 	if ff.FailSync {
 		return ErrInjected
 	}
@@ -94,6 +102,17 @@ func (ff *FaultFile) Sync() error {
 }
 
 func (ff *FaultFile) Truncate(size int64) error { return ff.F.Truncate(size) }
+
+// ReadAt passes reads through to the wrapped file (faults target the
+// write path). It exists so a FaultFile satisfies wal.File, whose
+// rotation needs to read back the post-snapshot tail.
+func (ff *FaultFile) ReadAt(p []byte, off int64) (int, error) {
+	ra, ok := ff.F.(io.ReaderAt)
+	if !ok {
+		return 0, errors.New("fsx: wrapped file does not support ReadAt")
+	}
+	return ra.ReadAt(p, off)
+}
 
 func (ff *FaultFile) Seek(offset int64, whence int) (int64, error) {
 	return ff.F.Seek(offset, whence)

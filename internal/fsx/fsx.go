@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // AtomicWrite replaces the file at path with whatever write produces,
@@ -77,16 +78,19 @@ func AtomicWrite(path string, write func(io.Writer) error) (int64, error) {
 }
 
 // SyncDir fsyncs a directory, making a rename (or create/remove) inside
-// it durable. Filesystems that refuse to fsync directories report an
-// EINVAL-style error; those are swallowed — the caller did all it
-// could.
+// it durable. Filesystems that refuse to fsync directories report
+// EINVAL or an unsupported-operation errno; those are swallowed — the
+// caller did all it could. (os.ErrInvalid would not match here:
+// syscall.Errno.Is only maps the permission/exist/not-exist/unsupported
+// errnos, so the EINVAL check must name the errno itself.)
 func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, errors.ErrUnsupported) {
 		return err
 	}
 	return nil

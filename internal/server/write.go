@@ -102,19 +102,22 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSnapshot implements POST /api/snapshot: persist the analysis
-// state to the configured path. core.Save holds only a read lock, so
-// queries keep flowing while the snapshot writes; fsx.AtomicWrite
-// makes the file appear atomically and durably (temp file, fsync,
-// rename, directory fsync). With a journal attached, a successful
-// snapshot rotates it: everything the journal held is now in the
-// snapshot, so replay starts empty.
+// state to the configured path. BeginSnapshot captures the state and
+// the journal cut point under one lock hold, then releases it, so
+// queries (and further mutations) keep flowing while the snapshot
+// writes; fsx.AtomicWrite makes the file appear atomically and durably
+// (temp file, fsync, rename, directory fsync). With a journal
+// attached, a successful snapshot rotates exactly the captured prefix:
+// records journaled after the capture — absent from this snapshot —
+// survive the rotation, so an acknowledged write is never lost.
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	if s.snapshotPath == "" {
 		writeError(w, http.StatusNotImplemented,
 			fmt.Errorf("no snapshot path configured"))
 		return
 	}
-	size, err := fsx.AtomicWrite(s.snapshotPath, s.db.Save)
+	snap := s.db.BeginSnapshot()
+	size, err := fsx.AtomicWrite(s.snapshotPath, snap.Encode)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -123,8 +126,17 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	if s.journal != nil {
 		// The snapshot is durable either way; a failed rotation only
 		// means replay re-applies records idempotently next startup.
-		if err := s.journal.Rotate(); err != nil {
-			s.log.Warn("journal rotation after snapshot failed", "error", err)
+		rerr := error(nil)
+		if cut, ok := snap.JournalCut(); ok {
+			rerr = s.journal.RotateTo(cut)
+		} else {
+			// No cut captured — the journal was not installed on the
+			// database at capture time, so it cannot hold records the
+			// snapshot missed.
+			rerr = s.journal.Rotate()
+		}
+		if rerr != nil {
+			s.log.Warn("journal rotation after snapshot failed", "error", rerr)
 		} else {
 			rotated = true
 		}
@@ -132,7 +144,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	s.metrics.addSnapshot()
 	writeJSON(w, map[string]any{
 		"path":           s.snapshotPath,
-		"clips":          len(s.db.Clips()),
+		"clips":          snap.Clips(),
 		"shots":          s.db.ShotCount(),
 		"bytes":          size,
 		"rotatedJournal": rotated,

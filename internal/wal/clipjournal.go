@@ -32,8 +32,21 @@ func (j *ClipJournal) LogDelete(name string) error {
 	return j.w.Append(OpDelete, []byte(name))
 }
 
-// Rotate empties the journal after a successful snapshot.
+// CutPoint reports the journal's current end offset, implementing
+// core.SnapshotCutter: core.Database.BeginSnapshot reads it under the
+// same lock hold that captures the snapshot state, making it a valid
+// RotateTo cut.
+func (j *ClipJournal) CutPoint() int64 { return j.w.Size() }
+
+// Rotate empties the journal after a successful snapshot. Correct only
+// when no mutation can have been journaled since the snapshot state
+// was captured (single-threaded CLIs); a live server must RotateTo the
+// captured cut point instead.
 func (j *ClipJournal) Rotate() error { return j.w.Rotate() }
+
+// RotateTo discards the journal prefix at or below cut — the records a
+// snapshot begun at that cut captured — and keeps everything after it.
+func (j *ClipJournal) RotateTo(cut int64) error { return j.w.RotateTo(cut) }
 
 // Sync forces the journal to stable storage.
 func (j *ClipJournal) Sync() error { return j.w.Sync() }

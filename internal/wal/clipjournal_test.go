@@ -177,6 +177,52 @@ func TestReplayIdempotentAfterRotation(t *testing.T) {
 	}
 }
 
+// The lost-write race: an ingest that commits and journals after the
+// snapshot state is captured but before the journal rotates must
+// survive the rotation — it is in neither the snapshot nor, with a
+// naive full rotation, the journal. BeginSnapshot pins the journal cut
+// with the state under one lock hold; RotateTo discards only the
+// captured prefix.
+func TestRotateToKeepsWritesAfterSnapshotCut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clips.wal")
+	db, j := journaledDB(t, path, PolicyAlways)
+	ingestTiny(t, db, "early", 300)
+
+	snap := db.BeginSnapshot()
+	cut, ok := snap.JournalCut()
+	if !ok {
+		t.Fatal("BeginSnapshot captured no journal cut")
+	}
+	// The race window: a mutation lands between capture and rotation.
+	ingestTiny(t, db, "late", 310)
+
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RotateTo(cut); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash here: recovery is snapshot + rotated journal. "late" must
+	// still exist, replayed from the journal's preserved tail.
+	recovered, err := core.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RecoverDatabase(recovered, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged || res.Records != 1 {
+		t.Fatalf("replay result %+v, want exactly the post-cut record", res)
+	}
+	assertSameDB(t, recovered, db)
+}
+
 // A record whose frame checks out but whose payload is not a valid
 // mutation must be treated as corruption: keep the prefix, truncate
 // the rest, never fail startup.

@@ -36,6 +36,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"videodb/internal/fsx"
 )
 
 // Magic identifies a journal file.
@@ -113,9 +115,12 @@ func (p Policy) String() string {
 
 // File is the slice of *os.File the writer needs; tests slide an
 // fsx.FaultFile underneath to kill writes mid-record or fail fsyncs.
+// ReadAt is what RotateTo uses to carry records appended after a
+// snapshot's cut point into the fresh journal.
 type File interface {
 	io.Writer
 	io.Seeker
+	io.ReaderAt
 	Sync() error
 	Truncate(size int64) error
 	Close() error
@@ -142,6 +147,7 @@ type Stats struct {
 type Writer struct {
 	mu      sync.Mutex
 	f       File
+	path    string // backing file path; "" for NewWriter-wrapped test files
 	size    int64
 	dirty   bool
 	err     error // sticky: after a failed append the tail is suspect
@@ -192,18 +198,18 @@ func OpenWriter(path string, policy Policy, interval time.Duration) (*Writer, er
 		return nil, err
 	}
 	st, _ = f.Stat()
-	return newWriter(f, st.Size(), policy, interval)
+	return newWriter(f, path, st.Size(), policy, interval)
 }
 
 // NewWriter wraps an already-positioned File (tests use a FaultFile
 // over a temp file). size is the file's current length; a zero size
 // writes a fresh header.
 func NewWriter(f File, size int64, policy Policy, interval time.Duration) (*Writer, error) {
-	return newWriter(f, size, policy, interval)
+	return newWriter(f, "", size, policy, interval)
 }
 
-func newWriter(f File, size int64, policy Policy, interval time.Duration) (*Writer, error) {
-	w := &Writer{f: f, size: size, policy: policy}
+func newWriter(f File, path string, size int64, policy Policy, interval time.Duration) (*Writer, error) {
+	w := &Writer{f: f, path: path, size: size, policy: policy}
 	if size == 0 {
 		hdr := make([]byte, 0, headerSize)
 		hdr = append(hdr, Magic...)
@@ -229,9 +235,12 @@ func newWriter(f File, size int64, policy Policy, interval time.Duration) (*Writ
 }
 
 // Append writes one record and applies the sync policy. On any write
-// error the writer goes sticky-failed: the file tail may be torn, so
-// further appends are refused with the same error until the journal is
-// recovered and reopened.
+// or fsync error the failed record is rolled back — the file is
+// truncated to its pre-append size and the truncation synced — so a
+// mutation rejected to the client can never reach a later replay
+// through bytes the page cache flushed anyway. The writer then goes
+// sticky-failed: the device is suspect, so further appends are refused
+// with the same error until the journal is recovered and reopened.
 func (w *Writer) Append(op byte, data []byte) error {
 	if len(data) > MaxRecord-2 {
 		return fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(data))
@@ -249,13 +258,18 @@ func (w *Writer) Append(op byte, data []byte) error {
 	if w.err != nil {
 		return w.err
 	}
+	start := w.size
 	if err := w.writeLocked(frame); err != nil {
+		w.rollbackLocked(start)
 		return err
 	}
-	w.stats.Records++
 	if w.policy == PolicyAlways {
-		return w.syncLocked()
+		if err := w.syncLocked(); err != nil {
+			w.rollbackLocked(start)
+			return err
+		}
 	}
+	w.stats.Records++
 	return nil
 }
 
@@ -271,6 +285,26 @@ func (w *Writer) writeLocked(b []byte) error {
 	}
 	w.dirty = true
 	return nil
+}
+
+// rollbackLocked tries to erase a failed append so the rejected record
+// cannot resurface in a future replay: truncate back to the pre-append
+// size, re-seek, and push the truncation to disk. Best effort — if any
+// step fails the tail stays suspect and the sticky error (already set
+// by the caller's failure) keeps refusing appends until Recover
+// repairs the file; Recover's CRC check then discards the torn record.
+func (w *Writer) rollbackLocked(to int64) {
+	if err := w.f.Truncate(to); err != nil {
+		return
+	}
+	if _, err := w.f.Seek(to, io.SeekStart); err != nil {
+		return
+	}
+	w.size = to
+	if err := w.f.Sync(); err != nil {
+		return
+	}
+	w.dirty = false
 }
 
 func (w *Writer) syncLocked() error {
@@ -298,16 +332,105 @@ func (w *Writer) Sync() error {
 	return w.syncLocked()
 }
 
-// Rotate empties the journal after a successful snapshot: everything
-// it recorded is now in the snapshot, so the file shrinks back to a
-// bare header. Replay after a crash between snapshot and rotation is
-// safe because applying a record twice is idempotent.
+// Size returns the journal's current length in bytes, header included.
+// Read it at the same instant a snapshot's state is captured (under the
+// database lock that serializes appends) and it is a cut point for
+// RotateTo: every record at or below it is in that snapshot, every
+// record above it is not.
+func (w *Writer) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Rotate empties the journal completely. It is only correct when the
+// caller can guarantee no mutation was journaled since the snapshot
+// that prompted the rotation was captured — a single-threaded CLI, for
+// example. A concurrent server must use RotateTo with a cut point
+// captured atomically with the snapshot state, or an append landing
+// between capture and rotation is erased from the journal while absent
+// from the snapshot: a silently lost acknowledged write.
 func (w *Writer) Rotate() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.rotateToLocked(w.size)
+}
+
+// RotateTo discards exactly the journal prefix a snapshot captured —
+// cut is the Size() observed at snapshot-capture time — while keeping
+// every record appended after it. With no tail the file shrinks back
+// to a bare header; with a tail the journal is rewritten as header +
+// tail through an atomic replace (temp file, fsync, rename, directory
+// fsync), so a crash at any instant leaves either the old complete
+// journal (replay re-applies records the snapshot already holds —
+// idempotent) or the new one, never a torn mix.
+func (w *Writer) RotateTo(cut int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rotateToLocked(cut)
+}
+
+func (w *Writer) rotateToLocked(cut int64) error {
 	if w.err != nil {
 		return w.err
 	}
+	if cut > w.size {
+		return fmt.Errorf("wal: rotate cut %d beyond journal size %d", cut, w.size)
+	}
+	if cut < headerSize {
+		// A cut inside (or before) the header can only mean "nothing was
+		// captured"; keep every record.
+		cut = headerSize
+	}
+	var tail []byte
+	if n := w.size - cut; n > 0 {
+		tail = make([]byte, n)
+		if _, err := w.f.ReadAt(tail, cut); err != nil {
+			// Nothing was modified; the journal is intact and rotation
+			// simply did not happen.
+			return fmt.Errorf("wal: rotate: reading post-snapshot tail: %w", err)
+		}
+	}
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, Magic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, Version)
+
+	if len(tail) > 0 && w.path != "" {
+		// Atomic replace, then point the writer at the new inode. Any
+		// failure past the rename would leave the fd diverging from the
+		// path a recovery will read, so every error here is sticky.
+		if _, err := fsx.AtomicWrite(w.path, func(out io.Writer) error {
+			if _, err := out.Write(hdr); err != nil {
+				return err
+			}
+			_, err := out.Write(tail)
+			return err
+		}); err != nil {
+			w.err = fmt.Errorf("wal: rotate failed: %w", err)
+			return w.err
+		}
+		nf, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+		if err != nil {
+			w.err = fmt.Errorf("wal: reopening rotated journal: %w", err)
+			return w.err
+		}
+		if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+			nf.Close()
+			w.err = fmt.Errorf("wal: reopening rotated journal: %w", err)
+			return w.err
+		}
+		w.f.Close() // old inode, already renamed away
+		w.f = nf
+		w.size = int64(headerSize + len(tail))
+		w.dirty = false
+		w.stats.Rotations++
+		return nil
+	}
+
+	// No tail to preserve (or a pathless test writer, which cannot do
+	// the rename dance): rewrite in place. With an empty tail this is
+	// crash-safe — the snapshot holds everything, so a torn header only
+	// costs an already-captured journal.
 	if err := w.f.Truncate(0); err != nil {
 		w.err = fmt.Errorf("wal: rotate failed: %w", err)
 		return w.err
@@ -317,11 +440,13 @@ func (w *Writer) Rotate() error {
 		return w.err
 	}
 	w.size = 0
-	hdr := make([]byte, 0, headerSize)
-	hdr = append(hdr, Magic...)
-	hdr = binary.LittleEndian.AppendUint16(hdr, Version)
 	if err := w.writeLocked(hdr); err != nil {
 		return err
+	}
+	if len(tail) > 0 {
+		if err := w.writeLocked(tail); err != nil {
+			return err
+		}
 	}
 	if err := w.syncLocked(); err != nil {
 		return err
@@ -391,6 +516,8 @@ type Record struct {
 	// Op is the mutation op code (OpIngest, OpDelete).
 	Op byte
 	// Data is the op payload (gob clip snapshot, or clip name bytes).
+	// It aliases a buffer Replay reuses between records: it is valid
+	// only until the apply callback returns — copy it to retain it.
 	Data []byte
 }
 
@@ -418,6 +545,9 @@ func (r ReplayResult) TruncatedBytes() int64 { return r.TotalBytes - r.ValidByte
 // frame, reporting the longest valid prefix; arbitrary garbage input
 // yields a result, never a panic. An apply error aborts the replay and
 // is returned (the journal itself may be fine; the state is not).
+// The Record passed to apply shares Replay's reused payload buffer:
+// its Data is overwritten by the next record, so apply must finish
+// with (or copy) the bytes before returning.
 func Replay(r io.Reader, apply func(Record) error) (ReplayResult, error) {
 	var res ReplayResult
 	damaged := func(reason string) (ReplayResult, error) {

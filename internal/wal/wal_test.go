@@ -154,6 +154,182 @@ func TestRotateEmptiesJournal(t *testing.T) {
 	}
 }
 
+// RotateTo discards only the prefix below the cut: records appended
+// after a snapshot's cut point survive the rotation and replay, along
+// with anything appended later.
+func TestRotateToPreservesTail(t *testing.T) {
+	path := journalPath(t)
+	w, err := OpenWriter(path, PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"a", "b"} {
+		if err := w.Append(OpIngest, []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut := w.Size()
+	for _, d := range []string{"c", "d"} {
+		if err := w.Append(OpIngest, []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.RotateTo(cut); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Rotations != 1 {
+		t.Errorf("rotations = %d, want 1", st.Rotations)
+	}
+	// The writer keeps appending to the rotated journal.
+	if err := w.Append(OpDelete, []byte("e")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, res := collect(t, path)
+	if res.Damaged || len(recs) != 3 {
+		t.Fatalf("after RotateTo: %d records, damaged=%v (%s)", len(recs), res.Damaged, res.Reason)
+	}
+	for i, want := range []string{"c", "d", "e"} {
+		if string(recs[i].Data) != want {
+			t.Errorf("record %d = %q, want %q", i, recs[i].Data, want)
+		}
+	}
+}
+
+// RotateTo on a pathless writer takes the in-place fallback; the tail
+// must still survive.
+func TestRotateToPreservesTailPathless(t *testing.T) {
+	path := journalPath(t)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(fsx.NewFaultFile(f), 0, PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(OpIngest, []byte("captured")); err != nil {
+		t.Fatal(err)
+	}
+	cut := w.Size()
+	if err := w.Append(OpIngest, []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RotateTo(cut); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, res := collect(t, path)
+	if res.Damaged || len(recs) != 1 || string(recs[0].Data) != "kept" {
+		t.Fatalf("after pathless RotateTo: %d records, damaged=%v", len(recs), res.Damaged)
+	}
+}
+
+// A cut beyond the journal's size is a caller bug, reported without
+// touching the file.
+func TestRotateToRejectsFutureCut(t *testing.T) {
+	path := journalPath(t)
+	w, err := OpenWriter(path, PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(OpIngest, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RotateTo(w.Size() + 1); err == nil {
+		t.Fatal("cut beyond size accepted")
+	}
+	if w.Err() != nil {
+		t.Fatalf("rejected cut went sticky: %v", w.Err())
+	}
+}
+
+// A failed append is rolled back on disk: the rejected record's bytes
+// are truncated away, so a mutation the client was told failed can
+// never resurface in a replay. The writer still refuses further
+// appends (the device is suspect).
+func TestFailedAppendRolledBack(t *testing.T) {
+	path := journalPath(t)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := fsx.NewFaultFile(f)
+	w, err := NewWriter(fault, 0, PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(OpIngest, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	before := w.Size()
+	fault.FailWriteAfter = fault.Written + 10 // dies mid-next-record
+	if err := w.Append(OpIngest, bytes.Repeat([]byte("x"), 64)); !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("mid-record failure: %v", err)
+	}
+	fault.FailWriteAfter = -1
+	if err := w.Append(OpIngest, []byte("after")); err == nil {
+		t.Fatal("append accepted after a torn write")
+	}
+	if st := w.Stats(); st.Records != 1 {
+		t.Errorf("records stat = %d, want 1", st.Records)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != before {
+		t.Fatalf("journal is %d bytes after rollback, want %d", fi.Size(), before)
+	}
+	recs, res := collect(t, path)
+	if res.Damaged || len(recs) != 1 || string(recs[0].Data) != "good" {
+		t.Fatalf("after rollback: %d records, damaged=%v", len(recs), res.Damaged)
+	}
+}
+
+// Same for a failed fsync under PolicyAlways: the record bytes reached
+// the file, but the client was told the mutation failed, so the
+// rollback truncation must remove them before any replay can see them.
+func TestFailedFsyncRolledBack(t *testing.T) {
+	path := journalPath(t)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := fsx.NewFaultFile(f)
+	w, err := NewWriter(fault, 0, PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(OpIngest, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	before := w.Size()
+	fault.FailNextSyncs = 1
+	if err := w.Append(OpIngest, []byte("phantom")); !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("failed fsync surfaced as %v", err)
+	}
+	if w.Err() == nil {
+		t.Error("failed fsync did not go sticky")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != before {
+		t.Fatalf("journal is %d bytes after rollback, want %d", fi.Size(), before)
+	}
+	recs, res := collect(t, path)
+	if res.Damaged || len(recs) != 1 || string(recs[0].Data) != "first" {
+		t.Fatalf("after fsync rollback: %d records, damaged=%v", len(recs), res.Damaged)
+	}
+}
+
 func TestStatsCountFsyncs(t *testing.T) {
 	path := journalPath(t)
 	w, err := OpenWriter(path, PolicyAlways, 0)
@@ -375,3 +551,10 @@ func (n nopFile) Seek(int64, int) (int64, error) { return 0, nil }
 func (n nopFile) Sync() error                    { return nil }
 func (n nopFile) Truncate(int64) error           { return nil }
 func (n nopFile) Close() error                   { return nil }
+func (n nopFile) ReadAt(p []byte, off int64) (int, error) {
+	b := n.b.Bytes()
+	if off >= int64(len(b)) {
+		return 0, io.EOF
+	}
+	return copy(p, b[off:]), nil
+}
