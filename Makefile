@@ -14,7 +14,7 @@ COVER_FLOOR = 60
 BENCH_DIR = bench-out
 BASELINE  = results/BENCH_offline_baseline.json
 
-.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server fuzz fuzz-smoke paper corpus clean
+.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server fuzz fuzz-smoke stress paper corpus clean
 
 all: build vet test
 
@@ -28,7 +28,13 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/core/ ./internal/feature/ ./internal/server/ ./internal/wal/
+	$(GO) test -race ./internal/core/ ./internal/feature/ ./internal/server/ ./internal/varindex/ ./internal/wal/
+
+# Repeated race-detector runs over the lock-free query path's
+# concurrency and equivalence suites — the flake-hunting profile CI
+# runs on every push (see docs/QUERYPATH.md).
+stress:
+	$(GO) test -race -run 'Concurrent|Cache|Equivalence' -count=5 ./internal/core/ ./internal/varindex/
 
 # Every package must carry a package comment (// Package x ... for
 # libraries, // Command x ... for binaries) — the revive-style
@@ -97,6 +103,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/impression/
 	$(GO) test -fuzz FuzzLoad -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzJournalReplay -fuzztime 30s ./internal/wal/
+	$(GO) test -fuzz FuzzSearchEquivalence -fuzztime 30s ./internal/varindex/
 
 # Run every Fuzz* target in the tree for 10 seconds each — the CI
 # smoke pass. Discovers targets dynamically so new fuzzers are picked

@@ -64,6 +64,7 @@ func main() {
 		target      = flag.String("target", "http://localhost:8080", "server: base URL of the vdbserver under test")
 		concurrency = flag.Int("concurrency", 16, "server: concurrent load-generating workers")
 		duration    = flag.Duration("duration", 10*time.Second, "server: measurement length")
+		qCache      = flag.Int("query-cache", 4096, "offline: query-result cache capacity (0 disables the cache and skips the cached phase)")
 	)
 	var workers int
 	flag.IntVar(&workers, "workers", 0, "offline: per-frame ingest analysis workers (0 = GOMAXPROCS, 1 = serial)")
@@ -95,7 +96,7 @@ func main() {
 	case "offline":
 		rep, err = runOffline(offlineConfig{
 			Scale: *scale, Seed: *seed, Queries: *queries,
-			Batch: *batch, Workers: workers,
+			Batch: *batch, Workers: workers, QueryCache: *qCache,
 		})
 	case "server":
 		rep, err = runServer(serverConfig{

@@ -18,7 +18,7 @@ func TestOfflineRunProducesValidArtifact(t *testing.T) {
 	if testing.Short() {
 		t.Skip("offline run synthesizes a corpus; skipped with -short")
 	}
-	rep, err := runOffline(offlineConfig{Scale: 0.02, Seed: 1, Queries: 200, Batch: 8})
+	rep, err := runOffline(offlineConfig{Scale: 0.02, Seed: 1, Queries: 200, Batch: 8, QueryCache: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,22 +45,29 @@ func TestOfflineRunProducesValidArtifact(t *testing.T) {
 		"ingest_frames_per_sec", "ingest_clips_per_sec",
 		"ingest_workers", "ingest_frames_per_sec_serial", "ingest_parallel_speedup",
 		"query_latency", "batch_latency", "batch_query_throughput",
+		"query_cached_latency", "query_cached_throughput", "query_cache_hit_rate",
 	} {
 		m, ok := got.Metric(name)
 		if !ok {
 			t.Errorf("artifact missing metric %q", name)
 			continue
 		}
-		if name == "query_latency" || name == "batch_latency" {
+		switch name {
+		case "query_latency", "batch_latency", "query_cached_latency":
 			if m.Distribution == nil || m.Distribution.Count == 0 {
 				t.Errorf("metric %q has no distribution", name)
 			}
-		} else if m.Value <= 0 {
-			t.Errorf("metric %q = %v, want > 0", name, m.Value)
+		default:
+			if m.Value <= 0 {
+				t.Errorf("metric %q = %v, want > 0", name, m.Value)
+			}
 		}
 	}
 	if m, _ := got.Metric("query_latency"); m.Distribution != nil && m.Distribution.Count != 200 {
 		t.Errorf("query_latency count = %d, want 200", m.Distribution.Count)
+	}
+	if m, ok := got.Metric("query_cache_mismatches"); !ok || m.Value != 0 {
+		t.Errorf("query_cache_mismatches = %+v, want present and 0", m)
 	}
 }
 
@@ -85,8 +92,10 @@ func TestCompareArtifactsCLI(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name string, fps float64) string {
 		h := benchfmt.NewHistogram()
+		ch := benchfmt.NewHistogram()
 		for i := 1; i <= 100; i++ {
 			h.Record(float64(i) * 1e-4)
+			ch.Record(float64(i) * 1e-6)
 		}
 		rep := benchfmt.Report{
 			Mode:      "offline",
@@ -98,6 +107,7 @@ func TestCompareArtifactsCLI(t *testing.T) {
 			Metrics: []benchfmt.Metric{
 				{Name: "ingest_frames_per_sec", Unit: "frames/sec", Value: fps},
 				benchfmt.LatencyMetric("query_latency", h),
+				benchfmt.LatencyMetric("query_cached_latency", ch),
 			},
 		}
 		path := filepath.Join(dir, name)

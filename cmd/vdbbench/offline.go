@@ -19,6 +19,9 @@ type offlineConfig struct {
 	Queries int
 	Batch   int
 	Workers int
+	// QueryCache is the query-result cache capacity; 0 disables the
+	// cache and skips the cached-query phase.
+	QueryCache int
 }
 
 // runOffline drives core.Database directly: corpus synthesis (untimed),
@@ -60,7 +63,7 @@ func runOffline(cfg offlineConfig) (benchfmt.Report, error) {
 	}
 	serialDur := time.Since(serialStart)
 
-	db, err := core.Open(opts, core.WithParallelism(cfg.Workers))
+	db, err := core.Open(opts, core.WithParallelism(cfg.Workers), core.WithQueryCache(cfg.QueryCache))
 	if err != nil {
 		return benchfmt.Report{}, err
 	}
@@ -72,12 +75,17 @@ func runOffline(cfg offlineConfig) (benchfmt.Report, error) {
 	ingestDur := time.Since(ingestStart)
 
 	queries := sampleQueries(db, cfg.Queries, cfg.Seed)
+	qopt := db.Options().Query
+
+	// The single-query phase bypasses the cache: `query_latency` is the
+	// index's own latency, the reference the cached phase is judged
+	// against.
 	queryHist := benchfmt.NewHistogram()
 	queryStart := time.Now()
 	var matched int64
 	for _, q := range queries {
 		t0 := time.Now()
-		matches, err := db.Query(q)
+		matches, err := db.QueryUncached(q, qopt)
 		if err != nil {
 			return benchfmt.Report{}, fmt.Errorf("query: %w", err)
 		}
@@ -118,7 +126,7 @@ func runOffline(cfg offlineConfig) (benchfmt.Report, error) {
 				hi = len(queries)
 			}
 			t0 := time.Now()
-			if _, err := db.QueryBatch(queries[lo:hi], db.Options().Query); err != nil {
+			if _, err := db.QueryBatch(queries[lo:hi], qopt); err != nil {
 				return benchfmt.Report{}, fmt.Errorf("batch query: %w", err)
 			}
 			batchHist.RecordDuration(time.Since(t0))
@@ -130,6 +138,63 @@ func runOffline(cfg offlineConfig) (benchfmt.Report, error) {
 			benchfmt.Metric{Name: "batch_query_throughput", Unit: "queries/sec",
 				Value: float64(batched) / batchDur.Seconds()},
 		)
+	}
+
+	// Cached phase: every query repeats against an unchanged database,
+	// so after one warm pass the cache answers them all. The warm pass
+	// doubles as the differential check — each cached answer is compared
+	// against the uncached reference, and any divergence fails the run.
+	if cfg.QueryCache > 0 {
+		var mismatches int64
+		for _, q := range queries {
+			cached, err := db.QueryWithOptions(q, qopt)
+			if err != nil {
+				return benchfmt.Report{}, fmt.Errorf("cached query: %w", err)
+			}
+			reference, err := db.QueryUncached(q, qopt)
+			if err != nil {
+				return benchfmt.Report{}, fmt.Errorf("reference query: %w", err)
+			}
+			if len(cached) != len(reference) {
+				mismatches++
+				continue
+			}
+			for i := range cached {
+				if cached[i].Entry != reference[i].Entry {
+					mismatches++
+					break
+				}
+			}
+		}
+		if mismatches > 0 {
+			return benchfmt.Report{}, fmt.Errorf("cached path diverged from the uncached reference on %d of %d queries", mismatches, len(queries))
+		}
+
+		cachedHist := benchfmt.NewHistogram()
+		cachedStart := time.Now()
+		for _, q := range queries {
+			t0 := time.Now()
+			if _, err := db.QueryWithOptions(q, qopt); err != nil {
+				return benchfmt.Report{}, fmt.Errorf("cached query: %w", err)
+			}
+			cachedHist.RecordDuration(time.Since(t0))
+		}
+		cachedDur := time.Since(cachedStart)
+		cs := db.QueryCacheStats()
+		hitRate := 0.0
+		if cs.Hits+cs.Misses > 0 {
+			hitRate = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+		}
+		metrics = append(metrics,
+			benchfmt.LatencyMetric("query_cached_latency", cachedHist),
+			benchfmt.Metric{Name: "query_cached_throughput", Unit: "queries/sec",
+				Value: float64(len(queries)) / cachedDur.Seconds()},
+			benchfmt.Metric{Name: "query_cache_hit_rate", Unit: "ratio", Value: hitRate},
+			benchfmt.Metric{Name: "query_cache_mismatches", Unit: "queries", Value: float64(mismatches)},
+		)
+		cd := cachedHist.Distribution()
+		fmt.Printf("offline: %d cached repeats, p50 %.3gms p90 %.3gms p99 %.3gms (hit rate %.0f%%)\n",
+			len(queries), cd.P50*1e3, cd.P90*1e3, cd.P99*1e3, 100*hitRate)
 	}
 
 	fmt.Printf("offline: %d clips, %d frames ingested in %v (%.0f frames/sec, -j %d)\n",
@@ -147,6 +212,7 @@ func runOffline(cfg offlineConfig) (benchfmt.Report, error) {
 		Config: benchfmt.Config{
 			Scale: cfg.Scale, Seed: cfg.Seed, Clips: len(clips),
 			Queries: cfg.Queries, BatchSize: cfg.Batch, Workers: cfg.Workers,
+			QueryCache: cfg.QueryCache,
 		},
 		Environment: environment(),
 		Metrics:     metrics,

@@ -67,13 +67,14 @@ func main() {
 		drain   = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU, heap, goroutine, trace)")
 		jobs     = flag.Int("j", 0, "per-frame ingest analysis workers (0 = GOMAXPROCS, 1 = serial)")
+		qCache   = flag.Int("query-cache", 4096, "query-result cache capacity in entries (0 disables)")
 		walPath  = flag.String("wal", "", "write-ahead journal path (default <db>.wal, \"none\" disables durability)")
 		syncMode = flag.String("sync", "interval", "journal sync policy: always | interval | none")
 		syncIvl  = flag.Duration("sync-interval", time.Second, "background fsync cadence for -sync interval")
 	)
 	flag.Parse()
 
-	db, err := loadDB(*dbPath, core.WithParallelism(*jobs))
+	db, err := loadDB(*dbPath, core.WithParallelism(*jobs), core.WithQueryCache(*qCache))
 	if err != nil {
 		log.Fatalf("vdbserver: %v", err)
 	}

@@ -68,6 +68,10 @@ type Config struct {
 	// Workers bounds ingest parallelism in offline mode (0 =
 	// GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// QueryCache is the query-result cache capacity the offline run
+	// opened the database with (0 = caching disabled, cached phase
+	// skipped).
+	QueryCache int `json:"queryCache,omitempty"`
 	// Target is the base URL server mode drove.
 	Target string `json:"target,omitempty"`
 	// Concurrency is server mode's worker count.

@@ -55,6 +55,7 @@ type gate struct {
 var offlineGates = []gate{
 	{metric: "ingest_frames_per_sec", higherIsBetter: true},
 	{metric: "query_latency", quantile: "p90", higherIsBetter: false, slack: 500e-6},
+	{metric: "query_cached_latency", quantile: "p90", higherIsBetter: false, slack: 500e-6},
 }
 
 // Compare evaluates a candidate report against a baseline at the given

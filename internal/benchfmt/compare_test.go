@@ -5,16 +5,21 @@ import (
 	"testing"
 )
 
-// gatedReport builds an offline report with the two gated metrics set
-// to the given readings (ingest throughput and query p90 latency).
+// gatedReport builds an offline report with the gated metrics set to
+// the given readings (ingest throughput and query p90 latency; the
+// cached-query p90 is derived at a fifth of the uncached one).
 func gatedReport(fps, p90 float64) Report {
 	rep := sampleReport()
-	rep.Metrics = []Metric{
-		{Name: "ingest_frames_per_sec", Unit: "frames/sec", Value: fps},
-		{Name: "query_latency", Unit: "seconds", Value: p90 / 2, Distribution: &Distribution{
+	latency := func(name string, p90 float64) Metric {
+		return Metric{Name: name, Unit: "seconds", Value: p90 / 2, Distribution: &Distribution{
 			Count: 1000, Min: p90 / 10, Max: p90 * 2,
 			Mean: p90 / 2, P50: p90 / 2, P90: p90, P99: p90 * 1.5,
-		}},
+		}}
+	}
+	rep.Metrics = []Metric{
+		{Name: "ingest_frames_per_sec", Unit: "frames/sec", Value: fps},
+		latency("query_latency", p90),
+		latency("query_cached_latency", p90/5),
 	}
 	return rep
 }
@@ -25,8 +30,8 @@ func TestCompareIdenticalReportsPass(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Compare: %v", err)
 	}
-	if len(comps) != 2 {
-		t.Fatalf("%d comparisons, want 2", len(comps))
+	if len(comps) != 3 {
+		t.Fatalf("%d comparisons, want 3", len(comps))
 	}
 	for _, c := range comps {
 		if c.Regressed {

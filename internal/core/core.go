@@ -8,8 +8,14 @@
 //	Step 3: a variance-based index over all shots, answering similarity
 //	        queries with the scene nodes at which to start browsing.
 //
-// A Database is safe for concurrent use. Ingest runs a two-phase
-// pipeline: per-frame analysis fans out across a bounded worker pool
+// A Database is safe for concurrent use, and its read path is
+// lock-free: queries, listings and browsing resolve against an
+// immutable view published through an atomic pointer (view.go), so a
+// seconds-long ingest never stalls a reader. An optional epoch-tagged
+// result cache (WithQueryCache) answers repeated identical queries
+// without touching the index; it is invalidated wholesale whenever a
+// mutation publishes a new view. Ingest runs a two-phase pipeline:
+// per-frame analysis fans out across a bounded worker pool
 // (Options.Workers, see WithParallelism) into an ordered stream that
 // the strictly sequential pairwise shot detector consumes in frame
 // order, so parallel and serial ingests are bit-identical.
@@ -20,8 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"videodb/internal/feature"
@@ -51,6 +57,9 @@ type Options struct {
 	// 0 means GOMAXPROCS. Set it through WithParallelism when opening
 	// or loading a database.
 	Workers int
+	// QueryCache bounds the query-result cache in entries; 0 disables
+	// caching. Set it through WithQueryCache when opening or loading.
+	QueryCache int
 }
 
 // OpenOption adjusts a database's Options beyond what a caller built
@@ -64,6 +73,14 @@ type OpenOption func(*Options)
 // in frame order. 0 restores the default, GOMAXPROCS.
 func WithParallelism(n int) OpenOption {
 	return func(o *Options) { o.Workers = n }
+}
+
+// WithQueryCache bounds the epoch-tagged query-result cache to n
+// entries; 0 disables caching. Cached results are invalidated wholesale
+// whenever a mutation publishes a new view, so a cached answer is
+// always identical to what the live index would return.
+func WithQueryCache(n int) OpenOption {
+	return func(o *Options) { o.QueryCache = n }
 }
 
 // DefaultOptions returns the paper's parameters throughout.
@@ -135,16 +152,25 @@ type Match struct {
 	Scene *scenetree.Node
 }
 
-// Database is the video DBMS.
+// Database is the video DBMS. Reads are lock-free: every read method
+// pins the current immutable view with one atomic load and resolves
+// against it, so a query never waits on an in-flight ingest. Writers
+// serialize on mu, derive the successor view copy-on-write, and swap
+// it in; the swap is the commit point.
 type Database struct {
-	mu    sync.RWMutex
-	opts  Options
-	clips map[string]*ClipRecord
+	// mu serializes writers (ingest commit, delete, replay, journal
+	// installation) and snapshot capture. Readers never take it.
+	mu   sync.RWMutex
+	opts Options
+	// view is the atomically published immutable read state: clips,
+	// sorted listings, and the built similarity index. See view.go.
+	view atomic.Pointer[view]
+	// cache is the epoch-tagged query-result cache; nil when disabled.
+	cache *queryCache
 	// reserved holds clip names whose ingest analysis is in flight, so
 	// duplicates are rejected before burning CPU on analysis and two
 	// concurrent ingests of the same name cannot both commit.
 	reserved map[string]struct{}
-	index    *varindex.Index
 	// journal, when set, receives every mutation before it commits —
 	// the write-ahead discipline SetJournal documents.
 	journal Journal
@@ -168,12 +194,35 @@ func Open(opts Options, extra ...OpenOption) (*Database, error) {
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("core: negative worker count %d", opts.Workers)
 	}
-	return &Database{
+	if opts.QueryCache < 0 {
+		return nil, fmt.Errorf("core: negative query cache size %d", opts.QueryCache)
+	}
+	db := &Database{
 		opts:     opts,
-		clips:    make(map[string]*ClipRecord),
+		cache:    newQueryCache(opts.QueryCache),
 		reserved: make(map[string]struct{}),
-		index:    varindex.New(),
-	}, nil
+	}
+	db.view.Store(emptyView())
+	return db, nil
+}
+
+// publishLocked makes next the current view and invalidates the query
+// cache to its epoch. Callers hold the write lock; the Store is the
+// commit point after which every new reader observes the mutation.
+func (db *Database) publishLocked(next *view) {
+	db.view.Store(next)
+	if db.cache != nil {
+		db.cache.invalidate(next.epoch)
+	}
+}
+
+// QueryCacheStats reports the query cache's counters; the zero value
+// when caching is disabled.
+func (db *Database) QueryCacheStats() CacheStats {
+	if db.cache == nil {
+		return CacheStats{}
+	}
+	return db.cache.stats()
 }
 
 // Options returns the database's configuration.
@@ -225,10 +274,7 @@ func (db *Database) IngestContext(ctx context.Context, clip *video.Clip) (*ClipR
 			return nil, fmt.Errorf("core: clip %q: journaling ingest: %w", clip.Name, jerr)
 		}
 	}
-	db.clips[rec.Name] = rec
-	for _, e := range entries {
-		db.index.Add(e)
-	}
+	db.publishLocked(db.view.Load().withClip(rec, entries))
 	return rec, nil
 }
 
@@ -236,7 +282,7 @@ func (db *Database) IngestContext(ctx context.Context, clip *video.Clip) (*ClipR
 func (db *Database) reserve(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, dup := db.clips[name]; dup {
+	if _, dup := db.view.Load().clips[name]; dup {
 		return fmt.Errorf("core: clip %q: %w", name, ErrDuplicate)
 	}
 	if _, busy := db.reserved[name]; busy {
@@ -367,7 +413,8 @@ func (db *Database) IngestAllContext(ctx context.Context, clips []*video.Clip) e
 func (db *Database) Remove(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.clips[name]; !ok {
+	v := db.view.Load()
+	if _, ok := v.clips[name]; !ok {
 		return fmt.Errorf("core: clip %q: %w", name, ErrNotFound)
 	}
 	// Write-ahead, like IngestContext: log the delete before applying it.
@@ -376,98 +423,103 @@ func (db *Database) Remove(name string) error {
 			return fmt.Errorf("core: clip %q: journaling delete: %w", name, jerr)
 		}
 	}
-	delete(db.clips, name)
-	db.index.RemoveClip(name)
+	db.publishLocked(v.withoutClip(name))
 	return nil
 }
 
-// Clip returns the record of a named clip.
+// Clip returns the record of a named clip. Lock-free: it reads the
+// current view.
 func (db *Database) Clip(name string) (*ClipRecord, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	rec, ok := db.clips[name]
+	rec, ok := db.view.Load().clips[name]
 	return rec, ok
 }
 
-// Clips returns the names of all ingested clips, sorted.
+// Clips returns the names of all ingested clips, sorted. Lock-free.
 func (db *Database) Clips() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.clips))
-	for n := range db.clips {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	v := db.view.Load()
+	return append([]string(nil), v.names...)
 }
 
-// Records returns every clip record sorted by name, captured under a
-// single read lock. Use this instead of Clips+Clip pairs when listing:
-// a concurrent Remove between the two calls would make the second
-// return nothing. Records are immutable after ingest, so sharing the
-// pointers is safe.
+// Records returns every clip record sorted by name, captured from one
+// view, so the listing is consistent: a concurrent Remove cannot
+// split it. Records are immutable after ingest, so sharing the
+// pointers is safe. Lock-free.
 func (db *Database) Records() []*ClipRecord {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	recs := make([]*ClipRecord, 0, len(db.clips))
-	for _, name := range db.clipNamesLocked() {
-		recs = append(recs, db.clips[name])
-	}
-	return recs
+	v := db.view.Load()
+	return append([]*ClipRecord(nil), v.recs...)
 }
 
-// ShotCount returns the total number of indexed shots.
+// ShotCount returns the total number of indexed shots. Lock-free.
 func (db *Database) ShotCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.index.Len()
+	return db.view.Load().index.Len()
 }
 
 // Query runs a similarity search with the database's default tolerances,
-// resolving each matching shot to its largest scene node.
+// resolving each matching shot to its largest scene node. Lock-free:
+// the search resolves against the current view, served from the query
+// cache when an identical query already ran against it. Callers must
+// not modify the returned slice — cache hits share it.
 func (db *Database) Query(q varindex.Query) ([]Match, error) {
 	return db.QueryWithOptions(q, db.opts.Query)
 }
 
 // QueryWithOptions runs a similarity search with explicit tolerances.
+// Lock-free and cached like Query; callers must not modify the
+// returned slice.
 func (db *Database) QueryWithOptions(q varindex.Query, opt varindex.Options) ([]Match, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	entries, err := db.index.Search(q, opt)
-	if err != nil {
-		return nil, err
-	}
-	return db.resolve(entries), nil
+	v := db.view.Load()
+	return db.searchView(v, q, opt)
 }
 
-// QueryBatch runs many similarity searches under a single read lock,
-// returning one match slice per query in order. Amortizing the lock
-// (and, through the HTTP layer, the per-request overhead) is what makes
-// bulk similarity lookups cheap: a caller scoring hundreds of candidate
-// impressions pays for one lock acquisition instead of hundreds. The
-// result set is consistent — no concurrent ingest or remove can land
-// between two queries of the same batch. A query that fails validation
-// aborts the batch with an error naming its index.
+// QueryUncached runs a similarity search with explicit tolerances,
+// bypassing the query cache: the reference path for benchmarks and
+// the differential tests that prove the cached path equivalent.
+func (db *Database) QueryUncached(q varindex.Query, opt varindex.Options) ([]Match, error) {
+	return db.view.Load().search(q, opt)
+}
+
+// searchView answers one query against a pinned view, through the
+// cache when one is configured. The cache entry is tagged with the
+// view's epoch, so a result computed here is never served once a
+// mutation publishes a newer view.
+func (db *Database) searchView(v *view, q varindex.Query, opt varindex.Options) ([]Match, error) {
+	if db.cache == nil {
+		return v.search(q, opt)
+	}
+	matches, _, err := db.cache.do(cacheKey(q, opt), v.epoch, func() ([]Match, error) {
+		return v.search(q, opt)
+	})
+	return matches, err
+}
+
+// QueryBatch runs many similarity searches against one pinned view,
+// returning one match slice per query in order. Amortizing the
+// per-request overhead through the HTTP layer is what makes bulk
+// similarity lookups cheap. The result set is consistent — every query
+// of the batch answers against the same view, so no concurrent ingest
+// or remove can land between two queries of the same batch. A query
+// that fails validation aborts the batch with an error naming its
+// index. Callers must not modify the returned slices.
 func (db *Database) QueryBatch(qs []varindex.Query, opt varindex.Options) ([][]Match, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	v := db.view.Load()
 	out := make([][]Match, len(qs))
 	for i, q := range qs {
-		entries, err := db.index.Search(q, opt)
+		matches, err := db.searchView(v, q, opt)
 		if err != nil {
 			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
 		}
-		out[i] = db.resolve(entries)
+		out[i] = matches
 	}
 	return out, nil
 }
 
 // QueryByShot searches for shots similar to an existing shot, excluding
-// the shot itself, returning at most k matches.
+// the shot itself, returning at most k matches. Lock-free; uncached,
+// because the per-(clip,shot,k) key space is too sparse to earn its
+// cache entries.
 func (db *Database) QueryByShot(clip string, shot, k int) ([]Match, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	rec, ok := db.clips[clip]
+	v := db.view.Load()
+	rec, ok := v.clips[clip]
 	if !ok {
 		return nil, fmt.Errorf("core: clip %q: %w", clip, ErrNotFound)
 	}
@@ -477,43 +529,18 @@ func (db *Database) QueryByShot(clip string, shot, k int) ([]Match, error) {
 	sf := rec.Shots[shot].Feature
 	q := varindex.Query{VarBA: sf.VarBA, VarOA: sf.VarOA, MeanBA: sf.MeanBA}
 	key := varindex.Entry{Clip: clip, Shot: shot}.Key()
-	entries, err := db.index.TopKExcluding(q, db.opts.Query, k, key)
+	entries, err := v.index.TopKExcluding(q, db.opts.Query, k, key)
 	if err != nil {
 		return nil, err
 	}
-	return db.resolve(entries), nil
+	return v.resolve(entries), nil
 }
 
-// resolve attaches the largest-scene node to each entry. Callers hold at
-// least a read lock.
-func (db *Database) resolve(entries []varindex.Entry) []Match {
-	matches := make([]Match, 0, len(entries))
-	for _, e := range entries {
-		m := Match{Entry: e}
-		if rec, ok := db.clips[e.Clip]; ok {
-			m.Scene = rec.Tree.LargestSceneFor(e.Shot)
-		}
-		matches = append(matches, m)
-	}
-	return matches
-}
-
-// Browse returns the scene tree of a named clip.
+// Browse returns the scene tree of a named clip. Lock-free.
 func (db *Database) Browse(clip string) (*scenetree.Tree, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	rec, ok := db.clips[clip]
+	rec, ok := db.view.Load().clips[clip]
 	if !ok {
 		return nil, fmt.Errorf("core: clip %q: %w", clip, ErrNotFound)
 	}
 	return rec.Tree, nil
-}
-
-func (db *Database) clipNamesLocked() []string {
-	names := make([]string, 0, len(db.clips))
-	for n := range db.clips {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
 }

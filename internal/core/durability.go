@@ -137,14 +137,17 @@ type PendingSnapshot struct {
 
 // BeginSnapshot captures the database state and, if a journal
 // implementing SnapshotCutter is installed, its cut point — both under
-// a single read-lock acquisition. The expensive encoding happens later
-// in Encode, outside any lock.
+// a single read-lock acquisition. Holding the read lock excludes
+// writers, so the captured view and the journal offset describe the
+// same instant; queries, which never take the lock, keep flowing. The
+// expensive encoding happens later in Encode, outside any lock.
 func (db *Database) BeginSnapshot() *PendingSnapshot {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	v := db.view.Load()
 	ps := &PendingSnapshot{snap: snapshot{Options: db.opts}}
-	for _, name := range db.clipNamesLocked() {
-		ps.snap.Clips = append(ps.snap.Clips, snapshotOf(db.clips[name]))
+	for _, name := range v.names {
+		ps.snap.Clips = append(ps.snap.Clips, snapshotOf(v.clips[name]))
 	}
 	if sc, ok := db.journal.(SnapshotCutter); ok {
 		ps.cut, ps.hasCut = sc.CutPoint(), true
@@ -209,16 +212,24 @@ func Load(r io.Reader, extra ...OpenOption) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Build the loaded state as one view and publish it once: the
+	// database is not shared yet, so no per-clip swaps are needed.
+	v := emptyView()
+	ix := varindex.New()
 	for i := range snap.Clips {
 		rec, entries, err := snap.Clips[i].record()
 		if err != nil {
 			return nil, err
 		}
-		db.clips[rec.Name] = rec
+		v.clips[rec.Name] = rec
 		for _, e := range entries {
-			db.index.Add(e)
+			ix.Add(e)
 		}
 	}
+	ix.Build()
+	v.index = ix
+	v.finish()
+	db.view.Store(v)
 	return db, nil
 }
 
@@ -325,13 +336,9 @@ func (db *Database) ApplyIngestRecord(payload []byte) (string, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, exists := db.clips[rec.Name]; exists {
-		db.index.RemoveClip(rec.Name)
-	}
-	db.clips[rec.Name] = rec
-	for _, e := range entries {
-		db.index.Add(e)
-	}
+	// withClip replaces a same-named clip and its index entries
+	// wholesale, which is exactly replay idempotence.
+	db.publishLocked(db.view.Load().withClip(rec, entries))
 	return rec.Name, nil
 }
 
@@ -341,9 +348,9 @@ func (db *Database) ApplyIngestRecord(payload []byte) (string, error) {
 func (db *Database) ApplyDelete(name string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.clips[name]; !ok {
+	v := db.view.Load()
+	if _, ok := v.clips[name]; !ok {
 		return
 	}
-	delete(db.clips, name)
-	db.index.RemoveClip(name)
+	db.publishLocked(v.withoutClip(name))
 }

@@ -78,12 +78,10 @@ func TestLoadDetectsTruncation(t *testing.T) {
 // A pre-framing snapshot is a bare gob stream; it must keep loading.
 func TestLegacySnapshotLoads(t *testing.T) {
 	db := cheapDB(t, 2)
-	db.mu.RLock()
 	snap := snapshot{Options: db.opts}
-	for _, name := range db.clipNamesLocked() {
-		snap.Clips = append(snap.Clips, snapshotOf(db.clips[name]))
+	for _, rec := range db.Records() {
+		snap.Clips = append(snap.Clips, snapshotOf(rec))
 	}
-	db.mu.RUnlock()
 	var legacy bytes.Buffer
 	if err := gob.NewEncoder(&legacy).Encode(snap); err != nil {
 		t.Fatal(err)

@@ -33,12 +33,10 @@ func FuzzLoad(f *testing.F) {
 
 	// Legacy bare-gob stream (pre-framing snapshot).
 	var legacy bytes.Buffer
-	db.mu.RLock()
 	snap := snapshot{Options: db.opts}
-	for _, name := range db.clipNamesLocked() {
-		snap.Clips = append(snap.Clips, snapshotOf(db.clips[name]))
+	for _, rec := range db.Records() {
+		snap.Clips = append(snap.Clips, snapshotOf(rec))
 	}
-	db.mu.RUnlock()
 	if err := gob.NewEncoder(&legacy).Encode(snap); err != nil {
 		f.Fatal(err)
 	}

@@ -1,0 +1,193 @@
+// Differential proof that the lock-free cached query path answers
+// exactly like the mutex-guarded linear design it replaced. External
+// test package so it can synthesize the Table 5 corpus from
+// internal/experiments (which itself imports core).
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"videodb/internal/core"
+	"videodb/internal/rng"
+	"videodb/internal/varindex"
+)
+
+// legacyIndex is the pre-lock-free design in miniature: one shared
+// index behind a mutex, every query serialized through it. It is the
+// oracle the lock-free cached path must match query-for-query.
+type legacyIndex struct {
+	mu sync.Mutex
+	ix *varindex.Index
+}
+
+// legacyFrom rebuilds the locked index from the database's records,
+// constructing entries exactly the way ingest does.
+func legacyFrom(db *core.Database) *legacyIndex {
+	ix := varindex.New()
+	for _, rec := range db.Records() {
+		for k, sr := range rec.Shots {
+			ix.Add(varindex.Entry{
+				Clip: rec.Name, Shot: k,
+				Start: sr.Shot.Start, End: sr.Shot.End,
+				VarBA: sr.Feature.VarBA, VarOA: sr.Feature.VarOA,
+				MeanBA: sr.Feature.MeanBA,
+			})
+		}
+	}
+	ix.Build()
+	return &legacyIndex{ix: ix}
+}
+
+func (l *legacyIndex) query(q varindex.Query, opt varindex.Options) ([]varindex.Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ix.Search(q, opt)
+}
+
+// queryPool derives a mix of realistic and adversarial queries from the
+// ingested corpus: jittered copies of real shot features (dense result
+// sets), plus uniform random points (sparse or empty sets).
+func queryPool(db *core.Database, r *rng.RNG, n int) []varindex.Query {
+	var feats []varindex.Query
+	for _, rec := range db.Records() {
+		for _, sr := range rec.Shots {
+			feats = append(feats, varindex.Query{
+				VarBA: sr.Feature.VarBA, VarOA: sr.Feature.VarOA, MeanBA: sr.Feature.MeanBA,
+			})
+		}
+	}
+	pool := make([]varindex.Query, 0, n)
+	for i := 0; i < n; i++ {
+		if len(feats) > 0 && r.Bool(0.8) {
+			q := feats[r.Intn(len(feats))]
+			q.VarBA *= r.Float64Range(0.7, 1.4)
+			q.VarOA *= r.Float64Range(0.7, 1.4)
+			for ch := range q.MeanBA {
+				q.MeanBA[ch] += r.Float64Range(-0.3, 0.3)
+			}
+			pool = append(pool, q)
+			continue
+		}
+		pool = append(pool, varindex.Query{
+			VarBA: r.Float64Range(0, 50), VarOA: r.Float64Range(0, 50),
+			MeanBA: [3]float64{r.Float64Range(-1, 1), r.Float64Range(-1, 1), r.Float64Range(-1, 1)},
+		})
+	}
+	return pool
+}
+
+func optionPool(r *rng.RNG, n int) []varindex.Options {
+	pool := []varindex.Options{varindex.DefaultOptions()}
+	for len(pool) < n {
+		opt := varindex.Options{
+			Alpha: r.Float64Range(0, 3), Beta: r.Float64Range(0, 3),
+		}
+		if r.Bool(0.25) {
+			opt.Gamma = r.Float64Range(0.1, 1)
+		}
+		pool = append(pool, opt)
+	}
+	return pool
+}
+
+// mustMatchLegacy asserts a lock-free result equals the legacy oracle's
+// entry-for-entry, order included.
+func mustMatchLegacy(t *testing.T, i int, got []core.Match, want []varindex.Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("query %d: lock-free path returned %d matches, legacy %d", i, len(got), len(want))
+	}
+	for k := range got {
+		if got[k].Entry != want[k] {
+			t.Fatalf("query %d result %d: lock-free %+v, legacy %+v", i, k, got[k].Entry, want[k])
+		}
+	}
+}
+
+// TestQueryPathEquivalence is the acceptance differential: ≥10k
+// randomized queries (with heavy repetition, so the cache serves a
+// large share) through the lock-free cached path, the uncached
+// lock-free path, and the legacy locked oracle — every answer
+// identical. A mutation mid-stream then proves invalidation: the
+// cached path must never serve a pre-delete answer afterwards.
+func TestQueryPathEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes the Table 5 corpus; skipped with -short")
+	}
+	clips := table5Clips(t, 0.02)
+	db, err := core.Open(core.DefaultOptions(), core.WithQueryCache(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.IngestAll(clips); err != nil {
+		t.Fatal(err)
+	}
+	legacy := legacyFrom(db)
+
+	r := rng.New(42)
+	queries := queryPool(db, r, 200)
+	options := optionPool(r, 12)
+
+	const rounds = 10000
+	for i := 0; i < rounds; i++ {
+		q := queries[r.Intn(len(queries))]
+		opt := options[r.Intn(len(options))]
+		cached, err := db.QueryWithOptions(q, opt)
+		if err != nil {
+			t.Fatalf("query %d: cached: %v", i, err)
+		}
+		uncached, err := db.QueryUncached(q, opt)
+		if err != nil {
+			t.Fatalf("query %d: uncached: %v", i, err)
+		}
+		oracle, err := legacy.query(q, opt)
+		if err != nil {
+			t.Fatalf("query %d: legacy: %v", i, err)
+		}
+		mustMatchLegacy(t, i, cached, oracle)
+		mustMatchLegacy(t, i, uncached, oracle)
+		// The cached and uncached paths resolved against the same view,
+		// so even the scene pointers must agree.
+		for k := range cached {
+			if cached[k].Scene != uncached[k].Scene {
+				t.Fatalf("query %d result %d: cached scene %p, uncached %p", i, k, cached[k].Scene, uncached[k].Scene)
+			}
+		}
+	}
+
+	stats := db.QueryCacheStats()
+	if stats.Hits == 0 {
+		t.Fatal("10k repeated queries produced zero cache hits")
+	}
+	if stats.Hits+stats.Misses != rounds {
+		t.Fatalf("cache saw %d hits + %d misses, want %d lookups", stats.Hits, stats.Misses, rounds)
+	}
+
+	// Mutation mid-stream: remove a clip, rebuild the oracle, and prove
+	// the cache was invalidated — no answer may still contain the
+	// removed clip, and every path must again agree.
+	victim := db.Clips()[0]
+	if err := db.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	legacy = legacyFrom(db)
+	for i := 0; i < 2000; i++ {
+		q := queries[r.Intn(len(queries))]
+		opt := options[r.Intn(len(options))]
+		cached, err := db.QueryWithOptions(q, opt)
+		if err != nil {
+			t.Fatalf("post-delete query %d: %v", i, err)
+		}
+		for _, m := range cached {
+			if m.Entry.Clip == victim {
+				t.Fatalf("post-delete query %d: cache served removed clip %q", i, victim)
+			}
+		}
+		oracle, err := legacy.query(q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustMatchLegacy(t, i, cached, oracle)
+	}
+}

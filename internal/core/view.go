@@ -1,0 +1,119 @@
+// The lock-free read path: all queryable state lives in an immutable
+// view published through an atomic pointer. Writers (ingest, delete,
+// recovery replay) serialize on the database's write lock, derive a
+// successor view copy-on-write, and swap it in atomically; readers pin
+// the current view with one atomic load and resolve everything against
+// it with zero locks. A pinned view never changes, so a long listing or
+// batch query is internally consistent even while mutations land.
+// docs/QUERYPATH.md describes the protocol and its memory-model
+// guarantees.
+
+package core
+
+import (
+	"sort"
+
+	"videodb/internal/varindex"
+)
+
+// view is one immutable publication of the database's queryable state.
+// Every field is frozen at construction: the clips map is never written
+// after publish, names/recs are sorted once, and the index is built
+// (varindex.Index.Build) before the view becomes visible, so concurrent
+// readers share it without synchronization.
+type view struct {
+	// epoch counts publications; it tags query-cache entries so a
+	// result computed against one view is never served once a newer
+	// view exists.
+	epoch uint64
+	// clips maps name -> record; read-only after publish.
+	clips map[string]*ClipRecord
+	// names holds the clip names, sorted.
+	names []string
+	// recs holds the records in name order, aligned with names.
+	recs []*ClipRecord
+	// index is the built, immutable similarity index over all shots.
+	index *varindex.Index
+}
+
+// emptyView is the epoch-0 state of a fresh database.
+func emptyView() *view {
+	return &view{clips: make(map[string]*ClipRecord), index: varindex.New()}
+}
+
+// finish derives the sorted name and record listings from clips.
+func (v *view) finish() {
+	v.names = make([]string, 0, len(v.clips))
+	for n := range v.clips {
+		v.names = append(v.names, n)
+	}
+	sort.Strings(v.names)
+	v.recs = make([]*ClipRecord, 0, len(v.names))
+	for _, n := range v.names {
+		v.recs = append(v.recs, v.clips[n])
+	}
+}
+
+// withClip returns the successor view with rec installed and its index
+// entries added. A same-named clip (recovery replay re-applying a
+// journal record) is replaced wholesale, entries included.
+func (v *view) withClip(rec *ClipRecord, entries []varindex.Entry) *view {
+	next := &view{epoch: v.epoch + 1, clips: make(map[string]*ClipRecord, len(v.clips)+1)}
+	for n, r := range v.clips {
+		next.clips[n] = r
+	}
+	base := v.index
+	if _, replaced := v.clips[rec.Name]; replaced {
+		base = base.WithoutClip(rec.Name)
+	}
+	next.clips[rec.Name] = rec
+	ix := varindex.New()
+	for _, e := range base.Entries() {
+		ix.Add(e)
+	}
+	for _, e := range entries {
+		ix.Add(e)
+	}
+	ix.Build()
+	next.index = ix
+	next.finish()
+	return next
+}
+
+// withoutClip returns the successor view with the named clip and its
+// index entries removed. The index copy preserves sort order, so no
+// re-sort happens.
+func (v *view) withoutClip(name string) *view {
+	next := &view{epoch: v.epoch + 1, clips: make(map[string]*ClipRecord, len(v.clips))}
+	for n, r := range v.clips {
+		if n != name {
+			next.clips[n] = r
+		}
+	}
+	next.index = v.index.WithoutClip(name)
+	next.finish()
+	return next
+}
+
+// search answers one similarity query against this view.
+func (v *view) search(q varindex.Query, opt varindex.Options) ([]Match, error) {
+	entries, err := v.index.Search(q, opt)
+	if err != nil {
+		return nil, err
+	}
+	return v.resolve(entries), nil
+}
+
+// resolve attaches the largest-scene node to each entry, the browsing
+// entry point §4.2 describes.
+func (v *view) resolve(entries []varindex.Entry) []Match {
+	matches := make([]Match, 0, len(entries))
+	for _, e := range entries {
+		m := Match{Entry: e}
+		if rec, ok := v.clips[e.Clip]; ok {
+			m.Scene = rec.Tree.LargestSceneFor(e.Shot)
+		}
+		matches = append(matches, m)
+	}
+	return matches
+}

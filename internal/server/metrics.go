@@ -216,11 +216,18 @@ func (m *metricsRegistry) render(w io.Writer, counters, gauges map[string]float6
 // scrape time; recovery gauges describe the last startup replay.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	counters := map[string]float64{}
+	cs := s.db.QueryCacheStats()
+	counters := map[string]float64{
+		"videodb_query_cache_hits_total":      float64(cs.Hits),
+		"videodb_query_cache_misses_total":    float64(cs.Misses),
+		"videodb_query_cache_evictions_total": float64(cs.Evictions),
+	}
 	gauges := map[string]float64{
-		"videodb_clips":          float64(len(s.db.Clips())),
-		"videodb_indexed_shots":  float64(s.db.ShotCount()),
-		"videodb_ingest_workers": float64(s.db.Workers()),
+		"videodb_clips":                float64(len(s.db.Clips())),
+		"videodb_indexed_shots":        float64(s.db.ShotCount()),
+		"videodb_ingest_workers":       float64(s.db.Workers()),
+		"videodb_query_cache_size":     float64(cs.Size),
+		"videodb_query_cache_capacity": float64(cs.Capacity),
 	}
 	if s.journal != nil {
 		st := s.journal.Stats()

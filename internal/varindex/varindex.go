@@ -110,59 +110,39 @@ func (o Options) meanMatches(q Query, e Entry) bool {
 	return true
 }
 
-// Index is the sorted index table. The zero value is ready to use. Add
-// entries, then Search; the sort order and the precomputed search keys
-// (D^v and sqrt(VarBA) per entry) are maintained lazily.
+// Index is the sorted index table. The zero value is ready to use.
+// Construction is two-phase: Add entries, then Build. After Build the
+// index is immutable — reads never mutate it, so a built index may be
+// shared freely across goroutines without locks. Mutation is by copy:
+// WithoutClip returns a new index with a clip's entries filtered out,
+// leaving the receiver untouched.
 type Index struct {
 	entries []Entry
 	dvs     []float64 // cached Dv per entry, aligned with entries
 	sqrts   []float64 // cached sqrt(VarBA) per entry
-	sorted  bool
+	built   bool
 }
 
 // New returns an empty index.
-func New() *Index { return &Index{sorted: true} }
+func New() *Index { return &Index{built: true} }
 
-// Add inserts an entry.
+// Add inserts an entry. Adding unbuilds the index; call Build before
+// sharing it across goroutines.
 func (ix *Index) Add(e Entry) {
 	ix.entries = append(ix.entries, e)
-	ix.sorted = false
+	ix.built = false
 }
 
 // Len returns the number of indexed shots.
 func (ix *Index) Len() int { return len(ix.entries) }
 
-// RemoveClip deletes every entry of the named clip, returning how many
-// were removed. Order of the remaining entries is preserved, so the
-// sorted state survives.
-func (ix *Index) RemoveClip(clip string) int {
-	kept := ix.entries[:0]
-	removed := 0
-	for _, e := range ix.entries {
-		if e.Clip == clip {
-			removed++
-			continue
-		}
-		kept = append(kept, e)
-	}
-	ix.entries = kept
-	if removed > 0 && ix.sorted {
-		// Rebuild the cached keys to match the compacted entries.
-		ix.sorted = false
-		ix.ensureSorted()
-	}
-	return removed
-}
-
-// Entries returns the entries sorted by D^v. The returned slice is the
-// index's backing store; callers must not modify it.
-func (ix *Index) Entries() []Entry {
-	ix.ensureSorted()
-	return ix.entries
-}
-
-func (ix *Index) ensureSorted() {
-	if ix.sorted {
+// Build sorts the entries by D^v and precomputes the search keys (D^v
+// and sqrt(VarBA) per entry), finishing construction. It is idempotent
+// and cheap on an already-built index. Single-goroutine callers may
+// skip it — every read builds implicitly — but an index shared across
+// goroutines must be built first, because the implicit build mutates.
+func (ix *Index) Build() {
+	if ix.built {
 		return
 	}
 	sort.SliceStable(ix.entries, func(i, j int) bool {
@@ -174,7 +154,33 @@ func (ix *Index) ensureSorted() {
 		ix.dvs = append(ix.dvs, e.Dv())
 		ix.sqrts = append(ix.sqrts, e.SqrtBA())
 	}
-	ix.sorted = true
+	ix.built = true
+}
+
+// WithoutClip returns a new built index holding every entry except the
+// named clip's. The receiver is built if needed and left unchanged.
+// Filtering preserves the sort order, so no re-sort happens: entries
+// and their cached keys are copied in lockstep.
+func (ix *Index) WithoutClip(clip string) *Index {
+	ix.Build()
+	out := &Index{built: true}
+	for i, e := range ix.entries {
+		if e.Clip == clip {
+			continue
+		}
+		out.entries = append(out.entries, e)
+		out.dvs = append(out.dvs, ix.dvs[i])
+		out.sqrts = append(out.sqrts, ix.sqrts[i])
+	}
+	return out
+}
+
+// Entries returns the entries sorted by D^v, building first if needed.
+// The returned slice is the index's backing store; callers must not
+// modify it.
+func (ix *Index) Entries() []Entry {
+	ix.Build()
+	return ix.entries
 }
 
 // Search returns all entries satisfying Eqs. 7 and 8 for the query,
@@ -184,7 +190,7 @@ func (ix *Index) Search(q Query, opt Options) ([]Entry, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	ix.ensureSorted()
+	ix.Build()
 	dq := q.Dv()
 	lo := sort.Search(len(ix.entries), func(i int) bool {
 		return ix.dvs[i] >= dq-opt.Alpha

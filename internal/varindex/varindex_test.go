@@ -276,26 +276,42 @@ func BenchmarkSearchLinear10k(b *testing.B) {
 	}
 }
 
-func TestRemoveClip(t *testing.T) {
+func TestWithoutClip(t *testing.T) {
 	ix := New()
 	ix.Add(entry("a", 0, 25, 4))
 	ix.Add(entry("b", 0, 25, 4))
 	ix.Add(entry("a", 1, 16, 1))
-	ix.Entries() // force sort + key cache
-	if n := ix.RemoveClip("a"); n != 2 {
-		t.Fatalf("removed %d entries, want 2", n)
+	ix.Build()
+	out := ix.WithoutClip("a")
+	if out.Len() != 1 {
+		t.Fatalf("len = %d after removal", out.Len())
 	}
-	if ix.Len() != 1 {
-		t.Fatalf("len = %d after removal", ix.Len())
+	// The receiver is untouched — WithoutClip is a pure copy.
+	if ix.Len() != 3 {
+		t.Fatalf("receiver len = %d after WithoutClip, want 3", ix.Len())
 	}
-	got, err := ix.Search(Query{VarBA: 25, VarOA: 4}, DefaultOptions())
+	got, err := out.Search(Query{VarBA: 25, VarOA: 4}, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 || got[0].Clip != "b" {
 		t.Fatalf("post-removal search = %v", got)
 	}
-	if n := ix.RemoveClip("missing"); n != 0 {
-		t.Errorf("removed %d entries of a missing clip", n)
+	same := out.WithoutClip("missing")
+	if same.Len() != out.Len() {
+		t.Errorf("removing a missing clip changed the length: %d", same.Len())
+	}
+	// The copy's preserved key cache must agree with a fresh build.
+	rebuilt := New()
+	for _, e := range out.Entries() {
+		rebuilt.Add(e)
+	}
+	rebuilt.Build()
+	fresh, err := rebuilt.Search(Query{VarBA: 25, VarOA: 4}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != len(got) || fresh[0].Key() != got[0].Key() {
+		t.Errorf("WithoutClip copy disagrees with a rebuilt index: %v vs %v", got, fresh)
 	}
 }
