@@ -14,7 +14,7 @@ COVER_FLOOR = 60
 BENCH_DIR = bench-out
 BASELINE  = results/BENCH_offline_baseline.json
 
-.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server fuzz fuzz-smoke stress paper corpus clean
+.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server fuzz fuzz-smoke stress paper corpus pgo clean
 
 all: build vet test
 
@@ -85,6 +85,32 @@ bench-gate:
 	$(GO) run ./cmd/vdbbench -mode offline -scale 0.02 -seed 1 -queries 200 -batch 8 -out $(BENCH_DIR)
 	$(GO) run ./cmd/vdbbench -validate $(BENCH_DIR)/BENCH_offline_*.json
 	$(GO) run ./cmd/vdbbench -compare $(BASELINE) $(BENCH_DIR)/BENCH_offline_*.json -tolerance 0.15
+
+# Profile-guided optimization: ingest a synthetic corpus, drive a
+# -pprof vdbserver with the benchmark's query mix while capturing a CPU
+# profile, install it as cmd/vdbserver/default.pgo (which the Go
+# toolchain picks up automatically), and rebuild with it. Rerun after
+# hot-path changes; commit the refreshed profile.
+PGO_DIR  = $(BENCH_DIR)/pgo
+PGO_ADDR = 127.0.0.1:18080
+pgo:
+	rm -rf $(PGO_DIR) && mkdir -p $(PGO_DIR)
+	$(GO) run ./cmd/synthgen -out $(PGO_DIR)/corpus -set examples
+	$(GO) build -o $(PGO_DIR)/vdbserver ./cmd/vdbserver
+	$(PGO_DIR)/vdbserver -db $(PGO_DIR)/db.snap -addr $(PGO_ADDR) -pprof & \
+		srv=$$!; trap 'kill $$srv 2>/dev/null' EXIT; \
+		until curl -sf http://$(PGO_ADDR)/api/metrics >/dev/null; do sleep 0.2; done; \
+		for f in $(PGO_DIR)/corpus/*.vdbf; do \
+			curl -sf -X POST --data-binary @$$f http://$(PGO_ADDR)/api/clips >/dev/null || exit 1; \
+		done; \
+		curl -sf -o $(PGO_DIR)/cpu.pprof "http://$(PGO_ADDR)/debug/pprof/profile?seconds=12" & \
+		prof=$$!; \
+		$(GO) run ./cmd/vdbbench -mode server -target http://$(PGO_ADDR) -concurrency 8 -duration 11s -out $(PGO_DIR); \
+		wait $$prof; \
+		kill $$srv 2>/dev/null; wait $$srv 2>/dev/null; true
+	cp $(PGO_DIR)/cpu.pprof cmd/vdbserver/default.pgo
+	$(GO) build -o $(PGO_DIR)/vdbserver-pgo ./cmd/vdbserver
+	@echo "pgo: wrote cmd/vdbserver/default.pgo"
 
 # Load-test a running vdbserver (start one with `go run ./cmd/vdbserver
 # -db db.snap`); writes BENCH_server_<timestamp>.json.

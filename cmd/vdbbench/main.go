@@ -58,7 +58,8 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "query-generation seed (fixed seed = reproducible query stream)")
 		queries     = flag.Int("queries", 2000, "offline: single-query measurements to take")
 		batch       = flag.Int("batch", 16, "queries per batch request; 0 skips the batch phase")
-		scale       = flag.Float64("scale", 0.05, "offline: corpus scale factor in (0,1]")
+		scale       = flag.Float64("scale", 0.05, "offline: corpus scale factor (> 0; 1 = the paper's Table 5 corpus, >1 extrapolates it)")
+		serial      = flag.Bool("serial", true, "offline: also run the serial (-j 1) ingest reference pass; disable for large -scale runs")
 		compare     = flag.String("compare", "", "baseline artifact; compare against the candidate artifact argument and exit")
 		tolerance   = flag.Float64("tolerance", 0.15, "compare: fractional regression allowed before the gate fails")
 		target      = flag.String("target", "http://localhost:8080", "server: base URL of the vdbserver under test")
@@ -97,6 +98,7 @@ func main() {
 		rep, err = runOffline(offlineConfig{
 			Scale: *scale, Seed: *seed, Queries: *queries,
 			Batch: *batch, Workers: workers, QueryCache: *qCache,
+			Serial: *serial,
 		})
 	case "server":
 		rep, err = runServer(serverConfig{

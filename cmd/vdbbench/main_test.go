@@ -18,7 +18,7 @@ func TestOfflineRunProducesValidArtifact(t *testing.T) {
 	if testing.Short() {
 		t.Skip("offline run synthesizes a corpus; skipped with -short")
 	}
-	rep, err := runOffline(offlineConfig{Scale: 0.02, Seed: 1, Queries: 200, Batch: 8, QueryCache: 4096})
+	rep, err := runOffline(offlineConfig{Scale: 0.02, Seed: 1, Queries: 200, Batch: 8, QueryCache: 4096, Serial: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,6 +46,7 @@ func TestOfflineRunProducesValidArtifact(t *testing.T) {
 		"ingest_workers", "ingest_frames_per_sec_serial", "ingest_parallel_speedup",
 		"query_latency", "batch_latency", "batch_query_throughput",
 		"query_cached_latency", "query_cached_throughput", "query_cache_hit_rate",
+		"allocs_per_query",
 	} {
 		m, ok := got.Metric(name)
 		if !ok {
@@ -56,6 +57,10 @@ func TestOfflineRunProducesValidArtifact(t *testing.T) {
 		case "query_latency", "batch_latency", "query_cached_latency":
 			if m.Distribution == nil || m.Distribution.Count == 0 {
 				t.Errorf("metric %q has no distribution", name)
+			}
+		case "allocs_per_query":
+			if m.Value >= 0.5 {
+				t.Errorf("metric %q = %v, want the steady-state path alloc-free", name, m.Value)
 			}
 		default:
 			if m.Value <= 0 {
@@ -108,6 +113,7 @@ func TestCompareArtifactsCLI(t *testing.T) {
 				{Name: "ingest_frames_per_sec", Unit: "frames/sec", Value: fps},
 				benchfmt.LatencyMetric("query_latency", h),
 				benchfmt.LatencyMetric("query_cached_latency", ch),
+				{Name: "allocs_per_query", Unit: "allocs/query", Value: 0},
 			},
 		}
 		path := filepath.Join(dir, name)

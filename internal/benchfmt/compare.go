@@ -49,13 +49,20 @@ type gate struct {
 }
 
 // offlineGates are the hot-path metrics the CI bench-gate enforces for
-// offline artifacts: ingest throughput must not fall and query p90
+// offline artifacts: ingest throughput must not fall, query p90/p99
 // latency must not rise by more than the tolerance (and, for the
-// microsecond-scale latency, by at least 0.5ms absolute).
+// microsecond-scale latencies, by at least an absolute floor — 0.5ms
+// at p90, 1ms at the jitterier p99), and the steady-state query path
+// must stay allocation-free. The allocs gate's 0.5 slack makes it
+// effectively absolute against the committed 0 baseline: allocations
+// come in integers, so the first alloc per query trips it while
+// measurement noise around zero cannot.
 var offlineGates = []gate{
 	{metric: "ingest_frames_per_sec", higherIsBetter: true},
 	{metric: "query_latency", quantile: "p90", higherIsBetter: false, slack: 500e-6},
+	{metric: "query_latency", quantile: "p99", higherIsBetter: false, slack: 1e-3},
 	{metric: "query_cached_latency", quantile: "p90", higherIsBetter: false, slack: 500e-6},
+	{metric: "allocs_per_query", higherIsBetter: false, slack: 0.5},
 }
 
 // Compare evaluates a candidate report against a baseline at the given

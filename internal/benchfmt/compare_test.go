@@ -20,6 +20,7 @@ func gatedReport(fps, p90 float64) Report {
 		{Name: "ingest_frames_per_sec", Unit: "frames/sec", Value: fps},
 		latency("query_latency", p90),
 		latency("query_cached_latency", p90/5),
+		{Name: "allocs_per_query", Unit: "allocs/query", Value: 0},
 	}
 	return rep
 }
@@ -30,8 +31,8 @@ func TestCompareIdenticalReportsPass(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Compare: %v", err)
 	}
-	if len(comps) != 3 {
-		t.Fatalf("%d comparisons, want 3", len(comps))
+	if len(comps) != 5 {
+		t.Fatalf("%d comparisons, want 5", len(comps))
 	}
 	for _, c := range comps {
 		if c.Regressed {
@@ -108,6 +109,31 @@ func TestCompareWithinToleranceNoise(t *testing.T) {
 		if c.Regressed {
 			t.Errorf("improvement flagged as regression: %+v", c)
 		}
+	}
+}
+
+// TestCompareAllocGateIsAbsolute: against the committed 0 baseline the
+// allocs gate is effectively absolute — the first whole allocation per
+// query trips it, fractional measurement noise does not.
+func TestCompareAllocGateIsAbsolute(t *testing.T) {
+	base := gatedReport(1000, 0.010)
+	leaky := gatedReport(1000, 0.010)
+	leaky.Metrics[3].Value = 1 // one alloc crept onto the steady-state path
+	comps, err := Compare(base, leaky, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !comps[4].Regressed {
+		t.Errorf("1 alloc/query against a 0 baseline not flagged: %+v", comps[4])
+	}
+	noisy := gatedReport(1000, 0.010)
+	noisy.Metrics[3].Value = 0.2 // sub-integer sampling noise
+	comps, err = Compare(base, noisy, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if comps[4].Regressed {
+		t.Errorf("0.2 allocs/query of noise flagged: %+v", comps[4])
 	}
 }
 

@@ -457,18 +457,35 @@ func (db *Database) ShotCount() int {
 // Query runs a similarity search with the database's default tolerances,
 // resolving each matching shot to its largest scene node. Lock-free:
 // the search resolves against the current view, served from the query
-// cache when an identical query already ran against it. Callers must
-// not modify the returned slice — cache hits share it.
+// cache when an identical query already ran against it. The returned
+// slice is the caller's to keep — sort, truncate or append freely.
 func (db *Database) Query(q varindex.Query) ([]Match, error) {
 	return db.QueryWithOptions(q, db.opts.Query)
 }
 
 // QueryWithOptions runs a similarity search with explicit tolerances.
-// Lock-free and cached like Query; callers must not modify the
-// returned slice.
+// Lock-free and cached like Query; the returned slice is the caller's.
 func (db *Database) QueryWithOptions(q varindex.Query, opt varindex.Options) ([]Match, error) {
+	return db.QueryAppend(nil, q, opt)
+}
+
+// QueryAppend runs a similarity search with explicit tolerances,
+// appending the matches to dst (which may be nil) — the zero-alloc
+// form of QueryWithOptions. Cache hits and misses alike copy into dst,
+// so the returned slice never aliases cache state: with a reused dst
+// at capacity, a cache hit performs zero allocations.
+func (db *Database) QueryAppend(dst []Match, q varindex.Query, opt varindex.Options) ([]Match, error) {
 	v := db.view.Load()
-	return db.searchView(v, q, opt)
+	if db.cache == nil {
+		return db.appendUncached(v, dst, q, opt)
+	}
+	matches, _, err := db.cache.do(cacheKey(q, opt), v.epoch, func() ([]Match, error) {
+		return v.search(q, opt)
+	})
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, matches...), nil
 }
 
 // QueryUncached runs a similarity search with explicit tolerances,
@@ -476,6 +493,21 @@ func (db *Database) QueryWithOptions(q varindex.Query, opt varindex.Options) ([]
 // the differential tests that prove the cached path equivalent.
 func (db *Database) QueryUncached(q varindex.Query, opt varindex.Options) ([]Match, error) {
 	return db.view.Load().search(q, opt)
+}
+
+// QueryUncachedAppend is QueryUncached appending into dst: the raw
+// kernel path. With a reused dst at capacity, steady-state calls
+// allocate nothing — the index scratch comes from an internal pool.
+func (db *Database) QueryUncachedAppend(dst []Match, q varindex.Query, opt varindex.Options) ([]Match, error) {
+	return db.appendUncached(db.view.Load(), dst, q, opt)
+}
+
+// appendUncached answers one query against a pinned view with pooled
+// scratch, appending into dst.
+func (db *Database) appendUncached(v *view, dst []Match, q varindex.Query, opt varindex.Options) ([]Match, error) {
+	sc := searchScratchPool.Get().(*searchScratch)
+	defer searchScratchPool.Put(sc)
+	return v.searchAppend(dst, q, opt, sc)
 }
 
 // searchView answers one query against a pinned view, through the
@@ -492,6 +524,33 @@ func (db *Database) searchView(v *view, q varindex.Query, opt varindex.Options) 
 	return matches, err
 }
 
+// BatchMatches is the reusable arena a batch query answers into: one
+// flat match slice plus per-query offsets. Reusing one across calls
+// makes the steady-state batch path allocation-free.
+type BatchMatches struct {
+	matches []Match
+	off     []int32
+}
+
+// Len returns the number of answered queries.
+func (b *BatchMatches) Len() int { return len(b.off) - 1 }
+
+// At returns query i's matches, nearest-first. The slice aliases the
+// arena: it is valid until the next batch query into this BatchMatches.
+func (b *BatchMatches) At(i int) []Match {
+	return b.matches[b.off[i]:b.off[i+1]:b.off[i+1]]
+}
+
+// reset prepares the arena for n queries, keeping capacity.
+func (b *BatchMatches) reset(n int) {
+	b.matches = b.matches[:0]
+	if cap(b.off) < n+1 {
+		b.off = make([]int32, n+1)
+	}
+	b.off = b.off[:n+1]
+	b.off[0] = 0
+}
+
 // QueryBatch runs many similarity searches against one pinned view,
 // returning one match slice per query in order. Amortizing the
 // per-request overhead through the HTTP layer is what makes bulk
@@ -499,18 +558,63 @@ func (db *Database) searchView(v *view, q varindex.Query, opt varindex.Options) 
 // of the batch answers against the same view, so no concurrent ingest
 // or remove can land between two queries of the same batch. A query
 // that fails validation aborts the batch with an error naming its
-// index. Callers must not modify the returned slices.
+// index. The returned slices are the caller's (they share one backing
+// arena private to this call).
 func (db *Database) QueryBatch(qs []varindex.Query, opt varindex.Options) ([][]Match, error) {
-	v := db.view.Load()
+	var res BatchMatches
+	if err := db.QueryBatchInto(&res, qs, opt); err != nil {
+		return nil, err
+	}
 	out := make([][]Match, len(qs))
-	for i, q := range qs {
-		matches, err := db.searchView(v, q, opt)
-		if err != nil {
-			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
-		}
-		out[i] = matches
+	for i := range out {
+		out[i] = res.At(i)
 	}
 	return out, nil
+}
+
+// QueryBatchInto is QueryBatch answering into a reusable arena. With a
+// query cache configured, each query is served per-key from the cache
+// (hits copy into the arena); without one, the whole batch runs
+// through the index's batch kernel in one pass. Either way every query
+// answers against the same pinned view, and with a warmed arena the
+// steady state allocates nothing.
+func (db *Database) QueryBatchInto(res *BatchMatches, qs []varindex.Query, opt varindex.Options) error {
+	if db.cache == nil {
+		return db.QueryBatchUncachedInto(res, qs, opt)
+	}
+	v := db.view.Load()
+	res.reset(len(qs))
+	for i, q := range qs {
+		matches, _, err := db.cache.do(cacheKey(q, opt), v.epoch, func() ([]Match, error) {
+			return v.search(q, opt)
+		})
+		if err != nil {
+			return fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+		res.matches = append(res.matches, matches...)
+		res.off[i+1] = int32(len(res.matches))
+	}
+	return nil
+}
+
+// QueryBatchUncachedInto answers the whole batch through the index's
+// one-pass batch kernel (shared binary-search bounds across the
+// batch), bypassing the query cache — the raw-throughput path the
+// offline benchmark measures. Every query answers against the same
+// pinned view; with a reused arena the steady state allocates nothing.
+func (db *Database) QueryBatchUncachedInto(res *BatchMatches, qs []varindex.Query, opt varindex.Options) error {
+	v := db.view.Load()
+	sc := searchScratchPool.Get().(*searchScratch)
+	defer searchScratchPool.Put(sc)
+	if err := v.index.SearchBatch(qs, opt, &sc.res, &sc.vs); err != nil {
+		return fmt.Errorf("core: batch %w", err)
+	}
+	res.reset(len(qs))
+	for i := range qs {
+		res.matches = v.resolveAppend(res.matches, sc.res.At(i))
+		res.off[i+1] = int32(len(res.matches))
+	}
+	return nil
 }
 
 // QueryByShot searches for shots similar to an existing shot, excluding

@@ -39,7 +39,7 @@ func TestQueryCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got, hit, err := c.do("k", 1, compute)
+			got, hit, err := c.do(tkey("k"), 1, compute)
 			if err != nil {
 				t.Errorf("waiter %d: %v", i, err)
 			}
@@ -72,9 +72,16 @@ func TestQueryCacheSingleflight(t *testing.T) {
 		}
 	}
 	// The flight's result was stored: the next lookup is a hit.
-	if _, hit, _ := c.do("k", 1, func() ([]Match, error) { t.Fatal("recompute after store"); return nil, nil }); !hit {
+	if _, hit, _ := c.do(tkey("k"), 1, func() ([]Match, error) { t.Fatal("recompute after store"); return nil, nil }); !hit {
 		t.Fatal("stored flight result not served as a hit")
 	}
+}
+
+// tkey builds a qkey from a short literal for the cache unit tests.
+func tkey(s string) qkey {
+	var k qkey
+	copy(k[:], s)
+	return k
 }
 
 // TestQueryCacheEpochProtocol pins the invalidation rules: a stale
@@ -92,7 +99,7 @@ func TestQueryCacheEpochProtocol(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		c.do("stale", 1, func() ([]Match, error) {
+		c.do(tkey("stale"), 1, func() ([]Match, error) {
 			close(started)
 			<-release
 			return []Match{{Entry: varindex.Entry{Clip: "old"}}}, nil
@@ -102,7 +109,7 @@ func TestQueryCacheEpochProtocol(t *testing.T) {
 	c.invalidate(2)
 	// A caller pinned on the new epoch must not join the old flight —
 	// it computes its own answer immediately.
-	got, hit, err := c.do("stale", 2, func() ([]Match, error) {
+	got, hit, err := c.do(tkey("stale"), 2, func() ([]Match, error) {
 		return []Match{{Entry: varindex.Entry{Clip: "new"}}}, nil
 	})
 	if err != nil || hit {
@@ -114,7 +121,7 @@ func TestQueryCacheEpochProtocol(t *testing.T) {
 	close(release)
 	wg.Wait()
 	// The stale flight must not have overwritten the epoch-2 entry.
-	got, hit, _ = c.do("stale", 2, func() ([]Match, error) { return nil, errors.New("unreachable") })
+	got, hit, _ = c.do(tkey("stale"), 2, func() ([]Match, error) { return nil, errors.New("unreachable") })
 	if !hit || got[0].Entry.Clip != "new" {
 		t.Fatalf("epoch-2 entry lost to a stale flight: hit=%v %v", hit, got)
 	}
@@ -126,21 +133,21 @@ func TestQueryCacheEpochProtocol(t *testing.T) {
 	// An entry from a newer epoch is a miss for an older pinned caller
 	// (a batch that loaded its view before the swap) — but must NOT be
 	// purged, since it is fresh for everyone else.
-	c.do("k", 3, func() ([]Match, error) { return nil, nil })
-	if _, hit, _ := c.do("k", 2, func() ([]Match, error) { return nil, nil }); hit {
+	c.do(tkey("k"), 3, func() ([]Match, error) { return nil, nil })
+	if _, hit, _ := c.do(tkey("k"), 2, func() ([]Match, error) { return nil, nil }); hit {
 		t.Fatal("stale pinned caller served a newer epoch's entry")
 	}
-	if _, hit, _ := c.do("k", 3, func() ([]Match, error) { return nil, nil }); !hit {
+	if _, hit, _ := c.do(tkey("k"), 3, func() ([]Match, error) { return nil, nil }); !hit {
 		t.Fatal("fresh entry purged by a stale caller's lookup")
 	}
 
 	// Errors are never cached.
 	boom := errors.New("boom")
-	if _, _, err := c.do("err", 3, func() ([]Match, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.do(tkey("err"), 3, func() ([]Match, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("error not propagated: %v", err)
 	}
 	ran := false
-	c.do("err", 3, func() ([]Match, error) { ran = true; return nil, nil })
+	c.do(tkey("err"), 3, func() ([]Match, error) { ran = true; return nil, nil })
 	if !ran {
 		t.Fatal("failed compute was cached")
 	}
@@ -150,17 +157,17 @@ func TestQueryCacheEviction(t *testing.T) {
 	c := newQueryCache(2)
 	c.invalidate(1)
 	for _, k := range []string{"a", "b", "c"} {
-		c.do(k, 1, func() ([]Match, error) { return nil, nil })
+		c.do(tkey(k), 1, func() ([]Match, error) { return nil, nil })
 	}
 	s := c.stats()
 	if s.Size != 2 || s.Evictions != 1 {
 		t.Fatalf("size %d evictions %d after 3 inserts into cap 2, want 2/1", s.Size, s.Evictions)
 	}
 	// "a" is the LRU victim: it recomputes, "c" is still cached.
-	if _, hit, _ := c.do("a", 1, func() ([]Match, error) { return nil, nil }); hit {
+	if _, hit, _ := c.do(tkey("a"), 1, func() ([]Match, error) { return nil, nil }); hit {
 		t.Fatal("evicted entry served as a hit")
 	}
-	if _, hit, _ := c.do("c", 1, func() ([]Match, error) { return nil, nil }); !hit {
+	if _, hit, _ := c.do(tkey("c"), 1, func() ([]Match, error) { return nil, nil }); !hit {
 		t.Fatal("resident entry missed")
 	}
 	if newQueryCache(0) != nil {

@@ -45,18 +45,19 @@ type queryCache struct {
 	// it and clears the entries.
 	epoch     uint64
 	lru       *list.List // front = most recently used, of *cacheEntry
-	byKey     map[string]*list.Element
-	flights   map[string]*cacheFlight
+	byKey     map[qkey]*list.Element
+	flights   map[qkey]*cacheFlight
 	hits      uint64
 	misses    uint64
 	evictions uint64
 }
 
-// cacheEntry is one cached result. matches is shared with every caller
-// the entry is served to; Match is immutable, so sharing is safe as
-// long as callers do not modify the slice (Query documents this).
+// cacheEntry is one cached result. matches is the cache's private copy:
+// do returns it to the Database layer, which appends it into the
+// caller's destination before handing anything out, so no caller ever
+// holds (or can corrupt) the cached backing array.
 type cacheEntry struct {
-	key     string
+	key     qkey
 	epoch   uint64
 	matches []Match
 }
@@ -79,23 +80,28 @@ func newQueryCache(capacity int) *queryCache {
 	return &queryCache{
 		cap:     capacity,
 		lru:     list.New(),
-		byKey:   make(map[string]*list.Element),
-		flights: make(map[string]*cacheFlight),
+		byKey:   make(map[qkey]*list.Element),
+		flights: make(map[qkey]*cacheFlight),
 	}
 }
+
+// qkey is the cache key: a fixed-size value type so computing and
+// looking one up never allocates (a string key cost one heap copy per
+// query on the hot path).
+type qkey [8 * 8]byte
 
 // cacheKey canonicalizes a query+options pair into an exact binary
 // key: the bit patterns of every float that influences the result set.
 // Two requests collide if and only if they are bitwise the same query.
-func cacheKey(q varindex.Query, opt varindex.Options) string {
-	var b [8 * 8]byte
+func cacheKey(q varindex.Query, opt varindex.Options) qkey {
+	var b qkey
 	for i, f := range [...]float64{
 		q.VarBA, q.VarOA, q.MeanBA[0], q.MeanBA[1], q.MeanBA[2],
 		opt.Alpha, opt.Beta, opt.Gamma,
 	} {
 		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(f))
 	}
-	return string(b[:])
+	return b
 }
 
 // do returns the result for key as computed against a view of the
@@ -103,7 +109,7 @@ func cacheKey(q varindex.Query, opt varindex.Options) string {
 // another goroutine's in-flight computation when one is running, and
 // by calling compute otherwise. compute runs outside the cache lock.
 // The returned bool reports a cache hit.
-func (c *queryCache) do(key string, epoch uint64, compute func() ([]Match, error)) ([]Match, bool, error) {
+func (c *queryCache) do(key qkey, epoch uint64, compute func() ([]Match, error)) ([]Match, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		ent := el.Value.(*cacheEntry)
@@ -143,7 +149,7 @@ func (c *queryCache) do(key string, epoch uint64, compute func() ([]Match, error
 }
 
 // insertLocked stores a result, evicting from the LRU tail on overflow.
-func (c *queryCache) insertLocked(key string, epoch uint64, matches []Match) {
+func (c *queryCache) insertLocked(key qkey, epoch uint64, matches []Match) {
 	if el, ok := c.byKey[key]; ok {
 		ent := el.Value.(*cacheEntry)
 		ent.epoch, ent.matches = epoch, matches

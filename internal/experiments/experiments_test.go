@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -248,8 +249,16 @@ func TestClipDefBuildScales(t *testing.T) {
 	if _, _, err := def.Build(0); err == nil {
 		t.Error("zero scale accepted")
 	}
-	if _, _, err := def.Build(1.5); err == nil {
-		t.Error("over-unity scale accepted")
+	if _, _, err := def.Build(math.NaN()); err == nil {
+		t.Error("NaN scale accepted")
+	}
+	// Over-unity scales extrapolate the corpus for stress runs.
+	big, _, err := def.Build(1.5)
+	if err != nil {
+		t.Fatalf("over-unity scale rejected: %v", err)
+	}
+	if big.Len() <= clip.Len() {
+		t.Errorf("scale 1.5 clip has %d frames, not larger than scale 0.1's %d", big.Len(), clip.Len())
 	}
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"videodb/internal/rng"
 	"videodb/internal/synth"
@@ -24,11 +25,12 @@ type ClipDef struct {
 }
 
 // Build synthesises the clip at the given scale factor (1.0 = full
-// length; smaller scales shrink duration and shot count proportionally,
-// for quick runs). The returned ground truth is exact.
+// length; smaller scales shrink duration and shot count proportionally
+// for quick runs, larger ones extrapolate the corpus for stress and
+// throughput benchmarks). The returned ground truth is exact.
 func (d ClipDef) Build(scale float64) (*video.Clip, synth.GroundTruth, error) {
-	if scale <= 0 || scale > 1 {
-		return nil, synth.GroundTruth{}, fmt.Errorf("experiments: scale %v outside (0,1]", scale)
+	if !(scale > 0) || math.IsInf(scale, 1) {
+		return nil, synth.GroundTruth{}, fmt.Errorf("experiments: scale %v not a positive finite factor", scale)
 	}
 	shots := int(float64(d.Shots)*scale + 0.5)
 	if shots < 2 {

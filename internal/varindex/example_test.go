@@ -14,6 +14,7 @@ func ExampleIndex_Search() {
 	// change) and a fast action shot.
 	ix.Add(varindex.Entry{Clip: "movie", Shot: 12, VarBA: 0.1, VarOA: 4})
 	ix.Add(varindex.Entry{Clip: "movie", Shot: 31, VarBA: 12, VarOA: 5})
+	ix.Build()
 
 	// "Almost nothing changes in the background, the subject moves."
 	q := varindex.Query{VarBA: 0.2, VarOA: 3.5}

@@ -13,6 +13,7 @@ func TestGammaZeroIsPaperModel(t *testing.T) {
 	ix := New()
 	ix.Add(extEntry("a", 0, 25, 4, [3]float64{10, 10, 10}))
 	ix.Add(extEntry("a", 1, 25, 4, [3]float64{200, 200, 200}))
+	ix.Build()
 	got, err := ix.Search(Query{VarBA: 25, VarOA: 4, MeanBA: [3]float64{10, 10, 10}}, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -27,6 +28,7 @@ func TestGammaFiltersByMean(t *testing.T) {
 	ix.Add(extEntry("same", 0, 25, 4, [3]float64{100, 110, 120}))
 	ix.Add(extEntry("near", 0, 25, 4, [3]float64{110, 120, 130}))
 	ix.Add(extEntry("far", 0, 25, 4, [3]float64{200, 110, 120}))
+	ix.Build()
 	opt := DefaultOptions()
 	opt.Gamma = 15
 	q := Query{VarBA: 25, VarOA: 4, MeanBA: [3]float64{100, 110, 120}}
@@ -48,6 +50,7 @@ func TestGammaSingleChannelExceedance(t *testing.T) {
 	ix := New()
 	// Only the green channel exceeds gamma.
 	ix.Add(extEntry("g", 0, 25, 4, [3]float64{100, 150, 100}))
+	ix.Build()
 	opt := DefaultOptions()
 	opt.Gamma = 20
 	got, err := ix.Search(Query{VarBA: 25, VarOA: 4, MeanBA: [3]float64{100, 100, 100}}, opt)
@@ -70,6 +73,7 @@ func TestGammaConsistentAcrossSearchPaths(t *testing.T) {
 	ix := New()
 	ix.Add(extEntry("a", 0, 25, 4, [3]float64{100, 100, 100}))
 	ix.Add(extEntry("b", 0, 25, 4, [3]float64{180, 100, 100}))
+	ix.Build()
 	opt := DefaultOptions()
 	opt.Gamma = 30
 	q := Query{VarBA: 25, VarOA: 4, MeanBA: [3]float64{100, 100, 100}}

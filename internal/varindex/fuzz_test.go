@@ -48,6 +48,13 @@ func FuzzSearchEquivalence(f *testing.F) {
 	f.Add(le(0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 4, 1, 0.5, 0.5, 0.5))
 	// extreme magnitudes
 	f.Add(le(1e12, 3, 0, 0, 2, 2, 9e11, 1e-9, 1, 1, 1))
+	// Adversarial tolerance bit patterns — NaN, +Inf, negative and
+	// denormal α/β. The harness sanitizes them into the valid domain
+	// (the raw values are rejected with ErrBadTolerance, pinned by the
+	// table tests); the seed keeps the fuzzer exploring around those
+	// edges of float space.
+	f.Add(le(25, 4, 0, 0, math.NaN(), math.Inf(1), 25, 4, 0.1, 0.1, 0.1))
+	f.Add(le(1e11, 5, 0, 0, -3, math.SmallestNonzeroFloat64, 1e11, 1, 0, 0, 0))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

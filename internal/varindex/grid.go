@@ -68,8 +68,12 @@ func (g *Grid) LookupNeighborhood(q Query) []Entry {
 	return out
 }
 
-// FromIndex builds a grid over an index's entries.
+// FromIndex builds a grid over a built index's entries; an unbuilt
+// index is ErrNotBuilt.
 func FromIndex(ix *Index, alpha, beta float64) (*Grid, error) {
+	if !ix.built {
+		return nil, ErrNotBuilt
+	}
 	g, err := NewGrid(alpha, beta)
 	if err != nil {
 		return nil, err

@@ -42,6 +42,7 @@ func TestGridMatchesQuantizedSearch(t *testing.T) {
 		for i := 0; i < 150; i++ {
 			ix.Add(entry("c", i, r.Float64Range(0, 40), r.Float64Range(0, 40)))
 		}
+		ix.Build()
 		g, err := FromIndex(ix, 1, 1)
 		if err != nil {
 			return false
@@ -75,6 +76,7 @@ func TestGridNeighborhoodCoversTolerance(t *testing.T) {
 		for i := 0; i < 150; i++ {
 			ix.Add(entry("c", i, r.Float64Range(0, 40), r.Float64Range(0, 40)))
 		}
+		ix.Build()
 		g, err := FromIndex(ix, 1, 1)
 		if err != nil {
 			return false

@@ -1,0 +1,341 @@
+// The flat query kernel: a struct-of-arrays layout over the index's
+// entries scanned branch-free, with all steady-state scratch reusable
+// so a query allocates nothing.
+//
+// Layout. Build() freezes three parallel arrays alongside the sorted
+// entries: dvs (float64, the exact Eq. 7 sort key), sqrts (float64, the
+// exact Eq. 8 key) and their float32 shadows used by the scan loop
+// (sq32, mean32). Eq. 7 needs no scan at all — the entries are sorted
+// by D^v, so the α-window is two binary searches on the exact float64
+// keys. What remains is the Eq. 8 interval filter over the window,
+// which is where the kernel spends its time on wide windows: it runs
+// over the compact float32 array (half the cache traffic of float64,
+// a quarter of scanning 80-byte Entry structs) with a branch-free
+// compaction loop — every iteration stores the candidate index
+// unconditionally and advances the output cursor only when the
+// comparison mask passes, so the loop carries no data-dependent branch
+// for the predictor to miss.
+//
+// Exactness. The float32 pass is a conservative prefilter, never the
+// decision: query bounds are widened outward to the enclosing float32
+// values (f32Below/f32Above), so rounding can only admit extra
+// candidates, and every candidate is then confirmed against the exact
+// float64 keys — the same values SearchLinear computes. The kernel
+// therefore returns bit-identically what the float64 linear-scan
+// oracle returns, which is what the equivalence/fuzz suite proves.
+//
+// Allocation. All intermediate state (candidate indices, distances,
+// the sorter, batch bounds) lives in a Scratch that callers can reuse;
+// Search and friends fall back to a package pool. With a reused
+// Scratch and a caller-owned destination slice at capacity, a query
+// performs zero allocations.
+
+package varindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Scratch holds the kernel's reusable intermediate buffers. The zero
+// value is ready; buffers grow to the high-water mark of the queries
+// they serve and are reused across calls. A Scratch is not safe for
+// concurrent use — give each goroutine its own (or pass nil to let the
+// kernel borrow one from an internal pool).
+type Scratch struct {
+	// cand/dist are the surviving candidate entry indices and their
+	// squared distances to the query, aligned.
+	cand []int32
+	dist []float64
+	// Batch state: per-query D^v / sqrt(VarBA) keys, the dq-sorted
+	// permutation, and the shared binary-search bounds.
+	dqs, sqs []float64
+	order    []int32
+	lows     []int32
+	highs    []int32
+	// The sorters live here so taking their address for sort.Stable /
+	// sort.Sort does not force a per-call heap escape.
+	srt resultSorter
+	bs  batchSorter
+}
+
+// scratchPool backs the nil-Scratch convenience path.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// grow returns buf resized to n, reallocating only past the high-water
+// mark.
+func grow[T int32 | float64](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// f32Below returns the largest float32 not exceeding x; f32Above the
+// smallest not below it. They widen an exact float64 interval bound
+// outward so the float32 prefilter can never reject a true match.
+func f32Below(x float64) float32 {
+	f := float32(x)
+	if float64(f) > x {
+		f = math.Nextafter32(f, float32(math.Inf(-1)))
+	}
+	return f
+}
+
+func f32Above(x float64) float32 {
+	f := float32(x)
+	if float64(f) < x {
+		f = math.Nextafter32(f, float32(math.Inf(1)))
+	}
+	return f
+}
+
+// window returns the half-open [lo, hi) range of entries whose exact
+// D^v lies within the closed interval [dq−α, dq+α] (Eq. 7), by binary
+// search on the sorted float64 keys.
+func (ix *Index) window(dq, alpha float64) (lo, hi int) {
+	lo = sort.Search(len(ix.dvs), func(i int) bool { return ix.dvs[i] >= dq-alpha })
+	hi = sort.Search(len(ix.dvs), func(i int) bool { return ix.dvs[i] > dq+alpha })
+	return lo, hi
+}
+
+// scan runs the Eq. 8 (and, under the extended model, Eq. 4) filter
+// over the window [lo, hi), leaving the surviving entry indices in
+// sc.cand and their squared query distances in sc.dist, ordered by
+// ascending entry index. The float32 pass is branch-free; survivors
+// are confirmed exactly in float64.
+func (ix *Index) scan(q Query, opt Options, dq, sq float64, lo, hi int, sc *Scratch) {
+	sc.cand = grow(sc.cand, hi-lo)
+
+	// Branch-free prefilter over the float32 shadow array: store the
+	// index unconditionally, bump the cursor on pass. Bounds are widened
+	// outward, so this pass has false positives only.
+	slo, shi := f32Below(sq-opt.Beta), f32Above(sq+opt.Beta)
+	n := 0
+	if opt.Gamma > 0 {
+		glo := [3]float32{}
+		ghi := [3]float32{}
+		for ch := 0; ch < 3; ch++ {
+			glo[ch] = f32Below(q.MeanBA[ch] - opt.Gamma)
+			ghi[ch] = f32Above(q.MeanBA[ch] + opt.Gamma)
+		}
+		for i := lo; i < hi; i++ {
+			sc.cand[n] = int32(i)
+			s := ix.sq32[i]
+			m := ix.mean32[3*i : 3*i+3 : 3*i+3]
+			if s >= slo && s <= shi &&
+				m[0] >= glo[0] && m[0] <= ghi[0] &&
+				m[1] >= glo[1] && m[1] <= ghi[1] &&
+				m[2] >= glo[2] && m[2] <= ghi[2] {
+				n++
+			}
+		}
+	} else {
+		for i := lo; i < hi; i++ {
+			sc.cand[n] = int32(i)
+			s := ix.sq32[i]
+			if s >= slo && s <= shi {
+				n++
+			}
+		}
+	}
+
+	// Exact confirmation in float64 against the same precomputed keys
+	// the oracle uses, computing the squared similarity-plane distance
+	// for the survivors.
+	sc.dist = grow(sc.dist, n)
+	kept := 0
+	for _, i := range sc.cand[:n] {
+		s := ix.sqrts[i]
+		if s < sq-opt.Beta || s > sq+opt.Beta {
+			continue
+		}
+		if opt.Gamma > 0 && !opt.meanMatches(q, ix.entries[i]) {
+			continue
+		}
+		dd := ix.dvs[i] - dq
+		ds := s - sq
+		sc.cand[kept] = i
+		sc.dist[kept] = dd*dd + ds*ds
+		kept++
+	}
+	sc.cand, sc.dist = sc.cand[:kept], sc.dist[:kept]
+}
+
+// resultSorter orders the kernel's surviving candidates by squared
+// distance, breaking ties by clip name then shot index — the same
+// total preorder sortByDistance applies, over indices instead of
+// copied entries. Used with sort.Stable so fully-equal keys keep their
+// ascending-index scan order, exactly like the oracle.
+type resultSorter struct {
+	idx     []int32
+	dist    []float64
+	entries []Entry
+}
+
+func (s *resultSorter) Len() int { return len(s.idx) }
+
+func (s *resultSorter) Less(a, b int) bool {
+	if s.dist[a] != s.dist[b] {
+		return s.dist[a] < s.dist[b]
+	}
+	ei, ej := &s.entries[s.idx[a]], &s.entries[s.idx[b]]
+	if ei.Clip != ej.Clip {
+		return ei.Clip < ej.Clip
+	}
+	return ei.Shot < ej.Shot
+}
+
+func (s *resultSorter) Swap(a, b int) {
+	s.idx[a], s.idx[b] = s.idx[b], s.idx[a]
+	s.dist[a], s.dist[b] = s.dist[b], s.dist[a]
+}
+
+// searchInto is the scalar kernel: window, scan, order, materialize.
+// Results are appended to dst. The caller has validated opt and q and
+// checked ix.built.
+func (ix *Index) searchInto(dst []Entry, q Query, opt Options, sc *Scratch) []Entry {
+	dq := q.Dv()
+	sq := math.Sqrt(q.VarBA)
+	lo, hi := ix.window(dq, opt.Alpha)
+	ix.scan(q, opt, dq, sq, lo, hi, sc)
+	sc.srt = resultSorter{idx: sc.cand, dist: sc.dist, entries: ix.entries}
+	sort.Stable(&sc.srt)
+	for _, i := range sc.cand {
+		dst = append(dst, ix.entries[i])
+	}
+	return dst
+}
+
+// SearchAppend is Search appending into dst (which may be nil): the
+// zero-allocation form. With a reused *Scratch and a dst at capacity,
+// steady-state calls allocate nothing; passing sc == nil borrows a
+// pooled scratch. Results are ordered exactly as Search orders them.
+func (ix *Index) SearchAppend(dst []Entry, q Query, opt Options, sc *Scratch) ([]Entry, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !ix.built {
+		return nil, ErrNotBuilt
+	}
+	if sc == nil {
+		sc = scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(sc)
+	}
+	return ix.searchInto(dst, q, opt, sc), nil
+}
+
+// BatchResult is the reusable arena a SearchBatch answers into: one
+// flat entry slice plus per-query offsets, so an entire batch costs
+// zero allocations once the arena has grown to working size.
+type BatchResult struct {
+	entries []Entry
+	off     []int32
+}
+
+// Len returns the number of answered queries.
+func (b *BatchResult) Len() int { return len(b.off) - 1 }
+
+// At returns query i's result entries, ordered nearest-first. The
+// slice aliases the arena: it is valid until the next SearchBatch into
+// this BatchResult.
+func (b *BatchResult) At(i int) []Entry {
+	return b.entries[b.off[i]:b.off[i+1]:b.off[i+1]]
+}
+
+// reset prepares the arena for n queries.
+func (b *BatchResult) reset(n int) {
+	b.entries = b.entries[:0]
+	b.off = grow(b.off, n+1)
+	b.off[0] = 0
+}
+
+// SearchBatch answers every query of a batch in one pass, into res.
+// The Eq. 7 binary-search bounds are shared across the batch: queries
+// are walked in D^v order, so the window endpoints advance
+// monotonically through the sorted keys and the whole batch costs one
+// merge-style traversal instead of 2·b independent binary searches.
+// Each query's results are ordered exactly as Search orders them.
+// Passing sc == nil borrows a pooled scratch.
+func (ix *Index) SearchBatch(qs []Query, opt Options, res *BatchResult, sc *Scratch) error {
+	if err := opt.Validate(); err != nil {
+		return err
+	}
+	for i := range qs {
+		if err := qs[i].Validate(); err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	if !ix.built {
+		return ErrNotBuilt
+	}
+	if sc == nil {
+		sc = scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(sc)
+	}
+
+	b := len(qs)
+	res.reset(b)
+	sc.dqs = grow(sc.dqs, b)
+	sc.sqs = grow(sc.sqs, b)
+	sc.order = grow(sc.order, b)
+	sc.lows = grow(sc.lows, b)
+	sc.highs = grow(sc.highs, b)
+	for i := range qs {
+		sc.dqs[i] = qs[i].Dv()
+		sc.sqs[i] = math.Sqrt(qs[i].VarBA)
+		sc.order[i] = int32(i)
+	}
+	sc.bs = batchSorter{order: sc.order, dqs: sc.dqs}
+	sort.Sort(&sc.bs)
+
+	// Shared-bounds walk: both endpoints are monotone in dq, so each
+	// advances at most len(dvs) times across the whole batch.
+	lo, hi := 0, 0
+	n := len(ix.dvs)
+	for _, qi := range sc.order {
+		dq := sc.dqs[qi]
+		for lo < n && ix.dvs[lo] < dq-opt.Alpha {
+			lo++
+		}
+		if hi < lo {
+			hi = lo
+		}
+		for hi < n && ix.dvs[hi] <= dq+opt.Alpha {
+			hi++
+		}
+		sc.lows[qi], sc.highs[qi] = int32(lo), int32(hi)
+	}
+
+	// Answer in caller order so the arena segments line up with qs.
+	for i := range qs {
+		ix.scan(qs[i], opt, sc.dqs[i], sc.sqs[i], int(sc.lows[i]), int(sc.highs[i]), sc)
+		sc.srt = resultSorter{idx: sc.cand, dist: sc.dist, entries: ix.entries}
+		sort.Stable(&sc.srt)
+		for _, e := range sc.cand {
+			res.entries = append(res.entries, ix.entries[e])
+		}
+		res.off[i+1] = int32(len(res.entries))
+	}
+	return nil
+}
+
+// batchSorter orders a batch's query indices by D^v for the shared
+// bounds walk.
+type batchSorter struct {
+	order []int32
+	dqs   []float64
+}
+
+func (s *batchSorter) Len() int { return len(s.order) }
+func (s *batchSorter) Less(a, b int) bool {
+	return s.dqs[s.order[a]] < s.dqs[s.order[b]]
+}
+func (s *batchSorter) Swap(a, b int) {
+	s.order[a], s.order[b] = s.order[b], s.order[a]
+}

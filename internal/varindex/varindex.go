@@ -17,6 +17,7 @@
 package varindex
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -27,6 +28,21 @@ const (
 	DefaultAlpha = 1.0
 	DefaultBeta  = 1.0
 )
+
+// ErrNotBuilt reports a read against an index that has pending Adds:
+// reads never build implicitly (an implicit build would mutate shared
+// state from what the lock-free query path promises is an immutable
+// reader), so the owner must call Build before publishing the index.
+// Match it with errors.Is.
+var ErrNotBuilt = errors.New("varindex: index not built (call Build before reading)")
+
+// ErrBadTolerance reports a NaN, infinite or negative query tolerance;
+// match it with errors.Is.
+var ErrBadTolerance = errors.New("varindex: invalid tolerance")
+
+// ErrBadQuery reports a query with NaN, infinite or negative variance
+// coordinates (or a non-finite mean); match it with errors.Is.
+var ErrBadQuery = errors.New("varindex: invalid query")
 
 // Entry is one row of the index table (Table 4): a shot of some clip
 // with its variance feature vector.
@@ -64,6 +80,23 @@ type Query struct {
 // Dv returns the query's similarity coordinate.
 func (q Query) Dv() float64 { return math.Sqrt(q.VarBA) - math.Sqrt(q.VarOA) }
 
+// Validate rejects queries whose coordinates would poison the
+// similarity model: NaN or infinite values (a NaN D^v silently matches
+// nothing in the indexed scan and everything in a linear scan) and
+// negative variances (whose square roots are NaN).
+func (q Query) Validate() error {
+	if math.IsNaN(q.VarBA) || math.IsInf(q.VarBA, 0) || q.VarBA < 0 ||
+		math.IsNaN(q.VarOA) || math.IsInf(q.VarOA, 0) || q.VarOA < 0 {
+		return fmt.Errorf("%w: VarBA=%v VarOA=%v", ErrBadQuery, q.VarBA, q.VarOA)
+	}
+	for ch, m := range q.MeanBA {
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			return fmt.Errorf("%w: MeanBA[%d]=%v", ErrBadQuery, ch, m)
+		}
+	}
+	return nil
+}
+
 // Options controls a search.
 type Options struct {
 	// Alpha is Eq. 7's tolerance on D^v.
@@ -84,10 +117,15 @@ func DefaultOptions() Options {
 	return Options{Alpha: DefaultAlpha, Beta: DefaultBeta}
 }
 
-// Validate reports invalid tolerances.
+// Validate reports invalid tolerances: negative, NaN or infinite
+// values are all rejected (a NaN Alpha slips past a simple sign check
+// and yields window bounds that silently match nothing; an infinite
+// one degenerates every query to a full scan).
 func (o Options) Validate() error {
-	if o.Alpha < 0 || o.Beta < 0 || o.Gamma < 0 {
-		return fmt.Errorf("varindex: negative tolerance α=%v β=%v γ=%v", o.Alpha, o.Beta, o.Gamma)
+	for _, t := range [...]float64{o.Alpha, o.Beta, o.Gamma} {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return fmt.Errorf("%w: α=%v β=%v γ=%v", ErrBadTolerance, o.Alpha, o.Beta, o.Gamma)
+		}
 	}
 	return nil
 }
@@ -113,14 +151,21 @@ func (o Options) meanMatches(q Query, e Entry) bool {
 // Index is the sorted index table. The zero value is ready to use.
 // Construction is two-phase: Add entries, then Build. After Build the
 // index is immutable — reads never mutate it, so a built index may be
-// shared freely across goroutines without locks. Mutation is by copy:
-// WithoutClip returns a new index with a clip's entries filtered out,
-// leaving the receiver untouched.
+// shared freely across goroutines without locks; reads on an unbuilt
+// index fail with ErrNotBuilt instead of building implicitly, which
+// would be a write. Mutation is by copy: WithoutClip returns a new
+// index with a clip's entries filtered out, leaving the receiver
+// untouched.
 type Index struct {
 	entries []Entry
-	dvs     []float64 // cached Dv per entry, aligned with entries
-	sqrts   []float64 // cached sqrt(VarBA) per entry
-	built   bool
+	dvs     []float64 // exact Dv per entry, aligned with entries
+	sqrts   []float64 // exact sqrt(VarBA) per entry
+	// Float32 shadows of the scan keys, the flat SoA arrays the query
+	// kernel's prefilter reads (see kernel.go). mean32 is 3 channels
+	// per entry, flattened.
+	sq32   []float32
+	mean32 []float32
+	built  bool
 }
 
 // New returns an empty index.
@@ -136,11 +181,12 @@ func (ix *Index) Add(e Entry) {
 // Len returns the number of indexed shots.
 func (ix *Index) Len() int { return len(ix.entries) }
 
-// Build sorts the entries by D^v and precomputes the search keys (D^v
-// and sqrt(VarBA) per entry), finishing construction. It is idempotent
-// and cheap on an already-built index. Single-goroutine callers may
-// skip it — every read builds implicitly — but an index shared across
-// goroutines must be built first, because the implicit build mutates.
+// Build sorts the entries by D^v and precomputes the search keys — the
+// exact float64 D^v and sqrt(VarBA) per entry plus the float32 SoA
+// shadows the query kernel scans — finishing construction. It is
+// idempotent and cheap on an already-built index. Build must run
+// before the index is read or shared: reads fail with ErrNotBuilt on
+// an unbuilt index.
 func (ix *Index) Build() {
 	if ix.built {
 		return
@@ -150,19 +196,34 @@ func (ix *Index) Build() {
 	})
 	ix.dvs = ix.dvs[:0]
 	ix.sqrts = ix.sqrts[:0]
+	ix.sq32 = ix.sq32[:0]
+	ix.mean32 = ix.mean32[:0]
 	for _, e := range ix.entries {
+		s := e.SqrtBA()
 		ix.dvs = append(ix.dvs, e.Dv())
-		ix.sqrts = append(ix.sqrts, e.SqrtBA())
+		ix.sqrts = append(ix.sqrts, s)
+		ix.sq32 = append(ix.sq32, float32(s))
+		ix.mean32 = append(ix.mean32,
+			float32(e.MeanBA[0]), float32(e.MeanBA[1]), float32(e.MeanBA[2]))
 	}
 	ix.built = true
 }
 
+// mustBuilt panics on an unbuilt index — the invariant guard for
+// accessors that cannot return an error.
+func (ix *Index) mustBuilt(method string) {
+	if !ix.built {
+		panic("varindex: " + method + " on an unbuilt index (publish invariant violated: call Build first)")
+	}
+}
+
 // WithoutClip returns a new built index holding every entry except the
-// named clip's. The receiver is built if needed and left unchanged.
-// Filtering preserves the sort order, so no re-sort happens: entries
-// and their cached keys are copied in lockstep.
+// named clip's. The receiver must be built (it is left unchanged — the
+// method is a pure copy, never a lazy build). Filtering preserves the
+// sort order, so no re-sort happens: entries and their cached keys are
+// copied in lockstep.
 func (ix *Index) WithoutClip(clip string) *Index {
-	ix.Build()
+	ix.mustBuilt("WithoutClip")
 	out := &Index{built: true}
 	for i, e := range ix.entries {
 		if e.Clip == clip {
@@ -171,54 +232,46 @@ func (ix *Index) WithoutClip(clip string) *Index {
 		out.entries = append(out.entries, e)
 		out.dvs = append(out.dvs, ix.dvs[i])
 		out.sqrts = append(out.sqrts, ix.sqrts[i])
+		out.sq32 = append(out.sq32, ix.sq32[i])
+		out.mean32 = append(out.mean32, ix.mean32[3*i], ix.mean32[3*i+1], ix.mean32[3*i+2])
 	}
 	return out
 }
 
-// Entries returns the entries sorted by D^v, building first if needed.
-// The returned slice is the index's backing store; callers must not
-// modify it.
+// Entries returns the entries sorted by D^v. The index must be built —
+// Entries panics otherwise, because it cannot report an error and
+// building here would mutate a shared reader. The returned slice is
+// the index's backing store; callers must not modify it.
 func (ix *Index) Entries() []Entry {
-	ix.Build()
+	ix.mustBuilt("Entries")
 	return ix.entries
 }
 
-// Search returns all entries satisfying Eqs. 7 and 8 for the query,
-// using a binary-search range scan on D^v. Results are ordered by
+// Search returns all entries satisfying Eqs. 7 and 8 for the query:
+// two binary searches bound the α-window on D^v, then the flat SoA
+// kernel (kernel.go) filters and orders it. Results are ordered by
 // ascending distance to the query in the (D^v, sqrt(VarBA)) plane.
+// The index must be built (ErrNotBuilt otherwise). For a query path
+// with no per-call allocations, use SearchAppend with a reused dst
+// and Scratch.
 func (ix *Index) Search(q Query, opt Options) ([]Entry, error) {
-	if err := opt.Validate(); err != nil {
-		return nil, err
-	}
-	ix.Build()
-	dq := q.Dv()
-	lo := sort.Search(len(ix.entries), func(i int) bool {
-		return ix.dvs[i] >= dq-opt.Alpha
-	})
-	var out []Entry
-	sq := math.Sqrt(q.VarBA)
-	for i := lo; i < len(ix.entries); i++ {
-		if ix.dvs[i] > dq+opt.Alpha {
-			break
-		}
-		if s := ix.sqrts[i]; s < sq-opt.Beta || s > sq+opt.Beta {
-			continue
-		}
-		if !opt.meanMatches(q, ix.entries[i]) {
-			continue
-		}
-		out = append(out, ix.entries[i])
-	}
-	sortByDistance(out, dq, sq)
-	return out, nil
+	return ix.SearchAppend(nil, q, opt, nil)
 }
 
-// SearchLinear is Search without the index: a full scan. It exists as
-// the baseline for the index-vs-scan ablation and must return the same
-// set as Search.
+// SearchLinear is Search without the index: a full scan in exact
+// float64 arithmetic, recomputing every key. It is the oracle the
+// equivalence/fuzz suite holds the flat kernel to (Search must return
+// bit-identical results) and the baseline for the index-vs-scan
+// ablation. Like every read, it requires a built index.
 func (ix *Index) SearchLinear(q Query, opt Options) ([]Entry, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !ix.built {
+		return nil, ErrNotBuilt
 	}
 	dq := q.Dv()
 	sq := math.Sqrt(q.VarBA)
@@ -315,8 +368,14 @@ func (ix *Index) QuantizedSearch(q Query, opt Options) ([]Entry, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
 	if opt.Alpha == 0 || opt.Beta == 0 {
-		return nil, fmt.Errorf("varindex: quantized search needs positive tolerances")
+		return nil, fmt.Errorf("%w: quantized search needs positive tolerances", ErrBadTolerance)
+	}
+	if !ix.built {
+		return nil, ErrNotBuilt
 	}
 	cellD := func(dv float64) int { return int(math.Floor(dv / opt.Alpha)) }
 	cellS := func(s float64) int { return int(math.Floor(s / opt.Beta)) }

@@ -1,6 +1,7 @@
 package varindex
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -30,6 +31,7 @@ func TestSearchExactMatch(t *testing.T) {
 	ix.Add(entry("a", 0, 25, 4))  // Dv=3, sqrtBA=5
 	ix.Add(entry("a", 1, 100, 1)) // Dv=9, sqrtBA=10
 	ix.Add(entry("b", 0, 16, 16)) // Dv=0, sqrtBA=4
+	ix.Build()
 
 	got, err := ix.Search(Query{VarBA: 25, VarOA: 4}, DefaultOptions())
 	if err != nil {
@@ -50,6 +52,7 @@ func TestSearchToleranceWindows(t *testing.T) {
 	ix.Add(entry("out", 0, 25, 12.25))
 	// Dv = 3 but sqrtBA = 7 (outside β): VarBA=49, VarOA=16.
 	ix.Add(entry("out", 1, 49, 16))
+	ix.Build()
 
 	got, err := ix.Search(Query{VarBA: 25, VarOA: 4}, DefaultOptions())
 	if err != nil {
@@ -74,6 +77,7 @@ func TestSearchBoundariesInclusive(t *testing.T) {
 	// Query Dv=0, sqrtBA=1 (VarBA=1, VarOA=1). Entry at Dv exactly ±α.
 	ix.Add(entry("edge", 0, 1, 4)) // Dv = 1-2 = -1 = Dq-α, sqrtBA=1
 	ix.Add(entry("edge", 1, 4, 1)) // Dv = 2-1 = +1 = Dq+α, sqrtBA=2 = 1+β
+	ix.Build()
 	got, err := ix.Search(Query{VarBA: 1, VarOA: 1}, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -113,6 +117,7 @@ func TestSearchEqualsLinear(t *testing.T) {
 		for i := 0; i < 200; i++ {
 			ix.Add(entry("c", i, r.Float64Range(0, 60), r.Float64Range(0, 60)))
 		}
+		ix.Build()
 		for trial := 0; trial < 10; trial++ {
 			q := Query{VarBA: r.Float64Range(0, 60), VarOA: r.Float64Range(0, 60)}
 			a, err1 := ix.Search(q, DefaultOptions())
@@ -143,6 +148,7 @@ func TestTopK(t *testing.T) {
 		s := float64(i) * 0.1
 		ix.Add(entry("c", i, (s+2)*(s+2), 4)) // sqrtBA = s+2, Dv = s
 	}
+	ix.Build()
 	q := Query{VarBA: 2.45 * 2.45, VarOA: 4} // Dv = 0.45, sqrtBA = 2.45
 	got, err := ix.TopK(q, DefaultOptions(), 3)
 	if err != nil {
@@ -162,6 +168,7 @@ func TestTopKExcluding(t *testing.T) {
 	ix.Add(entry("c", 0, 25, 4))
 	ix.Add(entry("c", 1, 25, 4))
 	ix.Add(entry("c", 2, 25, 4))
+	ix.Build()
 	got, err := ix.TopKExcluding(Query{VarBA: 25, VarOA: 4}, DefaultOptions(), 5, "c#1")
 	if err != nil {
 		t.Fatal(err)
@@ -181,6 +188,7 @@ func TestQuantizedSearch(t *testing.T) {
 	ix.Add(entry("a", 0, 25, 4))   // Dv=3, sqrtBA=5 → cell (3,5)
 	ix.Add(entry("a", 1, 27, 4.5)) // Dv≈3.07, sqrtBA≈5.2 → cell (3,5)
 	ix.Add(entry("b", 0, 100, 4))  // Dv=8, sqrtBA=10 → far cell
+	ix.Build()
 	got, err := ix.QuantizedSearch(Query{VarBA: 25.5, VarOA: 4.1}, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -199,6 +207,7 @@ func TestEntriesSortedByDv(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		ix.Add(entry("c", i, r.Float64Range(0, 50), r.Float64Range(0, 50)))
 	}
+	ix.Build()
 	es := ix.Entries()
 	for i := 1; i < len(es); i++ {
 		if es[i-1].Dv() > es[i].Dv() {
@@ -210,15 +219,23 @@ func TestEntriesSortedByDv(t *testing.T) {
 	}
 }
 
-// TestAddAfterSearch: adding entries after a search keeps results
-// correct (the lazy sort must be invalidated).
+// TestAddAfterSearch: Add unbuilds the index — reads fail with
+// ErrNotBuilt until Build runs again, and the rebuilt index sees the
+// late entry. (There is deliberately no lazy rebuild: a read that
+// builds would mutate what the lock-free query path shares as an
+// immutable reader.)
 func TestAddAfterSearch(t *testing.T) {
 	ix := New()
 	ix.Add(entry("a", 0, 25, 4))
+	ix.Build()
 	if _, err := ix.Search(Query{VarBA: 25, VarOA: 4}, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	ix.Add(entry("a", 1, 25, 4))
+	if _, err := ix.Search(Query{VarBA: 25, VarOA: 4}, DefaultOptions()); !errors.Is(err, ErrNotBuilt) {
+		t.Fatalf("Search on unbuilt index: err = %v, want ErrNotBuilt", err)
+	}
+	ix.Build()
 	got, err := ix.Search(Query{VarBA: 25, VarOA: 4}, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -233,6 +250,7 @@ func TestAddAfterSearch(t *testing.T) {
 func TestZeroVarianceShots(t *testing.T) {
 	ix := New()
 	ix.Add(entry("static", 0, 0, 0))
+	ix.Build()
 	got, err := ix.Search(Query{VarBA: 0, VarOA: 0}, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -251,7 +269,7 @@ func BenchmarkSearchIndexed10k(b *testing.B) {
 	for i := 0; i < 10000; i++ {
 		ix.Add(entry("c", i, r.Float64Range(0, 60), r.Float64Range(0, 60)))
 	}
-	ix.Entries() // pre-sort
+	ix.Build()
 	q := Query{VarBA: 25, VarOA: 4}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -267,6 +285,7 @@ func BenchmarkSearchLinear10k(b *testing.B) {
 	for i := 0; i < 10000; i++ {
 		ix.Add(entry("c", i, r.Float64Range(0, 60), r.Float64Range(0, 60)))
 	}
+	ix.Build()
 	q := Query{VarBA: 25, VarOA: 4}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
