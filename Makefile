@@ -14,7 +14,7 @@ COVER_FLOOR = 60
 BENCH_DIR = bench-out
 BASELINE  = results/BENCH_offline_baseline.json
 
-.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server fuzz fuzz-smoke stress paper corpus pgo clean
+.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server cluster-smoke fuzz fuzz-smoke stress paper corpus pgo clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/core/ ./internal/feature/ ./internal/server/ ./internal/varindex/ ./internal/wal/
+	$(GO) test -race ./internal/cluster/ ./internal/core/ ./internal/feature/ ./internal/server/ ./internal/varindex/ ./internal/wal/
 
 # Repeated race-detector runs over the lock-free query path's
 # concurrency and equivalence suites — the flake-hunting profile CI
@@ -117,6 +117,14 @@ pgo:
 bench-server:
 	@mkdir -p $(BENCH_DIR)
 	$(GO) run ./cmd/vdbbench -mode server -target http://localhost:8080 -concurrency 16 -duration 10s -out $(BENCH_DIR)
+
+# End-to-end cluster exercise on loopback: three shard primaries with
+# WALs, one read replica, a coordinator in front; ingest through the
+# coordinator, load it with vdbbench -cluster while killing a shard
+# mid-run, then assert partial accounting, replica catch-up, and a
+# valid BENCH_cluster artifact (see docs/CLUSTER.md for the topology).
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # One testing.B benchmark per paper table/figure plus ablations.
 bench-micro:

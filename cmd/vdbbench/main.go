@@ -18,7 +18,11 @@
 // drives a running vdbserver over HTTP with -concurrency workers
 // issuing a GET /api/query + GET /api/clips + POST /api/query/batch
 // mix, reporting per-endpoint latency quantiles, total RPS, the error
-// rate, and the 5xx count from HDR-style histograms.
+// rate, and the 5xx count from HDR-style histograms. With -cluster the
+// target is a vdbcoord coordinator: partial (degraded) answers are
+// counted via the X-Videodb-Partial header, /api/cluster/status is
+// probed for shard count, fan-out p99 and replication lag, and the
+// artifact is written as BENCH_cluster_<timestamp>.json.
 //
 // Both modes write BENCH_<mode>_<timestamp>.json into -out.
 //
@@ -65,6 +69,7 @@ func main() {
 		target      = flag.String("target", "http://localhost:8080", "server: base URL of the vdbserver under test")
 		concurrency = flag.Int("concurrency", 16, "server: concurrent load-generating workers")
 		duration    = flag.Duration("duration", 10*time.Second, "server: measurement length")
+		clusterOn   = flag.Bool("cluster", false, "server: target is a vdbcoord coordinator — count partial answers, probe /api/cluster/status, write a BENCH_cluster artifact")
 		qCache      = flag.Int("query-cache", 4096, "offline: query-result cache capacity (0 disables the cache and skips the cached phase)")
 	)
 	var workers int
@@ -104,6 +109,7 @@ func main() {
 		rep, err = runServer(serverConfig{
 			Target: *target, Concurrency: *concurrency,
 			Duration: *duration, Seed: *seed, Batch: *batch,
+			Cluster: *clusterOn,
 		})
 	default:
 		err = fmt.Errorf("unknown -mode %q (want offline or server)", *mode)

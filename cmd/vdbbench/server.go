@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -22,6 +23,12 @@ type serverConfig struct {
 	Duration    time.Duration
 	Seed        uint64
 	Batch       int
+	// Cluster marks the target a vdbcoord coordinator: the artifact's
+	// mode becomes "cluster", degraded (partial) answers are counted
+	// via the X-Videodb-Partial header, and a post-run probe of
+	// /api/cluster/status adds shard count, per-shard fan-out p99 and
+	// replication lag to the metrics.
+	Cluster bool
 }
 
 // workerStats is one load worker's private tally; workers never share
@@ -31,6 +38,7 @@ type workerStats struct {
 	byClass             [6]int64 // index status/100; 0 = transport error
 	requests            int64
 	batchedQueries      int64
+	partial             int64 // answers flagged X-Videodb-Partial: true
 }
 
 func newWorkerStats() *workerStats {
@@ -89,6 +97,7 @@ func runServer(cfg serverConfig) (benchfmt.Report, error) {
 		}
 		total.requests += st.requests
 		total.batchedQueries += st.batchedQueries
+		total.partial += st.partial
 	}
 	if total.requests == 0 {
 		return benchfmt.Report{}, fmt.Errorf("no requests completed against %s", base)
@@ -121,22 +130,79 @@ func runServer(cfg serverConfig) (benchfmt.Report, error) {
 				Value: float64(total.batchedQueries) / elapsed.Seconds()})
 	}
 
+	mode := "server"
+	config := benchfmt.Config{
+		Seed: cfg.Seed, BatchSize: cfg.Batch, Target: base,
+		Concurrency: cfg.Concurrency, Duration: cfg.Duration.String(),
+	}
+	if cfg.Cluster {
+		mode = "cluster"
+		metrics = append(metrics,
+			benchfmt.Metric{Name: "partial_answers", Unit: "requests", Value: float64(total.partial)},
+			benchfmt.Metric{Name: "partial_rate", Unit: "ratio",
+				Value: float64(total.partial) / float64(total.requests)})
+		cm, shards, err := clusterMetrics(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdbbench: warning: cluster status probe failed: %v\n", err)
+		} else {
+			metrics = append(metrics, cm...)
+			config.Shards = shards
+		}
+	}
+
 	d := all.Distribution()
-	fmt.Printf("server: %d requests in %v — %.0f req/s, p50 %.3gms p90 %.3gms p99 %.3gms, %d 5xx, %d 4xx, %d transport errors\n",
-		total.requests, elapsed.Round(time.Millisecond),
+	fmt.Printf("%s: %d requests in %v — %.0f req/s, p50 %.3gms p90 %.3gms p99 %.3gms, %d 5xx, %d 4xx, %d transport errors, %d partial\n",
+		mode, total.requests, elapsed.Round(time.Millisecond),
 		float64(total.requests)/elapsed.Seconds(),
 		d.P50*1e3, d.P90*1e3, d.P99*1e3,
-		total.byClass[5], total.byClass[4], total.byClass[0])
+		total.byClass[5], total.byClass[4], total.byClass[0], total.partial)
 
 	return benchfmt.Report{
-		Mode: "server",
-		Config: benchfmt.Config{
-			Seed: cfg.Seed, BatchSize: cfg.Batch, Target: base,
-			Concurrency: cfg.Concurrency, Duration: cfg.Duration.String(),
-		},
+		Mode:        mode,
+		Config:      config,
 		Environment: environment(),
 		Metrics:     metrics,
 	}, nil
+}
+
+// clusterMetrics probes the coordinator's status endpoint after a run
+// and turns it into artifact metrics: shard count, the worst per-shard
+// fan-out p99 the coordinator observed, and the worst replica byte lag
+// (omitted when unknown: a down replica has no known lag).
+func clusterMetrics(client *http.Client, base string) ([]benchfmt.Metric, int, error) {
+	resp, err := client.Get(base + "/api/cluster/status")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("status %d (is the target a vdbcoord?)", resp.StatusCode)
+	}
+	var st struct {
+		Shards []struct {
+			FanoutP99Seconds float64 `json:"fanoutP99Seconds"`
+			FanoutCount      int64   `json:"fanoutCount"`
+		} `json:"shards"`
+		MaxLagBytes int64 `json:"maxLagBytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, 0, err
+	}
+	worstP99 := 0.0
+	for _, sh := range st.Shards {
+		if sh.FanoutCount > 0 && sh.FanoutP99Seconds > worstP99 {
+			worstP99 = sh.FanoutP99Seconds
+		}
+	}
+	out := []benchfmt.Metric{
+		{Name: "cluster_shards", Unit: "shards", Value: float64(len(st.Shards))},
+		{Name: "shard_fanout_p99", Unit: "seconds", Value: worstP99},
+	}
+	if st.MaxLagBytes >= 0 {
+		out = append(out, benchfmt.Metric{
+			Name: "replication_lag_bytes", Unit: "bytes", Value: float64(st.MaxLagBytes)})
+	}
+	return out, len(st.Shards), nil
 }
 
 // feature is one shot's queryable coordinates.
@@ -254,5 +320,8 @@ func (st *workerStats) do(client *http.Client, hist *benchfmt.Histogram, method,
 	hist.RecordDuration(time.Since(t0))
 	if c := resp.StatusCode / 100; c >= 1 && c <= 5 {
 		st.byClass[c]++
+	}
+	if resp.Header.Get("X-Videodb-Partial") == "true" {
+		st.partial++
 	}
 }

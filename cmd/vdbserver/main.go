@@ -19,7 +19,14 @@
 //	GET    /api/frame?clip=NAME&frame=17     one frame as PNG (needs -corpus)
 //	GET    /api/storyboard?clip=NAME&cols=4  per-shot storyboard PNG (needs -corpus)
 //	POST   /api/query/batch                  many variance queries in one request
+//	GET    /api/health                       liveness, sizes, epoch, WAL position
+//	GET    /api/replication/snapshot         replica bootstrap download
+//	GET    /api/replication/wal?from=&gen=   WAL shipping (tail the journal)
 //	GET    /debug/pprof/                     runtime profiling (needs -pprof)
+//
+// With -replica-of URL the process runs as a read replica: it
+// bootstraps from the primary's replication snapshot, tails its
+// journal, and answers 403 to every write. See docs/CLUSTER.md.
 //
 // The snapshot at -db is loaded on startup (a missing file starts an
 // empty database for live ingest) and written back by POST
@@ -48,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"videodb/internal/cluster"
 	"videodb/internal/core"
 	"videodb/internal/server"
 	"videodb/internal/store"
@@ -71,23 +79,46 @@ func main() {
 		walPath  = flag.String("wal", "", "write-ahead journal path (default <db>.wal, \"none\" disables durability)")
 		syncMode = flag.String("sync", "interval", "journal sync policy: always | interval | none")
 		syncIvl  = flag.Duration("sync-interval", time.Second, "background fsync cadence for -sync interval")
+		replicaOf = flag.String("replica-of", "", "run as a read replica of this primary's base URL (disables -db/-wal; writes answer 403)")
+		replIvl   = flag.Duration("replica-poll", 250*time.Millisecond, "WAL poll period when caught up (-replica-of mode)")
 	)
 	flag.Parse()
 
-	db, err := loadDB(*dbPath, core.WithParallelism(*jobs), core.WithQueryCache(*qCache))
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// A replica's state is owned by its replication stream: it starts
+	// empty (the bootstrap replaces everything), keeps no journal of its
+	// own, and refuses local writes.
+	var db *core.Database
+	var err error
+	if *replicaOf != "" {
+		db, err = core.Open(core.DefaultOptions(), core.WithParallelism(*jobs), core.WithQueryCache(*qCache))
+	} else {
+		db, err = loadDB(*dbPath, core.WithParallelism(*jobs), core.WithQueryCache(*qCache))
+	}
 	if err != nil {
 		log.Fatalf("vdbserver: %v", err)
 	}
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	opts := []server.Option{
 		server.WithLogger(logger),
 		server.WithTimeout(*timeout),
 		server.WithMaxBody(*maxBody),
-		server.WithSnapshotPath(*dbPath),
+	}
+	var replica *cluster.Replica
+	if *replicaOf != "" {
+		replica = cluster.StartReplica(db, *replicaOf,
+			cluster.WithReplicaInterval(*replIvl),
+			cluster.WithReplicaLogger(logger))
+		opts = append(opts,
+			server.WithReadOnly("replica of "+*replicaOf),
+			server.WithHealthInfo(replica.HealthInfo),
+			server.WithExtraMetrics(replica.Metrics))
+	} else {
+		opts = append(opts, server.WithSnapshotPath(*dbPath))
 	}
 	var journal *wal.ClipJournal
-	if path := journalPath(*walPath, *dbPath); path != "" {
+	if path := journalPath(*walPath, *dbPath); path != "" && *replicaOf == "" {
 		policy, err := wal.ParsePolicy(*syncMode)
 		if err != nil {
 			log.Fatalf("vdbserver: %v", err)
@@ -171,6 +202,9 @@ func main() {
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("vdbserver: %v", err)
+	}
+	if replica != nil {
+		replica.Close()
 	}
 	// All mutating requests have drained; the journal's final fsync puts
 	// every record on disk before the process exits.

@@ -78,6 +78,10 @@ type Config struct {
 	Concurrency int `json:"concurrency,omitempty"`
 	// Duration is server mode's wall-clock run length.
 	Duration string `json:"duration,omitempty"`
+	// Shards is the cluster size when the target was a coordinator
+	// (server mode with -cluster); 0 for single-node runs. Additive
+	// field: artifacts written before it decode unchanged.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Environment identifies the machine and toolchain of a run, so

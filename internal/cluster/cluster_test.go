@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"videodb/internal/core"
+	"videodb/internal/server"
+	"videodb/internal/synth"
+	"videodb/internal/video"
+)
+
+// makeClips synthesizes n small clips with distinct seeds.
+func makeClips(t *testing.T, n int) []*video.Clip {
+	t.Helper()
+	clips := make([]*video.Clip, n)
+	genres := []synth.Genre{synth.GenreDrama, synth.GenreNews, synth.GenreCartoon}
+	for i := range clips {
+		spec, err := synth.BuildClip(genres[i%len(genres)], synth.ClipParams{
+			Name: fmt.Sprintf("clip-%02d", i), Shots: 5, DurationSec: 20, Seed: uint64(900 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clip, _, err := synth.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clips[i] = clip
+	}
+	return clips
+}
+
+func newDB(t *testing.T) *core.Database {
+	t.Helper()
+	db, err := core.Open(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// testCluster is K shards behind a coordinator, plus a single node
+// holding the union corpus as the equivalence oracle.
+type testCluster struct {
+	union    *core.Database
+	shardDBs []*core.Database
+	backends []*httptest.Server
+	coord    *Coordinator
+	front    *httptest.Server
+}
+
+// newTestCluster partitions clips across k shards by the same ring the
+// coordinator routes with, and ingests the union into a single node.
+func newTestCluster(t *testing.T, k int, clips []*video.Clip) *testCluster {
+	t.Helper()
+	tc := &testCluster{union: newDB(t)}
+	ring := NewRing(k, 0)
+	cfg := Config{ProbeInterval: 200 * time.Millisecond, Timeout: 5 * time.Second}
+	for i := 0; i < k; i++ {
+		db := newDB(t)
+		ts := httptest.NewServer(server.New(db).Handler())
+		t.Cleanup(ts.Close)
+		tc.shardDBs = append(tc.shardDBs, db)
+		tc.backends = append(tc.backends, ts)
+		cfg.Shards = append(cfg.Shards, ShardConfig{Primary: ts.URL})
+	}
+	for _, clip := range clips {
+		if _, err := tc.union.Ingest(clip); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tc.shardDBs[ring.Owner(clip.Name)].Ingest(clip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	tc.coord = coord
+	tc.front = httptest.NewServer(coord.Handler())
+	t.Cleanup(tc.front.Close)
+	return tc
+}
+
+func getJSON(t *testing.T, url string, out any) (int, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", url, err, body)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// queryPoints derives a query workload from the corpus itself (every
+// shot's own feature point must match itself) plus a coarse grid.
+func queryPoints(db *core.Database) [][2]float64 {
+	var pts [][2]float64
+	for _, rec := range db.Records() {
+		for _, sr := range rec.Shots {
+			pts = append(pts, [2]float64{sr.Feature.VarBA, sr.Feature.VarOA})
+		}
+	}
+	for ba := 0.0; ba <= 100; ba += 25 {
+		for oa := 0.0; oa <= 100; oa += 25 {
+			pts = append(pts, [2]float64{ba, oa})
+		}
+	}
+	return pts
+}
+
+// TestScatterGatherEquivalence is the property at the heart of the
+// coordinator: for any query, the merged scatter-gather answer over K
+// shards is byte-for-byte the single-node answer over the union corpus.
+func TestScatterGatherEquivalence(t *testing.T) {
+	clips := makeClips(t, 6)
+	for _, k := range []int{1, 2, 3} {
+		tc := newTestCluster(t, k, clips)
+		single := httptest.NewServer(server.New(tc.union).Handler())
+		t.Cleanup(single.Close)
+		for _, p := range queryPoints(tc.union) {
+			q := fmt.Sprintf("/api/query?varba=%g&varoa=%g", p[0], p[1])
+			var want []server.MatchJSON
+			if code, _ := getJSON(t, single.URL+q, &want); code != http.StatusOK {
+				t.Fatalf("single node: status %d for %s", code, q)
+			}
+			var got QueryResponseJSON
+			code, hdr := getJSON(t, tc.front.URL+q, &got)
+			if code != http.StatusOK {
+				t.Fatalf("k=%d: coordinator status %d for %s", k, code, q)
+			}
+			if got.Partial {
+				t.Fatalf("k=%d: healthy cluster answered partial for %s", k, q)
+			}
+			if hdr.Get(HeaderPartial) != "false" {
+				t.Fatalf("k=%d: %s header = %q, want false", k, HeaderPartial, hdr.Get(HeaderPartial))
+			}
+			if len(want) == 0 && len(got.Matches) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got.Matches, want) {
+				t.Fatalf("k=%d: merged answer differs from single node for %s\n got: %+v\nwant: %+v",
+					k, q, got.Matches, want)
+			}
+		}
+	}
+}
+
+func TestBatchEquivalence(t *testing.T) {
+	clips := makeClips(t, 6)
+	tc := newTestCluster(t, 3, clips)
+	single := httptest.NewServer(server.New(tc.union).Handler())
+	t.Cleanup(single.Close)
+
+	var req server.BatchRequestJSON
+	for _, p := range queryPoints(tc.union) {
+		ba, oa := p[0], p[1]
+		req.Queries = append(req.Queries, server.BatchQueryJSON{VarBA: &ba, VarOA: &oa})
+	}
+	req.Queries = append(req.Queries, server.BatchQueryJSON{Impression: "bg=high obj=low"})
+	body, _ := json.Marshal(req)
+
+	post := func(url string, out any) int {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(data, out); err != nil {
+				t.Fatalf("decoding %s: %v", url, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	var want server.BatchResponseJSON
+	if code := post(single.URL+"/api/query/batch", &want); code != http.StatusOK {
+		t.Fatalf("single node batch: status %d", code)
+	}
+	var got BatchResponseJSON
+	if code := post(tc.front.URL+"/api/query/batch", &got); code != http.StatusOK {
+		t.Fatalf("coordinator batch: status %d", code)
+	}
+	if got.Partial {
+		t.Fatal("healthy cluster answered batch partial")
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("batch result count %d, want %d", len(got.Results), len(want.Results))
+	}
+	for i := range want.Results {
+		if len(want.Results[i]) == 0 && len(got.Results[i]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got.Results[i], want.Results[i]) {
+			t.Fatalf("batch query %d differs\n got: %+v\nwant: %+v", i, got.Results[i], want.Results[i])
+		}
+	}
+}
+
+func TestClipsListingMerged(t *testing.T) {
+	clips := makeClips(t, 6)
+	tc := newTestCluster(t, 3, clips)
+	var got []server.ClipSummary
+	if code, _ := getJSON(t, tc.front.URL+"/api/clips", &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(got) != len(clips) {
+		t.Fatalf("listing has %d clips, want %d", len(got), len(clips))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Name < got[j].Name }) {
+		t.Error("merged listing is not sorted by name")
+	}
+}
+
+// TestClipRouting checks per-clip reads and deletes land on the owning
+// shard through the coordinator.
+func TestClipRouting(t *testing.T) {
+	clips := makeClips(t, 4)
+	tc := newTestCluster(t, 3, clips)
+	ring := NewRing(3, 0)
+
+	var one struct {
+		server.ClipSummary
+		ShotTable []server.ShotJSON `json:"shotTable"`
+	}
+	if code, _ := getJSON(t, tc.front.URL+"/api/clips/"+clips[0].Name, &one); code != http.StatusOK {
+		t.Fatalf("per-clip read through coordinator: status %d", code)
+	}
+	if one.Name != clips[0].Name || len(one.ShotTable) == 0 {
+		t.Fatalf("per-clip read returned %+v", one)
+	}
+	if code, _ := getJSON(t, tc.front.URL+"/api/clips/no-such-clip", nil); code != http.StatusNotFound {
+		t.Fatalf("missing clip: status %d, want 404", code)
+	}
+
+	victim := clips[1].Name
+	owner := ring.Owner(victim)
+	req, _ := http.NewRequest(http.MethodDelete, tc.front.URL+"/api/clips/"+victim, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete through coordinator: status %d", resp.StatusCode)
+	}
+	if _, ok := tc.shardDBs[owner].Clip(victim); ok {
+		t.Fatalf("clip %q still on owning shard %d after coordinator delete", victim, owner)
+	}
+
+	resp2, err := http.Post(tc.front.URL+"/api/clips", "application/octet-stream", bytes.NewReader([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("nameless clustered ingest: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestShardDownPartial kills one shard and checks the scatter paths
+// degrade to partial answers instead of failing, and that the status
+// endpoint reports the dead node.
+func TestShardDownPartial(t *testing.T) {
+	clips := makeClips(t, 6)
+	tc := newTestCluster(t, 3, clips)
+	tc.backends[1].Close() // kill shard 1
+
+	var got QueryResponseJSON
+	code, hdr := getJSON(t, tc.front.URL+"/api/query?varba=25&varoa=25", &got)
+	if code != http.StatusOK {
+		t.Fatalf("query with a dead shard: status %d, want 200", code)
+	}
+	if !got.Partial || hdr.Get(HeaderPartial) != "true" {
+		t.Fatalf("query with a dead shard: partial=%v header=%q, want true", got.Partial, hdr.Get(HeaderPartial))
+	}
+
+	var listing []server.ClipSummary
+	code, hdr = getJSON(t, tc.front.URL+"/api/clips", &listing)
+	if code != http.StatusOK || hdr.Get(HeaderPartial) != "true" {
+		t.Fatalf("listing with a dead shard: status %d partial=%q", code, hdr.Get(HeaderPartial))
+	}
+
+	var st StatusJSON
+	if code, _ := getJSON(t, tc.front.URL+"/api/cluster/status", &st); code != http.StatusOK {
+		t.Fatalf("status endpoint: %d", code)
+	}
+	if len(st.Shards) != 3 {
+		t.Fatalf("status has %d shards, want 3", len(st.Shards))
+	}
+	if st.Shards[1].Nodes[0].Up {
+		t.Error("status still reports the killed shard as up")
+	}
+	if st.PartialQueries == 0 {
+		t.Error("status counted no partial queries after a degraded answer")
+	}
+
+	// All shards down: scatter reads answer 503, not empty-but-OK.
+	tc.backends[0].Close()
+	tc.backends[2].Close()
+	if code, _ := getJSON(t, tc.front.URL+"/api/query?varba=25&varoa=25", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("query with every shard dead: status %d, want 503", code)
+	}
+}
+
+// TestBadQueryRejectedBeforeFanout checks the coordinator validates
+// queries locally instead of scattering garbage.
+func TestBadQueryRejectedBeforeFanout(t *testing.T) {
+	tc := newTestCluster(t, 2, makeClips(t, 2))
+	if code, _ := getJSON(t, tc.front.URL+"/api/query", nil); code != http.StatusBadRequest {
+		t.Fatalf("missing params: status %d, want 400", code)
+	}
+	if code, _ := getJSON(t, tc.front.URL+"/api/query?varba=-3&varoa=1", nil); code != http.StatusBadRequest {
+		t.Fatalf("negative variance: status %d, want 400", code)
+	}
+	resp, err := http.Post(tc.front.URL+"/api/query/batch", "application/json",
+		bytes.NewReader([]byte(`{"queries":[]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+}

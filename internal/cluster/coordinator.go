@@ -1,0 +1,672 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"videodb/internal/benchfmt"
+	"videodb/internal/impression"
+	"videodb/internal/server"
+	"videodb/internal/varindex"
+)
+
+// HeaderPartial marks a scatter-gather answer assembled without every
+// shard: some partition of the corpus did not contribute. The body
+// carries the same flag as "partial"; the header lets load generators
+// count degraded answers without parsing bodies.
+const HeaderPartial = "X-Videodb-Partial"
+
+// ShardConfig names one shard: the primary that owns the partition and
+// any read replicas that can answer for it.
+type ShardConfig struct {
+	Primary  string
+	Replicas []string
+}
+
+// Config configures a Coordinator.
+type Config struct {
+	// Shards is the partition list. Order is identity: shard i owns the
+	// ring arcs of ordinal i, so the list must be identical (same order)
+	// on every coordinator, and reordering it reshards the corpus.
+	Shards []ShardConfig
+	// Vnodes is the virtual-node count per shard (DefaultVnodes if 0).
+	Vnodes int
+	// Timeout bounds each fan-out attempt (default 10s).
+	Timeout time.Duration
+	// Retries is how many times a failed read attempt is retried per
+	// node before failing over to the next node (default 1).
+	Retries int
+	// ProbeInterval is the health-probe period (default 2s).
+	ProbeInterval time.Duration
+	// Client overrides the HTTP client (tests inject httptest clients).
+	Client *http.Client
+	// Logger receives fan-out failures; nil discards.
+	Logger *slog.Logger
+}
+
+// Coordinator fronts a sharded cluster with the single-node HTTP API:
+// scatter-gather for queries and listings, ring routing for writes and
+// per-clip reads, health-checked failover to replicas. Create with
+// New, serve Handler, stop with Close.
+type Coordinator struct {
+	ring          *Ring
+	shards        []*shard
+	client        *http.Client
+	timeout       time.Duration
+	retries       int
+	probeInterval time.Duration
+	log           *slog.Logger
+	metrics       *coordMetrics
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a coordinator and starts its health prober.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one shard")
+	}
+	c := &Coordinator{
+		ring:          NewRing(len(cfg.Shards), cfg.Vnodes),
+		client:        cfg.Client,
+		timeout:       cfg.Timeout,
+		retries:       cfg.Retries,
+		probeInterval: cfg.ProbeInterval,
+		log:           cfg.Logger,
+		metrics:       newCoordMetrics(),
+		stop:          make(chan struct{}),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	if c.timeout <= 0 {
+		c.timeout = 10 * time.Second
+	}
+	if c.retries < 0 {
+		c.retries = 0
+	} else if cfg.Retries == 0 {
+		c.retries = 1
+	}
+	if c.probeInterval <= 0 {
+		c.probeInterval = 2 * time.Second
+	}
+	if c.log == nil {
+		c.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	for i, sc := range cfg.Shards {
+		sh := &shard{id: i, hist: benchfmt.NewHistogram()}
+		sh.nodes = append(sh.nodes, &node{url: sc.Primary, up: true})
+		for _, r := range sc.Replicas {
+			sh.nodes = append(sh.nodes, &node{url: r, replica: true, up: true})
+		}
+		c.shards = append(c.shards, sh)
+	}
+	c.wg.Add(1)
+	go c.probeLoop()
+	return c, nil
+}
+
+// Close stops the health prober.
+func (c *Coordinator) Close() {
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// Handler returns the coordinator's HTTP handler. It serves the same
+// endpoints a single vdbserver does, plus GET /api/cluster/status.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/query", c.handleQuery)
+	mux.HandleFunc("POST /api/query/batch", c.handleQueryBatch)
+	mux.HandleFunc("GET /api/clips", c.handleClips)
+	mux.HandleFunc("POST /api/clips", c.handleIngest)
+	mux.HandleFunc("GET /api/clips/{name}", c.handleClipRead)
+	mux.HandleFunc("GET /api/clips/{name}/tree", c.handleClipRead)
+	mux.HandleFunc("DELETE /api/clips/{name}", c.handleClipWrite)
+	mux.HandleFunc("GET /api/similar", c.handleSimilar)
+	mux.HandleFunc("GET /api/cluster/status", c.handleStatus)
+	mux.HandleFunc("GET /api/health", c.handleHealth)
+	mux.HandleFunc("GET /api/metrics", c.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// shardError is a non-retryable backend answer (4xx): the shard spoke,
+// the request was wrong, and the status must propagate to the client
+// instead of counting as a shard failure.
+type shardError struct {
+	code int
+	body string
+}
+
+func (e *shardError) Error() string { return fmt.Sprintf("status %d: %s", e.code, e.body) }
+
+// shardGet fans one read to a shard: the primary first, replicas on
+// failover (a down primary sorts last — read-side promotion), each
+// node tried 1+Retries times with a short backoff. Network errors and
+// 5xx answers mark the node down and move on; a 4xx is the backend
+// refusing a well-delivered request and returns immediately.
+func (c *Coordinator) shardGet(ctx context.Context, sh *shard, pathq string, out any) error {
+	var lastErr error
+	for _, n := range sh.readOrder() {
+		for attempt := 0; attempt <= c.retries; attempt++ {
+			if attempt > 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(time.Duration(25<<(attempt-1)) * time.Millisecond):
+				}
+			}
+			body, err := c.nodeGet(ctx, n, pathq, sh)
+			if err == nil {
+				if out == nil {
+					return nil
+				}
+				return json.Unmarshal(body, out)
+			}
+			var se *shardError
+			if ok := asShardError(err, &se); ok {
+				return se
+			}
+			lastErr = err
+		}
+	}
+	c.metrics.add("shard_failures", 1)
+	return fmt.Errorf("shard %d unreachable: %w", sh.id, lastErr)
+}
+
+func asShardError(err error, out **shardError) bool {
+	se, ok := err.(*shardError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+// nodeGet performs one GET attempt against one node.
+func (c *Coordinator) nodeGet(ctx context.Context, n *node, pathq string, sh *shard) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+pathq, nil)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	c.metrics.add("shard_requests", 1)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		n.markDown(err)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		n.markDown(err)
+		return nil, err
+	}
+	if resp.StatusCode >= 500 {
+		err := fmt.Errorf("%s: status %d", n.url, resp.StatusCode)
+		n.markDown(err)
+		return nil, err
+	}
+	n.markUp(nil)
+	sh.observeFanout(time.Since(start))
+	if resp.StatusCode != http.StatusOK {
+		return nil, &shardError{code: resp.StatusCode, body: string(body)}
+	}
+	return body, nil
+}
+
+// scatter fans fetch to every shard concurrently. A shard whose fetch
+// fails contributes nothing and flips partial; a 4xx from any shard
+// aborts the gather (the same request would 4xx everywhere).
+func scatter[T any](c *Coordinator, ctx context.Context, fetch func(sh *shard) (T, error)) (parts []T, partial bool, reject *shardError) {
+	results := make([]T, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			results[i], errs[i] = fetch(sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	parts = make([]T, 0, len(results))
+	for i, err := range errs {
+		if err != nil {
+			var se *shardError
+			if asShardError(err, &se) {
+				return nil, false, se
+			}
+			c.log.Warn("shard dropped from gather", "shard", i, "err", err)
+			partial = true
+			continue
+		}
+		parts = append(parts, results[i])
+	}
+	return parts, partial, nil
+}
+
+// parseQueryPoint mirrors the single-node handler's query parsing so
+// the coordinator can (a) reject bad queries before fanning out and
+// (b) recompute the distance order the shards used when merging.
+func parseQueryPoint(r *http.Request) (varindex.Query, error) {
+	if imp := r.URL.Query().Get("impression"); imp != "" {
+		parsed, err := impression.Parse(imp)
+		if err != nil {
+			return varindex.Query{}, err
+		}
+		return parsed.Query(), nil
+	}
+	var q varindex.Query
+	var err error
+	if q.VarBA, err = strconv.ParseFloat(r.URL.Query().Get("varba"), 64); err != nil {
+		return varindex.Query{}, fmt.Errorf("need varba and varoa (or impression=...)")
+	}
+	if q.VarOA, err = strconv.ParseFloat(r.URL.Query().Get("varoa"), 64); err != nil {
+		return varindex.Query{}, fmt.Errorf("need varba and varoa (or impression=...)")
+	}
+	if err := q.Validate(); err != nil {
+		return varindex.Query{}, err
+	}
+	return q, nil
+}
+
+// QueryResponseJSON is the coordinator's GET /api/query answer: the
+// merged matches plus the partial marker. (A single node returns the
+// bare match array; the coordinator wraps it because "who answered" is
+// meaningful only behind a scatter.)
+type QueryResponseJSON struct {
+	Matches []server.MatchJSON `json:"matches"`
+	Partial bool               `json:"partial"`
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQueryPoint(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pathq := "/api/query?" + r.URL.RawQuery
+	parts, partial, reject := scatter(c, r.Context(), func(sh *shard) ([]server.MatchJSON, error) {
+		var matches []server.MatchJSON
+		err := c.shardGet(r.Context(), sh, pathq, &matches)
+		return matches, err
+	})
+	if reject != nil {
+		writeError(w, reject.code, fmt.Errorf("shard rejected query: %s", reject.body))
+		return
+	}
+	if len(parts) == 0 {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no shard reachable"))
+		return
+	}
+	c.metrics.add("queries", 1)
+	if partial {
+		c.metrics.add("partial", 1)
+	}
+	w.Header().Set(HeaderPartial, strconv.FormatBool(partial))
+	writeJSON(w, QueryResponseJSON{Matches: mergeMatches(q, parts), Partial: partial})
+}
+
+// BatchResponseJSON is the coordinator's POST /api/query/batch answer:
+// the single-node shape plus the partial marker.
+type BatchResponseJSON struct {
+	Results [][]server.MatchJSON `json:"results"`
+	Partial bool                 `json:"partial"`
+}
+
+func (c *Coordinator) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("reading batch body: %w", err))
+		return
+	}
+	var req server.BatchRequestJSON
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding batch body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch has no queries"))
+		return
+	}
+	// The merge needs each query's point in the similarity plane; the
+	// shards re-derive the same points from the forwarded body.
+	points := make([]varindex.Query, len(req.Queries))
+	for i, bq := range req.Queries {
+		switch {
+		case bq.Impression != "":
+			parsed, err := impression.Parse(bq.Impression)
+			if err != nil {
+				writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("query %d: %w", i, err))
+				return
+			}
+			points[i] = parsed.Query()
+		case bq.VarBA != nil && bq.VarOA != nil:
+			points[i] = varindex.Query{VarBA: *bq.VarBA, VarOA: *bq.VarOA}
+		default:
+			writeError(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("query %d: need varba and varoa (or impression)", i))
+			return
+		}
+	}
+	parts, partial, reject := scatter(c, r.Context(), func(sh *shard) ([][]server.MatchJSON, error) {
+		var resp server.BatchResponseJSON
+		err := c.shardPost(r.Context(), sh, "/api/query/batch", body, &resp)
+		return resp.Results, err
+	})
+	if reject != nil {
+		writeError(w, reject.code, fmt.Errorf("shard rejected batch: %s", reject.body))
+		return
+	}
+	if len(parts) == 0 {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no shard reachable"))
+		return
+	}
+	c.metrics.add("batches", 1)
+	if partial {
+		c.metrics.add("partial", 1)
+	}
+	merged := make([][]server.MatchJSON, len(points))
+	for i := range points {
+		per := make([][]server.MatchJSON, 0, len(parts))
+		for _, p := range parts {
+			if i < len(p) {
+				per = append(per, p[i])
+			}
+		}
+		merged[i] = mergeMatches(points[i], per)
+	}
+	w.Header().Set(HeaderPartial, strconv.FormatBool(partial))
+	writeJSON(w, BatchResponseJSON{Results: merged, Partial: partial})
+}
+
+// shardPost sends one JSON POST to a shard with the same failover and
+// retry discipline as shardGet. The body is a byte slice, so every
+// attempt resends identical bytes (batch queries are idempotent).
+func (c *Coordinator) shardPost(ctx context.Context, sh *shard, path string, body []byte, out any) error {
+	var lastErr error
+	for _, n := range sh.readOrder() {
+		for attempt := 0; attempt <= c.retries; attempt++ {
+			if attempt > 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(time.Duration(25<<(attempt-1)) * time.Millisecond):
+				}
+			}
+			data, err := c.nodePost(ctx, n, sh, path, body)
+			if err == nil {
+				return json.Unmarshal(data, out)
+			}
+			var se *shardError
+			if asShardError(err, &se) {
+				return se
+			}
+			lastErr = err
+		}
+	}
+	c.metrics.add("shard_failures", 1)
+	return fmt.Errorf("shard %d unreachable: %w", sh.id, lastErr)
+}
+
+func (c *Coordinator) nodePost(ctx context.Context, n *node, sh *shard, path string, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.url+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	c.metrics.add("shard_requests", 1)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		n.markDown(err)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		n.markDown(err)
+		return nil, err
+	}
+	if resp.StatusCode >= 500 {
+		err := fmt.Errorf("%s: status %d", n.url, resp.StatusCode)
+		n.markDown(err)
+		return nil, err
+	}
+	n.markUp(nil)
+	sh.observeFanout(time.Since(start))
+	if resp.StatusCode != http.StatusOK {
+		return nil, &shardError{code: resp.StatusCode, body: string(data)}
+	}
+	return data, nil
+}
+
+func (c *Coordinator) handleClips(w http.ResponseWriter, r *http.Request) {
+	parts, partial, reject := scatter(c, r.Context(), func(sh *shard) ([]server.ClipSummary, error) {
+		var clips []server.ClipSummary
+		err := c.shardGet(r.Context(), sh, "/api/clips", &clips)
+		return clips, err
+	})
+	if reject != nil {
+		writeError(w, reject.code, fmt.Errorf("shard rejected listing: %s", reject.body))
+		return
+	}
+	if len(parts) == 0 {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no shard reachable"))
+		return
+	}
+	if partial {
+		c.metrics.add("partial", 1)
+	}
+	w.Header().Set(HeaderPartial, strconv.FormatBool(partial))
+	writeJSON(w, mergeClipLists(parts))
+}
+
+// handleIngest routes an upload to the shard that owns the clip name.
+// The coordinator needs the name before it reads the body — the ring
+// cannot route on bytes it has not seen — so ?name= is mandatory here
+// even for VDBF uploads that embed one.
+func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("clustered ingest needs a ?name= parameter (the ring routes on it)"))
+		return
+	}
+	sh := c.shards[c.ring.Owner(name)]
+	c.metrics.add("writes", 1)
+	c.proxy(w, r, sh.primary(), "/api/clips?"+r.URL.RawQuery)
+}
+
+// handleClipWrite routes DELETE /api/clips/{name} to the owning
+// shard's primary.
+func (c *Coordinator) handleClipWrite(w http.ResponseWriter, r *http.Request) {
+	sh := c.shards[c.ring.Owner(r.PathValue("name"))]
+	c.metrics.add("writes", 1)
+	c.proxy(w, r, sh.primary(), r.URL.RequestURI())
+}
+
+// handleClipRead routes a per-clip read to the owning shard with
+// replica failover.
+func (c *Coordinator) handleClipRead(w http.ResponseWriter, r *http.Request) {
+	sh := c.shards[c.ring.Owner(r.PathValue("name"))]
+	c.proxyRead(w, r, sh)
+}
+
+// handleSimilar routes query-by-example to the shard owning the
+// example clip. The answer is scoped to that shard's partition of the
+// index (the example's features live only there); docs/CLUSTER.md
+// records the limitation.
+func (c *Coordinator) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("clip")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("need clip parameter"))
+		return
+	}
+	sh := c.shards[c.ring.Owner(name)]
+	c.proxyRead(w, r, sh)
+}
+
+// proxyRead forwards a GET to a shard with failover, relaying the
+// backend's status and body verbatim.
+func (c *Coordinator) proxyRead(w http.ResponseWriter, r *http.Request, sh *shard) {
+	var raw json.RawMessage
+	err := c.shardGet(r.Context(), sh, r.URL.RequestURI(), &raw)
+	if err != nil {
+		var se *shardError
+		if asShardError(err, &se) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(se.code)
+			_, _ = io.WriteString(w, se.body)
+			return
+		}
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(raw)
+}
+
+// proxy streams one request to one node and relays the answer. Writes
+// go through here: they are not retried (a resend could double-apply)
+// and not bounded by the fan-out timeout (an upload analysis runs as
+// long as it runs).
+func (c *Coordinator) proxy(w http.ResponseWriter, r *http.Request, n *node, pathq string) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, n.url+pathq, r.Body)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	resp, err := c.client.Do(req)
+	if err != nil {
+		n.markDown(err)
+		writeError(w, http.StatusBadGateway, fmt.Errorf("shard write failed: %w", err))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 500 {
+		n.markUp(nil)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, c.status())
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	up := 0
+	for _, sh := range c.shards {
+		for _, n := range sh.nodes {
+			if n.isUp() {
+				up++
+				break
+			}
+		}
+	}
+	writeJSON(w, map[string]any{
+		"status":          "ok",
+		"role":            "coordinator",
+		"shards":          len(c.shards),
+		"shardsReachable": up,
+	})
+}
+
+// handleMetrics serves the coordinator's counters in Prometheus text
+// format, plus per-node reachability gauges.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, m := range []struct{ name, help, key string }{
+		{"videodb_coord_queries_total", "Scatter-gather queries served.", "queries"},
+		{"videodb_coord_batches_total", "Scatter-gather batch requests served.", "batches"},
+		{"videodb_coord_partial_total", "Answers assembled without every shard.", "partial"},
+		{"videodb_coord_writes_total", "Writes routed to owning shards.", "writes"},
+		{"videodb_coord_shard_requests_total", "Fan-out requests attempted against shard nodes.", "shard_requests"},
+		{"videodb_coord_shard_failures_total", "Fan-outs that exhausted every node of a shard.", "shard_failures"},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			m.name, m.help, m.name, m.name, c.metrics.get(m.key))
+	}
+	fmt.Fprintln(w, "# HELP videodb_coord_node_up Whether a shard node answered its last probe or request.")
+	fmt.Fprintln(w, "# TYPE videodb_coord_node_up gauge")
+	for _, sh := range c.shards {
+		for _, n := range sh.nodes {
+			up := 0
+			if n.isUp() {
+				up = 1
+			}
+			role := "primary"
+			if n.replica {
+				role = "replica"
+			}
+			fmt.Fprintf(w, "videodb_coord_node_up{shard=\"%d\",role=%q,url=%q} %d\n", sh.id, role, n.url, up)
+		}
+	}
+}
+
+// coordMetrics is a mutex-guarded counter map: the coordinator has a
+// handful of counters and no latency-critical path through them.
+type coordMetrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+func newCoordMetrics() *coordMetrics {
+	return &coordMetrics{counters: make(map[string]int64)}
+}
+
+func (m *coordMetrics) add(key string, n int64) {
+	m.mu.Lock()
+	m.counters[key] += n
+	m.mu.Unlock()
+}
+
+func (m *coordMetrics) get(key string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[key]
+}
+
+// Keys returns the sorted counter names (used by tests).
+func (m *coordMetrics) Keys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.counters))
+	for k := range m.counters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

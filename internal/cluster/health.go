@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"videodb/internal/benchfmt"
+)
+
+// node is one backend process — a shard primary or one of its read
+// replicas — with its observed health. Health changes come from two
+// directions: the background prober (every ProbeInterval) and the data
+// path itself (a failed fan-out marks the node down immediately, a
+// successful one marks it up), so the coordinator reacts to a dead
+// shard at request speed, not probe speed.
+type node struct {
+	url     string
+	replica bool
+
+	mu        sync.Mutex
+	up        bool
+	fails     int
+	lastErr   string
+	lastProbe time.Time
+	health    map[string]any // last /api/health document
+}
+
+func (n *node) markUp(doc map[string]any) {
+	n.mu.Lock()
+	n.up = true
+	n.fails = 0
+	n.lastErr = ""
+	n.lastProbe = time.Now()
+	if doc != nil {
+		n.health = doc
+	}
+	n.mu.Unlock()
+}
+
+func (n *node) markDown(err error) {
+	n.mu.Lock()
+	n.up = false
+	n.fails++
+	n.lastErr = err.Error()
+	n.lastProbe = time.Now()
+	n.mu.Unlock()
+}
+
+func (n *node) isUp() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up
+}
+
+// healthValue reads one numeric field of the node's last health doc.
+func (n *node) healthValue(key string) (float64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.health[key].(float64)
+	return v, ok
+}
+
+// healthString reads one string field of the node's last health doc.
+func (n *node) healthString(key string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.health[key].(string)
+	return v, ok
+}
+
+// shard is one partition of the corpus: a primary plus any read
+// replicas, with a fan-out latency histogram for the status endpoint.
+type shard struct {
+	id    int
+	nodes []*node // nodes[0] is the primary
+
+	histMu sync.Mutex
+	hist   *benchfmt.Histogram
+}
+
+func (sh *shard) primary() *node { return sh.nodes[0] }
+
+// readOrder returns the nodes to try for a read: the primary first,
+// then replicas — except a down primary sorts last, which is the
+// read-side promotion: while the primary is out, replicas answer.
+func (sh *shard) readOrder() []*node {
+	out := make([]*node, 0, len(sh.nodes))
+	var down []*node
+	for _, n := range sh.nodes {
+		if n.isUp() {
+			out = append(out, n)
+		} else {
+			down = append(down, n)
+		}
+	}
+	// Down nodes stay in the order as a last resort: health state can
+	// be stale, and trying a "down" node is cheaper than refusing.
+	return append(out, down...)
+}
+
+func (sh *shard) observeFanout(d time.Duration) {
+	sh.histMu.Lock()
+	sh.hist.RecordDuration(d)
+	sh.histMu.Unlock()
+}
+
+func (sh *shard) fanoutQuantile(q float64) (seconds float64, count int64) {
+	sh.histMu.Lock()
+	defer sh.histMu.Unlock()
+	return sh.hist.Quantile(q), sh.hist.Count()
+}
+
+// probe polls one node's /api/health.
+func (c *Coordinator) probe(ctx context.Context, n *node) {
+	ctx, cancel := context.WithTimeout(ctx, c.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/api/health", nil)
+	if err != nil {
+		n.markDown(err)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		n.markDown(err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		n.markDown(fmt.Errorf("health probe: status %d: %v", resp.StatusCode, err))
+		return
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		n.markDown(fmt.Errorf("health probe: %w", err))
+		return
+	}
+	n.markUp(doc)
+}
+
+func (c *Coordinator) probeTimeout() time.Duration {
+	if c.timeout > 0 && c.timeout < 2*time.Second {
+		return c.timeout
+	}
+	return 2 * time.Second
+}
+
+// probeLoop polls every node until Close.
+func (c *Coordinator) probeLoop() {
+	defer c.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { <-c.stop; cancel() }()
+	tick := time.NewTicker(c.probeInterval)
+	defer tick.Stop()
+	for {
+		c.probeAll(ctx)
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// probeAll probes every node once, concurrently.
+func (c *Coordinator) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, sh := range c.shards {
+		for _, n := range sh.nodes {
+			wg.Add(1)
+			go func(n *node) {
+				defer wg.Done()
+				c.probe(ctx, n)
+			}(n)
+		}
+	}
+	wg.Wait()
+}
+
+// NodeStatus is one backend's health in the cluster status document.
+type NodeStatus struct {
+	URL       string  `json:"url"`
+	Role      string  `json:"role"` // "primary" or "replica"
+	Up        bool    `json:"up"`
+	Fails     int     `json:"fails,omitempty"`
+	LastError string  `json:"lastError,omitempty"`
+	Clips     float64 `json:"clips,omitempty"`
+	Epoch     float64 `json:"epoch,omitempty"`
+	// LagBytes is a replica's journal byte lag behind its primary
+	// (primary walSize minus the replica's applied cut), -1 when it
+	// cannot be computed (node down, generations diverged mid-resync).
+	LagBytes int64 `json:"lagBytes,omitempty"`
+}
+
+// ShardStatus is one shard's slice of the cluster status document.
+type ShardStatus struct {
+	ID    int          `json:"id"`
+	Nodes []NodeStatus `json:"nodes"`
+	// FanoutP99Seconds is the 99th-percentile fan-out latency the
+	// coordinator has observed against this shard.
+	FanoutP99Seconds float64 `json:"fanoutP99Seconds"`
+	FanoutCount      int64   `json:"fanoutCount"`
+}
+
+// StatusJSON is the GET /api/cluster/status document.
+type StatusJSON struct {
+	Shards         []ShardStatus `json:"shards"`
+	Queries        int64         `json:"queries"`
+	Batches        int64         `json:"batches"`
+	PartialQueries int64         `json:"partialQueries"`
+	// MaxLagBytes is the largest replica lag across the cluster, -1 if
+	// any replica's lag is unknown.
+	MaxLagBytes int64 `json:"maxLagBytes"`
+}
+
+// status assembles the cluster status document from the latest health
+// observations.
+func (c *Coordinator) status() StatusJSON {
+	out := StatusJSON{Shards: make([]ShardStatus, len(c.shards))}
+	var maxLag int64
+	for i, sh := range c.shards {
+		ss := ShardStatus{ID: sh.id}
+		ss.FanoutP99Seconds, ss.FanoutCount = sh.fanoutQuantile(0.99)
+		primarySize, primaryOK := sh.primary().healthValue("walSize")
+		primaryGen, _ := sh.primary().healthString("walGen")
+		for _, n := range sh.nodes {
+			n.mu.Lock()
+			ns := NodeStatus{URL: n.url, Role: "primary", Up: n.up, Fails: n.fails, LastError: n.lastErr}
+			if n.replica {
+				ns.Role = "replica"
+			}
+			if v, ok := n.health["clips"].(float64); ok {
+				ns.Clips = v
+			}
+			if v, ok := n.health["epoch"].(float64); ok {
+				ns.Epoch = v
+			}
+			if n.replica {
+				ns.LagBytes = -1
+				cut, cutOK := n.health["replicationCut"].(float64)
+				gen, genOK := n.health["replicationGen"].(string)
+				if n.up && cutOK && genOK && primaryOK && gen == primaryGen {
+					ns.LagBytes = int64(primarySize - cut)
+					if ns.LagBytes < 0 {
+						ns.LagBytes = 0 // health docs sampled at different instants
+					}
+				}
+				switch {
+				case ns.LagBytes < 0:
+					maxLag = -1
+				case maxLag >= 0 && ns.LagBytes > maxLag:
+					maxLag = ns.LagBytes
+				}
+			}
+			n.mu.Unlock()
+			ss.Nodes = append(ss.Nodes, ns)
+		}
+		out.Shards[i] = ss
+	}
+	out.MaxLagBytes = maxLag
+	out.Queries = c.metrics.get("queries")
+	out.Batches = c.metrics.get("batches")
+	out.PartialQueries = c.metrics.get("partial")
+	return out
+}

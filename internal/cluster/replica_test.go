@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"videodb/internal/core"
+	"videodb/internal/server"
+	"videodb/internal/wal"
+)
+
+// newPrimary builds a journaled database behind an HTTP server — the
+// shape a cluster shard primary runs in.
+func newPrimary(t *testing.T) (*core.Database, *wal.ClipJournal, *httptest.Server) {
+	t.Helper()
+	db := newDB(t)
+	j, res, err := wal.RecoverAndOpen(db, filepath.Join(t.TempDir(), "p.wal"), wal.PolicyAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged {
+		t.Fatalf("fresh journal damaged: %s", res.Reason)
+	}
+	t.Cleanup(func() { _ = j.Close() })
+	db.SetJournal(j)
+	ts := httptest.NewServer(server.New(db, server.WithJournal(j)).Handler())
+	t.Cleanup(ts.Close)
+	return db, j, ts
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// sameRecords compares two databases' clip records by name, frame
+// count, and every shot's feature vector — the state the query path
+// answers from.
+func sameRecords(a, b *core.Database) error {
+	ra, rb := a.Records(), b.Records()
+	if len(ra) != len(rb) {
+		return fmt.Errorf("clip counts differ: %d vs %d", len(ra), len(rb))
+	}
+	byName := make(map[string]*core.ClipRecord, len(rb))
+	for _, r := range rb {
+		byName[r.Name] = r
+	}
+	for _, r := range ra {
+		o, ok := byName[r.Name]
+		if !ok {
+			return fmt.Errorf("clip %q missing on replica", r.Name)
+		}
+		if r.Frames != o.Frames || r.FPS != o.FPS || len(r.Shots) != len(o.Shots) {
+			return fmt.Errorf("clip %q differs: frames %d/%d shots %d/%d",
+				r.Name, r.Frames, o.Frames, len(r.Shots), len(o.Shots))
+		}
+		for i := range r.Shots {
+			fa, fb := r.Shots[i].Feature, o.Shots[i].Feature
+			if fa.VarBA != fb.VarBA || fa.VarOA != fb.VarOA {
+				return fmt.Errorf("clip %q shot %d feature differs: (%g,%g) vs (%g,%g)",
+					r.Name, i, fa.VarBA, fa.VarOA, fb.VarBA, fb.VarOA)
+			}
+		}
+	}
+	return nil
+}
+
+// TestReplicaCatchUp is the replication differential: a replica that
+// bootstraps mid-stream and tails the WAL converges to the primary's
+// exact records through ingests and deletes. Run under -race, it also
+// exercises concurrent ApplySnapshot/ApplyRecord against live reads.
+func TestReplicaCatchUp(t *testing.T) {
+	db, _, ts := newPrimary(t)
+	clips := makeClips(t, 4)
+
+	// Two clips before the replica exists: they arrive via bootstrap.
+	for _, c := range clips[:2] {
+		if _, err := db.Ingest(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rdb := newDB(t)
+	rep := StartReplica(rdb, ts.URL, WithReplicaInterval(20*time.Millisecond))
+	defer rep.Close()
+	waitFor(t, "bootstrap", func() bool { return rep.Stats().Bootstraps >= 1 && len(rdb.Clips()) == 2 })
+
+	// Two more plus a delete after: they arrive via WAL shipping.
+	for _, c := range clips[2:] {
+		if _, err := db.Ingest(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Remove(clips[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	// LagBytes alone is not a convergence signal — it measures distance
+	// to the primary size seen at the last poll — so wait on content.
+	waitFor(t, "WAL catch-up", func() bool { return sameRecords(db, rdb) == nil })
+	if st := rep.Stats(); st.Applied < 3 {
+		t.Errorf("replica applied %d records, want >= 3 (2 ingests + 1 delete)", st.Applied)
+	}
+}
+
+// TestReplicaSurvivesRotation rotates the primary's journal (the
+// post-snapshot generation change) under a live replica: the stale cut
+// must 409, the replica must re-bootstrap, and the stream must
+// converge again.
+func TestReplicaSurvivesRotation(t *testing.T) {
+	db, j, ts := newPrimary(t)
+	clips := makeClips(t, 3)
+	if _, err := db.Ingest(clips[0]); err != nil {
+		t.Fatal(err)
+	}
+	rdb := newDB(t)
+	rep := StartReplica(rdb, ts.URL, WithReplicaInterval(20*time.Millisecond))
+	defer rep.Close()
+	waitFor(t, "initial catch-up", func() bool { return len(rdb.Clips()) == 1 && rep.Stats().LagBytes == 0 })
+
+	// Snapshot-style rotation: capture the cut and rotate to it. The
+	// generation token changes, invalidating the replica's offset.
+	snap := db.BeginSnapshot()
+	cut, ok := snap.JournalCut()
+	if !ok {
+		t.Fatal("no journal cut captured")
+	}
+	if err := j.RotateTo(cut); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clips[1:] {
+		if _, err := db.Ingest(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "re-converge after rotation", func() bool {
+		return rep.Stats().Bootstraps >= 2 && sameRecords(db, rdb) == nil
+	})
+}
+
+// TestReplicaServerReadOnly runs the replica behind the full vdbserver
+// wiring (read-only server + health hook) and checks writes are
+// refused while reads and health flow.
+func TestReplicaServerReadOnly(t *testing.T) {
+	db, _, ts := newPrimary(t)
+	if _, err := db.Ingest(makeClips(t, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	rdb := newDB(t)
+	rep := StartReplica(rdb, ts.URL, WithReplicaInterval(20*time.Millisecond))
+	defer rep.Close()
+	rts := httptest.NewServer(server.New(rdb,
+		server.WithReadOnly("replica of "+ts.URL),
+		server.WithHealthInfo(rep.HealthInfo),
+		server.WithExtraMetrics(rep.Metrics),
+	).Handler())
+	defer rts.Close()
+	waitFor(t, "replica catch-up", func() bool { return len(rdb.Clips()) == 1 })
+
+	req, _ := http.NewRequest(http.MethodDelete, rts.URL+"/api/clips/clip-00", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("delete on replica: status %d, want 403", resp.StatusCode)
+	}
+
+	var health map[string]any
+	if code, _ := getJSON(t, rts.URL+"/api/health", &health); code != http.StatusOK {
+		t.Fatalf("replica health: status %d", code)
+	}
+	if health["readOnly"] != true {
+		t.Error("replica health does not report readOnly")
+	}
+	if _, ok := health["replicationCut"]; !ok {
+		t.Error("replica health misses replicationCut")
+	}
+	var matches []server.MatchJSON
+	if code, _ := getJSON(t, rts.URL+"/api/query?varba=25&varoa=25", &matches); code != http.StatusOK {
+		t.Fatalf("query on replica: status %d", code)
+	}
+}
+
+// TestReplicaPromotionOnPrimaryDeath is the failover path: a shard
+// whose primary dies keeps answering scatter reads through its replica
+// — not partial — while a shard with no replica goes partial.
+func TestReplicaPromotionOnPrimaryDeath(t *testing.T) {
+	db, _, ts := newPrimary(t)
+	clips := makeClips(t, 3)
+	for _, c := range clips {
+		if _, err := db.Ingest(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rdb := newDB(t)
+	rep := StartReplica(rdb, ts.URL, WithReplicaInterval(20*time.Millisecond))
+	defer rep.Close()
+	rts := httptest.NewServer(server.New(rdb,
+		server.WithReadOnly("replica of "+ts.URL),
+		server.WithHealthInfo(rep.HealthInfo),
+	).Handler())
+	defer rts.Close()
+	waitFor(t, "replica catch-up", func() bool {
+		return len(rdb.Clips()) == len(clips) && rep.Stats().LagBytes == 0
+	})
+
+	coord, err := New(Config{
+		Shards:        []ShardConfig{{Primary: ts.URL, Replicas: []string{rts.URL}}},
+		ProbeInterval: 100 * time.Millisecond,
+		Timeout:       5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	front := httptest.NewServer(coord.Handler())
+	defer front.Close()
+
+	var before QueryResponseJSON
+	if code, _ := getJSON(t, front.URL+"/api/query?varba=25&varoa=25", &before); code != http.StatusOK {
+		t.Fatalf("query before failover: status %d", code)
+	}
+
+	ts.Close() // primary dies
+	var after QueryResponseJSON
+	code, hdr := getJSON(t, front.URL+"/api/query?varba=25&varoa=25", &after)
+	if code != http.StatusOK {
+		t.Fatalf("query after primary death: status %d, want 200 via replica", code)
+	}
+	if after.Partial || hdr.Get(HeaderPartial) == "true" {
+		t.Fatal("answer went partial although a caught-up replica was available")
+	}
+	if len(after.Matches) != len(before.Matches) {
+		t.Fatalf("replica answered %d matches, primary answered %d", len(after.Matches), len(before.Matches))
+	}
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(5, 0)
+	b := NewRing(5, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("clip-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("two rings of the same size disagree on %q: %d vs %d",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingOwnerInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		r := NewRing(n, 0)
+		if r.Shards() != n {
+			t.Fatalf("Shards() = %d, want %d", r.Shards(), n)
+		}
+		for i := 0; i < 500; i++ {
+			o := r.Owner(fmt.Sprintf("k%d", i))
+			if o < 0 || o >= n {
+				t.Fatalf("owner %d out of range [0,%d)", o, n)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const n, keys = 4, 20000
+	r := NewRing(n, 0)
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("clip-%d.vdbf", i))]++
+	}
+	want := keys / n
+	for s, c := range counts {
+		// 64 vnodes keeps imbalance well inside ±40% of fair share.
+		if c < want*6/10 || c > want*14/10 {
+			t.Errorf("shard %d owns %d of %d keys (fair share %d)", s, c, keys, want)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing property: growing
+// the ring from n to n+1 shards moves roughly 1/(n+1) of the keys, and
+// every moved key moves TO the new shard (no key shuffles between
+// surviving shards).
+func TestRingMinimalMovement(t *testing.T) {
+	const n, keys = 4, 20000
+	old := NewRing(n, 0)
+	grown := NewRing(n+1, 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("clip-%d", i)
+		a, b := old.Owner(key), grown.Owner(key)
+		if a == b {
+			continue
+		}
+		if b != n {
+			t.Fatalf("key %q moved from shard %d to surviving shard %d, not the new shard", key, a, b)
+		}
+		moved++
+	}
+	share := keys / (n + 1)
+	if moved < share/2 || moved > share*2 {
+		t.Errorf("grow moved %d keys, want about %d (1/%d of %d)", moved, share, n+1, keys)
+	}
+}
+
+func TestRingSingleShardOwnsAll(t *testing.T) {
+	r := NewRing(1, 8)
+	for i := 0; i < 100; i++ {
+		if o := r.Owner(fmt.Sprintf("x%d", i)); o != 0 {
+			t.Fatalf("single-shard ring routed %d to shard %d", i, o)
+		}
+	}
+}

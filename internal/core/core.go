@@ -454,6 +454,16 @@ func (db *Database) ShotCount() int {
 	return db.view.Load().index.Len()
 }
 
+// Epoch returns the current view's publication epoch: it increases by
+// one on every committed mutation (ingest, delete, replay apply,
+// snapshot apply). Within one process it is a progress counter —
+// health endpoints expose it so operators and the cluster coordinator
+// can see a node advancing; epochs of different processes are not
+// comparable.
+func (db *Database) Epoch() uint64 {
+	return db.view.Load().epoch
+}
+
 // Query runs a similarity search with the database's default tolerances,
 // resolving each matching shot to its largest scene node. Lock-free:
 // the search resolves against the current view, served from the query

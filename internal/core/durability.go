@@ -214,10 +214,22 @@ func Load(r io.Reader, extra ...OpenOption) (*Database, error) {
 	}
 	// Build the loaded state as one view and publish it once: the
 	// database is not shared yet, so no per-clip swaps are needed.
+	v, err := snap.view(0)
+	if err != nil {
+		return nil, err
+	}
+	db.view.Store(v)
+	return db, nil
+}
+
+// view rebuilds a snapshot's clips as one immutable view at the given
+// epoch.
+func (s *snapshot) view(epoch uint64) (*view, error) {
 	v := emptyView()
+	v.epoch = epoch
 	ix := varindex.New()
-	for i := range snap.Clips {
-		rec, entries, err := snap.Clips[i].record()
+	for i := range s.Clips {
+		rec, entries, err := s.Clips[i].record()
 		if err != nil {
 			return nil, err
 		}
@@ -229,8 +241,40 @@ func Load(r io.Reader, extra ...OpenOption) (*Database, error) {
 	ix.Build()
 	v.index = ix
 	v.finish()
-	db.view.Store(v)
-	return db, nil
+	return v, nil
+}
+
+// ApplySnapshot decodes a framed snapshot from r and replaces the
+// database's entire queryable state with it, bypassing the journal —
+// the bulk counterpart of ApplyIngestRecord. It is the replica
+// bootstrap (and re-sync) entry point: a read replica loads a
+// primary's streamed snapshot wholesale, then tails its WAL from the
+// cut point the snapshot was captured at. The snapshot is fully
+// decoded and validated before any state changes, and the swap is one
+// copy-on-write view publication, so concurrent readers see either the
+// old corpus or the new one, never a mix. The database's own Options
+// are kept — only clip state is replaced.
+func (db *Database) ApplySnapshot(r io.Reader) error {
+	br := peekable(r)
+	head, err := br.Peek(len(SnapshotMagic))
+	if err != nil && len(head) == 0 {
+		return fmt.Errorf("core: reading snapshot: %w: %v", ErrCorruptSnapshot, err)
+	}
+	if string(head) != SnapshotMagic {
+		return fmt.Errorf("core: %w: not a framed snapshot", ErrCorruptSnapshot)
+	}
+	var snap snapshot
+	if err := decodeFramed(br, &snap); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v, err := snap.view(db.view.Load().epoch + 1)
+	if err != nil {
+		return err
+	}
+	db.publishLocked(v)
+	return nil
 }
 
 // decodeFramed verifies and decodes a framed snapshot from br.

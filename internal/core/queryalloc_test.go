@@ -145,6 +145,9 @@ func TestQueryBatchUncachedIntoMatchesScalar(t *testing.T) {
 // TestQueryAppendCachedHitZeroAllocs: a cache hit into a warmed dst is
 // the steady state of a read-heavy server — it must not allocate.
 func TestQueryAppendCachedHitZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled-scratch allocation counts are not meaningful under the race detector")
+	}
 	db, qs := allocDB(t, 64)
 	opt := db.Options().Query
 	var dst []Match
@@ -170,6 +173,9 @@ func TestQueryAppendCachedHitZeroAllocs(t *testing.T) {
 // TestQueryUncachedAppendZeroAllocs: the raw kernel path with pooled
 // scratch and warmed dst allocates nothing per query.
 func TestQueryUncachedAppendZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled-scratch allocation counts are not meaningful under the race detector")
+	}
 	db, qs := allocDB(t, 0)
 	opt := db.Options().Query
 	var dst []Match
@@ -195,6 +201,9 @@ func TestQueryUncachedAppendZeroAllocs(t *testing.T) {
 // TestQueryBatchIntoZeroAllocs covers both arena paths: the cached
 // per-key loop and the one-pass uncached kernel.
 func TestQueryBatchIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled-scratch allocation counts are not meaningful under the race detector")
+	}
 	for _, tc := range []struct {
 		name  string
 		cache int

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports a race-detector build, under which sync.Pool
+// deliberately drops entries at random to widen schedule coverage —
+// so allocation counts on pooled paths are not meaningful and the
+// zero-alloc assertions skip.
+const raceEnabled = true

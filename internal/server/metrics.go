@@ -26,6 +26,12 @@ type metricsRegistry struct {
 	snapshots    int64
 	batches      int64
 	batchQueries int64
+	// replSnapshots / replChunks / replBytes count the primary side of
+	// WAL shipping: bootstrap snapshots streamed and journal chunks
+	// (and their bytes) served to replicas.
+	replSnapshots int64
+	replChunks    int64
+	replBytes     int64
 	// snapshotLastUnix is the wall-clock time of the last successful
 	// POST /api/snapshot, as Unix seconds; 0 until one succeeds.
 	snapshotLastUnix float64
@@ -115,6 +121,22 @@ func (m *metricsRegistry) addSnapshot() {
 	m.mu.Unlock()
 }
 
+// addReplicationSnapshot records one bootstrap snapshot streamed to a
+// replica.
+func (m *metricsRegistry) addReplicationSnapshot() {
+	m.mu.Lock()
+	m.replSnapshots++
+	m.mu.Unlock()
+}
+
+// addReplicationChunk records one WAL chunk of n bytes shipped.
+func (m *metricsRegistry) addReplicationChunk(n int) {
+	m.mu.Lock()
+	m.replChunks++
+	m.replBytes += int64(n)
+	m.mu.Unlock()
+}
+
 // addBatch records one served batch of n queries.
 func (m *metricsRegistry) addBatch(n int) {
 	m.mu.Lock()
@@ -181,6 +203,9 @@ func (m *metricsRegistry) render(w io.Writer, counters, gauges map[string]float6
 		{"videodb_snapshots_total", "Snapshots persisted through POST /api/snapshot.", m.snapshots},
 		{"videodb_query_batches_total", "Batch requests served through POST /api/query/batch.", m.batches},
 		{"videodb_batch_queries_total", "Individual queries answered inside batch requests.", m.batchQueries},
+		{"videodb_replication_snapshots_total", "Bootstrap snapshots streamed to replicas.", m.replSnapshots},
+		{"videodb_replication_chunks_total", "WAL chunks shipped to replicas.", m.replChunks},
+		{"videodb_replication_bytes_total", "WAL bytes shipped to replicas.", m.replBytes},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
 	}
@@ -245,6 +270,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			damaged = 1
 		}
 		gauges["videodb_recovery_damaged"] = damaged
+	}
+	if s.extraMetrics != nil {
+		s.extraMetrics(counters, gauges)
 	}
 	s.metrics.render(w, counters, gauges)
 }

@@ -90,13 +90,16 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 }
 
 // timeoutExempt reports whether a request may outlive the per-request
-// timeout: uploads and snapshots legitimately run for as long as the
-// analysis or disk write takes.
+// timeout: uploads, snapshots and replica bootstrap downloads
+// legitimately run for as long as the analysis or transfer takes.
 func timeoutExempt(r *http.Request) bool {
-	if r.Method != http.MethodPost {
-		return false
+	switch r.Method {
+	case http.MethodPost:
+		return r.URL.Path == "/api/clips" || r.URL.Path == "/api/snapshot"
+	case http.MethodGet:
+		return r.URL.Path == "/api/replication/snapshot"
 	}
-	return r.URL.Path == "/api/clips" || r.URL.Path == "/api/snapshot"
+	return false
 }
 
 // withTimeout bounds every non-exempt request to s.timeout, answering

@@ -1,0 +1,187 @@
+// Replication: the primary side of the cluster's snapshot-bootstrap +
+// WAL-shipping protocol, plus the health probe the coordinator's shard
+// checker polls. A read replica bootstraps by downloading a framed
+// snapshot (GET /api/replication/snapshot), which carries the journal
+// cut point and generation the state was captured at, then tails the
+// journal (GET /api/replication/wal?from=<cut>&gen=<gen>) and replays
+// the shipped records through the same idempotent apply path startup
+// recovery uses. docs/CLUSTER.md specifies the protocol and its
+// failure matrix.
+
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"videodb/internal/wal"
+)
+
+// Replication protocol headers. Cut points and generations travel as
+// headers so the body stays raw bytes (snapshot frame or WAL records).
+const (
+	// HeaderWalCut carries the journal offset a snapshot was captured
+	// at: the `from` the replica's first WAL poll must use.
+	HeaderWalCut = "X-Videodb-Wal-Cut"
+	// HeaderWalGen carries the journal generation a cut point belongs
+	// to; cuts from different generations are not comparable.
+	HeaderWalGen = "X-Videodb-Wal-Gen"
+	// HeaderWalFrom echoes the offset a WAL chunk starts at.
+	HeaderWalFrom = "X-Videodb-Wal-From"
+	// HeaderWalNext is the offset the next poll should start from
+	// (From plus the returned chunk length).
+	HeaderWalNext = "X-Videodb-Wal-Next"
+	// HeaderWalSize is the journal's current size: Size − Next is the
+	// replica's byte lag after applying the chunk.
+	HeaderWalSize = "X-Videodb-Wal-Size"
+)
+
+// walChunkLimit bounds one WAL stream response. A lagging replica
+// catches up over several polls instead of one unbounded body.
+const walChunkLimit = 4 << 20
+
+// WithReadOnly marks the server a read replica: mutating endpoints
+// (ingest, delete, snapshot) answer 403 naming the primary, because a
+// replica's state is owned by its replication stream — a local write
+// would fork it. reason appears in the refusal and in /api/health.
+func WithReadOnly(reason string) Option { return func(s *Server) { s.readOnly = reason } }
+
+// WithHealthInfo registers a hook that extends the GET /api/health
+// document — vdbserver's replica mode adds its replication cut, lag
+// and bootstrap counters here so the coordinator can read lag straight
+// off the probe it already makes.
+func WithHealthInfo(fn func(map[string]any)) Option { return func(s *Server) { s.healthInfo = fn } }
+
+// WithExtraMetrics registers a hook that adds counters and gauges to
+// GET /api/metrics at scrape time (replication lag, applied records).
+func WithExtraMetrics(fn func(counters, gauges map[string]float64)) Option {
+	return func(s *Server) { s.extraMetrics = fn }
+}
+
+// refuseReadOnly answers a mutating request on a read replica.
+func (s *Server) refuseReadOnly(w http.ResponseWriter) bool {
+	if s.readOnly == "" {
+		return false
+	}
+	writeError(w, http.StatusForbidden,
+		fmt.Errorf("read-only replica (%s): send writes to the primary", s.readOnly))
+	return true
+}
+
+// handleHealth implements GET /api/health: the cheap liveness and
+// progress probe. epoch increases on every committed mutation, so a
+// watcher sees a node advancing; primaries with a journal add the
+// journal size and generation (the coordinator subtracts a replica's
+// applied cut from the primary's size to get byte lag).
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	doc := map[string]any{
+		"status": "ok",
+		"clips":  len(s.db.Clips()),
+		"shots":  s.db.ShotCount(),
+		"epoch":  s.db.Epoch(),
+	}
+	if s.readOnly != "" {
+		doc["readOnly"] = true
+		doc["role"] = s.readOnly
+	}
+	if s.journal != nil {
+		doc["walSize"] = s.journal.CutPoint()
+		doc["walGen"] = s.journal.Gen()
+	}
+	if s.healthInfo != nil {
+		s.healthInfo(doc)
+	}
+	writeJSON(w, doc)
+}
+
+// handleReplicationSnapshot implements GET /api/replication/snapshot:
+// stream the framed snapshot a replica bootstraps from, with the
+// journal cut point and generation it corresponds to in the response
+// headers. State and cut are captured under one lock hold
+// (core.Database.BeginSnapshot); the generation is read before and
+// after the capture and the capture retried if a rotation moved it,
+// so the (cut, gen) pair always names a real journal offset.
+func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.journal == nil {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Errorf("replication needs a write-ahead journal (-wal)"))
+		return
+	}
+	for attempt := 0; attempt < 5; attempt++ {
+		gen := s.journal.Gen()
+		snap := s.db.BeginSnapshot()
+		if s.journal.Gen() != gen {
+			continue // a rotation landed mid-capture; the cut moved
+		}
+		cut, ok := snap.JournalCut()
+		if !ok {
+			writeError(w, http.StatusNotImplemented,
+				fmt.Errorf("journal not installed on the database"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set(HeaderWalCut, strconv.FormatInt(cut, 10))
+		w.Header().Set(HeaderWalGen, gen)
+		if err := snap.Encode(w); err != nil {
+			// Headers are gone; all we can do is log and drop.
+			s.log.Error("streaming replication snapshot", "err", err)
+		}
+		s.metrics.addReplicationSnapshot()
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("journal rotating continuously; retry"))
+}
+
+// handleReplicationWAL implements GET /api/replication/wal?from=&gen=:
+// serve the journal bytes in [from, size) — whole records, capped at
+// walChunkLimit per response — for a replica to replay. The chunk and
+// the generation are read under one journal lock hold, so a response
+// can never mix offsets of two generations: if the replica's gen does
+// not match (the journal rotated or the primary restarted since the
+// cut was issued), the answer is 409 and the replica must re-bootstrap
+// from a fresh snapshot. An out-of-range from is the same 409.
+func (s *Server) handleReplicationWAL(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Errorf("replication needs a write-ahead journal (-wal)"))
+		return
+	}
+	from, err := strconv.ParseInt(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parameter from: %w", err))
+		return
+	}
+	wantGen := r.URL.Query().Get("gen")
+	if wantGen == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parameter gen is required"))
+		return
+	}
+	data, size, gen, err := s.journal.StreamFrom(from, walChunkLimit)
+	if gen != "" && gen != wantGen {
+		w.Header().Set(HeaderWalGen, gen)
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("journal generation is %s, not %s: re-bootstrap from a fresh snapshot", gen, wantGen))
+		return
+	}
+	if err != nil {
+		if errors.Is(err, wal.ErrBadCut) {
+			w.Header().Set(HeaderWalGen, gen)
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderWalFrom, strconv.FormatInt(from, 10))
+	w.Header().Set(HeaderWalNext, strconv.FormatInt(from+int64(len(data)), 10))
+	w.Header().Set(HeaderWalSize, strconv.FormatInt(size, 10))
+	w.Header().Set(HeaderWalGen, gen)
+	if len(data) > 0 {
+		_, _ = w.Write(data)
+	}
+	s.metrics.addReplicationChunk(len(data))
+}

@@ -50,6 +50,9 @@ type Server struct {
 	ingestSem    chan struct{}
 	journal      *wal.ClipJournal
 	recovery     *wal.ReplayResult
+	readOnly     string
+	healthInfo   func(map[string]any)
+	extraMetrics func(counters, gauges map[string]float64)
 }
 
 // Option configures a Server.
@@ -125,6 +128,9 @@ func (s *Server) Handler() http.Handler {
 	route("GET /api/frame", s.handleFrame)
 	route("GET /api/storyboard", s.handleStoryboard)
 	route("POST /api/snapshot", s.handleSnapshot)
+	route("GET /api/health", s.handleHealth)
+	route("GET /api/replication/snapshot", s.handleReplicationSnapshot)
+	route("GET /api/replication/wal", s.handleReplicationWAL)
 	route("GET /api/metrics", s.handleMetrics)
 	route("GET /", s.handleIndex)
 	var h http.Handler = mux

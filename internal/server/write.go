@@ -26,6 +26,9 @@ import (
 // shutdown cancels the in-flight analysis instead of burning CPU on a
 // result nobody will read.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.refuseReadOnly(w) {
+		return
+	}
 	if s.maxBody > 0 {
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	}
@@ -88,6 +91,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 // handleRemove implements DELETE /api/clips/{name}.
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	if s.refuseReadOnly(w) {
+		return
+	}
 	name := r.PathValue("name")
 	if err := s.db.Remove(name); err != nil {
 		code := http.StatusInternalServerError
@@ -111,6 +117,9 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 // records journaled after the capture — absent from this snapshot —
 // survive the rotation, so an acknowledged write is never lost.
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.refuseReadOnly(w) {
+		return
+	}
 	if s.snapshotPath == "" {
 		writeError(w, http.StatusNotImplemented,
 			fmt.Errorf("no snapshot path configured"))

@@ -51,11 +51,28 @@ func (j *ClipJournal) RotateTo(cut int64) error { return j.w.RotateTo(cut) }
 // Sync forces the journal to stable storage.
 func (j *ClipJournal) Sync() error { return j.w.Sync() }
 
+// Gen is the journal's current generation token (see Writer.Gen): the
+// scope within which cut points are comparable.
+func (j *ClipJournal) Gen() string { return j.w.Gen() }
+
+// StreamFrom reads up to max bytes of whole records starting at cut —
+// the primary side of WAL shipping (see Writer.TailFrom).
+func (j *ClipJournal) StreamFrom(cut int64, max int) (data []byte, size int64, gen string, err error) {
+	return j.w.TailFrom(cut, max)
+}
+
 // Close syncs and closes the journal.
 func (j *ClipJournal) Close() error { return j.w.Close() }
 
 // Stats returns the underlying writer's counters.
 func (j *ClipJournal) Stats() Stats { return j.w.Stats() }
+
+// ApplyRecord replays one decoded record into db through the
+// idempotent replay entry points (ApplyIngestRecord/ApplyDelete),
+// bypassing db's own journal. Recovery and the replica catch-up loop
+// both go through here, so a streamed record and a locally recovered
+// one are applied identically.
+func ApplyRecord(db *core.Database, r Record) error { return apply(db, r) }
 
 // apply replays one record into db. A record that decodes to garbage
 // is indistinguishable from disk corruption the CRC happened to miss,

@@ -30,6 +30,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -149,6 +150,7 @@ type Writer struct {
 	f       File
 	path    string // backing file path; "" for NewWriter-wrapped test files
 	size    int64
+	boot    int64 // generation base: unique per writer open, see Gen
 	dirty   bool
 	err     error // sticky: after a failed append the tail is suspect
 	stats   Stats
@@ -209,7 +211,7 @@ func NewWriter(f File, size int64, policy Policy, interval time.Duration) (*Writ
 }
 
 func newWriter(f File, path string, size int64, policy Policy, interval time.Duration) (*Writer, error) {
-	w := &Writer{f: f, path: path, size: size, policy: policy}
+	w := &Writer{f: f, path: path, size: size, policy: policy, boot: time.Now().UnixNano()}
 	if size == 0 {
 		hdr := make([]byte, 0, headerSize)
 		hdr = append(hdr, Magic...)
@@ -341,6 +343,67 @@ func (w *Writer) Size() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.size
+}
+
+// ErrBadCut reports a TailFrom offset that is not a valid cut point of
+// the current journal generation — below the file header or beyond the
+// journal's end. A streaming replica receiving it must re-bootstrap
+// from a fresh snapshot; match it with errors.Is.
+var ErrBadCut = errors.New("wal: offset is not a cut point of this journal generation")
+
+// Gen identifies the journal's current generation: it changes on every
+// rotation and on every writer (re)open, and two equal Gen values name
+// the same byte layout. A cut point is only meaningful within one
+// generation — rotation rewrites the file as header+tail, shifting
+// every offset — so the WAL-shipping protocol pairs each cut with the
+// Gen it was read under and rejects streams whose generation moved.
+func (w *Writer) Gen() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.genLocked()
+}
+
+func (w *Writer) genLocked() string {
+	return fmt.Sprintf("%x-%d", w.boot, w.stats.Rotations)
+}
+
+// TailFrom reads up to max bytes of the journal starting at offset
+// from, returning the chunk, the journal's current size and generation.
+// from must lie on a record boundary of the current generation — any
+// Size()/CutPoint() value observed since the last rotation qualifies,
+// as does headerSize for "every record". A caught-up reader (from ==
+// size) gets an empty chunk. Serving reads under the writer lock means
+// a chunk never ends mid-append, so every returned byte range is a
+// whole number of records.
+//
+// This is the primary side of WAL shipping: a replica polls TailFrom
+// (over GET /api/replication/wal) and replays the chunks through
+// ReplayRecords. Note the durability caveat: TailFrom serves appended
+// bytes regardless of whether they have been fsynced, so under
+// PolicyInterval/PolicyNone a replica can briefly hold records a
+// primary power-loss then forgets (see docs/CLUSTER.md).
+func (w *Writer) TailFrom(from int64, max int) (data []byte, size int64, gen string, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return nil, 0, "", w.err
+	}
+	gen = w.genLocked()
+	if from < headerSize || from > w.size {
+		return nil, w.size, gen, fmt.Errorf("%w: from=%d size=%d", ErrBadCut, from, w.size)
+	}
+	n := w.size - from
+	if n > int64(max) {
+		n = int64(max)
+	}
+	if n == 0 {
+		return nil, w.size, gen, nil
+	}
+	data = make([]byte, n)
+	if _, err := w.f.ReadAt(data, from); err != nil {
+		return nil, w.size, gen, fmt.Errorf("wal: reading tail at %d: %w", from, err)
+	}
+	return data, w.size, gen, nil
 }
 
 // Rotate empties the journal completely. It is only correct when the
@@ -575,6 +638,29 @@ func Replay(r io.Reader, apply func(Record) error) (ReplayResult, error) {
 		return damaged(fmt.Sprintf("unsupported journal version %d", v))
 	}
 	res.ValidBytes = headerSize
+	return replayRecords(r, apply, res)
+}
+
+// ReplayRecords is Replay for a headerless stream of records — the
+// byte ranges Writer.TailFrom serves, which start at a record boundary
+// past the file header. The same damage taxonomy applies: a torn or
+// corrupt frame stops the replay without error, and ValidBytes reports
+// the longest valid prefix of the stream (relative to its start, since
+// there is no header). The replication path uses it to apply shipped
+// WAL chunks; a Damaged result there means a torn stream, and the
+// replica must restart from its last acknowledged cut.
+func ReplayRecords(r io.Reader, apply func(Record) error) (ReplayResult, error) {
+	return replayRecords(r, apply, ReplayResult{})
+}
+
+// replayRecords consumes frames from r until EOF, damage, or an apply
+// error, extending res.
+func replayRecords(r io.Reader, apply func(Record) error, res ReplayResult) (ReplayResult, error) {
+	damaged := func(reason string) (ReplayResult, error) {
+		res.Damaged = true
+		res.Reason = reason
+		return res, nil
+	}
 
 	frame := make([]byte, frameHeaderSize)
 	var payload []byte
