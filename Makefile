@@ -4,7 +4,7 @@ GO ?= go
 
 # Coverage floor (percent) enforced over the orchestration and serving
 # layers — the packages the ingest pipeline and HTTP API live in.
-COVERPKGS   = ./internal/core/...,./internal/server/...,./internal/wal/...,./internal/fsx/...
+COVERPKGS   = ./internal/core/...,./internal/server/...,./internal/wal/...,./internal/fsx/...,./internal/segment/...,./internal/segstore/...
 COVER_FLOOR = 60
 
 # Fresh benchmark artifacts land in a scratch directory, never the repo
@@ -14,7 +14,7 @@ COVER_FLOOR = 60
 BENCH_DIR = bench-out
 BASELINE  = results/BENCH_offline_baseline.json
 
-.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server cluster-smoke fuzz fuzz-smoke stress paper corpus pgo clean
+.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server cluster-smoke fuzz fuzz-smoke segment-torture stress paper corpus pgo clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/cluster/ ./internal/core/ ./internal/feature/ ./internal/server/ ./internal/varindex/ ./internal/wal/
+	$(GO) test -race ./internal/cluster/ ./internal/core/ ./internal/feature/ ./internal/segment/ ./internal/segstore/ ./internal/server/ ./internal/varindex/ ./internal/wal/
 
 # Repeated race-detector runs over the lock-free query path's
 # concurrency and equivalence suites — the flake-hunting profile CI
@@ -138,6 +138,19 @@ fuzz:
 	$(GO) test -fuzz FuzzLoad -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzJournalReplay -fuzztime 30s ./internal/wal/
 	$(GO) test -fuzz FuzzSearchEquivalence -fuzztime 30s ./internal/varindex/
+
+# The segment-store durability gate CI runs as its own job: flip every
+# byte of a valid segment, truncate it at every length, append garbage,
+# mutate the manifest — each variant must fail loudly at Open, never
+# serve wrong data — then longer adversarial fuzz passes over the two
+# storage parsers, and the flush/reopen/compaction differential suite
+# (including reads racing a compaction cascade) under the race
+# detector.
+segment-torture:
+	$(GO) test -race -run 'Torture' ./internal/segment/
+	$(GO) test -fuzz '^FuzzSegmentOpen$$' -fuzztime 30s -run '^$$' ./internal/segment/
+	$(GO) test -fuzz '^FuzzManifestLoad$$' -fuzztime 30s -run '^$$' ./internal/segment/
+	$(GO) test -race -run 'TestDifferentialFlushReopenCompact|TestMidCompactionReads' ./internal/segstore/
 
 # Run every Fuzz* target in the tree for 10 seconds each — the CI
 # smoke pass. Discovers targets dynamically so new fuzzers are picked

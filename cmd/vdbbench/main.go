@@ -11,7 +11,11 @@
 // drives core.Database in-process: synthesizes the 22-clip Table 5
 // corpus at -scale, measures ingest frames/sec and clips/sec, then
 // single-query latency (p50/p90/p99) and batch-query throughput over
-// queries derived from the ingested shots' real feature vectors.
+// queries derived from the ingested shots' real feature vectors. A
+// storage phase (-storage-flushes, 0 skips) then flushes the corpus
+// into a segment store, times the mmap reopen (`startup_seconds`),
+// differentially checks every query against the in-memory answers,
+// and records the run's peak RSS (`rss_peak_bytes`).
 //
 //	vdbbench -mode server -target http://localhost:8080 -concurrency 16 -duration 10s
 //
@@ -71,6 +75,8 @@ func main() {
 		duration    = flag.Duration("duration", 10*time.Second, "server: measurement length")
 		clusterOn   = flag.Bool("cluster", false, "server: target is a vdbcoord coordinator — count partial answers, probe /api/cluster/status, write a BENCH_cluster artifact")
 		qCache      = flag.Int("query-cache", 4096, "offline: query-result cache capacity (0 disables the cache and skips the cached phase)")
+		storageN    = flag.Int("storage-flushes", 4, "offline: segment flushes the storage phase spreads the corpus across (0 skips the phase)")
+		storageDir  = flag.String("storage-dir", "", "offline: keep the storage phase's segment store in this directory (default: a temp dir, removed)")
 	)
 	var workers int
 	flag.IntVar(&workers, "workers", 0, "offline: per-frame ingest analysis workers (0 = GOMAXPROCS, 1 = serial)")
@@ -103,7 +109,7 @@ func main() {
 		rep, err = runOffline(offlineConfig{
 			Scale: *scale, Seed: *seed, Queries: *queries,
 			Batch: *batch, Workers: workers, QueryCache: *qCache,
-			Serial: *serial,
+			Serial: *serial, StorageFlushes: *storageN, StorageDir: *storageDir,
 		})
 	case "server":
 		rep, err = runServer(serverConfig{

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -27,6 +28,13 @@ type offlineConfig struct {
 	// it halves the wall-clock of large-scale runs at the cost of the
 	// ingest_serial_* and ingest_parallel_speedup metrics.
 	Serial bool
+	// StorageFlushes splits the corpus across this many segment flushes
+	// in the storage phase (0 skips the phase and its startup_seconds /
+	// rss_peak_bytes metrics).
+	StorageFlushes int
+	// StorageDir receives the storage phase's segment store; empty uses
+	// a temp directory removed afterwards.
+	StorageDir string
 }
 
 // runOffline drives core.Database directly: corpus synthesis (untimed),
@@ -233,6 +241,31 @@ func runOffline(cfg offlineConfig) (benchfmt.Report, error) {
 			len(queries), cd.P50*1e3, cd.P90*1e3, cd.P99*1e3, 100*hitRate)
 	}
 
+	// Storage phase: the corpus flushed into mmap-able segments, the
+	// reopen timed, and every query differentially checked against the
+	// in-memory answers above. rss_peak_bytes is the process high-water
+	// mark over the whole run — with the store mmap-ing segments instead
+	// of decoding them into heap, it stays bounded as -scale grows.
+	if cfg.StorageFlushes > 0 {
+		dir := cfg.StorageDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "vdbbench-store-*")
+			if err != nil {
+				return benchfmt.Report{}, err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		sm, err := runStoragePhase(db, dir, cfg.StorageFlushes, queries, qopt)
+		if err != nil {
+			return benchfmt.Report{}, err
+		}
+		metrics = append(metrics, sm...)
+		metrics = append(metrics, benchfmt.Metric{
+			Name: "rss_peak_bytes", Unit: "bytes", Value: peakRSSBytes(),
+		})
+	}
+
 	fmt.Printf("offline: %d clips, %d frames ingested in %v (%.0f frames/sec, -j %d)\n",
 		len(clips), frames, ingestDur.Round(time.Millisecond),
 		float64(frames)/ingestDur.Seconds(), db.Workers())
@@ -250,7 +283,7 @@ func runOffline(cfg offlineConfig) (benchfmt.Report, error) {
 		Config: benchfmt.Config{
 			Scale: cfg.Scale, Seed: cfg.Seed, Clips: len(clips),
 			Queries: cfg.Queries, BatchSize: cfg.Batch, Workers: cfg.Workers,
-			QueryCache: cfg.QueryCache,
+			QueryCache: cfg.QueryCache, StorageFlushes: cfg.StorageFlushes,
 		},
 		Environment: environment(),
 		Metrics:     metrics,

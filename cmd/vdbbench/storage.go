@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"videodb/internal/benchfmt"
+	"videodb/internal/core"
+	"videodb/internal/segstore"
+	"videodb/internal/varindex"
+)
+
+// runStoragePhase measures the segment-store tier against the
+// in-memory database the offline phases just benchmarked. The corpus
+// is transferred record-by-record (no re-analysis) into a store in
+// dir, split across `flushes` segment flushes; the store is closed and
+// reopened with a timer around the open — `startup_seconds`, the cost
+// of serving the whole corpus again from mmap-ed segments — and every
+// benchmark query is then answered by the reopened store and compared
+// entry-for-entry against the in-memory reference. Any divergence
+// fails the run: the storage engine must be invisible to queries.
+func runStoragePhase(db *core.Database, dir string, flushes int,
+	queries []varindex.Query, qopt varindex.Options) ([]benchfmt.Metric, error) {
+	recs := db.Records()
+	payloads := make([][]byte, 0, len(recs))
+	for _, rec := range recs {
+		p, err := core.EncodeClipRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("storage: encoding %q: %w", rec.Name, err)
+		}
+		payloads = append(payloads, p)
+	}
+	if flushes > len(payloads) {
+		flushes = len(payloads)
+	}
+
+	// Write side: durability here comes from the flushed segments
+	// themselves, so the store runs without a WAL — the flush timer
+	// measures segment encode + fsync + manifest commit, nothing else.
+	st, err := segstore.Open(dir, segstore.Options{Core: db.Options(), NoWAL: true})
+	if err != nil {
+		return nil, fmt.Errorf("storage: open: %w", err)
+	}
+	per := (len(payloads) + flushes - 1) / flushes
+	var flushDur time.Duration
+	var segBytes int64
+	for lo := 0; lo < len(payloads); lo += per {
+		hi := lo + per
+		if hi > len(payloads) {
+			hi = len(payloads)
+		}
+		for _, p := range payloads[lo:hi] {
+			if _, err := st.DB().ApplyIngestRecord(p); err != nil {
+				st.Close()
+				return nil, fmt.Errorf("storage: transfer: %w", err)
+			}
+		}
+		t0 := time.Now()
+		res, err := st.Flush()
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("storage: flush: %w", err)
+		}
+		flushDur += time.Since(t0)
+		segBytes += res.Bytes
+	}
+	if err := st.Close(); err != nil {
+		return nil, fmt.Errorf("storage: close: %w", err)
+	}
+
+	// The measured reopen: manifest load, per-segment mmap + checksum
+	// verification, and the index rebuild over the segment columns.
+	startupStart := time.Now()
+	st2, err := segstore.Open(dir, segstore.Options{Core: db.Options(), NoWAL: true})
+	if err != nil {
+		return nil, fmt.Errorf("storage: reopen: %w", err)
+	}
+	startup := time.Since(startupStart)
+	defer st2.Close()
+
+	stats := st2.Stats()
+	if got, want := len(st2.DB().Clips()), len(recs); got != want {
+		return nil, fmt.Errorf("storage: reopened store has %d clips, want %d", got, want)
+	}
+
+	// Differential check: every benchmark query, answered by both tiers,
+	// must match entry-for-entry.
+	var mismatches int
+	var memDst, storeDst []core.Match
+	for _, q := range queries {
+		if memDst, err = db.QueryUncachedAppend(memDst[:0], q, qopt); err != nil {
+			return nil, fmt.Errorf("storage: reference query: %w", err)
+		}
+		if storeDst, err = st2.DB().QueryUncachedAppend(storeDst[:0], q, qopt); err != nil {
+			return nil, fmt.Errorf("storage: segment query: %w", err)
+		}
+		if len(memDst) != len(storeDst) {
+			mismatches++
+			continue
+		}
+		for i := range memDst {
+			if memDst[i].Entry != storeDst[i].Entry {
+				mismatches++
+				break
+			}
+		}
+	}
+	if mismatches > 0 {
+		return nil, fmt.Errorf("storage: segment-backed answers diverged from the in-memory reference on %d of %d queries", mismatches, len(queries))
+	}
+
+	fmt.Printf("storage: %d segments (%d bytes) in %d flushes (%v); reopen %v; %d queries bit-identical\n",
+		stats.Segments, segBytes, flushes, flushDur.Round(time.Millisecond),
+		startup.Round(time.Millisecond), len(queries))
+
+	return []benchfmt.Metric{
+		{Name: "storage_segments", Unit: "segments", Value: float64(stats.Segments)},
+		{Name: "storage_segment_bytes", Unit: "bytes", Value: float64(segBytes)},
+		{Name: "storage_flush_seconds", Unit: "seconds", Value: flushDur.Seconds()},
+		{Name: "startup_seconds", Unit: "seconds", Value: startup.Seconds()},
+		{Name: "storage_query_mismatches", Unit: "queries", Value: float64(mismatches)},
+	}, nil
+}
+
+// peakRSSBytes reads the process's high-water resident set from
+// /proc/self/status (VmHWM); where that is unavailable it falls back
+// to the Go runtime's total reserved memory, which upper-bounds the
+// heap's share of RSS.
+func peakRSSBytes() float64 {
+	if data, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseFloat(fields[1], 64); err == nil {
+					return kb * 1024
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Sys)
+}

@@ -6,7 +6,10 @@
 //
 //	vdbctl ingest -db db.snap clip1.vdbf clip2.vdbf ...
 //	vdbctl ingest -db db.snap -dir ./corpus [-j workers] [-wal db.snap.wal] [-sync always]
+//	vdbctl ingest -data ./data -dir ./corpus [-j workers] [-sync always]
 //	vdbctl info   -db db.snap [-wal db.snap.wal]
+//	vdbctl info   -data ./data
+//	vdbctl compact -data ./data [-fanout 4]
 //	vdbctl tree   -db db.snap -clip "Wag the Dog"
 //	vdbctl query  -db db.snap -varba 25 -varoa 4 [-alpha 1 -beta 1]
 //	vdbctl similar -db db.snap -clip "Wag the Dog" -shot 12 -k 3
@@ -18,6 +21,12 @@
 // snapshot. After the snapshot saves, the journal is rotated empty.
 // info replays the journal read-only to show what recovery would
 // serve; tree, query, and similar read the snapshot alone.
+//
+// With -data DIR, ingest and info operate on a segment store (see
+// docs/STORAGE.md) instead of a monolithic snapshot: ingest analyzes
+// into the memtable under the store's WAL and flushes an immutable
+// segment at the end; info mmaps the segments and prints the manifest;
+// compact merges small segments into larger generations offline.
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"videodb/internal/impression"
 	"videodb/internal/motion"
 	"videodb/internal/sbd"
+	"videodb/internal/segstore"
 	"videodb/internal/store"
 	"videodb/internal/storyboard"
 	"videodb/internal/varindex"
@@ -56,6 +66,8 @@ func main() {
 		err = cmdIngest(args)
 	case "info":
 		err = cmdInfo(args)
+	case "compact":
+		err = cmdCompact(args)
 	case "tree":
 		err = cmdTree(args)
 	case "query":
@@ -85,8 +97,9 @@ func usage() {
 
 commands:
   import   convert Y4M or image-sequence video to a VDBF clip
-  ingest   analyze VDBF clips and save a database snapshot
-  info     summarise a snapshot
+  ingest   analyze VDBF clips and save a database snapshot (or -data segment store)
+  info     summarise a snapshot or a -data segment store
+  compact  merge a -data segment store's small segments into larger generations
   tree     print a clip's scene tree
   query    variance-based similarity search
   similar  find shots similar to an existing shot
@@ -193,12 +206,16 @@ func cmdImport(args []string) error {
 func cmdIngest(args []string) error {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	dbPath := fs.String("db", "db.snap", "snapshot file")
+	dataDir := fs.String("data", "", "segment-store directory (supersedes -db/-wal)")
 	dir := fs.String("dir", "", "ingest every VDBF clip in this directory")
 	jobs := fs.Int("j", 0, "per-frame analysis workers (0 = GOMAXPROCS, 1 = serial)")
 	walFlag := fs.String("wal", "", "write-ahead journal (default <db>.wal, \"none\" disables)")
 	syncMode := fs.String("sync", "always", "journal sync policy: always | interval | none")
 	fs.Parse(args)
 
+	if *dataDir != "" {
+		return ingestStore(*dataDir, *syncMode, *dir, fs.Args(), *jobs)
+	}
 	db, err := loadDB(*dbPath, core.WithParallelism(*jobs))
 	if err != nil {
 		return err
@@ -226,47 +243,15 @@ func cmdIngest(args []string) error {
 		}
 		db.SetJournal(journal)
 	}
-	paths := fs.Args()
-	if *dir != "" {
-		cat, err := store.OpenCatalog(*dir)
-		if err != nil {
-			return err
-		}
-		for path, reason := range cat.Skipped {
-			fmt.Fprintf(os.Stderr, "vdbctl: skipping unreadable clip file %s: %s\n", path, reason)
-		}
-		for _, name := range cat.Names() {
-			paths = append(paths, cat.Paths[name])
-		}
-	}
-	if len(paths) == 0 {
-		return fmt.Errorf("no clips to ingest")
-	}
-	clips := make([]*video.Clip, 0, len(paths))
-	for _, p := range paths {
-		clip, err := store.LoadClipFile(p)
-		if err != nil {
-			return fmt.Errorf("%s: %w", p, err)
-		}
-		clips = append(clips, clip)
+	clips, err := collectClips(*dir, fs.Args())
+	if err != nil {
+		return err
 	}
 	// IngestAll analyzes clips in order — each clip's per-frame
 	// pipeline fans out across -j workers — and joins every failure
 	// into one error; clips that succeeded stay ingested, so the
 	// snapshot is saved even on partial failure.
-	before := make(map[string]bool)
-	for _, n := range db.Clips() {
-		before[n] = true
-	}
-	ingestErr := db.IngestAll(clips)
-	for _, c := range clips {
-		if before[c.Name] {
-			continue
-		}
-		if rec, ok := db.Clip(c.Name); ok {
-			fmt.Printf("ingested %-40q %4d shots, tree height %d\n", rec.Name, len(rec.Shots), rec.Tree.Height())
-		}
-	}
+	ingestErr := ingestAndReport(db, clips)
 	if err := saveDB(*dbPath, db); err != nil {
 		return err
 	}
@@ -280,11 +265,102 @@ func cmdIngest(args []string) error {
 	return ingestErr
 }
 
+// collectClips loads the VDBF clips named on the command line plus
+// every readable clip in dir.
+func collectClips(dir string, paths []string) ([]*video.Clip, error) {
+	if dir != "" {
+		cat, err := store.OpenCatalog(dir)
+		if err != nil {
+			return nil, err
+		}
+		for path, reason := range cat.Skipped {
+			fmt.Fprintf(os.Stderr, "vdbctl: skipping unreadable clip file %s: %s\n", path, reason)
+		}
+		for _, name := range cat.Names() {
+			paths = append(paths, cat.Paths[name])
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no clips to ingest")
+	}
+	clips := make([]*video.Clip, 0, len(paths))
+	for _, p := range paths {
+		clip, err := store.LoadClipFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		clips = append(clips, clip)
+	}
+	return clips, nil
+}
+
+// ingestAndReport analyzes clips into db, printing a line per clip
+// that is new to this run, and returns the joined analysis error.
+func ingestAndReport(db *core.Database, clips []*video.Clip) error {
+	before := make(map[string]bool)
+	for _, n := range db.Clips() {
+		before[n] = true
+	}
+	ingestErr := db.IngestAll(clips)
+	for _, c := range clips {
+		if before[c.Name] {
+			continue
+		}
+		if rec, ok := db.Clip(c.Name); ok {
+			fmt.Printf("ingested %-40q %4d shots, tree height %d\n", rec.Name, len(rec.Shots), rec.Tree.Height())
+		}
+	}
+	return ingestErr
+}
+
+// ingestStore is ingest's -data mode: analyze into a segment store's
+// memtable (each clip durable in the store WAL the moment its ingest
+// returns) and flush one immutable segment at the end.
+func ingestStore(dir, syncMode, clipDir string, paths []string, jobs int) error {
+	policy, err := wal.ParsePolicy(syncMode)
+	if err != nil {
+		return err
+	}
+	st, err := segstore.Open(dir, segstore.Options{
+		Core:   core.DefaultOptions(),
+		Extra:  []core.OpenOption{core.WithParallelism(jobs)},
+		Policy: policy,
+	})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if res := st.Replay(); res.Damaged {
+		fmt.Fprintf(os.Stderr, "vdbctl: store journal had a torn tail; kept %d records, cut %d bytes (%s)\n",
+			res.Records, res.TruncatedBytes(), res.Reason)
+	} else if res.Records > 0 {
+		fmt.Printf("replayed %d journaled records over %s\n", res.Records, dir)
+	}
+	clips, err := collectClips(clipDir, paths)
+	if err != nil {
+		return err
+	}
+	ingestErr := ingestAndReport(st.DB(), clips)
+	res, err := st.Flush()
+	if err != nil {
+		return err
+	}
+	if res.Flushed {
+		fmt.Printf("flushed segment %d: %d clips, %d tombstones, %d bytes\n",
+			res.SegmentID, res.Clips, res.Tombstones, res.Bytes)
+	}
+	return ingestErr
+}
+
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	dbPath := fs.String("db", "db.snap", "snapshot file")
+	dataDir := fs.String("data", "", "segment-store directory (supersedes -db/-wal)")
 	walFlag := fs.String("wal", "", "also replay this journal, read-only (default <db>.wal, \"none\" skips)")
 	fs.Parse(args)
+	if *dataDir != "" {
+		return infoStore(*dataDir)
+	}
 	db, err := loadDB(*dbPath)
 	if err != nil {
 		return err
@@ -327,6 +403,75 @@ func cmdInfo(args []string) error {
 		fmt.Printf("  %-40q %5d frames (%d:%02d) %4d shots, tree height %d\n",
 			name, rec.Frames, secs/60, secs%60, len(rec.Shots), rec.Tree.Height())
 	}
+	return nil
+}
+
+// infoStore summarises a segment store: the manifest's segments and
+// the two-tier clip split a server would serve from it.
+func infoStore(dir string) error {
+	st, err := segstore.Open(dir, segstore.Options{Core: core.DefaultOptions()})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if res := st.Replay(); res.Records > 0 || res.Damaged {
+		fmt.Printf("wal: %d records replayed", res.Records)
+		if res.Damaged {
+			fmt.Printf(" (torn tail: %s, %d bytes truncated)", res.Reason, res.TruncatedBytes())
+		}
+		fmt.Println()
+	}
+	man := st.Manifest()
+	fmt.Printf("segments: %d\n", len(man.Segments))
+	for _, seg := range man.Segments {
+		fmt.Printf("  %-16s id %4d gen %2d  %4d clips %5d shots %3d tombstones %9d bytes\n",
+			seg.File, seg.ID, seg.Gen, seg.Clips, seg.Shots, seg.Tombs, seg.Bytes)
+	}
+	db := st.DB()
+	fmt.Printf("clips: %d (%d memtable, %d cold), indexed shots: %d\n",
+		len(db.Clips()), db.MemtableClips(), db.ColdClips(), db.ShotCount())
+	for _, name := range db.Clips() {
+		rec, ok := db.Clip(name)
+		if !ok {
+			return fmt.Errorf("clip %q listed but unreadable", name)
+		}
+		secs := 0
+		if rec.FPS > 0 {
+			secs = rec.Frames / rec.FPS
+		}
+		fmt.Printf("  %-40q %5d frames (%d:%02d) %4d shots, tree height %d\n",
+			name, rec.Frames, secs/60, secs%60, len(rec.Shots), rec.Tree.Height())
+	}
+	return nil
+}
+
+// cmdCompact merges a segment store's small segments into larger
+// generations offline, the same pass vdbserver's background compactor
+// runs, until no run is left to merge.
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	dataDir := fs.String("data", "", "segment-store directory")
+	fanout := fs.Int("fanout", segstore.DefaultFanout, "segments per generation before a merge triggers")
+	fs.Parse(args)
+	if *dataDir == "" {
+		return fmt.Errorf("compact: -data required")
+	}
+	st, err := segstore.Open(*dataDir, segstore.Options{
+		Core:   core.DefaultOptions(),
+		Fanout: *fanout,
+	})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	before := st.Stats()
+	n, err := st.Compact()
+	if err != nil {
+		return err
+	}
+	after := st.Stats()
+	fmt.Printf("compacted %d runs: %d segments (%d bytes) -> %d segments (%d bytes), max generation %d\n",
+		n, before.Segments, before.SegmentBytes, after.Segments, after.SegmentBytes, after.MaxGen)
 	return nil
 }
 

@@ -38,6 +38,16 @@
 // the journal. The server recovers handler panics as 500 JSON, logs
 // every request, enforces per-request and connection-level timeouts,
 // and drains in-flight requests before exiting on SIGINT/SIGTERM.
+//
+// With -data DIR the server runs on a segment store instead of the
+// monolithic snapshot: flushed clips live in immutable mmap-ed
+// segment files under DIR (opened without reading them into heap, so
+// the database can exceed RAM), recent writes in a memtable guarded
+// by DIR/wal.log, and POST /api/snapshot flushes the memtable into a
+// new segment. A background compactor (-compact-interval) merges
+// small segments into larger generations. -data supersedes -db and
+// -wal and is mutually exclusive with -replica-of. See
+// docs/STORAGE.md.
 package main
 
 import (
@@ -57,6 +67,7 @@ import (
 
 	"videodb/internal/cluster"
 	"videodb/internal/core"
+	"videodb/internal/segstore"
 	"videodb/internal/server"
 	"videodb/internal/store"
 	"videodb/internal/wal"
@@ -64,36 +75,62 @@ import (
 
 func main() {
 	var (
-		dbPath  = flag.String("db", "db.snap", "database snapshot; loaded on start (missing = empty), written by POST /api/snapshot")
-		corpus  = flag.String("corpus", "", "directory of VDBF clips; enables /api/frame and /api/storyboard")
-		addr    = flag.String("addr", ":8080", "listen address")
-		maxBody = flag.Int64("maxbody", 256<<20, "POST /api/clips upload limit in bytes (0 = unlimited)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout for non-upload requests (0 = none)")
-		rdTO    = flag.Duration("read-timeout", 5*time.Minute, "http.Server read timeout (covers uploads)")
-		wrTO    = flag.Duration("write-timeout", 10*time.Minute, "http.Server write timeout (covers ingest analysis)")
-		idleTO  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
-		drain   = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
-		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU, heap, goroutine, trace)")
-		jobs     = flag.Int("j", 0, "per-frame ingest analysis workers (0 = GOMAXPROCS, 1 = serial)")
-		qCache   = flag.Int("query-cache", 4096, "query-result cache capacity in entries (0 disables)")
-		walPath  = flag.String("wal", "", "write-ahead journal path (default <db>.wal, \"none\" disables durability)")
-		syncMode = flag.String("sync", "interval", "journal sync policy: always | interval | none")
-		syncIvl  = flag.Duration("sync-interval", time.Second, "background fsync cadence for -sync interval")
-		replicaOf = flag.String("replica-of", "", "run as a read replica of this primary's base URL (disables -db/-wal; writes answer 403)")
-		replIvl   = flag.Duration("replica-poll", 250*time.Millisecond, "WAL poll period when caught up (-replica-of mode)")
+		dbPath     = flag.String("db", "db.snap", "database snapshot; loaded on start (missing = empty), written by POST /api/snapshot")
+		corpus     = flag.String("corpus", "", "directory of VDBF clips; enables /api/frame and /api/storyboard")
+		addr       = flag.String("addr", ":8080", "listen address")
+		maxBody    = flag.Int64("maxbody", 256<<20, "POST /api/clips upload limit in bytes (0 = unlimited)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request timeout for non-upload requests (0 = none)")
+		rdTO       = flag.Duration("read-timeout", 5*time.Minute, "http.Server read timeout (covers uploads)")
+		wrTO       = flag.Duration("write-timeout", 10*time.Minute, "http.Server write timeout (covers ingest analysis)")
+		idleTO     = flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
+		drain      = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU, heap, goroutine, trace)")
+		jobs       = flag.Int("j", 0, "per-frame ingest analysis workers (0 = GOMAXPROCS, 1 = serial)")
+		qCache     = flag.Int("query-cache", 4096, "query-result cache capacity in entries (0 disables)")
+		walPath    = flag.String("wal", "", "write-ahead journal path (default <db>.wal, \"none\" disables durability)")
+		syncMode   = flag.String("sync", "interval", "journal sync policy: always | interval | none")
+		syncIvl    = flag.Duration("sync-interval", time.Second, "background fsync cadence for -sync interval")
+		replicaOf  = flag.String("replica-of", "", "run as a read replica of this primary's base URL (disables -db/-wal; writes answer 403)")
+		replIvl    = flag.Duration("replica-poll", 250*time.Millisecond, "WAL poll period when caught up (-replica-of mode)")
+		dataDir    = flag.String("data", "", "segment-store directory; serves mmap-ed immutable segments beyond RAM (supersedes -db/-wal)")
+		compactIvl = flag.Duration("compact-interval", 30*time.Second, "background segment-compaction cadence for -data (0 disables)")
+		fanout     = flag.Int("fanout", segstore.DefaultFanout, "segments per generation before the compactor merges them (-data)")
+		clipCache  = flag.Int("clip-cache", core.DefaultClipCache, "decoded-clip LRU capacity in clips for segment reads (-data, 0 = default)")
 	)
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
+	if *dataDir != "" && *replicaOf != "" {
+		log.Fatal("vdbserver: -data and -replica-of are mutually exclusive (segment stores do not replicate)")
+	}
+
 	// A replica's state is owned by its replication stream: it starts
 	// empty (the bootstrap replaces everything), keeps no journal of its
 	// own, and refuses local writes.
 	var db *core.Database
+	var st *segstore.Store
 	var err error
-	if *replicaOf != "" {
+	switch {
+	case *replicaOf != "":
 		db, err = core.Open(core.DefaultOptions(), core.WithParallelism(*jobs), core.WithQueryCache(*qCache))
-	} else {
+	case *dataDir != "":
+		policy, perr := wal.ParsePolicy(*syncMode)
+		if perr != nil {
+			log.Fatalf("vdbserver: %v", perr)
+		}
+		st, err = segstore.Open(*dataDir, segstore.Options{
+			Core:         core.DefaultOptions(),
+			Extra:        []core.OpenOption{core.WithParallelism(*jobs), core.WithQueryCache(*qCache)},
+			ClipCache:    *clipCache,
+			Policy:       policy,
+			SyncInterval: *syncIvl,
+			Fanout:       *fanout,
+		})
+		if st != nil {
+			db = st.DB()
+		}
+	default:
 		db, err = loadDB(*dbPath, core.WithParallelism(*jobs), core.WithQueryCache(*qCache))
 	}
 	if err != nil {
@@ -106,7 +143,8 @@ func main() {
 		server.WithMaxBody(*maxBody),
 	}
 	var replica *cluster.Replica
-	if *replicaOf != "" {
+	switch {
+	case *replicaOf != "":
 		replica = cluster.StartReplica(db, *replicaOf,
 			cluster.WithReplicaInterval(*replIvl),
 			cluster.WithReplicaLogger(logger))
@@ -114,11 +152,33 @@ func main() {
 			server.WithReadOnly("replica of "+*replicaOf),
 			server.WithHealthInfo(replica.HealthInfo),
 			server.WithExtraMetrics(replica.Metrics))
-	} else {
+	case st != nil:
+		// Segment store: POST /api/snapshot flushes a segment; the store
+		// already recovered and installed its WAL, so the server only
+		// needs the handles for metrics and health.
+		res := st.Replay()
+		if res.Damaged {
+			logger.Warn("journal had a torn or corrupt tail; truncated to last valid record",
+				"dir", *dataDir, "replayed", res.Records,
+				"truncatedBytes", res.TruncatedBytes(), "reason", res.Reason)
+		} else {
+			logger.Info("segment store opened", "dir", *dataDir,
+				"segments", st.Stats().Segments, "replayed", res.Records)
+		}
+		opts = append(opts, server.WithStorage(st), server.WithRecoveryInfo(res))
+		if st.Journal() != nil {
+			opts = append(opts, server.WithJournal(st.Journal()))
+		}
+		if *compactIvl > 0 {
+			st.StartCompactor(*compactIvl, func(err error) {
+				logger.Error("segment compaction failed", "err", err)
+			})
+		}
+	default:
 		opts = append(opts, server.WithSnapshotPath(*dbPath))
 	}
 	var journal *wal.ClipJournal
-	if path := journalPath(*walPath, *dbPath); path != "" && *replicaOf == "" {
+	if path := journalPath(*walPath, *dbPath); path != "" && *replicaOf == "" && st == nil {
 		policy, err := wal.ParsePolicy(*syncMode)
 		if err != nil {
 			log.Fatalf("vdbserver: %v", err)
@@ -207,10 +267,17 @@ func main() {
 		replica.Close()
 	}
 	// All mutating requests have drained; the journal's final fsync puts
-	// every record on disk before the process exits.
+	// every record on disk before the process exits. A segment store's
+	// Close stops the compactor and closes its journal the same way.
 	if journal != nil {
 		if err := journal.Close(); err != nil {
 			logger.Error("closing journal", "err", err)
+			os.Exit(1)
+		}
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			logger.Error("closing segment store", "err", err)
 			os.Exit(1)
 		}
 	}

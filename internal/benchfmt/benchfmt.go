@@ -25,9 +25,16 @@ import (
 	"time"
 )
 
-// SchemaVersion is the artifact format version this package reads and
-// writes. Bump it on any incompatible change to Report's shape.
-const SchemaVersion = 1
+// SchemaVersion is the artifact format version this package writes.
+// Bump it on any incompatible change to Report's shape. Version 2
+// added the storage phase (startup_seconds, rss_peak_bytes and the
+// storage_* metrics); version-1 artifacts still decode.
+const SchemaVersion = 2
+
+// MinSchemaVersion is the oldest artifact version Decode still
+// accepts: committed baselines predate a schema bump by definition,
+// so the reader keeps one version of history.
+const MinSchemaVersion = 1
 
 // ErrSchema reports an artifact written under a schema version this
 // package does not understand; match it with errors.Is.
@@ -82,6 +89,10 @@ type Config struct {
 	// (server mode with -cluster); 0 for single-node runs. Additive
 	// field: artifacts written before it decode unchanged.
 	Shards int `json:"shards,omitempty"`
+	// StorageFlushes is the number of segment flushes the offline
+	// storage phase split the corpus across (0 = phase skipped).
+	// Schema 2.
+	StorageFlushes int `json:"storageFlushes,omitempty"`
 }
 
 // Environment identifies the machine and toolchain of a run, so
@@ -129,8 +140,8 @@ func (r Report) Metric(name string) (Metric, bool) {
 // timestamp, and well-formed uniquely-named metrics with ordered
 // quantiles.
 func (r Report) Validate() error {
-	if r.Schema != SchemaVersion {
-		return fmt.Errorf("%w: got %d, want %d", ErrSchema, r.Schema, SchemaVersion)
+	if r.Schema < MinSchemaVersion || r.Schema > SchemaVersion {
+		return fmt.Errorf("%w: got %d, want %d..%d", ErrSchema, r.Schema, MinSchemaVersion, SchemaVersion)
 	}
 	if r.Mode == "" {
 		return fmt.Errorf("benchfmt: report has no mode")
@@ -192,8 +203,8 @@ func Decode(r io.Reader) (Report, error) {
 	if err := json.Unmarshal(raw, &version); err != nil {
 		return Report{}, fmt.Errorf("benchfmt: decoding artifact: %w", err)
 	}
-	if version.Schema != SchemaVersion {
-		return Report{}, fmt.Errorf("%w: got %d, want %d", ErrSchema, version.Schema, SchemaVersion)
+	if version.Schema < MinSchemaVersion || version.Schema > SchemaVersion {
+		return Report{}, fmt.Errorf("%w: got %d, want %d..%d", ErrSchema, version.Schema, MinSchemaVersion, SchemaVersion)
 	}
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()

@@ -3,6 +3,7 @@ package benchfmt
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -67,10 +68,34 @@ func TestDecodeRejectsWrongSchemaVersion(t *testing.T) {
 	if err := Encode(&buf, in); err != nil {
 		t.Fatal(err)
 	}
-	bumped := strings.Replace(buf.String(), `"schema": 1`, `"schema": 99`, 1)
-	_, err := Decode(strings.NewReader(bumped))
-	if !errors.Is(err, ErrSchema) {
-		t.Fatalf("Decode(schema=99) err = %v, want ErrSchema", err)
+	current := fmt.Sprintf(`"schema": %d`, SchemaVersion)
+	for _, bad := range []string{`"schema": 99`, `"schema": 0`} {
+		bumped := strings.Replace(buf.String(), current, bad, 1)
+		_, err := Decode(strings.NewReader(bumped))
+		if !errors.Is(err, ErrSchema) {
+			t.Fatalf("Decode(%s) err = %v, want ErrSchema", bad, err)
+		}
+	}
+}
+
+// A committed baseline predates a schema bump by definition: every
+// version back to MinSchemaVersion must keep decoding.
+func TestDecodeAcceptsOlderSchemaVersions(t *testing.T) {
+	in := sampleReport()
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	current := fmt.Sprintf(`"schema": %d`, SchemaVersion)
+	for v := MinSchemaVersion; v <= SchemaVersion; v++ {
+		aged := strings.Replace(buf.String(), current, fmt.Sprintf(`"schema": %d`, v), 1)
+		out, err := Decode(strings.NewReader(aged))
+		if err != nil {
+			t.Fatalf("Decode(schema=%d): %v", v, err)
+		}
+		if out.Schema != v {
+			t.Fatalf("Decode(schema=%d) kept schema %d", v, out.Schema)
+		}
 	}
 }
 

@@ -46,6 +46,11 @@ type gate struct {
 	// is timer jitter; a real regression (say an O(n) scan replacing
 	// the index) clears any sane absolute bar instantly.
 	slack float64
+	// optional skips the gate when the BASELINE lacks the metric — for
+	// metrics added in a later schema, where old baselines measured
+	// nothing to regress against. A candidate missing the metric is
+	// still an error once the baseline has it.
+	optional bool
 }
 
 // offlineGates are the hot-path metrics the CI bench-gate enforces for
@@ -63,6 +68,16 @@ var offlineGates = []gate{
 	{metric: "query_latency", quantile: "p99", higherIsBetter: false, slack: 1e-3},
 	{metric: "query_cached_latency", quantile: "p90", higherIsBetter: false, slack: 500e-6},
 	{metric: "allocs_per_query", higherIsBetter: false, slack: 0.5},
+	// Storage-tier gates (schema 2): reopening the flushed segment
+	// store must stay fast (mmap + index rebuild, not a full decode) and
+	// the run's peak RSS must not balloon — that is the beyond-RAM
+	// property itself. Both carry generous absolute slack: smoke-scale
+	// startups are tens of milliseconds where relative deltas are all
+	// jitter, and RSS moves in allocator-arena steps. Old baselines
+	// without the metrics skip these gates instead of failing, so a
+	// schema-1 baseline still gates what it measured.
+	{metric: "startup_seconds", higherIsBetter: false, slack: 0.5, optional: true},
+	{metric: "rss_peak_bytes", higherIsBetter: false, slack: 64 << 20, optional: true},
 }
 
 // Compare evaluates a candidate report against a baseline at the given
@@ -84,6 +99,11 @@ func Compare(baseline, candidate Report, tolerance float64) ([]Comparison, error
 	}
 	out := make([]Comparison, 0, len(offlineGates))
 	for _, g := range offlineGates {
+		if g.optional {
+			if _, ok := baseline.Metric(g.metric); !ok {
+				continue
+			}
+		}
 		oldV, err := gateValue(baseline, g)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: %w", err)

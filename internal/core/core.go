@@ -174,6 +174,9 @@ type Database struct {
 	// journal, when set, receives every mutation before it commits —
 	// the write-ahead discipline SetJournal documents.
 	journal Journal
+	// store is the segment-store publication state (flush.go); zero
+	// until ApplySegmentBase enables it.
+	store storeState
 }
 
 // Open creates an empty database with the given options, adjusted by
@@ -282,7 +285,7 @@ func (db *Database) IngestContext(ctx context.Context, clip *video.Clip) (*ClipR
 func (db *Database) reserve(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, dup := db.view.Load().clips[name]; dup {
+	if db.view.Load().has(name) {
 		return fmt.Errorf("core: clip %q: %w", name, ErrDuplicate)
 	}
 	if _, busy := db.reserved[name]; busy {
@@ -414,7 +417,7 @@ func (db *Database) Remove(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	v := db.view.Load()
-	if _, ok := v.clips[name]; !ok {
+	if !v.has(name) {
 		return fmt.Errorf("core: clip %q: %w", name, ErrNotFound)
 	}
 	// Write-ahead, like IngestContext: log the delete before applying it.
@@ -423,15 +426,16 @@ func (db *Database) Remove(name string) error {
 			return fmt.Errorf("core: clip %q: journaling delete: %w", name, jerr)
 		}
 	}
+	db.recordTombstoneLocked(name)
 	db.publishLocked(v.withoutClip(name))
 	return nil
 }
 
-// Clip returns the record of a named clip. Lock-free: it reads the
-// current view.
+// Clip returns the record of a named clip, materializing it through
+// the cold-clip cache when it lives in a segment. Lock-free: it reads
+// the current view.
 func (db *Database) Clip(name string) (*ClipRecord, bool) {
-	rec, ok := db.view.Load().clips[name]
-	return rec, ok
+	return db.view.Load().record(name)
 }
 
 // Clips returns the names of all ingested clips, sorted. Lock-free.
@@ -442,11 +446,19 @@ func (db *Database) Clips() []string {
 
 // Records returns every clip record sorted by name, captured from one
 // view, so the listing is consistent: a concurrent Remove cannot
-// split it. Records are immutable after ingest, so sharing the
-// pointers is safe. Lock-free.
+// split it. Records are immutable, so sharing the pointers is safe.
+// Cold clips materialize through the shared cache — on a segment-backed
+// store this walks the whole corpus, so prefer Clips for name listings.
+// Lock-free.
 func (db *Database) Records() []*ClipRecord {
 	v := db.view.Load()
-	return append([]*ClipRecord(nil), v.recs...)
+	out := make([]*ClipRecord, 0, len(v.names))
+	for _, n := range v.names {
+		if rec, ok := v.record(n); ok {
+			out = append(out, rec)
+		}
+	}
+	return out
 }
 
 // ShotCount returns the total number of indexed shots. Lock-free.
@@ -633,7 +645,7 @@ func (db *Database) QueryBatchUncachedInto(res *BatchMatches, qs []varindex.Quer
 // cache entries.
 func (db *Database) QueryByShot(clip string, shot, k int) ([]Match, error) {
 	v := db.view.Load()
-	rec, ok := v.clips[clip]
+	rec, ok := v.record(clip)
 	if !ok {
 		return nil, fmt.Errorf("core: clip %q: %w", clip, ErrNotFound)
 	}
@@ -652,7 +664,7 @@ func (db *Database) QueryByShot(clip string, shot, k int) ([]Match, error) {
 
 // Browse returns the scene tree of a named clip. Lock-free.
 func (db *Database) Browse(clip string) (*scenetree.Tree, error) {
-	rec, ok := db.view.Load().clips[clip]
+	rec, ok := db.view.Load().record(clip)
 	if !ok {
 		return nil, fmt.Errorf("core: clip %q: %w", clip, ErrNotFound)
 	}

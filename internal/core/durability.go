@@ -147,7 +147,9 @@ func (db *Database) BeginSnapshot() *PendingSnapshot {
 	v := db.view.Load()
 	ps := &PendingSnapshot{snap: snapshot{Options: db.opts}}
 	for _, name := range v.names {
-		ps.snap.Clips = append(ps.snap.Clips, snapshotOf(v.clips[name]))
+		if rec, ok := v.record(name); ok {
+			ps.snap.Clips = append(ps.snap.Clips, snapshotOf(rec))
+		}
 	}
 	if sc, ok := db.journal.(SnapshotCutter); ok {
 		ps.cut, ps.hasCut = sc.CutPoint(), true
@@ -393,8 +395,9 @@ func (db *Database) ApplyDelete(name string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	v := db.view.Load()
-	if _, ok := v.clips[name]; !ok {
+	if !v.has(name) {
 		return
 	}
+	db.recordTombstoneLocked(name)
 	db.publishLocked(v.withoutClip(name))
 }

@@ -1,0 +1,296 @@
+// Segment-store publication: the primitives internal/segstore drives
+// to keep a database's cold tier in mmap'd immutable segments.
+//
+//	ApplySegmentBase   — install the composed segment state at open,
+//	                     before WAL replay (the bulk counterpart of
+//	                     ApplySnapshot for segment-backed stores);
+//	BeginFlush         — capture the memtable, pending tombstones and
+//	                     the WAL cut point under one lock hold;
+//	PendingFlush.WriteSegment — encode the capture as a segment file;
+//	CompleteFlush      — flip the captured clips memtable→cold by
+//	                     pointer identity, keeping anything re-ingested
+//	                     or deleted since the capture;
+//	SwapSegments       — atomically repoint cold references from
+//	                     compacted segments to their replacement.
+//
+// All four publish through the same copy-on-write view swap as ingest
+// and delete, so readers never observe a half-applied flush, and the
+// similarity index is untouched by flush and compaction — moving a
+// clip between tiers changes where its record lives, not its entries.
+//
+// Tombstone discipline: once a segment base is installed, every
+// delete (Remove, ApplyDelete) records the name as a pending
+// tombstone. The next flush writes the pending set into its segment,
+// deleting the name from all strictly older segments at the next open;
+// tombstones for names no older segment holds are harmless. A
+// tombstone leaves the pending set only when a flush that captured it
+// completes.
+
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"videodb/internal/segment"
+	"videodb/internal/varindex"
+)
+
+// storeState is the database's segment-store bookkeeping, active only
+// after ApplySegmentBase. Guarded by db.mu.
+type storeState struct {
+	// enabled gates tombstone tracking and the flush primitives.
+	enabled bool
+	// tombs holds names deleted since the last completed flush.
+	tombs map[string]struct{}
+	// cache is the shared cold-clip materialization cache.
+	cache *clipCache
+}
+
+// ApplySegmentBase installs the composed state of segs — oldest first,
+// each segment's tombstones deleting from strictly older segments,
+// then its clips shadowing older same-named ones — as the database's
+// cold tier, and enables the flush primitives. It must run on a fresh,
+// empty database before WAL replay and before SetJournal, mirroring
+// how Load precedes recovery in the snapshot world. cacheSize bounds
+// the materialized-clip cache (0 means DefaultClipCache). The readers
+// stay pinned by published views; the caller must not Close them.
+func (db *Database) ApplySegmentBase(segs []*segment.Reader, cacheSize int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.store.enabled {
+		return fmt.Errorf("core: segment base already applied")
+	}
+	cur := db.view.Load()
+	if len(cur.clips) != 0 || len(cur.cold) != 0 {
+		return fmt.Errorf("core: segment base applied to a non-empty database")
+	}
+
+	cold := make(map[string]coldRef)
+	for _, s := range segs {
+		for _, name := range s.Tombstones() {
+			delete(cold, name)
+		}
+		for i := 0; i < s.NumClips(); i++ {
+			cold[s.Name(i)] = coldRef{seg: s, idx: i}
+		}
+	}
+
+	// The index holds exactly the surviving clips' entries: each
+	// segment contributes only rows whose clip it owns after
+	// composition.
+	ix := varindex.New()
+	var run []varindex.Entry
+	for _, s := range segs {
+		var err error
+		run, err = s.AppendEntries(run[:0])
+		if err != nil {
+			return err
+		}
+		for _, e := range run {
+			if cold[e.Clip].seg == s {
+				ix.Add(e)
+			}
+		}
+	}
+	ix.Build()
+
+	cache := newClipCache(cacheSize)
+	v := &view{
+		epoch: cur.epoch + 1,
+		clips: make(map[string]*ClipRecord),
+		cold:  cold,
+		index: ix,
+		mat:   cache,
+	}
+	v.finish()
+	db.store = storeState{enabled: true, tombs: make(map[string]struct{}), cache: cache}
+	db.publishLocked(v)
+	return nil
+}
+
+// PendingFlush is a consistent capture of everything the next segment
+// must hold: the memtable records, the pending tombstones, and the WAL
+// cut point the capture corresponds to — all read under one hold of
+// the database lock, exactly like PendingSnapshot, so rotating the WAL
+// to the cut after the flush lands can never erase a mutation the
+// segment missed.
+type PendingFlush struct {
+	clips  []*ClipRecord
+	tombs  []string
+	cut    int64
+	hasCut bool
+}
+
+// BeginFlush captures the memtable, the pending tombstone set, and (if
+// the installed journal supports SnapshotCutter) the WAL cut point. It
+// returns nil when there is nothing to flush — no memtable clips and
+// no pending tombstones. The expensive encoding happens later in
+// WriteSegment, outside any lock.
+func (db *Database) BeginFlush() (*PendingFlush, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if !db.store.enabled {
+		return nil, fmt.Errorf("core: BeginFlush without a segment base")
+	}
+	v := db.view.Load()
+	pf := &PendingFlush{}
+	for _, name := range v.names {
+		if rec, ok := v.clips[name]; ok {
+			pf.clips = append(pf.clips, rec)
+		}
+	}
+	for name := range db.store.tombs {
+		pf.tombs = append(pf.tombs, name)
+	}
+	sort.Strings(pf.tombs)
+	if len(pf.clips) == 0 && len(pf.tombs) == 0 {
+		return nil, nil
+	}
+	if sc, ok := db.journal.(SnapshotCutter); ok {
+		pf.cut, pf.hasCut = sc.CutPoint(), true
+	}
+	return pf, nil
+}
+
+// Clips reports how many memtable records the capture holds.
+func (pf *PendingFlush) Clips() int { return len(pf.clips) }
+
+// Tombstones reports how many pending deletions the capture holds.
+func (pf *PendingFlush) Tombstones() int { return len(pf.tombs) }
+
+// Shots reports the total shot count across the captured records.
+func (pf *PendingFlush) Shots() int {
+	n := 0
+	for _, rec := range pf.clips {
+		n += len(rec.Shots)
+	}
+	return n
+}
+
+// JournalCut returns the WAL offset captured with the state, and
+// whether one was available.
+func (pf *PendingFlush) JournalCut() (int64, bool) { return pf.cut, pf.hasCut }
+
+// WriteSegment encodes the capture as segment id into w; composed with
+// fsx.AtomicWrite it creates the segment file crash-atomically. The
+// index run is built and sorted here with the same varindex procedure
+// every other index construction uses, so a reopened segment yields
+// bit-identical query results.
+func (pf *PendingFlush) WriteSegment(w io.Writer, id uint64) error {
+	cols := make([]segment.ClipColumns, len(pf.clips))
+	for i, rec := range pf.clips {
+		cols[i] = clipColumns(rec)
+	}
+	ix := varindex.New()
+	var all []varindex.Entry
+	for i := range cols {
+		all = cols[i].Entries(all)
+	}
+	for _, e := range all {
+		ix.Add(e)
+	}
+	ix.Build()
+	return segment.Write(w, id, cols, ix.Entries(), pf.tombs)
+}
+
+// CompleteFlush publishes a finished flush: every captured record
+// still in the memtable — pointer identity, so a clip re-ingested or
+// deleted since BeginFlush is left exactly as the newer mutation put
+// it — flips to a cold reference into seg, and the captured tombstones
+// leave the pending set (ones added after the capture stay pending for
+// the next flush). The similarity index is untouched: the entries are
+// the same rows wherever the record lives.
+func (db *Database) CompleteFlush(pf *PendingFlush, seg *segment.Reader) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.store.enabled {
+		return fmt.Errorf("core: CompleteFlush without a segment base")
+	}
+	v := db.view.Load()
+	next := v.clone()
+	for _, rec := range pf.clips {
+		if cur, ok := next.clips[rec.Name]; !ok || cur != rec {
+			continue
+		}
+		idx, ok := seg.Lookup(rec.Name)
+		if !ok {
+			return fmt.Errorf("core: flushed segment %d is missing clip %q", seg.ID(), rec.Name)
+		}
+		delete(next.clips, rec.Name)
+		next.cold[rec.Name] = coldRef{seg: seg, idx: idx}
+	}
+	for _, name := range pf.tombs {
+		delete(db.store.tombs, name)
+	}
+	next.finish()
+	db.publishLocked(next)
+	return nil
+}
+
+// SwapSegments atomically repoints every cold reference into one of
+// the old segments (by id) at repl — the compaction commit. repl may
+// be nil when the compaction output was empty (everything merged away
+// by tombstones), in which case no live reference may point at the old
+// segments. The view's name set and index are unchanged; only where
+// cold records resolve from moves.
+func (db *Database) SwapSegments(old []uint64, repl *segment.Reader) error {
+	oldSet := make(map[uint64]bool, len(old))
+	for _, id := range old {
+		oldSet[id] = true
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.store.enabled {
+		return fmt.Errorf("core: SwapSegments without a segment base")
+	}
+	v := db.view.Load()
+	next := v.clone()
+	for name, ref := range v.cold {
+		if !oldSet[ref.seg.ID()] {
+			continue
+		}
+		if repl == nil {
+			return fmt.Errorf("core: clip %q is live in removed segment %d with no replacement", name, ref.seg.ID())
+		}
+		idx, ok := repl.Lookup(name)
+		if !ok {
+			return fmt.Errorf("core: replacement segment %d is missing clip %q", repl.ID(), name)
+		}
+		next.cold[name] = coldRef{seg: repl, idx: idx}
+	}
+	// Name set and index are untouched; share the sorted names.
+	next.names = v.names
+	db.publishLocked(next)
+	return nil
+}
+
+// MemtableClips reports how many clips currently live in the memtable
+// (heap) tier — what the next flush would write.
+func (db *Database) MemtableClips() int {
+	v := db.view.Load()
+	return len(v.clips)
+}
+
+// ColdClips reports how many clips currently resolve from mmap'd
+// segments.
+func (db *Database) ColdClips() int {
+	v := db.view.Load()
+	return len(v.cold)
+}
+
+// PendingTombstones reports how many deletions await the next flush.
+func (db *Database) PendingTombstones() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.store.tombs)
+}
+
+// recordTombstoneLocked notes a deletion for the next flush. Callers
+// hold the write lock.
+func (db *Database) recordTombstoneLocked(name string) {
+	if db.store.enabled {
+		db.store.tombs[name] = struct{}{}
+	}
+}

@@ -7,6 +7,15 @@
 // batch query is internally consistent even while mutations land.
 // docs/QUERYPATH.md describes the protocol and its memory-model
 // guarantees.
+//
+// A view holds clips in one of two homes: the memtable (clips, full
+// *ClipRecord values in the heap) and the cold tier (cold, references
+// into mmap'd immutable segments — see flush.go and internal/segment).
+// The two key sets are disjoint; the similarity index always covers
+// the union, so the query kernel never cares where a clip lives. Only
+// record resolution (Scene attachment, Browse, listings) touches the
+// difference, materializing cold clips on demand through a bounded
+// shared cache.
 
 package core
 
@@ -14,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"videodb/internal/segment"
 	"videodb/internal/varindex"
 )
 
@@ -29,9 +39,17 @@ type searchScratch struct {
 
 var searchScratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
 
+// coldRef locates one segment-backed clip: the pinned reader and the
+// clip's position in it. Views holding a coldRef keep the reader's
+// mapping alive even after compaction unlinks the file.
+type coldRef struct {
+	seg *segment.Reader
+	idx int
+}
+
 // view is one immutable publication of the database's queryable state.
-// Every field is frozen at construction: the clips map is never written
-// after publish, names/recs are sorted once, and the index is built
+// Every field is frozen at construction: the clip maps are never
+// written after publish, names are sorted once, and the index is built
 // (varindex.Index.Build) before the view becomes visible, so concurrent
 // readers share it without synchronization.
 type view struct {
@@ -39,14 +57,20 @@ type view struct {
 	// result computed against one view is never served once a newer
 	// view exists.
 	epoch uint64
-	// clips maps name -> record; read-only after publish.
+	// clips maps name -> memtable record; read-only after publish.
 	clips map[string]*ClipRecord
-	// names holds the clip names, sorted.
+	// cold maps name -> segment-backed clip. Disjoint from clips (a
+	// re-ingested clip shadows — and evicts — its cold reference). Nil
+	// until a segment base is applied (pure in-memory databases never
+	// allocate it).
+	cold map[string]coldRef
+	// names holds all clip names (memtable and cold), sorted.
 	names []string
-	// recs holds the records in name order, aligned with names.
-	recs []*ClipRecord
 	// index is the built, immutable similarity index over all shots.
 	index *varindex.Index
+	// mat is the shared cold-clip materialization cache; nil without a
+	// segment base.
+	mat *clipCache
 }
 
 // emptyView is the epoch-0 state of a fresh database.
@@ -54,31 +78,79 @@ func emptyView() *view {
 	return &view{clips: make(map[string]*ClipRecord), index: varindex.New()}
 }
 
-// finish derives the sorted name and record listings from clips.
-func (v *view) finish() {
-	v.names = make([]string, 0, len(v.clips))
-	for n := range v.clips {
-		v.names = append(v.names, n)
+// clone derives the successor view skeleton: next epoch, copied clip
+// maps, shared index and cache. Callers adjust the maps and index, then
+// finish().
+func (v *view) clone() *view {
+	next := &view{
+		epoch: v.epoch + 1,
+		clips: make(map[string]*ClipRecord, len(v.clips)+1),
+		index: v.index,
+		mat:   v.mat,
 	}
-	sort.Strings(v.names)
-	v.recs = make([]*ClipRecord, 0, len(v.names))
-	for _, n := range v.names {
-		v.recs = append(v.recs, v.clips[n])
-	}
-}
-
-// withClip returns the successor view with rec installed and its index
-// entries added. A same-named clip (recovery replay re-applying a
-// journal record) is replaced wholesale, entries included.
-func (v *view) withClip(rec *ClipRecord, entries []varindex.Entry) *view {
-	next := &view{epoch: v.epoch + 1, clips: make(map[string]*ClipRecord, len(v.clips)+1)}
 	for n, r := range v.clips {
 		next.clips[n] = r
 	}
+	if v.cold != nil {
+		next.cold = make(map[string]coldRef, len(v.cold))
+		for n, r := range v.cold {
+			next.cold[n] = r
+		}
+	}
+	return next
+}
+
+// finish derives the sorted name listing from the clip maps.
+func (v *view) finish() {
+	v.names = make([]string, 0, len(v.clips)+len(v.cold))
+	for n := range v.clips {
+		v.names = append(v.names, n)
+	}
+	for n := range v.cold {
+		v.names = append(v.names, n)
+	}
+	sort.Strings(v.names)
+}
+
+// has reports whether the view holds the named clip in either tier.
+func (v *view) has(name string) bool {
+	if _, ok := v.clips[name]; ok {
+		return true
+	}
+	_, ok := v.cold[name]
+	return ok
+}
+
+// record resolves the named clip to its full record, materializing a
+// cold clip through the shared cache. The record is immutable either
+// way. A cold clip that fails to materialize (possible only if the
+// segment bytes changed under a verified mapping) reports absent.
+func (v *view) record(name string) (*ClipRecord, bool) {
+	if rec, ok := v.clips[name]; ok {
+		return rec, true
+	}
+	ref, ok := v.cold[name]
+	if !ok {
+		return nil, false
+	}
+	rec, err := v.mat.get(ref)
+	if err != nil {
+		return nil, false
+	}
+	return rec, true
+}
+
+// withClip returns the successor view with rec installed and its index
+// entries added. A same-named clip — memtable (recovery replay
+// re-applying a journal record) or cold (re-ingest after a flush) — is
+// replaced wholesale, entries included.
+func (v *view) withClip(rec *ClipRecord, entries []varindex.Entry) *view {
+	next := v.clone()
 	base := v.index
-	if _, replaced := v.clips[rec.Name]; replaced {
+	if v.has(rec.Name) {
 		base = base.WithoutClip(rec.Name)
 	}
+	delete(next.cold, rec.Name)
 	next.clips[rec.Name] = rec
 	ix := varindex.New()
 	for _, e := range base.Entries() {
@@ -94,15 +166,12 @@ func (v *view) withClip(rec *ClipRecord, entries []varindex.Entry) *view {
 }
 
 // withoutClip returns the successor view with the named clip and its
-// index entries removed. The index copy preserves sort order, so no
-// re-sort happens.
+// index entries removed, whichever tier holds it. The index copy
+// preserves sort order, so no re-sort happens.
 func (v *view) withoutClip(name string) *view {
-	next := &view{epoch: v.epoch + 1, clips: make(map[string]*ClipRecord, len(v.clips))}
-	for n, r := range v.clips {
-		if n != name {
-			next.clips[n] = r
-		}
-	}
+	next := v.clone()
+	delete(next.clips, name)
+	delete(next.cold, name)
 	next.index = v.index.WithoutClip(name)
 	next.finish()
 	return next
@@ -135,11 +204,12 @@ func (v *view) resolve(entries []varindex.Entry) []Match {
 }
 
 // resolveAppend is resolve appending into dst; the tree walk is
-// alloc-free, so with dst at capacity so is the whole resolution.
+// alloc-free for memtable clips, and cold clips resolve through the
+// materialization cache, so hot result sets stay cheap.
 func (v *view) resolveAppend(dst []Match, entries []varindex.Entry) []Match {
 	for _, e := range entries {
 		m := Match{Entry: e}
-		if rec, ok := v.clips[e.Clip]; ok {
+		if rec, ok := v.record(e.Clip); ok {
 			m.Scene = rec.Tree.LargestSceneFor(e.Shot)
 		}
 		dst = append(dst, m)

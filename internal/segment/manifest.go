@@ -1,0 +1,172 @@
+package segment
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the manifest's file name inside a segment store
+// directory.
+const ManifestName = "MANIFEST"
+
+// ManifestMagic frames the manifest file.
+const ManifestMagic = "VDBM"
+
+// ManifestVersion is the current manifest format version.
+const ManifestVersion = 1
+
+// manifestHeaderSize: magic(4) + version(2) + pad(2) + payload len(8) +
+// payload CRC32C(4).
+const manifestHeaderSize = 20
+
+// maxManifestPayload caps what Load will read; a header claiming more
+// is corruption.
+const maxManifestPayload = int64(1) << 30
+
+// ErrCorruptManifest reports a manifest whose framing, checksum or
+// structure does not hold together; match it with errors.Is.
+var ErrCorruptManifest = errors.New("segment: corrupt manifest")
+
+// SegmentInfo names one live segment in precedence order.
+type SegmentInfo struct {
+	// File is the segment's file name, relative to the store directory.
+	File string `json:"file"`
+	// ID is the segment's unique id (matches the file header).
+	ID uint64 `json:"id"`
+	// Gen is the compaction generation: 1 for memtable flushes, +1 per
+	// merge. Adjacent same-generation runs are the compactor's unit.
+	Gen int `json:"gen"`
+	// Clips, Shots and Tombs summarize the contents for operators and
+	// compaction planning without opening the file.
+	Clips int `json:"clips"`
+	Shots int `json:"shots"`
+	Tombs int `json:"tombs"`
+	// Bytes is the segment file size when written.
+	Bytes int64 `json:"bytes"`
+}
+
+// Manifest is the store's source of truth: which segment files are
+// live and in what precedence order (index 0 is oldest; later segments
+// shadow earlier ones clip-by-clip, and a segment's tombstones delete
+// clips from strictly older segments). It is replaced wholesale through
+// fsx.AtomicWrite on every flush or compaction, so a crash leaves
+// either the old complete manifest or the new one.
+type Manifest struct {
+	// NextID is the id the next written segment will take.
+	NextID uint64 `json:"nextId"`
+	// Segments lists the live segments, oldest first.
+	Segments []SegmentInfo `json:"segments"`
+}
+
+// EncodeManifest writes m in the framed format; the signature fits
+// fsx.AtomicWrite.
+func EncodeManifest(w io.Writer, m Manifest) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("segment: encoding manifest: %w", err)
+	}
+	hdr := make([]byte, 0, manifestHeaderSize)
+	hdr = append(hdr, ManifestMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, ManifestVersion)
+	hdr = binary.LittleEndian.AppendUint16(hdr, 0)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(payload)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// DecodeManifest reads one framed manifest, verifying magic, version,
+// length and checksum before trusting any of it, then validating the
+// decoded structure (unique ids and files, positive generations).
+func DecodeManifest(r io.Reader) (Manifest, error) {
+	hdr := make([]byte, manifestHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Manifest{}, fmt.Errorf("%w: header: %v", ErrCorruptManifest, err)
+	}
+	if string(hdr[0:4]) != ManifestMagic {
+		return Manifest{}, fmt.Errorf("%w: bad magic", ErrCorruptManifest)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != ManifestVersion {
+		return Manifest{}, fmt.Errorf("%w: unsupported version %d", ErrCorruptManifest, v)
+	}
+	payloadLen := binary.LittleEndian.Uint64(hdr[8:16])
+	wantCRC := binary.LittleEndian.Uint32(hdr[16:20])
+	if payloadLen > uint64(maxManifestPayload) {
+		return Manifest{}, fmt.Errorf("%w: implausible payload length %d", ErrCorruptManifest, payloadLen)
+	}
+	var payload bytes.Buffer
+	n, err := io.Copy(&payload, io.LimitReader(r, int64(payloadLen)))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("%w: payload: %v", ErrCorruptManifest, err)
+	}
+	if uint64(n) != payloadLen {
+		return Manifest{}, fmt.Errorf("%w: payload truncated (%d of %d bytes)", ErrCorruptManifest, n, payloadLen)
+	}
+	if got := crc32.Checksum(payload.Bytes(), castagnoli); got != wantCRC {
+		return Manifest{}, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x)", ErrCorruptManifest, wantCRC, got)
+	}
+	dec := json.NewDecoder(&payload)
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("%w: decoding payload: %v", ErrCorruptManifest, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// Validate checks the manifest's internal consistency.
+func (m *Manifest) Validate() error {
+	ids := make(map[uint64]bool, len(m.Segments))
+	files := make(map[string]bool, len(m.Segments))
+	for i, s := range m.Segments {
+		if s.File == "" || s.File != filepath.Base(s.File) {
+			return fmt.Errorf("%w: segment %d has invalid file %q", ErrCorruptManifest, i, s.File)
+		}
+		if s.Gen < 1 {
+			return fmt.Errorf("%w: segment %q has generation %d", ErrCorruptManifest, s.File, s.Gen)
+		}
+		if s.ID >= m.NextID {
+			return fmt.Errorf("%w: segment id %d >= nextId %d", ErrCorruptManifest, s.ID, m.NextID)
+		}
+		if ids[s.ID] {
+			return fmt.Errorf("%w: duplicate segment id %d", ErrCorruptManifest, s.ID)
+		}
+		if files[s.File] {
+			return fmt.Errorf("%w: duplicate segment file %q", ErrCorruptManifest, s.File)
+		}
+		ids[s.ID], files[s.File] = true, true
+	}
+	return nil
+}
+
+// LoadManifest reads the manifest in dir. A missing file returns an
+// empty manifest (a fresh store), never an error.
+func LoadManifest(dir string) (Manifest, error) {
+	f, err := os.Open(filepath.Join(dir, ManifestName))
+	if os.IsNotExist(err) {
+		return Manifest{NextID: 1}, nil
+	}
+	if err != nil {
+		return Manifest{}, err
+	}
+	defer f.Close()
+	return DecodeManifest(f)
+}
+
+// SegmentFileName returns the canonical file name of segment id.
+func SegmentFileName(id uint64) string {
+	return fmt.Sprintf("seg-%08d.vseg", id)
+}

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package segment
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile falls back to reading the file into the heap on platforms
+// without a usable mmap: semantics are identical, only the beyond-RAM
+// residency property is lost.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return nil }, nil
+}

@@ -1,0 +1,531 @@
+// Package segstore is the beyond-RAM storage engine: it keeps a
+// core.Database's cold tier in immutable, mmap-able columnar segment
+// files (internal/segment) under one directory, with a write-ahead
+// log for the memtable and a manifest naming the live segments in
+// precedence order.
+//
+//	dir/
+//	  MANIFEST          which segments are live, oldest first
+//	  seg-00000001.vseg immutable columnar segments
+//	  wal.log           journal of mutations since the last flush
+//
+// Ingest accumulates in the database's memtable (journaled through
+// wal.log exactly as the snapshot world does); Flush captures the
+// memtable, pending tombstones and the WAL cut point under one lock
+// hold, writes them as a new generation-1 segment through
+// fsx.AtomicWrite, commits it to the manifest, flips the captured
+// clips to cold mmap-backed references, and rotates the WAL at the
+// cut. A background compactor merges adjacent same-generation runs
+// into the next generation, dropping shadowed clips and dead
+// tombstones, and republishes through the database's atomic view swap
+// — readers pinning old views keep reading the unlinked files until
+// they let go.
+//
+// Crash safety is compositional: segment files and the manifest are
+// both footer/checksum-validated and atomically replaced, so a crash
+// leaves either the old or the new state of each; the WAL rotates
+// only after the manifest commit, and replay is idempotent, so every
+// crash window replays into the same state. Orphaned segment files
+// from a crashed flush or compaction are deleted at Open.
+package segstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"videodb/internal/core"
+	"videodb/internal/fsx"
+	"videodb/internal/segment"
+	"videodb/internal/varindex"
+	"videodb/internal/wal"
+)
+
+// WALName is the journal's file name inside the store directory.
+const WALName = "wal.log"
+
+// DefaultFanout is how many adjacent same-generation segments a
+// compaction merges when Options.Fanout is zero.
+const DefaultFanout = 4
+
+// Options configures Open.
+type Options struct {
+	// Core is the database configuration (a segment store does not
+	// persist options; each process brings its own, like flags do for
+	// the snapshot world's recovery path).
+	Core core.Options
+	// Extra applies CLI overrides (parallelism, query cache).
+	Extra []core.OpenOption
+	// ClipCache bounds the materialized cold-clip cache
+	// (0 = core.DefaultClipCache).
+	ClipCache int
+	// Policy and SyncInterval configure the WAL exactly as vdbserver's
+	// -sync flags do.
+	Policy       wal.Policy
+	SyncInterval time.Duration
+	// Fanout is the compaction trigger: an adjacent run of this many
+	// same-generation segments merges into one of the next generation
+	// (0 = DefaultFanout).
+	Fanout int
+	// NoWAL disables the journal entirely (offline bulk loads that
+	// flush explicitly and accept losing the memtable on a crash).
+	NoWAL bool
+}
+
+// FlushResult reports one completed flush.
+type FlushResult struct {
+	// Flushed is false when there was nothing to write.
+	Flushed bool
+	// SegmentID and Bytes identify the new segment.
+	SegmentID uint64
+	Bytes     int64
+	// Clips and Tombstones count what it holds.
+	Clips, Tombstones int
+	// Rotated reports whether the WAL was rotated at the capture cut.
+	Rotated bool
+}
+
+// Stats is a point-in-time summary for health and metrics endpoints.
+type Stats struct {
+	// Segments and SegmentBytes describe the manifest.
+	Segments     int
+	SegmentBytes int64
+	// MaxGen is the highest compaction generation present.
+	MaxGen int
+	// Flushes and Compactions count completed operations this process.
+	Flushes, Compactions uint64
+}
+
+// Store is an open segment-backed database. Flush and compaction
+// serialize on the store's own lock; queries and ingest go straight to
+// DB() and never take it.
+type Store struct {
+	dir    string
+	db     *core.Database
+	j      *wal.ClipJournal
+	replay wal.ReplayResult
+	fanout int
+
+	mu     sync.Mutex
+	man    segment.Manifest
+	segs   map[uint64]*segment.Reader
+	nflush uint64
+	ncomp  uint64
+
+	compactStop chan struct{}
+	compactWG   sync.WaitGroup
+}
+
+// Open opens (or initializes) the segment store in dir: load and
+// validate the manifest, mmap every live segment, delete orphaned
+// segment files from crashed flushes or compactions, compose the
+// segments into the database's cold tier, then replay and reopen the
+// WAL. The returned store owns the journal; close it with Close after
+// the database has quiesced.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	man, err := segment.LoadManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("segstore: %s: %w", dir, err)
+	}
+
+	segs := make(map[uint64]*segment.Reader, len(man.Segments))
+	readers := make([]*segment.Reader, 0, len(man.Segments))
+	for _, si := range man.Segments {
+		r, err := segment.Open(filepath.Join(dir, si.File))
+		if err != nil {
+			return nil, fmt.Errorf("segstore: opening %s: %w", si.File, err)
+		}
+		if r.ID() != si.ID {
+			return nil, fmt.Errorf("segstore: %s: header id %d does not match manifest id %d",
+				si.File, r.ID(), si.ID)
+		}
+		segs[si.ID] = r
+		readers = append(readers, r)
+	}
+	if err := removeOrphans(dir, man); err != nil {
+		return nil, err
+	}
+
+	db, err := core.Open(opts.Core, opts.Extra...)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.ApplySegmentBase(readers, opts.ClipCache); err != nil {
+		return nil, err
+	}
+
+	s := &Store{
+		dir:    dir,
+		db:     db,
+		fanout: opts.Fanout,
+		man:    man,
+		segs:   segs,
+	}
+	if s.fanout <= 1 {
+		s.fanout = DefaultFanout
+	}
+	if !opts.NoWAL {
+		j, res, err := wal.RecoverAndOpen(db, filepath.Join(dir, WALName), opts.Policy, opts.SyncInterval)
+		if err != nil {
+			return nil, fmt.Errorf("segstore: recovering WAL: %w", err)
+		}
+		db.SetJournal(j)
+		s.j, s.replay = j, res
+	}
+	return s, nil
+}
+
+// removeOrphans deletes segment files the manifest does not own and
+// abandoned AtomicWrite temp files — the debris of a crash between
+// writing a segment and committing the manifest.
+func removeOrphans(dir string, man segment.Manifest) error {
+	live := make(map[string]bool, len(man.Segments))
+	for _, si := range man.Segments {
+		live[si.File] = true
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		stray := false
+		if ok, _ := filepath.Match("seg-*.vseg", name); ok && !live[name] {
+			stray = true
+		}
+		if ok, _ := filepath.Match(".*.tmp-*", name); ok {
+			stray = true
+		}
+		if stray {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DB returns the database the store backs.
+func (s *Store) DB() *core.Database { return s.db }
+
+// Journal returns the store's WAL (nil with Options.NoWAL).
+func (s *Store) Journal() *wal.ClipJournal { return s.j }
+
+// Replay reports what WAL recovery did at Open.
+func (s *Store) Replay() wal.ReplayResult { return s.replay }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Manifest returns a copy of the current manifest.
+func (s *Store) Manifest() segment.Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.man
+	m.Segments = append([]segment.SegmentInfo(nil), s.man.Segments...)
+	return m
+}
+
+// Stats summarizes the store for health and metrics endpoints.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Segments: len(s.man.Segments), Flushes: s.nflush, Compactions: s.ncomp}
+	for _, si := range s.man.Segments {
+		st.SegmentBytes += si.Bytes
+		if si.Gen > st.MaxGen {
+			st.MaxGen = si.Gen
+		}
+	}
+	return st
+}
+
+// Flush writes the memtable and pending tombstones as a new
+// generation-1 segment and rotates the WAL at the captured cut. The
+// publication order makes every crash window recoverable:
+//
+//  1. capture memtable + tombstones + WAL cut (one lock hold)
+//  2. write seg-N.vseg        — crash here: orphan, deleted at Open
+//  3. commit MANIFEST         — crash here: WAL replays records ≤ cut
+//     over the segment; replay is idempotent
+//  4. publish the flip        — in-memory only
+//  5. rotate the WAL to cut   — steady state restored
+func (s *Store) Flush() (FlushResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pf, err := s.db.BeginFlush()
+	if err != nil {
+		return FlushResult{}, err
+	}
+	if pf == nil {
+		return FlushResult{}, nil
+	}
+
+	id := s.man.NextID
+	path := filepath.Join(s.dir, segment.SegmentFileName(id))
+	n, err := fsx.AtomicWrite(path, func(w io.Writer) error {
+		return pf.WriteSegment(w, id)
+	})
+	if err != nil {
+		return FlushResult{}, fmt.Errorf("segstore: writing segment %d: %w", id, err)
+	}
+	r, err := segment.Open(path)
+	if err != nil {
+		os.Remove(path)
+		return FlushResult{}, fmt.Errorf("segstore: reopening segment %d: %w", id, err)
+	}
+
+	next := s.man
+	next.Segments = append(append([]segment.SegmentInfo(nil), s.man.Segments...), segment.SegmentInfo{
+		File: segment.SegmentFileName(id), ID: id, Gen: 1,
+		Clips: pf.Clips(), Shots: pf.Shots(), Tombs: pf.Tombstones(), Bytes: n,
+	})
+	next.NextID = id + 1
+	if err := s.commitManifest(next); err != nil {
+		r.Close()
+		os.Remove(path)
+		return FlushResult{}, err
+	}
+	s.segs[id] = r
+
+	if err := s.db.CompleteFlush(pf, r); err != nil {
+		return FlushResult{}, err
+	}
+	res := FlushResult{
+		Flushed: true, SegmentID: id, Bytes: n,
+		Clips: pf.Clips(), Tombstones: pf.Tombstones(),
+	}
+	if cut, ok := pf.JournalCut(); ok && s.j != nil {
+		if err := s.j.RotateTo(cut); err != nil {
+			return res, fmt.Errorf("segstore: rotating WAL: %w", err)
+		}
+		res.Rotated = true
+	}
+	s.nflush++
+	return res, nil
+}
+
+// commitManifest atomically replaces MANIFEST and adopts next. Called
+// under s.mu.
+func (s *Store) commitManifest(next segment.Manifest) error {
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	_, err := fsx.AtomicWrite(filepath.Join(s.dir, segment.ManifestName), func(w io.Writer) error {
+		return segment.EncodeManifest(w, next)
+	})
+	if err != nil {
+		return fmt.Errorf("segstore: committing manifest: %w", err)
+	}
+	s.man = next
+	return nil
+}
+
+// compactionRun finds the first adjacent run of at least fanout
+// same-generation segments, oldest-first. Returns start index and run
+// length (0,0 when nothing qualifies).
+func (s *Store) compactionRun() (int, int) {
+	segs := s.man.Segments
+	for i := 0; i < len(segs); {
+		j := i + 1
+		for j < len(segs) && segs[j].Gen == segs[i].Gen {
+			j++
+		}
+		if j-i >= s.fanout {
+			return i, j - i
+		}
+		i = j
+	}
+	return 0, 0
+}
+
+// CompactOnce merges one qualifying run of adjacent same-generation
+// segments into a single next-generation segment, commits the manifest
+// with the run replaced in place (order — and therefore precedence —
+// preserved), repoints the database's cold references, and unlinks the
+// superseded files. Views still pinning the old readers keep reading
+// the unlinked files until they are dropped. Returns false when no run
+// qualifies.
+func (s *Store) CompactOnce() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start, n := s.compactionRun()
+	if n == 0 {
+		return false, nil
+	}
+	run := s.man.Segments[start : start+n]
+
+	// Compose the run: tombstones delete from strictly older run
+	// members, newer clips shadow older ones. Tombstones survive the
+	// merge (they may still delete from segments older than the run)
+	// unless the run includes the store's oldest segment — then there
+	// is nothing older to delete from and they are dropped.
+	type ref struct {
+		r   *segment.Reader
+		idx int
+	}
+	owner := make(map[string]ref)
+	tombSet := make(map[string]struct{})
+	for _, si := range run {
+		r := s.segs[si.ID]
+		for _, name := range r.Tombstones() {
+			delete(owner, name)
+			tombSet[name] = struct{}{}
+		}
+		for i := 0; i < r.NumClips(); i++ {
+			owner[r.Name(i)] = ref{r, i}
+		}
+	}
+	var tombs []string
+	if start > 0 {
+		tombs = make([]string, 0, len(tombSet))
+		for name := range tombSet {
+			tombs = append(tombs, name)
+		}
+		sort.Strings(tombs)
+	}
+	names := make([]string, 0, len(owner))
+	for name := range owner {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	cols := make([]segment.ClipColumns, 0, len(names))
+	shotTotal := 0
+	for _, name := range names {
+		o := owner[name]
+		c, err := o.r.Clip(o.idx)
+		if err != nil {
+			return false, fmt.Errorf("segstore: compacting %s: %w", o.r.Path(), err)
+		}
+		shotTotal += len(c.Shots)
+		cols = append(cols, c)
+	}
+
+	oldIDs := make([]uint64, 0, n)
+	for _, si := range run {
+		oldIDs = append(oldIDs, si.ID)
+	}
+	gen := run[0].Gen + 1
+
+	var merged *segment.Reader
+	next := s.man
+	next.Segments = append([]segment.SegmentInfo(nil), s.man.Segments[:start]...)
+	if len(cols) > 0 || len(tombs) > 0 {
+		id := s.man.NextID
+		path := filepath.Join(s.dir, segment.SegmentFileName(id))
+		ix := varindex.New()
+		var all []varindex.Entry
+		for i := range cols {
+			all = cols[i].Entries(all)
+		}
+		for _, e := range all {
+			ix.Add(e)
+		}
+		ix.Build()
+		bytes, err := fsx.AtomicWrite(path, func(w io.Writer) error {
+			return segment.Write(w, id, cols, ix.Entries(), tombs)
+		})
+		if err != nil {
+			return false, fmt.Errorf("segstore: writing merged segment %d: %w", id, err)
+		}
+		merged, err = segment.Open(path)
+		if err != nil {
+			os.Remove(path)
+			return false, fmt.Errorf("segstore: reopening merged segment %d: %w", id, err)
+		}
+		next.Segments = append(next.Segments, segment.SegmentInfo{
+			File: segment.SegmentFileName(id), ID: id, Gen: gen,
+			Clips: len(cols), Shots: shotTotal, Tombs: len(tombs), Bytes: bytes,
+		})
+		next.NextID = id + 1
+	}
+	next.Segments = append(next.Segments, s.man.Segments[start+n:]...)
+
+	if err := s.commitManifest(next); err != nil {
+		if merged != nil {
+			merged.Close()
+			os.Remove(filepath.Join(s.dir, segment.SegmentFileName(merged.ID())))
+		}
+		return false, err
+	}
+	if merged != nil {
+		s.segs[merged.ID()] = merged
+	}
+	if err := s.db.SwapSegments(oldIDs, merged); err != nil {
+		return false, err
+	}
+	// Unlink the superseded files. No Close: views may still pin the
+	// readers; the mappings outlive the unlink and the finalizer unmaps
+	// them once the last view lets go.
+	for _, id := range oldIDs {
+		os.Remove(filepath.Join(s.dir, segment.SegmentFileName(id)))
+		delete(s.segs, id)
+	}
+	fsx.SyncDir(s.dir)
+	s.ncomp++
+	return true, nil
+}
+
+// Compact runs CompactOnce until no run qualifies, cascading merged
+// segments up the generations. Returns how many merges ran.
+func (s *Store) Compact() (int, error) {
+	n := 0
+	for {
+		did, err := s.CompactOnce()
+		if err != nil {
+			return n, err
+		}
+		if !did {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// StartCompactor runs Compact in the background every interval until
+// Close. Errors are reported through onErr (nil ignores them).
+func (s *Store) StartCompactor(interval time.Duration, onErr func(error)) {
+	if s.compactStop != nil {
+		return
+	}
+	s.compactStop = make(chan struct{})
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.compactStop:
+				return
+			case <-t.C:
+				if _, err := s.Compact(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the background compactor and closes the WAL. Segment
+// mappings are left to outstanding views and their finalizers; the
+// caller must have quiesced reads if it intends to unmap eagerly.
+func (s *Store) Close() error {
+	if s.compactStop != nil {
+		close(s.compactStop)
+		s.compactWG.Wait()
+		s.compactStop = nil
+	}
+	if s.j != nil {
+		return s.j.Close()
+	}
+	return nil
+}

@@ -262,6 +262,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		counters["videodb_wal_rotations_total"] = float64(st.Rotations)
 		gauges["videodb_wal_bytes"] = float64(st.Bytes)
 	}
+	if s.storage != nil {
+		st := s.storage.Stats()
+		counters["videodb_segment_flushes_total"] = float64(st.Flushes)
+		counters["videodb_segment_compactions_total"] = float64(st.Compactions)
+		gauges["videodb_segments"] = float64(st.Segments)
+		gauges["videodb_segment_bytes"] = float64(st.SegmentBytes)
+		gauges["videodb_segment_max_generation"] = float64(st.MaxGen)
+		gauges["videodb_memtable_clips"] = float64(s.db.MemtableClips())
+		gauges["videodb_cold_clips"] = float64(s.db.ColdClips())
+		cc := s.db.ClipCacheStats()
+		counters["videodb_clip_cache_hits_total"] = float64(cc.Hits)
+		counters["videodb_clip_cache_misses_total"] = float64(cc.Misses)
+		gauges["videodb_clip_cache_size"] = float64(cc.Entries)
+		gauges["videodb_clip_cache_capacity"] = float64(cc.Max)
+	}
 	if s.recovery != nil {
 		gauges["videodb_recovery_replayed_records"] = float64(s.recovery.Records)
 		gauges["videodb_recovery_truncated_bytes"] = float64(s.recovery.TruncatedBytes())

@@ -90,6 +90,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		doc["walSize"] = s.journal.CutPoint()
 		doc["walGen"] = s.journal.Gen()
 	}
+	if s.storage != nil {
+		st := s.storage.Stats()
+		doc["storage"] = map[string]any{
+			"segments":      st.Segments,
+			"segmentBytes":  st.SegmentBytes,
+			"maxGeneration": st.MaxGen,
+			"memtableClips": s.db.MemtableClips(),
+			"coldClips":     s.db.ColdClips(),
+		}
+	}
 	if s.healthInfo != nil {
 		s.healthInfo(doc)
 	}

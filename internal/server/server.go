@@ -33,6 +33,7 @@ import (
 	"videodb/internal/core"
 	"videodb/internal/impression"
 	"videodb/internal/scenetree"
+	"videodb/internal/segstore"
 	"videodb/internal/varindex"
 	"videodb/internal/wal"
 )
@@ -50,6 +51,7 @@ type Server struct {
 	ingestSem    chan struct{}
 	journal      *wal.ClipJournal
 	recovery     *wal.ReplayResult
+	storage      *segstore.Store
 	readOnly     string
 	healthInfo   func(map[string]any)
 	extraMetrics func(counters, gauges map[string]float64)
@@ -88,6 +90,16 @@ func WithJournal(j *wal.ClipJournal) Option { return func(s *Server) { s.journal
 func WithRecoveryInfo(res wal.ReplayResult) Option {
 	return func(s *Server) { s.recovery = &res }
 }
+
+// WithStorage attaches a segment store. POST /api/snapshot then flushes
+// the memtable into an immutable segment (rotating the WAL at the
+// captured cut) instead of writing a monolithic snapshot file, and
+// /api/health and /api/metrics report segment and clip-cache state.
+// The caller keeps ownership and closes the store at shutdown. Do not
+// combine with WithSnapshotPath (the store owns persistence); the
+// store's journal may still be attached with WithJournal for WAL
+// metrics and health — the store owns its rotation either way.
+func WithStorage(st *segstore.Store) Option { return func(s *Server) { s.storage = st } }
 
 // New returns a server for the given database.
 func New(db *core.Database, opts ...Option) *Server {

@@ -120,6 +120,27 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	if s.refuseReadOnly(w) {
 		return
 	}
+	if s.storage != nil {
+		// Segment-backed deployment: flush the memtable into an immutable
+		// segment instead of rewriting the whole state. The flush captures
+		// memtable + tombstones + WAL cut under one lock hold, writes the
+		// segment atomically, commits the manifest and rotates the WAL.
+		res, err := s.storage.Flush()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.metrics.addSnapshot()
+		writeJSON(w, map[string]any{
+			"flushed":        res.Flushed,
+			"segment":        res.SegmentID,
+			"clips":          res.Clips,
+			"tombstones":     res.Tombstones,
+			"bytes":          res.Bytes,
+			"rotatedJournal": res.Rotated,
+		})
+		return
+	}
 	if s.snapshotPath == "" {
 		writeError(w, http.StatusNotImplemented,
 			fmt.Errorf("no snapshot path configured"))
