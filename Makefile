@@ -4,7 +4,7 @@ GO ?= go
 
 # Coverage floor (percent) enforced over the orchestration and serving
 # layers — the packages the ingest pipeline and HTTP API live in.
-COVERPKGS   = ./internal/core/...,./internal/server/...,./internal/wal/...,./internal/fsx/...,./internal/segment/...,./internal/segstore/...
+COVERPKGS   = ./internal/core/...,./internal/server/...,./internal/wal/...,./internal/fsx/...,./internal/segment/...,./internal/segstore/...,./internal/admission/...,./internal/chaos/...
 COVER_FLOOR = 60
 
 # Fresh benchmark artifacts land in a scratch directory, never the repo
@@ -14,7 +14,7 @@ COVER_FLOOR = 60
 BENCH_DIR = bench-out
 BASELINE  = results/BENCH_offline_baseline.json
 
-.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server cluster-smoke fuzz fuzz-smoke segment-torture stress paper corpus pgo clean
+.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server cluster-smoke chaos-smoke fuzz fuzz-smoke segment-torture stress paper corpus pgo clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/cluster/ ./internal/core/ ./internal/feature/ ./internal/segment/ ./internal/segstore/ ./internal/server/ ./internal/varindex/ ./internal/wal/
+	$(GO) test -race ./internal/admission/ ./internal/chaos/ ./internal/cluster/ ./internal/core/ ./internal/feature/ ./internal/segment/ ./internal/segstore/ ./internal/server/ ./internal/varindex/ ./internal/wal/
 
 # Repeated race-detector runs over the lock-free query path's
 # concurrency and equivalence suites — the flake-hunting profile CI
@@ -125,6 +125,15 @@ bench-server:
 # valid BENCH_cluster artifact (see docs/CLUSTER.md for the topology).
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Overload-protection exercise on loopback: a 3-shard cluster with one
+# chaos-degraded (but replicated) shard and per-client rate limits,
+# driven by vdbbench -chaos — paced keyed healthy workers plus an
+# abusive client. Asserts zero 5xx on healthy traffic, the abuser shed
+# (never failed), hedge wins, and retry volume capped by the budget
+# (see docs/ROBUSTNESS.md).
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 # One testing.B benchmark per paper table/figure plus ablations.
 bench-micro:

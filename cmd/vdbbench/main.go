@@ -22,11 +22,21 @@
 // drives a running vdbserver over HTTP with -concurrency workers
 // issuing a GET /api/query + GET /api/clips + POST /api/query/batch
 // mix, reporting per-endpoint latency quantiles, total RPS, the error
-// rate, and the 5xx count from HDR-style histograms. With -cluster the
+// rate, and the 5xx count from HDR-style histograms. 429 answers are
+// shed load, not failures: they are counted apart from the 4xx class
+// (`http_429`, `shed_rate`) and excluded from `error_rate`, so an
+// overload test can assert "shed but never failed". With -cluster the
 // target is a vdbcoord coordinator: partial (degraded) answers are
 // counted via the X-Videodb-Partial header, /api/cluster/status is
-// probed for shard count, fan-out p99 and replication lag, and the
-// artifact is written as BENCH_cluster_<timestamp>.json.
+// probed for shard count, fan-out p99, replication lag and the
+// retry/hedge/backpressure counters, and the artifact is written as
+// BENCH_cluster_<timestamp>.json. With -chaos (implies -cluster) the
+// workers become well-behaved clients — paced, each with a distinct
+// X-Videodb-Client key — and an unpaced abusive pool sharing one key
+// runs alongside them; headline metrics cover only the healthy
+// workers, with the abuser tallied separately (abuse_requests,
+// abuse_shed, abuse_shed_rate, abuse_5xx) in a BENCH_chaos artifact.
+// scripts/chaos_smoke.sh drives this scenario end to end.
 //
 // Both modes write BENCH_<mode>_<timestamp>.json into -out.
 //
@@ -74,6 +84,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 16, "server: concurrent load-generating workers")
 		duration    = flag.Duration("duration", 10*time.Second, "server: measurement length")
 		clusterOn   = flag.Bool("cluster", false, "server: target is a vdbcoord coordinator — count partial answers, probe /api/cluster/status, write a BENCH_cluster artifact")
+		chaosOn     = flag.Bool("chaos", false, "server: overload scenario (implies -cluster) — paced per-key healthy workers plus an unpaced abusive client; artifact separates shed_rate from error_rate and records abuse_* and coord_* counters")
 		qCache      = flag.Int("query-cache", 4096, "offline: query-result cache capacity (0 disables the cache and skips the cached phase)")
 		storageN    = flag.Int("storage-flushes", 4, "offline: segment flushes the storage phase spreads the corpus across (0 skips the phase)")
 		storageDir  = flag.String("storage-dir", "", "offline: keep the storage phase's segment store in this directory (default: a temp dir, removed)")
@@ -115,7 +126,7 @@ func main() {
 		rep, err = runServer(serverConfig{
 			Target: *target, Concurrency: *concurrency,
 			Duration: *duration, Seed: *seed, Batch: *batch,
-			Cluster: *clusterOn,
+			Cluster: *clusterOn, Chaos: *chaosOn,
 		})
 	default:
 		err = fmt.Errorf("unknown -mode %q (want offline or server)", *mode)

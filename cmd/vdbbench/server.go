@@ -29,7 +29,24 @@ type serverConfig struct {
 	// /api/cluster/status adds shard count, per-shard fan-out p99 and
 	// replication lag to the metrics.
 	Cluster bool
+	// Chaos runs the overload scenario (implies Cluster): the
+	// Concurrency workers become well-behaved clients — each pacing
+	// itself and carrying a distinct X-Videodb-Client key — while an
+	// extra pool of abusive workers hammers the target unpaced, all
+	// sharing one client key. Headline metrics cover only the healthy
+	// workers (the "zero 5xx on healthy traffic" assertion); the abuser
+	// is tallied separately as abuse_requests / abuse_shed_rate.
+	Chaos bool
 }
+
+// Chaos-scenario pacing: each well-behaved worker sleeps healthyPace
+// between requests (≤ ~40 req/s per worker), so a per-client rate
+// limit above that never sheds healthy traffic; the abusive pool runs
+// unpaced with abuseWorkers goroutines on one shared client key.
+const (
+	healthyPace  = 25 * time.Millisecond
+	abuseWorkers = 4
+)
 
 // workerStats is one load worker's private tally; workers never share
 // state while the clock runs, so the hot loop takes no locks.
@@ -39,6 +56,9 @@ type workerStats struct {
 	requests            int64
 	batchedQueries      int64
 	partial             int64 // answers flagged X-Videodb-Partial: true
+	shed                int64 // 429 answers: admission shed, not failure
+	clientKey           string
+	pace                time.Duration
 }
 
 func newWorkerStats() *workerStats {
@@ -73,16 +93,37 @@ func runServer(cfg serverConfig) (benchfmt.Report, error) {
 
 	deadline := time.Now().Add(cfg.Duration)
 	stats := make([]*workerStats, cfg.Concurrency)
+	var abuseStats []*workerStats
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < cfg.Concurrency; w++ {
 		st := newWorkerStats()
+		if cfg.Chaos {
+			st.clientKey = fmt.Sprintf("bench-w%d", w)
+			st.pace = healthyPace
+		}
 		stats[w] = st
 		wg.Add(1)
 		go func(workerSeed uint64) {
 			defer wg.Done()
 			loadWorker(client, base, feats, cfg.Batch, workerSeed, deadline, st)
 		}(cfg.Seed + uint64(w)*7919)
+	}
+	if cfg.Chaos {
+		// The abusive pool: unpaced workers all presenting one client
+		// key, so per-client admission sheds them while the keyed,
+		// paced workers above sail through.
+		abuseStats = make([]*workerStats, abuseWorkers)
+		for w := 0; w < abuseWorkers; w++ {
+			st := newWorkerStats()
+			st.clientKey = "abuser"
+			abuseStats[w] = st
+			wg.Add(1)
+			go func(workerSeed uint64) {
+				defer wg.Done()
+				loadWorker(client, base, feats, 0, workerSeed, deadline, st)
+			}(cfg.Seed + 1e6 + uint64(w)*104729)
+		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -98,6 +139,15 @@ func runServer(cfg serverConfig) (benchfmt.Report, error) {
 		total.requests += st.requests
 		total.batchedQueries += st.batchedQueries
 		total.partial += st.partial
+		total.shed += st.shed
+	}
+	abuse := newWorkerStats()
+	for _, st := range abuseStats {
+		for i, c := range st.byClass {
+			abuse.byClass[i] += c
+		}
+		abuse.requests += st.requests
+		abuse.shed += st.shed
 	}
 	if total.requests == 0 {
 		return benchfmt.Report{}, fmt.Errorf("no requests completed against %s", base)
@@ -116,6 +166,9 @@ func runServer(cfg serverConfig) (benchfmt.Report, error) {
 			Value: float64(errored) / float64(total.requests)},
 		{Name: "http_4xx", Unit: "requests", Value: float64(total.byClass[4])},
 		{Name: "http_5xx", Unit: "requests", Value: float64(total.byClass[5])},
+		{Name: "http_429", Unit: "requests", Value: float64(total.shed)},
+		{Name: "shed_rate", Unit: "ratio",
+			Value: float64(total.shed) / float64(total.requests)},
 		{Name: "transport_errors", Unit: "requests", Value: float64(total.byClass[0])},
 		benchfmt.LatencyMetric("request_latency", all),
 		benchfmt.LatencyMetric("query_latency", total.query),
@@ -135,7 +188,7 @@ func runServer(cfg serverConfig) (benchfmt.Report, error) {
 		Seed: cfg.Seed, BatchSize: cfg.Batch, Target: base,
 		Concurrency: cfg.Concurrency, Duration: cfg.Duration.String(),
 	}
-	if cfg.Cluster {
+	if cfg.Cluster || cfg.Chaos {
 		mode = "cluster"
 		metrics = append(metrics,
 			benchfmt.Metric{Name: "partial_answers", Unit: "requests", Value: float64(total.partial)},
@@ -149,13 +202,29 @@ func runServer(cfg serverConfig) (benchfmt.Report, error) {
 			config.Shards = shards
 		}
 	}
+	if cfg.Chaos {
+		mode = "chaos"
+		abuseShedRate := 0.0
+		if abuse.requests > 0 {
+			abuseShedRate = float64(abuse.shed) / float64(abuse.requests)
+		}
+		metrics = append(metrics,
+			benchfmt.Metric{Name: "abuse_requests", Unit: "requests", Value: float64(abuse.requests)},
+			benchfmt.Metric{Name: "abuse_shed", Unit: "requests", Value: float64(abuse.shed)},
+			benchfmt.Metric{Name: "abuse_shed_rate", Unit: "ratio", Value: abuseShedRate},
+			benchfmt.Metric{Name: "abuse_5xx", Unit: "requests", Value: float64(abuse.byClass[5])})
+	}
 
 	d := all.Distribution()
-	fmt.Printf("%s: %d requests in %v — %.0f req/s, p50 %.3gms p90 %.3gms p99 %.3gms, %d 5xx, %d 4xx, %d transport errors, %d partial\n",
+	fmt.Printf("%s: %d requests in %v — %.0f req/s, p50 %.3gms p90 %.3gms p99 %.3gms, %d 5xx, %d 4xx, %d shed, %d transport errors, %d partial\n",
 		mode, total.requests, elapsed.Round(time.Millisecond),
 		float64(total.requests)/elapsed.Seconds(),
 		d.P50*1e3, d.P90*1e3, d.P99*1e3,
-		total.byClass[5], total.byClass[4], total.byClass[0], total.partial)
+		total.byClass[5], total.byClass[4], total.shed, total.byClass[0], total.partial)
+	if cfg.Chaos {
+		fmt.Printf("abuser: %d requests, %d shed (%.0f%%), %d 5xx\n",
+			abuse.requests, abuse.shed, abuseShedRatePct(abuse), abuse.byClass[5])
+	}
 
 	return benchfmt.Report{
 		Mode:        mode,
@@ -163,6 +232,15 @@ func runServer(cfg serverConfig) (benchfmt.Report, error) {
 		Environment: environment(),
 		Metrics:     metrics,
 	}, nil
+}
+
+// abuseShedRatePct is the abusive pool's shed percentage for the
+// human-readable summary line.
+func abuseShedRatePct(st *workerStats) float64 {
+	if st.requests == 0 {
+		return 0
+	}
+	return 100 * float64(st.shed) / float64(st.requests)
 }
 
 // clusterMetrics probes the coordinator's status endpoint after a run
@@ -183,7 +261,14 @@ func clusterMetrics(client *http.Client, base string) ([]benchfmt.Metric, int, e
 			FanoutP99Seconds float64 `json:"fanoutP99Seconds"`
 			FanoutCount      int64   `json:"fanoutCount"`
 		} `json:"shards"`
-		MaxLagBytes int64 `json:"maxLagBytes"`
+		MaxLagBytes       int64 `json:"maxLagBytes"`
+		Fetches           int64 `json:"fetches"`
+		Retries           int64 `json:"retries"`
+		RetriesSuppressed int64 `json:"retriesSuppressed"`
+		Hedges            int64 `json:"hedges"`
+		HedgeWins         int64 `json:"hedgeWins"`
+		HedgesSuppressed  int64 `json:"hedgesSuppressed"`
+		Backpressure      int64 `json:"backpressure"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return nil, 0, err
@@ -197,6 +282,13 @@ func clusterMetrics(client *http.Client, base string) ([]benchfmt.Metric, int, e
 	out := []benchfmt.Metric{
 		{Name: "cluster_shards", Unit: "shards", Value: float64(len(st.Shards))},
 		{Name: "shard_fanout_p99", Unit: "seconds", Value: worstP99},
+		{Name: "coord_fetches", Unit: "requests", Value: float64(st.Fetches)},
+		{Name: "coord_retries", Unit: "requests", Value: float64(st.Retries)},
+		{Name: "coord_retries_suppressed", Unit: "requests", Value: float64(st.RetriesSuppressed)},
+		{Name: "coord_hedges", Unit: "requests", Value: float64(st.Hedges)},
+		{Name: "coord_hedge_wins", Unit: "requests", Value: float64(st.HedgeWins)},
+		{Name: "coord_hedges_suppressed", Unit: "requests", Value: float64(st.HedgesSuppressed)},
+		{Name: "coord_backpressure", Unit: "requests", Value: float64(st.Backpressure)},
 	}
 	if st.MaxLagBytes >= 0 {
 		out = append(out, benchfmt.Metric{
@@ -259,6 +351,8 @@ func fetchFeatures(client *http.Client, base string) ([]feature, error) {
 }
 
 // loadWorker issues requests until the deadline, tallying into st.
+// A non-zero st.pace sleeps between requests (a well-behaved client);
+// st.clientKey rides every request as the X-Videodb-Client header.
 func loadWorker(client *http.Client, base string, feats []feature, batchSize int, seed uint64, deadline time.Time, st *workerStats) {
 	r := rng.New(seed)
 	for time.Now().Before(deadline) {
@@ -273,6 +367,9 @@ func loadWorker(client *http.Client, base string, feats []feature, batchSize int
 			u := fmt.Sprintf("%s/api/query?varba=%g&varoa=%g",
 				base, jitter(r, f.varBA), jitter(r, f.varOA))
 			st.do(client, st.query, http.MethodGet, u, nil)
+		}
+		if st.pace > 0 {
+			time.Sleep(st.pace)
 		}
 	}
 }
@@ -308,6 +405,9 @@ func (st *workerStats) do(client *http.Client, hist *benchfmt.Histogram, method,
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if st.clientKey != "" {
+		req.Header.Set("X-Videodb-Client", st.clientKey)
+	}
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	st.requests++
@@ -318,7 +418,12 @@ func (st *workerStats) do(client *http.Client, hist *benchfmt.Histogram, method,
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	hist.RecordDuration(time.Since(t0))
-	if c := resp.StatusCode / 100; c >= 1 && c <= 5 {
+	// A 429 is the server shedding load on purpose — admission control
+	// working, not the service failing — so it is tallied apart from
+	// the 4xx class and excluded from the error rate.
+	if resp.StatusCode == http.StatusTooManyRequests {
+		st.shed++
+	} else if c := resp.StatusCode / 100; c >= 1 && c <= 5 {
 		st.byClass[c]++
 	}
 	if resp.Header.Get("X-Videodb-Partial") == "true" {

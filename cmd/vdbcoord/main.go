@@ -27,6 +27,14 @@
 // Scatter answers carry "partial": true (and the X-Videodb-Partial
 // header) when a shard contributed nothing; see docs/CLUSTER.md for
 // the full failure matrix.
+//
+// Reads are hardened against slow and overloaded shards: -hedge fires
+// a backup probe at a replica when a primary is slower than its
+// p99-derived hedge delay (-hedge-delay is the floor), -retry-budget
+// caps retry+hedge volume at a fraction of primary traffic so retry
+// storms cannot amplify an outage, and a shard answering 429 is
+// treated as backpressure — propagated with its Retry-After, never
+// retried. See docs/ROBUSTNESS.md.
 package main
 
 import (
@@ -60,6 +68,9 @@ func main() {
 		vnodes  = flag.Int("vnodes", cluster.DefaultVnodes, "virtual nodes per shard on the hash ring")
 		timeout = flag.Duration("timeout", 10*time.Second, "per fan-out attempt timeout")
 		retries = flag.Int("retries", 1, "read retries per node before failing over")
+		budget  = flag.Float64("retry-budget", 0.2, "retry+hedge volume cap as a fraction of primary fan-out traffic (negative = uncapped)")
+		hedge   = flag.Bool("hedge", true, "fire a hedged backup probe at a replica when the primary is slower than the hedge delay")
+		hedgeD  = flag.Duration("hedge-delay", 50*time.Millisecond, "hedge delay floor; a shard's observed p99 fan-out latency is used once known")
 		probe   = flag.Duration("probe", 2*time.Second, "health probe interval")
 		drain   = flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 	)
@@ -86,6 +97,9 @@ func main() {
 		Vnodes:        *vnodes,
 		Timeout:       *timeout,
 		Retries:       *retries,
+		RetryBudget:   *budget,
+		Hedge:         *hedge,
+		HedgeDelay:    *hedgeD,
 		ProbeInterval: *probe,
 		Logger:        logger,
 	})

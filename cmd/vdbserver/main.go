@@ -39,6 +39,15 @@
 // every request, enforces per-request and connection-level timeouts,
 // and drains in-flight requests before exiting on SIGINT/SIGTERM.
 //
+// Overload protection: -rate-limit / -client-rate-limit add token
+// buckets (sheds answer 429 + Retry-After), -max-inflight /
+// -queue-depth / -queue-timeout bound concurrency with a deadline-aware
+// wait queue (sheds answer 503 + Retry-After). Health, metrics and
+// replication endpoints are never shed. Repeatable -chaos specs
+// (kind:pathprefix:probability:param, seeded by -chaos-seed) inject
+// latency, error or slow-body faults for chaos testing. See
+// docs/ROBUSTNESS.md.
+//
 // With -data DIR the server runs on a segment store instead of the
 // monolithic snapshot: flushed clips live in immutable mmap-ed
 // segment files under DIR (opened without reading them into heap, so
@@ -65,6 +74,8 @@ import (
 	"syscall"
 	"time"
 
+	"videodb/internal/admission"
+	"videodb/internal/chaos"
 	"videodb/internal/cluster"
 	"videodb/internal/core"
 	"videodb/internal/segstore"
@@ -96,7 +107,24 @@ func main() {
 		compactIvl = flag.Duration("compact-interval", 30*time.Second, "background segment-compaction cadence for -data (0 disables)")
 		fanout     = flag.Int("fanout", segstore.DefaultFanout, "segments per generation before the compactor merges them (-data)")
 		clipCache  = flag.Int("clip-cache", core.DefaultClipCache, "decoded-clip LRU capacity in clips for segment reads (-data, 0 = default)")
+
+		rateLimit   = flag.Float64("rate-limit", 0, "global admission rate in requests/second (0 = unlimited)")
+		rateBurst   = flag.Float64("rate-burst", 0, "global admission bucket depth (0 = 2x rate)")
+		clientRate  = flag.Float64("client-rate-limit", 0, "per-client admission rate in requests/second, keyed by "+admission.ClientHeader+" or remote IP (0 = unlimited)")
+		clientBurst = flag.Float64("client-rate-burst", 0, "per-client admission bucket depth (0 = 2x client rate)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently admitted requests; excess queues then sheds 503 (0 = unlimited)")
+		queueDepth  = flag.Int("queue-depth", 0, "max requests waiting for an inflight slot (0 = max-inflight)")
+		queueWait   = flag.Duration("queue-timeout", 0, "longest a request waits for an inflight slot before shedding (0 = 1s)")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "seed for the deterministic chaos fault stream")
 	)
+	var chaosSpecs []string
+	flag.Func("chaos", "fault-injection spec kind:pathprefix:probability:param, e.g. latency:/api/query:0.5:200ms (repeatable; see docs/ROBUSTNESS.md)", func(v string) error {
+		if _, err := chaos.ParseFault(v); err != nil {
+			return err
+		}
+		chaosSpecs = append(chaosSpecs, v)
+		return nil
+	})
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -141,6 +169,34 @@ func main() {
 		server.WithLogger(logger),
 		server.WithTimeout(*timeout),
 		server.WithMaxBody(*maxBody),
+	}
+	if *rateLimit > 0 || *clientRate > 0 || *maxInflight > 0 {
+		opts = append(opts, server.WithAdmission(admission.New(admission.Config{
+			Rate:         *rateLimit,
+			Burst:        *rateBurst,
+			ClientRate:   *clientRate,
+			ClientBurst:  *clientBurst,
+			MaxInflight:  *maxInflight,
+			QueueDepth:   *queueDepth,
+			QueueTimeout: *queueWait,
+		})))
+		logger.Info("admission control enabled",
+			"rate", *rateLimit, "clientRate", *clientRate,
+			"maxInflight", *maxInflight, "queueDepth", *queueDepth)
+	}
+	var injector *chaos.Injector
+	if len(chaosSpecs) > 0 {
+		faults, err := chaos.ParseFaults(chaosSpecs)
+		if err != nil {
+			log.Fatalf("vdbserver: %v", err)
+		}
+		injector = chaos.New(faults, *chaosSeed)
+		opts = append(opts, server.WithExtraMetrics(func(counters, _ map[string]float64) {
+			for kind, n := range injector.Stats() {
+				counters["videodb_chaos_injected_"+kind+"_total"] = float64(n)
+			}
+		}))
+		logger.Warn("CHAOS FAULT INJECTION ENABLED", "faults", chaosSpecs, "seed", *chaosSeed)
 	}
 	var replica *cluster.Replica
 	switch {
@@ -208,10 +264,16 @@ func main() {
 		fmt.Printf("media endpoints enabled over %s (%d clips)\n", *corpus, len(cat.Names()))
 	}
 
+	// Chaos wraps the whole API stack so injected faults look exactly
+	// like a degraded process from the outside — admission, timeout and
+	// metrics middleware all experience them too.
+	handler := srv.Handler()
+	if injector != nil {
+		handler = injector.Middleware(handler)
+	}
 	// The pprof mux sits outside the API middleware stack on purpose:
 	// the per-request timeout would truncate a 30-second CPU profile,
 	// and profile downloads have no business in the request metrics.
-	handler := srv.Handler()
 	if *pprofOn {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,323 @@
+// Package admission implements overload protection for the HTTP
+// serving tier: token-bucket rate limiting (one global bucket plus one
+// bucket per client key) and a concurrency limiter with a bounded,
+// deadline-aware wait queue.
+//
+// The model is admit-or-shed, never collapse: a request past the rate
+// limit is refused immediately with a Retry-After hint; a request past
+// the concurrency limit queues until either a slot frees or its wait
+// budget runs out, and is then shed. Shedding answers are cheap by
+// design — an overloaded server spends its capacity on the requests it
+// admitted, not on the ones it refused — and every decision is counted
+// so operators can see shed/queued/inflight at /api/metrics
+// (videodb_admission_*). docs/ROBUSTNESS.md describes the policy and
+// the degradation matrix it produces.
+package admission
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ClientHeader names the request header that carries a client's
+// identity for per-client rate limiting. Proxies (vdbcoord) forward it
+// so shard-side limits see the originating client, not the proxy;
+// absent the header, the client's remote IP is the key.
+const ClientHeader = "X-Videodb-Client"
+
+// ClientKey extracts the rate-limiting key for a request: the
+// ClientHeader value when present, else the remote IP without port.
+func ClientKey(r *http.Request) string {
+	if k := r.Header.Get(ClientHeader); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// Shed reasons, used as metric suffixes and carried on Error.
+const (
+	ReasonRateLimit    = "rate_limit"    // global bucket empty
+	ReasonClientLimit  = "client_limit"  // this client's bucket empty
+	ReasonQueueFull    = "queue_full"    // wait queue at capacity
+	ReasonQueueTimeout = "queue_timeout" // queued past the wait budget
+)
+
+// Error is a shed decision: which limit refused the request and how
+// long the client should wait before retrying.
+type Error struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *Error) Error() string { return "admission: shed (" + e.Reason + ")" }
+
+// ErrShed matches any admission refusal with errors.Is.
+var ErrShed = errors.New("admission: shed")
+
+// Is reports that every *Error is an ErrShed.
+func (e *Error) Is(target error) bool { return target == ErrShed }
+
+// Config configures a Controller. Zero-valued limits are disabled, so
+// the zero Config admits everything.
+type Config struct {
+	// Rate is the global admission rate in requests/second (0 = no
+	// global rate limit).
+	Rate float64
+	// Burst is the global bucket depth; defaults to max(2*Rate, 1).
+	Burst float64
+	// ClientRate is the per-client-key rate in requests/second (0 = no
+	// per-client limit).
+	ClientRate float64
+	// ClientBurst is the per-client bucket depth; defaults to
+	// max(2*ClientRate, 1).
+	ClientBurst float64
+	// MaxClients bounds the per-client bucket table; the least recently
+	// seen keys are evicted past it (default 4096).
+	MaxClients int
+	// MaxInflight caps concurrently admitted requests (0 = no cap).
+	MaxInflight int
+	// QueueDepth bounds how many requests may wait for an inflight slot
+	// (default MaxInflight, 0 keeps the default).
+	QueueDepth int
+	// QueueTimeout is the longest a request waits in the queue before
+	// it is shed; a request whose context deadline expires sooner is
+	// shed at the deadline instead (default 1s).
+	QueueTimeout time.Duration
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Stats is a point-in-time snapshot of the controller's counters.
+type Stats struct {
+	// Shed counts refusals by reason (see the Reason constants).
+	Shed map[string]int64
+	// ShedTotal is the sum over Shed.
+	ShedTotal int64
+	// Queued counts requests that waited for an inflight slot before
+	// being admitted or shed.
+	Queued int64
+	// Admitted counts requests that passed every limit.
+	Admitted int64
+	// Inflight is the number of currently admitted requests.
+	Inflight int64
+	// Waiting is the current wait-queue length.
+	Waiting int64
+	// Clients is the number of per-client buckets currently tracked.
+	Clients int64
+}
+
+// Controller applies the configured limits. The zero value is not
+// valid; use New.
+type Controller struct {
+	cfg Config
+	now func() time.Time
+
+	mu      sync.Mutex
+	global  bucket
+	clients map[string]*clientBucket
+
+	slots   chan struct{} // nil when MaxInflight == 0
+	waiting atomic.Int64
+	queueN  int64
+
+	admitted atomic.Int64
+	queued   atomic.Int64
+	shed     struct {
+		sync.Mutex
+		byReason map[string]int64
+	}
+}
+
+// bucket is a token bucket; tokens refill continuously at rate up to
+// burst. Guarded by the Controller's mutex.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+type clientBucket struct {
+	bucket
+	lastSeen time.Time
+}
+
+// take refills the bucket to now and consumes one token if available;
+// otherwise it reports how long until one accrues.
+func (b *bucket) take(now time.Time, rate, burst float64) (ok bool, retryAfter time.Duration) {
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * rate
+	} else {
+		b.tokens = burst
+	}
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / rate * float64(time.Second))
+}
+
+// New builds a controller from cfg, applying the documented defaults.
+func New(cfg Config) *Controller {
+	if cfg.Burst <= 0 {
+		cfg.Burst = max(2*cfg.Rate, 1)
+	}
+	if cfg.ClientBurst <= 0 {
+		cfg.ClientBurst = max(2*cfg.ClientRate, 1)
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 4096
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = cfg.MaxInflight
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = time.Second
+	}
+	c := &Controller{
+		cfg:     cfg,
+		now:     cfg.now,
+		clients: make(map[string]*clientBucket),
+		queueN:  int64(cfg.QueueDepth),
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if cfg.MaxInflight > 0 {
+		c.slots = make(chan struct{}, cfg.MaxInflight)
+	}
+	c.shed.byReason = make(map[string]int64)
+	return c
+}
+
+// Admit runs the rate-limit stage for one request from key. A nil
+// error admits; an *Error refuses with the limiting reason and a
+// Retry-After hint.
+func (c *Controller) Admit(key string) error {
+	now := c.now()
+	c.mu.Lock()
+	if c.cfg.Rate > 0 {
+		if ok, retry := c.global.take(now, c.cfg.Rate, c.cfg.Burst); !ok {
+			c.mu.Unlock()
+			c.addShed(ReasonRateLimit)
+			return &Error{Reason: ReasonRateLimit, RetryAfter: retry}
+		}
+	}
+	if c.cfg.ClientRate > 0 {
+		cb := c.clients[key]
+		if cb == nil {
+			c.evictLocked(now)
+			cb = &clientBucket{}
+			c.clients[key] = cb
+		}
+		cb.lastSeen = now
+		if ok, retry := cb.take(now, c.cfg.ClientRate, c.cfg.ClientBurst); !ok {
+			c.mu.Unlock()
+			c.addShed(ReasonClientLimit)
+			return &Error{Reason: ReasonClientLimit, RetryAfter: retry}
+		}
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// evictLocked makes room in the client table: when at capacity, the
+// least recently seen bucket goes. A full bucket holds at most Burst
+// tokens, so evicting and re-creating a key can only grant it one
+// extra burst — bounded unfairness in exchange for bounded memory.
+func (c *Controller) evictLocked(now time.Time) {
+	if len(c.clients) < c.cfg.MaxClients {
+		return
+	}
+	var oldestKey string
+	var oldest time.Time
+	for k, cb := range c.clients {
+		if oldestKey == "" || cb.lastSeen.Before(oldest) {
+			oldestKey, oldest = k, cb.lastSeen
+		}
+	}
+	delete(c.clients, oldestKey)
+}
+
+// Acquire runs the concurrency stage: it returns a release function
+// once an inflight slot is held, or an *Error when the request must be
+// shed (queue full, wait budget exhausted, or ctx done). release must
+// be called exactly once.
+func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
+	if c.slots == nil {
+		c.admitted.Add(1)
+		return func() {}, nil
+	}
+	select {
+	case c.slots <- struct{}{}:
+		c.admitted.Add(1)
+		return c.release, nil
+	default:
+	}
+	// Past the limit: queue, bounded in depth and wait time.
+	if c.waiting.Add(1) > c.queueN {
+		c.waiting.Add(-1)
+		c.addShed(ReasonQueueFull)
+		return nil, &Error{Reason: ReasonQueueFull, RetryAfter: c.cfg.QueueTimeout}
+	}
+	defer c.waiting.Add(-1)
+	c.queued.Add(1)
+	timer := time.NewTimer(c.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case c.slots <- struct{}{}:
+		c.admitted.Add(1)
+		return c.release, nil
+	case <-timer.C:
+		c.addShed(ReasonQueueTimeout)
+		return nil, &Error{Reason: ReasonQueueTimeout, RetryAfter: c.cfg.QueueTimeout}
+	case <-ctx.Done():
+		// The client's own deadline expired while queued: shed without
+		// burning a slot on an answer nobody is waiting for.
+		c.addShed(ReasonQueueTimeout)
+		return nil, &Error{Reason: ReasonQueueTimeout, RetryAfter: c.cfg.QueueTimeout}
+	}
+}
+
+func (c *Controller) release() { <-c.slots }
+
+func (c *Controller) addShed(reason string) {
+	c.shed.Lock()
+	c.shed.byReason[reason]++
+	c.shed.Unlock()
+}
+
+// Stats snapshots the controller's counters and gauges.
+func (c *Controller) Stats() Stats {
+	st := Stats{
+		Shed:     make(map[string]int64, 4),
+		Queued:   c.queued.Load(),
+		Admitted: c.admitted.Load(),
+		Waiting:  c.waiting.Load(),
+	}
+	if c.slots != nil {
+		st.Inflight = int64(len(c.slots))
+	}
+	c.shed.Lock()
+	for r, n := range c.shed.byReason {
+		st.Shed[r] = n
+		st.ShedTotal += n
+	}
+	c.shed.Unlock()
+	c.mu.Lock()
+	st.Clients = int64(len(c.clients))
+	c.mu.Unlock()
+	return st
+}

@@ -1,0 +1,238 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic bucket math.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestGlobalRateLimit(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{Rate: 10, Burst: 5, now: clk.now})
+
+	// The first burst is admitted, the next request is shed.
+	for i := 0; i < 5; i++ {
+		if err := c.Admit("k"); err != nil {
+			t.Fatalf("request %d within burst shed: %v", i, err)
+		}
+	}
+	err := c.Admit("k")
+	if err == nil {
+		t.Fatal("request past the burst was admitted")
+	}
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Reason != ReasonRateLimit {
+		t.Fatalf("shed error = %v, want Reason=%s", err, ReasonRateLimit)
+	}
+	if !errors.Is(err, ErrShed) {
+		t.Fatal("shed error does not match ErrShed")
+	}
+	if ae.RetryAfter <= 0 || ae.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter = %v, want (0, 1s] at 10 req/s", ae.RetryAfter)
+	}
+
+	// Tokens refill continuously: 100ms at 10/s buys one request.
+	clk.advance(100 * time.Millisecond)
+	if err := c.Admit("k"); err != nil {
+		t.Fatalf("request after refill shed: %v", err)
+	}
+	if err := c.Admit("k"); err == nil {
+		t.Fatal("second request after a one-token refill was admitted")
+	}
+
+	st := c.Stats()
+	if st.Shed[ReasonRateLimit] != 2 || st.ShedTotal != 2 {
+		t.Fatalf("shed counters = %+v, want 2 rate_limit sheds", st.Shed)
+	}
+}
+
+func TestPerClientRateLimitIsolation(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{ClientRate: 10, ClientBurst: 3, now: clk.now})
+
+	// Client A exhausts its bucket; client B is untouched.
+	for i := 0; i < 3; i++ {
+		if err := c.Admit("a"); err != nil {
+			t.Fatalf("client a request %d shed: %v", i, err)
+		}
+	}
+	err := c.Admit("a")
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Reason != ReasonClientLimit {
+		t.Fatalf("client a past burst: err=%v, want Reason=%s", err, ReasonClientLimit)
+	}
+	if err := c.Admit("b"); err != nil {
+		t.Fatalf("client b shed by client a's abuse: %v", err)
+	}
+	if got := c.Stats().Clients; got != 2 {
+		t.Fatalf("tracked clients = %d, want 2", got)
+	}
+}
+
+func TestClientTableEviction(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{ClientRate: 10, MaxClients: 4, now: clk.now})
+	for i := 0; i < 16; i++ {
+		clk.advance(time.Millisecond)
+		if err := c.Admit(fmt.Sprintf("client-%d", i)); err != nil {
+			t.Fatalf("client %d shed: %v", i, err)
+		}
+	}
+	if got := c.Stats().Clients; got > 4 {
+		t.Fatalf("client table grew to %d entries, cap is 4", got)
+	}
+}
+
+func TestConcurrencyLimiterQueueAndShed(t *testing.T) {
+	c := New(Config{MaxInflight: 2, QueueDepth: 1, QueueTimeout: 50 * time.Millisecond})
+
+	// Fill both slots.
+	rel1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Inflight; got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+
+	// Third request queues; it is admitted once a slot frees.
+	admitted := make(chan error, 1)
+	go func() {
+		rel, err := c.Acquire(context.Background())
+		if err == nil {
+			defer rel()
+		}
+		admitted <- err
+	}()
+	// Wait until it is actually queued before releasing.
+	deadline := time.Now().Add(time.Second)
+	for c.Stats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("third request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rel1()
+	if err := <-admitted; err != nil {
+		t.Fatalf("queued request shed although a slot freed: %v", err)
+	}
+
+	// With both slots held and the queue full, the next request is shed
+	// immediately with queue_full.
+	rel3, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan struct{})
+	go func() {
+		// Occupies the single queue slot until the timeout sheds it.
+		_, err := c.Acquire(context.Background())
+		var ae *Error
+		if !errors.As(err, &ae) || ae.Reason != ReasonQueueTimeout {
+			t.Errorf("queued request err = %v, want %s", err, ReasonQueueTimeout)
+		}
+		close(blocked)
+	}()
+	for c.Stats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue occupant never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err = c.Acquire(context.Background())
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Reason != ReasonQueueFull {
+		t.Fatalf("request past the queue: err=%v, want %s", err, ReasonQueueFull)
+	}
+	<-blocked
+
+	rel2()
+	rel3()
+	st := c.Stats()
+	if st.Inflight != 0 {
+		t.Fatalf("inflight = %d after all releases, want 0", st.Inflight)
+	}
+	if st.Shed[ReasonQueueFull] != 1 || st.Shed[ReasonQueueTimeout] != 1 {
+		t.Fatalf("shed = %+v, want one queue_full and one queue_timeout", st.Shed)
+	}
+	if st.Queued < 2 {
+		t.Fatalf("queued counter = %d, want >= 2", st.Queued)
+	}
+}
+
+func TestAcquireRespectsContextDeadline(t *testing.T) {
+	c := New(Config{MaxInflight: 1, QueueDepth: 4, QueueTimeout: 10 * time.Second})
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Acquire(ctx)
+	if err == nil {
+		t.Fatal("acquire succeeded with the only slot held")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("acquire waited %v past the context deadline", elapsed)
+	}
+}
+
+func TestZeroConfigAdmitsEverything(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 1000; i++ {
+		if err := c.Admit("anyone"); err != nil {
+			t.Fatalf("zero config shed request %d: %v", i, err)
+		}
+		rel, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("zero config refused slot %d: %v", i, err)
+		}
+		rel()
+	}
+	if st := c.Stats(); st.ShedTotal != 0 {
+		t.Fatalf("zero config shed %d requests", st.ShedTotal)
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	r, _ := http.NewRequest(http.MethodGet, "/", nil)
+	r.RemoteAddr = "192.0.2.7:4242"
+	if got := ClientKey(r); got != "192.0.2.7" {
+		t.Fatalf("ClientKey from addr = %q, want 192.0.2.7", got)
+	}
+	r.Header.Set(ClientHeader, "tenant-9")
+	if got := ClientKey(r); got != "tenant-9" {
+		t.Fatalf("ClientKey with header = %q, want tenant-9", got)
+	}
+}

@@ -1,0 +1,235 @@
+// Package chaos implements fault-injection middleware for torturing
+// real deployments: added latency, injected errors, and throttled
+// (slow-body) responses, each scoped to a path prefix and fired with a
+// configured probability from a seeded deterministic random stream.
+//
+// Faults are described by a small spec grammar (one spec per fault,
+// repeatable on the vdbserver -chaos flag):
+//
+//	kind:pathprefix:probability:param
+//
+//	latency:/api/query:0.5:200ms     half of /api/query* sleeps 200ms
+//	error:/api/:0.05:500             5% of API requests answer 500
+//	slow:/api/clips:1.0:4096         clip responses trickle at 4 KiB/s
+//
+// The same seed and request order reproduce the same fault sequence,
+// so a chaos run that found a bug can be replayed. Injected faults are
+// counted per kind (Stats) and exported by vdbserver as
+// videodb_chaos_injected_total metrics. See docs/ROBUSTNESS.md for the
+// grammar and the cluster chaos-smoke scenario built on this package.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"videodb/internal/rng"
+)
+
+// Fault kinds.
+const (
+	KindLatency = "latency" // sleep Latency before handling
+	KindError   = "error"   // answer Code immediately, JSON body
+	KindSlow    = "slow"    // throttle the response body to BytesPerSec
+)
+
+// Fault is one injection rule.
+type Fault struct {
+	// Kind is one of KindLatency, KindError, KindSlow.
+	Kind string
+	// PathPrefix scopes the fault: only requests whose URL path has
+	// this prefix are candidates.
+	PathPrefix string
+	// Prob is the injection probability in [0, 1].
+	Prob float64
+	// Latency is the injected delay (KindLatency).
+	Latency time.Duration
+	// Code is the injected status code (KindError).
+	Code int
+	// BytesPerSec is the response bandwidth cap (KindSlow).
+	BytesPerSec int
+}
+
+// ParseFault parses one kind:pathprefix:probability:param spec.
+func ParseFault(spec string) (Fault, error) {
+	parts := strings.SplitN(spec, ":", 4)
+	if len(parts) != 4 {
+		return Fault{}, fmt.Errorf("chaos: spec %q: want kind:pathprefix:probability:param", spec)
+	}
+	f := Fault{Kind: parts[0], PathPrefix: parts[1]}
+	if f.PathPrefix == "" || !strings.HasPrefix(f.PathPrefix, "/") {
+		return Fault{}, fmt.Errorf("chaos: spec %q: path prefix must start with /", spec)
+	}
+	prob, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || prob < 0 || prob > 1 {
+		return Fault{}, fmt.Errorf("chaos: spec %q: probability must be in [0,1]", spec)
+	}
+	f.Prob = prob
+	param := parts[3]
+	switch f.Kind {
+	case KindLatency:
+		d, err := time.ParseDuration(param)
+		if err != nil || d <= 0 {
+			return Fault{}, fmt.Errorf("chaos: spec %q: latency param must be a positive duration", spec)
+		}
+		f.Latency = d
+	case KindError:
+		code, err := strconv.Atoi(param)
+		if err != nil || code < 400 || code > 599 {
+			return Fault{}, fmt.Errorf("chaos: spec %q: error param must be a 4xx/5xx status code", spec)
+		}
+		f.Code = code
+	case KindSlow:
+		bps, err := strconv.Atoi(param)
+		if err != nil || bps <= 0 {
+			return Fault{}, fmt.Errorf("chaos: spec %q: slow param must be positive bytes/sec", spec)
+		}
+		f.BytesPerSec = bps
+	default:
+		return Fault{}, fmt.Errorf("chaos: spec %q: unknown kind %q (want latency|error|slow)", spec, f.Kind)
+	}
+	return f, nil
+}
+
+// ParseFaults parses a list of specs.
+func ParseFaults(specs []string) ([]Fault, error) {
+	out := make([]Fault, 0, len(specs))
+	for _, s := range specs {
+		f, err := ParseFault(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Injector evaluates faults against requests. Create with New.
+type Injector struct {
+	faults []Fault
+
+	mu       sync.Mutex
+	rng      *rng.RNG
+	injected map[string]int64
+}
+
+// New builds an injector over faults with a seeded random stream.
+func New(faults []Fault, seed uint64) *Injector {
+	return &Injector{
+		faults:   faults,
+		rng:      rng.New(seed),
+		injected: make(map[string]int64, len(faults)),
+	}
+}
+
+// roll draws one uniform float and, when it lands under p, counts an
+// injection of kind. One draw happens per candidate fault per request
+// regardless of outcome, so the decision stream depends only on the
+// seed and the request order.
+func (inj *Injector) roll(kind string, p float64) bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.rng.Float64() >= p {
+		return false
+	}
+	inj.injected[kind]++
+	return true
+}
+
+// Stats returns the injected-fault counts by kind.
+func (inj *Injector) Stats() map[string]int64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make(map[string]int64, len(inj.injected))
+	for k, v := range inj.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// Middleware wraps next with the injector's faults. Multiple faults
+// can fire on one request (a response can be both delayed and
+// throttled); an injected error short-circuits the handler.
+func (inj *Injector) Middleware(next http.Handler) http.Handler {
+	if len(inj.faults) == 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var slowBPS int
+		for _, f := range inj.faults {
+			if !strings.HasPrefix(r.URL.Path, f.PathPrefix) || !inj.roll(f.Kind, f.Prob) {
+				continue
+			}
+			switch f.Kind {
+			case KindLatency:
+				select {
+				case <-time.After(f.Latency):
+				case <-r.Context().Done():
+					// The caller gave up during the injected delay; there
+					// is nobody left to answer.
+					return
+				}
+			case KindError:
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(f.Code)
+				fmt.Fprintf(w, "{\"error\":\"chaos: injected status %d\"}\n", f.Code)
+				return
+			case KindSlow:
+				if slowBPS == 0 || f.BytesPerSec < slowBPS {
+					slowBPS = f.BytesPerSec
+				}
+			}
+		}
+		if slowBPS > 0 {
+			sw := &slowWriter{ResponseWriter: w, bps: slowBPS, ctx: r.Context()}
+			next.ServeHTTP(sw, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// slowWriter throttles response writes to bps bytes/second by slicing
+// writes into small chunks with proportional sleeps.
+type slowWriter struct {
+	http.ResponseWriter
+	bps int
+	ctx context.Context
+}
+
+func (sw *slowWriter) Write(p []byte) (int, error) {
+	written := 0
+	for len(p) > 0 {
+		chunk := sw.bps / 10 // ~100ms of budget per chunk
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > len(p) {
+			chunk = len(p)
+		}
+		n, err := sw.ResponseWriter.Write(p[:chunk])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		p = p[chunk:]
+		if len(p) == 0 {
+			break
+		}
+		delay := time.Duration(float64(chunk) / float64(sw.bps) * float64(time.Second))
+		select {
+		case <-time.After(delay):
+		case <-sw.ctx.Done():
+			return written, sw.ctx.Err()
+		}
+	}
+	return written, nil
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (sw *slowWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }

@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFault(t *testing.T) {
+	good := []struct {
+		spec string
+		want Fault
+	}{
+		{"latency:/api/query:0.5:200ms",
+			Fault{Kind: KindLatency, PathPrefix: "/api/query", Prob: 0.5, Latency: 200 * time.Millisecond}},
+		{"error:/api/:0.05:500",
+			Fault{Kind: KindError, PathPrefix: "/api/", Prob: 0.05, Code: 500}},
+		{"slow:/api/clips:1:4096",
+			Fault{Kind: KindSlow, PathPrefix: "/api/clips", Prob: 1, BytesPerSec: 4096}},
+	}
+	for _, tc := range good {
+		got, err := ParseFault(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseFault(%q): %v", tc.spec, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParseFault(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+	bad := []string{
+		"",
+		"latency:/api:0.5",       // missing param
+		"latency:api:0.5:10ms",   // prefix without /
+		"latency:/api:1.5:10ms",  // probability > 1
+		"latency:/api:0.5:-10ms", // negative duration
+		"error:/api:0.5:200",     // not an error code
+		"error:/api:0.5:cat",     // non-numeric code
+		"slow:/api:0.5:0",        // zero bandwidth
+		"explode:/api:0.5:10ms",  // unknown kind
+		"latency:/api:zero:10ms", // non-numeric probability
+	}
+	for _, spec := range bad {
+		if _, err := ParseFault(spec); err == nil {
+			t.Fatalf("ParseFault(%q) accepted an invalid spec", spec)
+		}
+	}
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, strings.Repeat("x", 1000))
+	})
+}
+
+func TestErrorInjectionScopedAndCounted(t *testing.T) {
+	inj := New([]Fault{{Kind: KindError, PathPrefix: "/api/query", Prob: 1, Code: 503}}, 1)
+	ts := httptest.NewServer(inj.Middleware(okHandler()))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/query?varba=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("in-scope request: status %d, want injected 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "chaos") {
+		t.Fatalf("injected body %q does not identify itself as chaos", body)
+	}
+
+	// Out of scope: untouched.
+	resp2, err := http.Get(ts.URL + "/api/clips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("out-of-scope request: status %d, want 200", resp2.StatusCode)
+	}
+
+	if got := inj.Stats()[KindError]; got != 1 {
+		t.Fatalf("injected error count = %d, want 1", got)
+	}
+}
+
+func TestLatencyInjectionDelays(t *testing.T) {
+	inj := New([]Fault{{Kind: KindLatency, PathPrefix: "/", Prob: 1, Latency: 60 * time.Millisecond}}, 1)
+	ts := httptest.NewServer(inj.Middleware(okHandler()))
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("request finished in %v, injected latency is 60ms", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("latency fault changed the status to %d", resp.StatusCode)
+	}
+}
+
+func TestSlowInjectionThrottles(t *testing.T) {
+	// 1000 bytes at 2000 B/s should take roughly half a second.
+	inj := New([]Fault{{Kind: KindSlow, PathPrefix: "/", Prob: 1, BytesPerSec: 2000}}, 1)
+	ts := httptest.NewServer(inj.Middleware(okHandler()))
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 1000 {
+		t.Fatalf("throttled body lost bytes: got %d, want 1000", len(body))
+	}
+	if elapsed := time.Since(start); elapsed < 300*time.Millisecond {
+		t.Fatalf("1000 bytes at 2000 B/s arrived in %v; throttle is not throttling", elapsed)
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	decisions := func(seed uint64) []bool {
+		inj := New([]Fault{{Kind: KindError, PathPrefix: "/", Prob: 0.5, Code: 500}}, seed)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.roll(KindError, 0.5)
+		}
+		return out
+	}
+	a, b := decisions(42), decisions(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	c := decisions(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 64-decision stream")
+	}
+}
+
+// comparableHandler is a pointer receiver so the interface value is
+// comparable (func values are not).
+type comparableHandler struct{}
+
+func (*comparableHandler) ServeHTTP(http.ResponseWriter, *http.Request) {}
+
+func TestZeroFaultsPassthrough(t *testing.T) {
+	inj := New(nil, 1)
+	h := &comparableHandler{}
+	if got := inj.Middleware(h); got != http.Handler(h) {
+		// Middleware must return next unchanged so the fault-free path
+		// costs nothing.
+		t.Fatal("empty injector wrapped the handler anyway")
+	}
+}

@@ -1,0 +1,57 @@
+package cluster
+
+import "sync"
+
+// retryBudget is a Finagle-style retry budget shared by every shard
+// fan-out: each primary fetch deposits ratio tokens, and every retry,
+// failover attempt or hedge withdraws one. The balance is capped, so an
+// idle period cannot bank an unbounded burst of retries. When demand
+// exceeds ratio × primary traffic — the signature of an outage, where
+// every request wants a retry — the budget runs dry and the coordinator
+// fails fast instead of amplifying the outage into a retry storm that
+// multiplies load on the surviving nodes.
+type retryBudget struct {
+	mu        sync.Mutex
+	ratio     float64
+	tokens    float64
+	unlimited bool
+}
+
+// budgetBurst caps the banked balance and seeds the initial one, so a
+// cold coordinator can still fail over its first requests before any
+// deposits accrue.
+const budgetBurst = 16
+
+// newRetryBudget grants ratio retries per primary fetch; a negative
+// ratio disables the cap entirely (every take succeeds).
+func newRetryBudget(ratio float64) *retryBudget {
+	return &retryBudget{ratio: ratio, tokens: budgetBurst, unlimited: ratio < 0}
+}
+
+// deposit credits one primary fetch's worth of retry allowance.
+func (b *retryBudget) deposit() {
+	if b.unlimited {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > budgetBurst {
+		b.tokens = budgetBurst
+	}
+	b.mu.Unlock()
+}
+
+// take withdraws one token, reporting false when the budget is dry and
+// the extra attempt must be suppressed.
+func (b *retryBudget) take() bool {
+	if b.unlimited {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"videodb/internal/admission"
 	"videodb/internal/benchfmt"
 	"videodb/internal/impression"
 	"videodb/internal/server"
@@ -43,8 +44,24 @@ type Config struct {
 	// Timeout bounds each fan-out attempt (default 10s).
 	Timeout time.Duration
 	// Retries is how many times a failed read attempt is retried per
-	// node before failing over to the next node (default 1).
+	// node before failing over to the next node (default 1). Every
+	// retry and failover attempt is additionally paid for from the
+	// shared RetryBudget.
 	Retries int
+	// RetryBudget caps retry, failover and hedge volume at this
+	// fraction of primary fan-out traffic (a Finagle-style retry
+	// budget, so retry storms cannot amplify an outage). 0 means the
+	// default 0.2; a negative value removes the cap.
+	RetryBudget float64
+	// Hedge enables hedged scatter reads: when a shard has a replica
+	// and its primary has not answered within the hedge delay, a backup
+	// probe fires at the replica and the first success wins. Hedges are
+	// paid from the RetryBudget like retries.
+	Hedge bool
+	// HedgeDelay is the floor for the hedge delay (default 50ms); once
+	// a shard has enough fan-out observations its p99 latency is used
+	// instead, clamped to [HedgeDelay, Timeout/2].
+	HedgeDelay time.Duration
 	// ProbeInterval is the health-probe period (default 2s).
 	ProbeInterval time.Duration
 	// Client overrides the HTTP client (tests inject httptest clients).
@@ -63,6 +80,9 @@ type Coordinator struct {
 	client        *http.Client
 	timeout       time.Duration
 	retries       int
+	budget        *retryBudget
+	hedge         bool
+	hedgeFloor    time.Duration
 	probeInterval time.Duration
 	log           *slog.Logger
 	metrics       *coordMetrics
@@ -81,10 +101,20 @@ func New(cfg Config) (*Coordinator, error) {
 		client:        cfg.Client,
 		timeout:       cfg.Timeout,
 		retries:       cfg.Retries,
+		hedge:         cfg.Hedge,
+		hedgeFloor:    cfg.HedgeDelay,
 		probeInterval: cfg.ProbeInterval,
 		log:           cfg.Logger,
 		metrics:       newCoordMetrics(),
 		stop:          make(chan struct{}),
+	}
+	ratio := cfg.RetryBudget
+	if ratio == 0 {
+		ratio = 0.2
+	}
+	c.budget = newRetryBudget(ratio)
+	if c.hedgeFloor <= 0 {
+		c.hedgeFloor = 50 * time.Millisecond
 	}
 	if c.client == nil {
 		c.client = &http.Client{}
@@ -153,41 +183,159 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-// shardError is a non-retryable backend answer (4xx): the shard spoke,
-// the request was wrong, and the status must propagate to the client
-// instead of counting as a shard failure.
+// writeShardError relays a shard's refusal to the client, preserving
+// the status code and any Retry-After hint (a shed shard tells the
+// client when to come back; the coordinator must not swallow that).
+func writeShardError(w http.ResponseWriter, se *shardError, context string) {
+	if se.retryAfter != "" {
+		w.Header().Set("Retry-After", se.retryAfter)
+	}
+	writeError(w, se.code, fmt.Errorf("%s: %s", context, se.body))
+}
+
+// shardError is a non-retryable backend answer: a 4xx means the shard
+// spoke and refused the request, and a 429 specifically is the shard
+// shedding load — backpressure that must propagate to the client (with
+// its Retry-After hint) rather than be retried into the overload or
+// counted as a shard failure.
 type shardError struct {
-	code int
-	body string
+	code       int
+	body       string
+	retryAfter string
 }
 
 func (e *shardError) Error() string { return fmt.Sprintf("status %d: %s", e.code, e.body) }
 
-// shardGet fans one read to a shard: the primary first, replicas on
-// failover (a down primary sorts last — read-side promotion), each
-// node tried 1+Retries times with a short backoff. Network errors and
-// 5xx answers mark the node down and move on; a 4xx is the backend
-// refusing a well-delivered request and returns immediately.
+// backpressure reports whether the error is a shard shedding load.
+func (e *shardError) backpressure() bool { return e.code == http.StatusTooManyRequests }
+
+// fetchFn performs one attempt of a shard fetch against one node.
+type fetchFn func(ctx context.Context, n *node) ([]byte, error)
+
+// shardGet fans one read to a shard through shardFetch.
 func (c *Coordinator) shardGet(ctx context.Context, sh *shard, pathq string, out any) error {
+	return c.shardFetch(ctx, sh, func(ctx context.Context, n *node) ([]byte, error) {
+		return c.nodeGet(ctx, n, pathq, sh)
+	}, out)
+}
+
+// shardFetch is the one read path to a shard: primary first with an
+// optional hedged backup probe, then sequential failover across
+// replicas (a down primary sorts last — read-side promotion), each node
+// tried 1+Retries times with a short backoff.
+//
+// The first attempt is free; every extra attempt — hedge, retry or
+// failover — must be paid for from the shared retry budget, so a broken
+// shard degrades this one answer instead of amplifying into a retry
+// storm. Network errors and 5xx answers mark the node down and move on;
+// a 4xx returns immediately (the backend refused a well-delivered
+// request), and a 429 returns immediately as backpressure.
+func (c *Coordinator) shardFetch(ctx context.Context, sh *shard, do fetchFn, out any) error {
+	c.budget.deposit()
+	c.metrics.add("fetches", 1)
+	order := sh.readOrder()
+
+	finish := func(body []byte) error {
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(body, out)
+	}
+	classify := func(err error) (*shardError, bool) {
+		var se *shardError
+		if asShardError(err, &se) {
+			if se.backpressure() {
+				c.metrics.add("backpressure", 1)
+			}
+			return se, true
+		}
+		return nil, false
+	}
+
+	// First round: the primary-order node, plus a hedged probe to the
+	// next node if the first has not answered within the hedge delay.
+	type result struct {
+		body   []byte
+		err    error
+		hedged bool
+	}
+	resCh := make(chan result, 2) // buffered: a losing straggler must not leak its goroutine
+	launch := func(n *node, hedged bool) {
+		go func() {
+			body, err := do(ctx, n)
+			resCh <- result{body, err, hedged}
+		}()
+	}
+	launch(order[0], false)
+	inflight := 1
+	hedged := false
+
+	var hedgeC <-chan time.Time
+	if c.hedge && len(order) > 1 {
+		t := time.NewTimer(sh.hedgeDelay(c.hedgeFloor, c.timeout))
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
 	var lastErr error
-	for _, n := range sh.readOrder() {
+	for inflight > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if !c.budget.take() {
+				c.metrics.add("hedges_suppressed", 1)
+				continue
+			}
+			c.metrics.add("hedges", 1)
+			launch(order[1], true)
+			inflight++
+			hedged = true
+		case r := <-resCh:
+			inflight--
+			if r.err == nil {
+				if r.hedged {
+					c.metrics.add("hedge_wins", 1)
+				}
+				return finish(r.body)
+			}
+			if se, ok := classify(r.err); ok {
+				return se
+			}
+			lastErr = r.err
+		}
+	}
+
+	// Fallback walk: every node in order, sequentially, skipping the
+	// first attempts the round above already burned.
+	tried := map[*node]bool{order[0]: true}
+	if hedged {
+		tried[order[1]] = true
+	}
+	backoff := 0
+	for _, n := range order {
 		for attempt := 0; attempt <= c.retries; attempt++ {
-			if attempt > 0 {
-				select {
-				case <-ctx.Done():
-					return ctx.Err()
-				case <-time.After(time.Duration(25<<(attempt-1)) * time.Millisecond):
-				}
+			if attempt == 0 && tried[n] {
+				continue
 			}
-			body, err := c.nodeGet(ctx, n, pathq, sh)
+			if !c.budget.take() {
+				c.metrics.add("retries_suppressed", 1)
+				c.metrics.add("shard_failures", 1)
+				return fmt.Errorf("shard %d: retry budget exhausted: %w", sh.id, lastErr)
+			}
+			c.metrics.add("retries", 1)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(25<<min(backoff, 4)) * time.Millisecond):
+			}
+			backoff++
+			body, err := do(ctx, n)
 			if err == nil {
-				if out == nil {
-					return nil
-				}
-				return json.Unmarshal(body, out)
+				return finish(body)
 			}
-			var se *shardError
-			if ok := asShardError(err, &se); ok {
+			if se, ok := classify(err); ok {
 				return se
 			}
 			lastErr = err
@@ -205,6 +353,29 @@ func asShardError(err error, out **shardError) bool {
 	return ok
 }
 
+// clientKeyCtx carries the inbound request's client identity through a
+// handler's context into fan-out requests.
+type clientKeyCtx struct{}
+
+// clientContext returns r's context, annotated with the client identity
+// header so shard-side per-client rate limits see the originating
+// client rather than lumping everything under the coordinator's IP.
+func clientContext(r *http.Request) context.Context {
+	ctx := r.Context()
+	if k := r.Header.Get(admission.ClientHeader); k != "" {
+		ctx = context.WithValue(ctx, clientKeyCtx{}, k)
+	}
+	return ctx
+}
+
+// forwardClient stamps the originating client identity onto a fan-out
+// request when the handler recorded one.
+func forwardClient(ctx context.Context, req *http.Request) {
+	if k, ok := ctx.Value(clientKeyCtx{}).(string); ok {
+		req.Header.Set(admission.ClientHeader, k)
+	}
+}
+
 // nodeGet performs one GET attempt against one node.
 func (c *Coordinator) nodeGet(ctx context.Context, n *node, pathq string, sh *shard) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.timeout)
@@ -213,6 +384,7 @@ func (c *Coordinator) nodeGet(ctx context.Context, n *node, pathq string, sh *sh
 	if err != nil {
 		return nil, err
 	}
+	forwardClient(ctx, req)
 	start := time.Now()
 	c.metrics.add("shard_requests", 1)
 	resp, err := c.client.Do(req)
@@ -234,7 +406,11 @@ func (c *Coordinator) nodeGet(ctx context.Context, n *node, pathq string, sh *sh
 	n.markUp(nil)
 	sh.observeFanout(time.Since(start))
 	if resp.StatusCode != http.StatusOK {
-		return nil, &shardError{code: resp.StatusCode, body: string(body)}
+		return nil, &shardError{
+			code:       resp.StatusCode,
+			body:       string(body),
+			retryAfter: resp.Header.Get("Retry-After"),
+		}
 	}
 	return body, nil
 }
@@ -311,13 +487,14 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pathq := "/api/query?" + r.URL.RawQuery
-	parts, partial, reject := scatter(c, r.Context(), func(sh *shard) ([]server.MatchJSON, error) {
+	ctx := clientContext(r)
+	parts, partial, reject := scatter(c, ctx, func(sh *shard) ([]server.MatchJSON, error) {
 		var matches []server.MatchJSON
-		err := c.shardGet(r.Context(), sh, pathq, &matches)
+		err := c.shardGet(ctx, sh, pathq, &matches)
 		return matches, err
 	})
 	if reject != nil {
-		writeError(w, reject.code, fmt.Errorf("shard rejected query: %s", reject.body))
+		writeShardError(w, reject, "shard rejected query")
 		return
 	}
 	if len(parts) == 0 {
@@ -374,13 +551,14 @@ func (c *Coordinator) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	parts, partial, reject := scatter(c, r.Context(), func(sh *shard) ([][]server.MatchJSON, error) {
+	ctx := clientContext(r)
+	parts, partial, reject := scatter(c, ctx, func(sh *shard) ([][]server.MatchJSON, error) {
 		var resp server.BatchResponseJSON
-		err := c.shardPost(r.Context(), sh, "/api/query/batch", body, &resp)
+		err := c.shardPost(ctx, sh, "/api/query/batch", body, &resp)
 		return resp.Results, err
 	})
 	if reject != nil {
-		writeError(w, reject.code, fmt.Errorf("shard rejected batch: %s", reject.body))
+		writeShardError(w, reject, "shard rejected batch")
 		return
 	}
 	if len(parts) == 0 {
@@ -405,33 +583,14 @@ func (c *Coordinator) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, BatchResponseJSON{Results: merged, Partial: partial})
 }
 
-// shardPost sends one JSON POST to a shard with the same failover and
-// retry discipline as shardGet. The body is a byte slice, so every
-// attempt resends identical bytes (batch queries are idempotent).
+// shardPost sends one JSON POST to a shard with the same hedging,
+// budget and failover discipline as shardGet. The body is a byte
+// slice, so every attempt resends identical bytes (batch queries are
+// idempotent, which is also what makes them safe to hedge).
 func (c *Coordinator) shardPost(ctx context.Context, sh *shard, path string, body []byte, out any) error {
-	var lastErr error
-	for _, n := range sh.readOrder() {
-		for attempt := 0; attempt <= c.retries; attempt++ {
-			if attempt > 0 {
-				select {
-				case <-ctx.Done():
-					return ctx.Err()
-				case <-time.After(time.Duration(25<<(attempt-1)) * time.Millisecond):
-				}
-			}
-			data, err := c.nodePost(ctx, n, sh, path, body)
-			if err == nil {
-				return json.Unmarshal(data, out)
-			}
-			var se *shardError
-			if asShardError(err, &se) {
-				return se
-			}
-			lastErr = err
-		}
-	}
-	c.metrics.add("shard_failures", 1)
-	return fmt.Errorf("shard %d unreachable: %w", sh.id, lastErr)
+	return c.shardFetch(ctx, sh, func(ctx context.Context, n *node) ([]byte, error) {
+		return c.nodePost(ctx, n, sh, path, body)
+	}, out)
 }
 
 func (c *Coordinator) nodePost(ctx context.Context, n *node, sh *shard, path string, body []byte) ([]byte, error) {
@@ -442,6 +601,7 @@ func (c *Coordinator) nodePost(ctx context.Context, n *node, sh *shard, path str
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	forwardClient(ctx, req)
 	start := time.Now()
 	c.metrics.add("shard_requests", 1)
 	resp, err := c.client.Do(req)
@@ -463,19 +623,24 @@ func (c *Coordinator) nodePost(ctx context.Context, n *node, sh *shard, path str
 	n.markUp(nil)
 	sh.observeFanout(time.Since(start))
 	if resp.StatusCode != http.StatusOK {
-		return nil, &shardError{code: resp.StatusCode, body: string(data)}
+		return nil, &shardError{
+			code:       resp.StatusCode,
+			body:       string(data),
+			retryAfter: resp.Header.Get("Retry-After"),
+		}
 	}
 	return data, nil
 }
 
 func (c *Coordinator) handleClips(w http.ResponseWriter, r *http.Request) {
-	parts, partial, reject := scatter(c, r.Context(), func(sh *shard) ([]server.ClipSummary, error) {
+	ctx := clientContext(r)
+	parts, partial, reject := scatter(c, ctx, func(sh *shard) ([]server.ClipSummary, error) {
 		var clips []server.ClipSummary
-		err := c.shardGet(r.Context(), sh, "/api/clips", &clips)
+		err := c.shardGet(ctx, sh, "/api/clips", &clips)
 		return clips, err
 	})
 	if reject != nil {
-		writeError(w, reject.code, fmt.Errorf("shard rejected listing: %s", reject.body))
+		writeShardError(w, reject, "shard rejected listing")
 		return
 	}
 	if len(parts) == 0 {
@@ -538,10 +703,13 @@ func (c *Coordinator) handleSimilar(w http.ResponseWriter, r *http.Request) {
 // backend's status and body verbatim.
 func (c *Coordinator) proxyRead(w http.ResponseWriter, r *http.Request, sh *shard) {
 	var raw json.RawMessage
-	err := c.shardGet(r.Context(), sh, r.URL.RequestURI(), &raw)
+	err := c.shardGet(clientContext(r), sh, r.URL.RequestURI(), &raw)
 	if err != nil {
 		var se *shardError
 		if asShardError(err, &se) {
+			if se.retryAfter != "" {
+				w.Header().Set("Retry-After", se.retryAfter)
+			}
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(se.code)
 			_, _ = io.WriteString(w, se.body)
@@ -565,6 +733,9 @@ func (c *Coordinator) proxy(w http.ResponseWriter, r *http.Request, n *node, pat
 		return
 	}
 	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	if k := r.Header.Get(admission.ClientHeader); k != "" {
+		req.Header.Set(admission.ClientHeader, k)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		n.markDown(err)
@@ -575,8 +746,14 @@ func (c *Coordinator) proxy(w http.ResponseWriter, r *http.Request, n *node, pat
 	if resp.StatusCode < 500 {
 		n.markUp(nil)
 	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		c.metrics.add("backpressure", 1)
+	}
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
@@ -615,6 +792,13 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"videodb_coord_writes_total", "Writes routed to owning shards.", "writes"},
 		{"videodb_coord_shard_requests_total", "Fan-out requests attempted against shard nodes.", "shard_requests"},
 		{"videodb_coord_shard_failures_total", "Fan-outs that exhausted every node of a shard.", "shard_failures"},
+		{"videodb_coord_fetches_total", "Primary shard fetches (the base traffic retries are budgeted against).", "fetches"},
+		{"videodb_coord_retries_total", "Retry and failover attempts paid from the retry budget.", "retries"},
+		{"videodb_coord_retries_suppressed_total", "Retry attempts refused because the budget was dry.", "retries_suppressed"},
+		{"videodb_coord_hedges_total", "Hedged backup probes fired.", "hedges"},
+		{"videodb_coord_hedge_wins_total", "Hedged probes that answered before the primary attempt.", "hedge_wins"},
+		{"videodb_coord_hedges_suppressed_total", "Hedges refused because the budget was dry.", "hedges_suppressed"},
+		{"videodb_coord_backpressure_total", "Shard answers classified as backpressure (429, propagated, never retried).", "backpressure"},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			m.name, m.help, m.name, m.name, c.metrics.get(m.key))

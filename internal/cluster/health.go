@@ -115,6 +115,32 @@ func (sh *shard) fanoutQuantile(q float64) (seconds float64, count int64) {
 	return sh.hist.Quantile(q), sh.hist.Count()
 }
 
+// hedgeMinSamples is how many fan-out observations a shard needs before
+// its p99 is trusted to derive the hedge delay; below it the configured
+// floor applies.
+const hedgeMinSamples = 20
+
+// hedgeDelay is how long to wait on the primary before firing a backup
+// probe at a replica: the shard's observed p99 fan-out latency (so only
+// the slowest ~1% of requests hedge, keeping the extra load marginal),
+// clamped between the configured floor and half the fan-out timeout (a
+// hedge fired later than that cannot finish in time anyway).
+func (sh *shard) hedgeDelay(floor, timeout time.Duration) time.Duration {
+	d := floor
+	if p99, count := sh.fanoutQuantile(0.99); count >= hedgeMinSamples {
+		if pd := time.Duration(p99 * float64(time.Second)); pd > d {
+			d = pd
+		}
+	}
+	if timeout > 0 && d > timeout/2 {
+		d = timeout / 2
+	}
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
 // probe polls one node's /api/health.
 func (c *Coordinator) probe(ctx context.Context, n *node) {
 	ctx, cancel := context.WithTimeout(ctx, c.probeTimeout())
@@ -216,6 +242,18 @@ type StatusJSON struct {
 	// MaxLagBytes is the largest replica lag across the cluster, -1 if
 	// any replica's lag is unknown.
 	MaxLagBytes int64 `json:"maxLagBytes"`
+	// Fetches counts primary shard fetches; Retries and Hedges are the
+	// extra attempts paid from the retry budget, with their suppressed
+	// counterparts recording budget refusals. HedgeWins is how often
+	// the backup probe answered first; Backpressure counts shard 429s
+	// propagated to clients.
+	Fetches           int64 `json:"fetches"`
+	Retries           int64 `json:"retries"`
+	RetriesSuppressed int64 `json:"retriesSuppressed"`
+	Hedges            int64 `json:"hedges"`
+	HedgeWins         int64 `json:"hedgeWins"`
+	HedgesSuppressed  int64 `json:"hedgesSuppressed"`
+	Backpressure      int64 `json:"backpressure"`
 }
 
 // status assembles the cluster status document from the latest health
@@ -266,5 +304,12 @@ func (c *Coordinator) status() StatusJSON {
 	out.Queries = c.metrics.get("queries")
 	out.Batches = c.metrics.get("batches")
 	out.PartialQueries = c.metrics.get("partial")
+	out.Fetches = c.metrics.get("fetches")
+	out.Retries = c.metrics.get("retries")
+	out.RetriesSuppressed = c.metrics.get("retries_suppressed")
+	out.Hedges = c.metrics.get("hedges")
+	out.HedgeWins = c.metrics.get("hedge_wins")
+	out.HedgesSuppressed = c.metrics.get("hedges_suppressed")
+	out.Backpressure = c.metrics.get("backpressure")
 	return out
 }

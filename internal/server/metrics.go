@@ -286,6 +286,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		gauges["videodb_recovery_damaged"] = damaged
 	}
+	if s.admission != nil {
+		st := s.admission.Stats()
+		counters["videodb_admission_shed_total"] = float64(st.ShedTotal)
+		for _, reason := range []string{"rate_limit", "client_limit", "queue_full", "queue_timeout"} {
+			counters["videodb_admission_shed_"+reason+"_total"] = float64(st.Shed[reason])
+		}
+		counters["videodb_admission_queued_total"] = float64(st.Queued)
+		counters["videodb_admission_admitted_total"] = float64(st.Admitted)
+		gauges["videodb_admission_inflight"] = float64(st.Inflight)
+		gauges["videodb_admission_waiting"] = float64(st.Waiting)
+		gauges["videodb_admission_clients"] = float64(st.Clients)
+	}
 	if s.extraMetrics != nil {
 		s.extraMetrics(counters, gauges)
 	}

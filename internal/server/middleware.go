@@ -1,9 +1,12 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"sync"
 	"time"
 )
 
@@ -103,18 +106,107 @@ func timeoutExempt(r *http.Request) bool {
 }
 
 // withTimeout bounds every non-exempt request to s.timeout, answering
-// 503 when the deadline passes. A timed-out handler keeps running but
-// its writes go to a discarded buffer (http.TimeoutHandler semantics).
+// through writeBackpressure (503 + Retry-After + JSON body, the same
+// contract as admission sheds) when the deadline passes. A timed-out
+// handler keeps running against a canceled context, but its writes land
+// in a discarded buffer — http.TimeoutHandler semantics, reimplemented
+// here because TimeoutHandler cannot set headers on the timeout answer.
 func (s *Server) withTimeout(next http.Handler) http.Handler {
 	if s.timeout <= 0 {
 		return next
 	}
-	bounded := http.TimeoutHandler(next, s.timeout, `{"error":"request timed out"}`)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if timeoutExempt(r) {
 			next.ServeHTTP(w, r)
 			return
 		}
-		bounded.ServeHTTP(w, r)
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		tw := &timeoutWriter{header: make(http.Header)}
+		done := make(chan struct{})
+		panicChan := make(chan any, 1)
+		go func() {
+			defer func() {
+				if v := recover(); v != nil {
+					panicChan <- v
+				}
+			}()
+			next.ServeHTTP(tw, r)
+			close(done)
+		}()
+		select {
+		case v := <-panicChan:
+			// Re-panic on the request goroutine so withRecovery (outside
+			// this middleware) answers the 500 and logs the stack.
+			panic(v)
+		case <-done:
+			tw.flushTo(w)
+		case <-ctx.Done():
+			tw.timeOut()
+			writeBackpressure(w, http.StatusServiceUnavailable,
+				time.Second, "timeout", "request timed out")
+		}
 	})
+}
+
+// timeoutWriter buffers a handler's response so it can be either
+// delivered whole (handler finished in time) or discarded whole
+// (deadline passed first). The mutex arbitrates the race between the
+// handler goroutine finishing its write and the timeout firing.
+type timeoutWriter struct {
+	mu       sync.Mutex
+	header   http.Header
+	code     int
+	buf      bytes.Buffer
+	timedOut bool
+}
+
+func (tw *timeoutWriter) Header() http.Header { return tw.header }
+
+func (tw *timeoutWriter) WriteHeader(code int) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.code == 0 {
+		tw.code = code
+	}
+}
+
+func (tw *timeoutWriter) Write(p []byte) (int, error) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.timedOut {
+		return 0, http.ErrHandlerTimeout
+	}
+	if tw.code == 0 {
+		tw.code = http.StatusOK
+	}
+	return tw.buf.Write(p)
+}
+
+// timeOut marks the response abandoned: later handler writes fail with
+// http.ErrHandlerTimeout and a late flushTo becomes a no-op.
+func (tw *timeoutWriter) timeOut() {
+	tw.mu.Lock()
+	tw.timedOut = true
+	tw.mu.Unlock()
+}
+
+// flushTo delivers the buffered response to the real writer.
+func (tw *timeoutWriter) flushTo(w http.ResponseWriter) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.timedOut {
+		return
+	}
+	dst := w.Header()
+	for k, v := range tw.header {
+		dst[k] = v
+	}
+	if tw.code == 0 {
+		tw.code = http.StatusOK
+	}
+	w.WriteHeader(tw.code)
+	_, _ = w.Write(tw.buf.Bytes())
 }

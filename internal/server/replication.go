@@ -55,9 +55,20 @@ func WithReadOnly(reason string) Option { return func(s *Server) { s.readOnly = 
 func WithHealthInfo(fn func(map[string]any)) Option { return func(s *Server) { s.healthInfo = fn } }
 
 // WithExtraMetrics registers a hook that adds counters and gauges to
-// GET /api/metrics at scrape time (replication lag, applied records).
+// GET /api/metrics at scrape time (replication lag, applied records,
+// chaos injection counts). Hooks compose: each WithExtraMetrics adds to
+// the chain rather than replacing earlier registrations.
 func WithExtraMetrics(fn func(counters, gauges map[string]float64)) Option {
-	return func(s *Server) { s.extraMetrics = fn }
+	return func(s *Server) {
+		if prev := s.extraMetrics; prev != nil {
+			s.extraMetrics = func(c, g map[string]float64) {
+				prev(c, g)
+				fn(c, g)
+			}
+			return
+		}
+		s.extraMetrics = fn
+	}
 }
 
 // refuseReadOnly answers a mutating request on a read replica.

@@ -16,9 +16,11 @@
 //
 // Every request passes through a middleware stack: panic recovery (a
 // handler panic answers 500 JSON instead of dropping the connection),
-// structured request logging, per-route metrics, and a per-request
-// timeout (uploads and snapshots are exempt — they legitimately run as
-// long as the analysis takes).
+// structured request logging, per-route metrics, optional admission
+// control (rate limits and a concurrency cap; overload sheds 429/503
+// with Retry-After, see WithAdmission), and a per-request timeout
+// (uploads and snapshots are exempt — they legitimately run as long as
+// the analysis takes).
 package server
 
 import (
@@ -30,6 +32,7 @@ import (
 	"strconv"
 	"time"
 
+	"videodb/internal/admission"
 	"videodb/internal/core"
 	"videodb/internal/impression"
 	"videodb/internal/scenetree"
@@ -55,6 +58,7 @@ type Server struct {
 	readOnly     string
 	healthInfo   func(map[string]any)
 	extraMetrics func(counters, gauges map[string]float64)
+	admission    *admission.Controller
 }
 
 // Option configures a Server.
@@ -147,6 +151,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /", s.handleIndex)
 	var h http.Handler = mux
 	h = s.withTimeout(h)
+	h = s.withAdmission(h)
 	h = s.withRecovery(h)
 	h = s.withLogging(h)
 	return h
