@@ -4,7 +4,7 @@ GO ?= go
 
 # Coverage floor (percent) enforced over the orchestration and serving
 # layers — the packages the ingest pipeline and HTTP API live in.
-COVERPKGS   = ./internal/core/...,./internal/server/...,./internal/wal/...,./internal/fsx/...,./internal/segment/...,./internal/segstore/...,./internal/admission/...,./internal/chaos/...
+COVERPKGS   = ./internal/core/...,./internal/server/...,./internal/wal/...,./internal/fsx/...,./internal/segment/...,./internal/segstore/...,./internal/admission/...,./internal/chaos/...,./internal/cluster/...
 COVER_FLOOR = 60
 
 # Fresh benchmark artifacts land in a scratch directory, never the repo
@@ -14,7 +14,7 @@ COVER_FLOOR = 60
 BENCH_DIR = bench-out
 BASELINE  = results/BENCH_offline_baseline.json
 
-.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server cluster-smoke chaos-smoke fuzz fuzz-smoke segment-torture stress paper corpus pgo clean
+.PHONY: all build test test-race vet doccheck check cover cover-gate bench bench-gate bench-micro bench-server cluster-smoke chaos-smoke reshard-smoke fuzz fuzz-smoke segment-torture stress paper corpus pgo clean
 
 all: build vet test
 
@@ -134,6 +134,16 @@ cluster-smoke:
 # (see docs/ROBUSTNESS.md).
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# Online-resharding exercise on loopback: a 3-shard cluster (with a
+# bounded-staleness read replica) grows to 4 shards while vdbbench
+# drives it, via the bench's own -reshard trigger. Asserts zero 5xx
+# and zero partials across the migration, the new shard owning clips
+# and taking fan-out, replica reads within the bound, and the final
+# corpus byte-identical to a never-resharded control node (see
+# "Growing the cluster" in docs/CLUSTER.md).
+reshard-smoke:
+	./scripts/reshard_smoke.sh
 
 # One testing.B benchmark per paper table/figure plus ablations.
 bench-micro:

@@ -85,6 +85,8 @@ func main() {
 		duration    = flag.Duration("duration", 10*time.Second, "server: measurement length")
 		clusterOn   = flag.Bool("cluster", false, "server: target is a vdbcoord coordinator — count partial answers, probe /api/cluster/status, write a BENCH_cluster artifact")
 		chaosOn     = flag.Bool("chaos", false, "server: overload scenario (implies -cluster) — paced per-key healthy workers plus an unpaced abusive client; artifact separates shed_rate from error_rate and records abuse_* and coord_* counters")
+		reshard     = flag.String("reshard", "", "cluster: POST this JSON body to /api/cluster/reshard mid-run (e.g. '{\"add\":[{\"primary\":\"http://s4:8080\"}]}'); the artifact gains reshard_* metrics and the run fails if the reshard does")
+		reshardAt   = flag.Float64("reshard-at", 0.5, "cluster: fire -reshard at this fraction of -duration")
 		qCache      = flag.Int("query-cache", 4096, "offline: query-result cache capacity (0 disables the cache and skips the cached phase)")
 		storageN    = flag.Int("storage-flushes", 4, "offline: segment flushes the storage phase spreads the corpus across (0 skips the phase)")
 		storageDir  = flag.String("storage-dir", "", "offline: keep the storage phase's segment store in this directory (default: a temp dir, removed)")
@@ -127,6 +129,7 @@ func main() {
 			Target: *target, Concurrency: *concurrency,
 			Duration: *duration, Seed: *seed, Batch: *batch,
 			Cluster: *clusterOn, Chaos: *chaosOn,
+			Reshard: *reshard, ReshardAt: *reshardAt,
 		})
 	default:
 		err = fmt.Errorf("unknown -mode %q (want offline or server)", *mode)

@@ -29,6 +29,12 @@ type serverConfig struct {
 	// /api/cluster/status adds shard count, per-shard fan-out p99 and
 	// replication lag to the metrics.
 	Cluster bool
+	// Reshard, when non-empty, is a JSON body POSTed to the
+	// coordinator's /api/cluster/reshard at ReshardAt of the run — an
+	// online membership change under full load. Its report lands in the
+	// artifact as reshard_* metrics, and a failed reshard fails the run.
+	Reshard   string
+	ReshardAt float64
 	// Chaos runs the overload scenario (implies Cluster): the
 	// Concurrency workers become well-behaved clients — each pacing
 	// itself and carrying a distinct X-Videodb-Client key — while an
@@ -96,6 +102,24 @@ func runServer(cfg serverConfig) (benchfmt.Report, error) {
 	var abuseStats []*workerStats
 	var wg sync.WaitGroup
 	start := time.Now()
+
+	// Replication lag is bursty — a post-run probe only sees wherever
+	// the replicas happen to be once the load stops — so in cluster
+	// mode a sampler polls the status endpoint throughout the run and
+	// the artifact reports the worst lag observed, not the last.
+	var sampler *lagSampler
+	if cfg.Cluster || cfg.Chaos {
+		sampler = startLagSampler(client, base, deadline)
+	}
+	var reshardC chan reshardOutcome
+	if cfg.Reshard != "" {
+		reshardC = make(chan reshardOutcome, 1)
+		go func() {
+			at := time.Duration(cfg.ReshardAt * float64(cfg.Duration))
+			time.Sleep(at)
+			reshardC <- postReshard(base, cfg.Reshard)
+		}()
+	}
 	for w := 0; w < cfg.Concurrency; w++ {
 		st := newWorkerStats()
 		if cfg.Chaos {
@@ -201,6 +225,29 @@ func runServer(cfg serverConfig) (benchfmt.Report, error) {
 			metrics = append(metrics, cm...)
 			config.Shards = shards
 		}
+		if maxLag, samples := sampler.wait(); samples > 0 {
+			metrics = append(metrics,
+				benchfmt.Metric{Name: "replication_lag_bytes_max", Unit: "bytes", Value: float64(maxLag)},
+				benchfmt.Metric{Name: "replication_lag_samples", Unit: "samples", Value: float64(samples)})
+		}
+	}
+	if reshardC != nil {
+		// The membership change may outlast the load window; the run is
+		// not over until its outcome is known.
+		oc := <-reshardC
+		if oc.err != nil {
+			return benchfmt.Report{}, fmt.Errorf("mid-run reshard failed: %w", oc.err)
+		}
+		fmt.Printf("reshard: %d->%d shards, %d clips moved (%.1f%% of keyspace), barrier %.0fms, dual-read window %.0fms\n",
+			oc.rep.FromShards, oc.rep.ToShards, oc.rep.MovedClips, 100*oc.rep.MovedFraction,
+			oc.rep.CutoverSeconds*1e3, oc.rep.DualReadSeconds*1e3)
+		metrics = append(metrics,
+			benchfmt.Metric{Name: "reshard_moved_clips", Unit: "clips", Value: float64(oc.rep.MovedClips)},
+			benchfmt.Metric{Name: "reshard_moved_fraction", Unit: "ratio", Value: oc.rep.MovedFraction},
+			benchfmt.Metric{Name: "reshard_cutover_seconds", Unit: "seconds", Value: oc.rep.CutoverSeconds},
+			benchfmt.Metric{Name: "reshard_dual_read_seconds", Unit: "seconds", Value: oc.rep.DualReadSeconds},
+			benchfmt.Metric{Name: "reshard_total_seconds", Unit: "seconds", Value: oc.rep.TotalSeconds},
+			benchfmt.Metric{Name: "reshard_retries", Unit: "attempts", Value: float64(oc.rep.Retries)})
 	}
 	if cfg.Chaos {
 		mode = "chaos"
@@ -295,6 +342,99 @@ func clusterMetrics(client *http.Client, base string) ([]benchfmt.Metric, int, e
 			Name: "replication_lag_bytes", Unit: "bytes", Value: float64(st.MaxLagBytes)})
 	}
 	return out, len(st.Shards), nil
+}
+
+// lagSampler polls /api/cluster/status while the load runs and keeps
+// the worst replica byte lag seen across the whole window.
+type lagSampler struct {
+	done    chan struct{}
+	maxLag  int64
+	samples int64
+}
+
+// startLagSampler samples the coordinator's maxLagBytes every 250ms
+// until the deadline. Unknown lag (-1: down or resyncing replicas, or
+// no replicas at all) is not a sample.
+func startLagSampler(client *http.Client, base string, deadline time.Time) *lagSampler {
+	s := &lagSampler{done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for time.Now().Before(deadline) {
+			<-tick.C
+			resp, err := client.Get(base + "/api/cluster/status")
+			if err != nil {
+				continue
+			}
+			var st struct {
+				MaxLagBytes int64 `json:"maxLagBytes"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil || st.MaxLagBytes < 0 {
+				continue
+			}
+			s.samples++
+			if st.MaxLagBytes > s.maxLag {
+				s.maxLag = st.MaxLagBytes
+			}
+		}
+	}()
+	return s
+}
+
+// wait blocks until the sampler's window closes and returns the worst
+// lag observed and how many samples informed it.
+func (s *lagSampler) wait() (maxLag, samples int64) {
+	<-s.done
+	return s.maxLag, s.samples
+}
+
+// reshardReport is the slice of the coordinator's reshard report the
+// artifact records.
+type reshardReport struct {
+	FromShards      int     `json:"fromShards"`
+	ToShards        int     `json:"toShards"`
+	MovedClips      int     `json:"movedClips"`
+	MovedFraction   float64 `json:"movedFraction"`
+	Retries         int     `json:"retries"`
+	CutoverSeconds  float64 `json:"cutoverSeconds"`
+	DualReadSeconds float64 `json:"dualReadSeconds"`
+	TotalSeconds    float64 `json:"totalSeconds"`
+	Error           string  `json:"error"`
+}
+
+type reshardOutcome struct {
+	rep reshardReport
+	err error
+}
+
+// postReshard drives one online membership change. It uses its own
+// generously-timed client: a migration is a batch operation that may
+// well outlast the per-request timeout of the load client.
+func postReshard(base, body string) reshardOutcome {
+	client := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := client.Post(base+"/api/cluster/reshard", "application/json", strings.NewReader(body))
+	if err != nil {
+		return reshardOutcome{err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return reshardOutcome{err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return reshardOutcome{err: fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))}
+	}
+	var rep reshardReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return reshardOutcome{err: fmt.Errorf("decoding reshard report: %w", err)}
+	}
+	if rep.Error != "" {
+		return reshardOutcome{err: fmt.Errorf("reshard reported failure: %s", rep.Error)}
+	}
+	return reshardOutcome{rep: rep}
 }
 
 // feature is one shot's queryable coordinates.

@@ -20,9 +20,10 @@
 // /api/query, POST /api/query/batch, GET /api/similar, DELETE
 // /api/clips/{name}) plus:
 //
-//	GET /api/cluster/status   shard membership, health, fan-out p99, replica lag
-//	GET /api/health           coordinator liveness
-//	GET /api/metrics          coordinator counters (Prometheus text)
+//	GET  /api/cluster/status   shard membership, health, fan-out p99, replica lag
+//	POST /api/cluster/reshard  online membership change: {"add":[{"primary":...}]} or {"remove":n}
+//	GET  /api/health           coordinator liveness
+//	GET  /api/metrics          coordinator counters (Prometheus text)
 //
 // Scatter answers carry "partial": true (and the X-Videodb-Partial
 // header) when a shard contributed nothing; see docs/CLUSTER.md for
@@ -35,6 +36,16 @@
 // storms cannot amplify an outage, and a shard answering 429 is
 // treated as backpressure — propagated with its Retry-After, never
 // retried. See docs/ROBUSTNESS.md.
+//
+// -staleness-bound B (bytes, >= 0) spreads scatter reads across
+// replicas that are at most B WAL bytes behind their primary; 0 admits
+// only fully caught-up replicas and a negative bound (the default)
+// reads from primaries only. POST /api/cluster/reshard grows or
+// shrinks the cluster online — clips stream to their new owners, the
+// ring cuts over atomically under a write barrier, and a brief
+// dual-read window (both owners answering, the merger deduping) closes
+// when the old copies are deleted. See "Growing the cluster" in
+// docs/CLUSTER.md.
 package main
 
 import (
@@ -72,6 +83,7 @@ func main() {
 		hedge   = flag.Bool("hedge", true, "fire a hedged backup probe at a replica when the primary is slower than the hedge delay")
 		hedgeD  = flag.Duration("hedge-delay", 50*time.Millisecond, "hedge delay floor; a shard's observed p99 fan-out latency is used once known")
 		probe   = flag.Duration("probe", 2*time.Second, "health probe interval")
+		stale   = flag.Int64("staleness-bound", -1, "serve reads from replicas no more than this many WAL bytes behind their primary (0 = only fully caught-up replicas; negative = primaries only)")
 		drain   = flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
@@ -101,7 +113,14 @@ func main() {
 		Hedge:         *hedge,
 		HedgeDelay:    *hedgeD,
 		ProbeInterval: *probe,
-		Logger:        logger,
+		ReplicaReads:  *stale >= 0,
+		StalenessBound: func() int64 {
+			if *stale < 0 {
+				return 0
+			}
+			return *stale
+		}(),
+		Logger: logger,
 	})
 	if err != nil {
 		log.Fatalf("vdbcoord: %v", err)

@@ -217,7 +217,7 @@ func TestBackpressurePropagates(t *testing.T) {
 	if got := coord.metrics.get("shard_failures"); got != 0 {
 		t.Errorf("shard_failures = %d, want 0 (shedding is not failing)", got)
 	}
-	if !coord.shards[0].primary().isUp() {
+	if !coord.topo.Load().shards[0].primary().isUp() {
 		t.Error("429 marked the shard down; shedding nodes are alive")
 	}
 }

@@ -11,10 +11,10 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"videodb/internal/admission"
-	"videodb/internal/benchfmt"
 	"videodb/internal/impression"
 	"videodb/internal/server"
 	"videodb/internal/varindex"
@@ -62,6 +62,16 @@ type Config struct {
 	// a shard has enough fan-out observations its p99 latency is used
 	// instead, clamped to [HedgeDelay, Timeout/2].
 	HedgeDelay time.Duration
+	// ReplicaReads enables bounded-staleness replica reads: while a
+	// shard's primary is healthy, scatter reads rotate round-robin
+	// across the primary and every replica whose replication lag is
+	// known and within StalenessBound, spreading read load instead of
+	// only failing over (or hedging) to replicas.
+	ReplicaReads bool
+	// StalenessBound is the largest byte lag (inclusive) a replica may
+	// show and still serve rotated reads. 0 admits only fully caught-up
+	// replicas. Ignored unless ReplicaReads is set.
+	StalenessBound int64
 	// ProbeInterval is the health-probe period (default 2s).
 	ProbeInterval time.Duration
 	// Client overrides the HTTP client (tests inject httptest clients).
@@ -75,20 +85,37 @@ type Config struct {
 // per-clip reads, health-checked failover to replicas. Create with
 // New, serve Handler, stop with Close.
 type Coordinator struct {
-	ring          *Ring
-	shards        []*shard
-	client        *http.Client
-	timeout       time.Duration
-	retries       int
-	budget        *retryBudget
-	hedge         bool
-	hedgeFloor    time.Duration
-	probeInterval time.Duration
-	log           *slog.Logger
-	metrics       *coordMetrics
+	topo           atomic.Pointer[topology]
+	vnodes         int
+	client         *http.Client
+	timeout        time.Duration
+	retries        int
+	budget         *retryBudget
+	hedge          bool
+	hedgeFloor     time.Duration
+	replicaReads   bool
+	stalenessBound int64
+	probeInterval  time.Duration
+	log            *slog.Logger
+	metrics        *coordMetrics
+
+	// reshardMu is the cutover write barrier: mutating handlers hold it
+	// for read, so the rebalancer's final delta-sync + ring swap (which
+	// holds it for write) sees a quiesced write path. Reads never take
+	// it — they go lock-free through the topology pointer.
+	reshardMu sync.RWMutex
+	reshard   reshardState
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// topology is the coordinator's routing state — the ring and the shard
+// list it indexes — swapped atomically as one unit, so a reader can
+// never pair a new ring with an old shard list mid-reshard.
+type topology struct {
+	ring   *Ring
+	shards []*shard
 }
 
 // New builds a coordinator and starts its health prober.
@@ -97,16 +124,18 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, fmt.Errorf("cluster: coordinator needs at least one shard")
 	}
 	c := &Coordinator{
-		ring:          NewRing(len(cfg.Shards), cfg.Vnodes),
-		client:        cfg.Client,
-		timeout:       cfg.Timeout,
-		retries:       cfg.Retries,
-		hedge:         cfg.Hedge,
-		hedgeFloor:    cfg.HedgeDelay,
-		probeInterval: cfg.ProbeInterval,
-		log:           cfg.Logger,
-		metrics:       newCoordMetrics(),
-		stop:          make(chan struct{}),
+		vnodes:         cfg.Vnodes,
+		client:         cfg.Client,
+		timeout:        cfg.Timeout,
+		retries:        cfg.Retries,
+		hedge:          cfg.Hedge,
+		hedgeFloor:     cfg.HedgeDelay,
+		replicaReads:   cfg.ReplicaReads,
+		stalenessBound: cfg.StalenessBound,
+		probeInterval:  cfg.ProbeInterval,
+		log:            cfg.Logger,
+		metrics:        newCoordMetrics(),
+		stop:           make(chan struct{}),
 	}
 	ratio := cfg.RetryBudget
 	if ratio == 0 {
@@ -133,14 +162,11 @@ func New(cfg Config) (*Coordinator, error) {
 	if c.log == nil {
 		c.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	shards := make([]*shard, 0, len(cfg.Shards))
 	for i, sc := range cfg.Shards {
-		sh := &shard{id: i, hist: benchfmt.NewHistogram()}
-		sh.nodes = append(sh.nodes, &node{url: sc.Primary, up: true})
-		for _, r := range sc.Replicas {
-			sh.nodes = append(sh.nodes, &node{url: r, replica: true, up: true})
-		}
-		c.shards = append(c.shards, sh)
+		shards = append(shards, newShard(i, sc))
 	}
+	c.topo.Store(&topology{ring: NewRing(len(shards), c.vnodes), shards: shards})
 	c.wg.Add(1)
 	go c.probeLoop()
 	return c, nil
@@ -165,6 +191,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("DELETE /api/clips/{name}", c.handleClipWrite)
 	mux.HandleFunc("GET /api/similar", c.handleSimilar)
 	mux.HandleFunc("GET /api/cluster/status", c.handleStatus)
+	mux.HandleFunc("POST /api/cluster/reshard", c.handleReshard)
 	mux.HandleFunc("GET /api/health", c.handleHealth)
 	mux.HandleFunc("GET /api/metrics", c.handleMetrics)
 	return mux
@@ -233,7 +260,7 @@ func (c *Coordinator) shardGet(ctx context.Context, sh *shard, pathq string, out
 func (c *Coordinator) shardFetch(ctx context.Context, sh *shard, do fetchFn, out any) error {
 	c.budget.deposit()
 	c.metrics.add("fetches", 1)
-	order := sh.readOrder()
+	order := c.readOrder(sh)
 
 	finish := func(body []byte) error {
 		if out == nil {
@@ -415,14 +442,17 @@ func (c *Coordinator) nodeGet(ctx context.Context, n *node, pathq string, sh *sh
 	return body, nil
 }
 
-// scatter fans fetch to every shard concurrently. A shard whose fetch
-// fails contributes nothing and flips partial; a 4xx from any shard
-// aborts the gather (the same request would 4xx everywhere).
+// scatter fans fetch to every shard of the current topology
+// concurrently. A shard whose fetch fails contributes nothing and flips
+// partial; a 4xx from any shard aborts the gather (the same request
+// would 4xx everywhere). The shard list is captured once from the
+// topology pointer, so a reshard landing mid-gather cannot tear it.
 func scatter[T any](c *Coordinator, ctx context.Context, fetch func(sh *shard) (T, error)) (parts []T, partial bool, reject *shardError) {
-	results := make([]T, len(c.shards))
-	errs := make([]error, len(c.shards))
+	shards := c.topo.Load().shards
+	results := make([]T, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for i, sh := range c.shards {
+	for i, sh := range shards {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
@@ -658,6 +688,12 @@ func (c *Coordinator) handleClips(w http.ResponseWriter, r *http.Request) {
 // The coordinator needs the name before it reads the body — the ring
 // cannot route on bytes it has not seen — so ?name= is mandatory here
 // even for VDBF uploads that embed one.
+//
+// Writes hold the reshard barrier for read across the whole proxy: a
+// cutover cannot land while an upload is in flight, so every write is
+// either fully visible to the rebalancer's pre-cutover delta sync (it
+// finished before the barrier) or routed by the new ring (it started
+// after) — never lost in between.
 func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
@@ -665,15 +701,21 @@ func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("clustered ingest needs a ?name= parameter (the ring routes on it)"))
 		return
 	}
-	sh := c.shards[c.ring.Owner(name)]
+	c.reshardMu.RLock()
+	defer c.reshardMu.RUnlock()
+	t := c.topo.Load()
+	sh := t.shards[t.ring.Owner(name)]
 	c.metrics.add("writes", 1)
 	c.proxy(w, r, sh.primary(), "/api/clips?"+r.URL.RawQuery)
 }
 
 // handleClipWrite routes DELETE /api/clips/{name} to the owning
-// shard's primary.
+// shard's primary, under the same reshard barrier as ingest.
 func (c *Coordinator) handleClipWrite(w http.ResponseWriter, r *http.Request) {
-	sh := c.shards[c.ring.Owner(r.PathValue("name"))]
+	c.reshardMu.RLock()
+	defer c.reshardMu.RUnlock()
+	t := c.topo.Load()
+	sh := t.shards[t.ring.Owner(r.PathValue("name"))]
 	c.metrics.add("writes", 1)
 	c.proxy(w, r, sh.primary(), r.URL.RequestURI())
 }
@@ -681,7 +723,8 @@ func (c *Coordinator) handleClipWrite(w http.ResponseWriter, r *http.Request) {
 // handleClipRead routes a per-clip read to the owning shard with
 // replica failover.
 func (c *Coordinator) handleClipRead(w http.ResponseWriter, r *http.Request) {
-	sh := c.shards[c.ring.Owner(r.PathValue("name"))]
+	t := c.topo.Load()
+	sh := t.shards[t.ring.Owner(r.PathValue("name"))]
 	c.proxyRead(w, r, sh)
 }
 
@@ -695,7 +738,8 @@ func (c *Coordinator) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("need clip parameter"))
 		return
 	}
-	sh := c.shards[c.ring.Owner(name)]
+	t := c.topo.Load()
+	sh := t.shards[t.ring.Owner(name)]
 	c.proxyRead(w, r, sh)
 }
 
@@ -764,8 +808,9 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	shards := c.topo.Load().shards
 	up := 0
-	for _, sh := range c.shards {
+	for _, sh := range shards {
 		for _, n := range sh.nodes {
 			if n.isUp() {
 				up++
@@ -776,7 +821,7 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{
 		"status":          "ok",
 		"role":            "coordinator",
-		"shards":          len(c.shards),
+		"shards":          len(shards),
 		"shardsReachable": up,
 	})
 }
@@ -799,13 +844,17 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"videodb_coord_hedge_wins_total", "Hedged probes that answered before the primary attempt.", "hedge_wins"},
 		{"videodb_coord_hedges_suppressed_total", "Hedges refused because the budget was dry.", "hedges_suppressed"},
 		{"videodb_coord_backpressure_total", "Shard answers classified as backpressure (429, propagated, never retried).", "backpressure"},
+		{"videodb_coord_reshards_total", "Reshard operations completed successfully.", "reshards"},
+		{"videodb_coord_reshards_failed_total", "Reshard operations that failed and rolled back to the old ring.", "reshards_failed"},
+		{"videodb_coord_reshard_moved_clips_total", "Clips migrated between shards by reshard operations.", "reshard_moved"},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			m.name, m.help, m.name, m.name, c.metrics.get(m.key))
 	}
+	shards := c.topo.Load().shards
 	fmt.Fprintln(w, "# HELP videodb_coord_node_up Whether a shard node answered its last probe or request.")
 	fmt.Fprintln(w, "# TYPE videodb_coord_node_up gauge")
-	for _, sh := range c.shards {
+	for _, sh := range shards {
 		for _, n := range sh.nodes {
 			up := 0
 			if n.isUp() {
@@ -817,6 +866,12 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			}
 			fmt.Fprintf(w, "videodb_coord_node_up{shard=\"%d\",role=%q,url=%q} %d\n", sh.id, role, n.url, up)
 		}
+	}
+	fmt.Fprintln(w, "# HELP videodb_coord_shard_reads_total Shard reads by the role of the node chosen to answer first (read balance).")
+	fmt.Fprintln(w, "# TYPE videodb_coord_shard_reads_total counter")
+	for _, sh := range shards {
+		fmt.Fprintf(w, "videodb_coord_shard_reads_total{shard=\"%d\",role=\"primary\"} %d\n", sh.id, sh.primaryReads.Load())
+		fmt.Fprintf(w, "videodb_coord_shard_reads_total{shard=\"%d\",role=\"replica\"} %d\n", sh.id, sh.replicaReads.Load())
 	}
 }
 

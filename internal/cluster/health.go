@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"videodb/internal/benchfmt"
@@ -57,6 +58,13 @@ func (n *node) isUp() bool {
 	return n.up
 }
 
+// snapshot returns the node's liveness fields under one lock hold.
+func (n *node) snapshot() (up bool, fails int, lastErr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up, n.fails, n.lastErr
+}
+
 // healthValue reads one numeric field of the node's last health doc.
 func (n *node) healthValue(key string) (float64, bool) {
 	n.mu.Lock()
@@ -74,16 +82,73 @@ func (n *node) healthString(key string) (string, bool) {
 }
 
 // shard is one partition of the corpus: a primary plus any read
-// replicas, with a fan-out latency histogram for the status endpoint.
+// replicas, with a fan-out latency histogram for the status endpoint
+// and read-balance counters for bounded-staleness replica reads.
 type shard struct {
 	id    int
 	nodes []*node // nodes[0] is the primary
 
 	histMu sync.Mutex
 	hist   *benchfmt.Histogram
+
+	// rr rotates the first read slot across the primary and the
+	// staleness-eligible replicas; primaryReads / replicaReads record
+	// which role actually got that slot (monotone counters surfaced in
+	// /api/cluster/status as the read balance).
+	rr           atomic.Uint64
+	primaryReads atomic.Int64
+	replicaReads atomic.Int64
+}
+
+// newShard builds one shard's node set from its config: the primary at
+// slot 0, replicas behind it, all optimistically up until probed.
+func newShard(id int, sc ShardConfig) *shard {
+	sh := &shard{id: id, hist: benchfmt.NewHistogram()}
+	sh.nodes = append(sh.nodes, &node{url: sc.Primary, up: true})
+	for _, r := range sc.Replicas {
+		sh.nodes = append(sh.nodes, &node{url: r, replica: true, up: true})
+	}
+	return sh
 }
 
 func (sh *shard) primary() *node { return sh.nodes[0] }
+
+// replicaLag returns replica n's byte lag behind the shard's primary,
+// computed from the most recent health observations: the primary's
+// journal size minus the replica's applied cut. ok is false when the
+// lag is unknowable — either node's health doc is missing the fields,
+// or the two report different journal generations (the primary rotated
+// or restarted and the replica has not re-bootstrapped yet, when
+// comparing offsets is meaningless). A negative difference clamps to
+// zero: the two docs are sampled at different instants, so a replica
+// can appear momentarily ahead.
+func (sh *shard) replicaLag(n *node) (int64, bool) {
+	primarySize, sizeOK := sh.primary().healthValue("walSize")
+	primaryGen, genOK := sh.primary().healthString("walGen")
+	cut, cutOK := n.healthValue("replicationCut")
+	gen, rgenOK := n.healthString("replicationGen")
+	if !sizeOK || !genOK || !cutOK || !rgenOK || gen != primaryGen {
+		return -1, false
+	}
+	lag := int64(primarySize - cut)
+	if lag < 0 {
+		lag = 0
+	}
+	return lag, true
+}
+
+// eligibleForRead reports whether replica n may serve a rotated
+// bounded-staleness read: the node is up and its lag is known and at
+// most bound (the boundary is inclusive — a replica exactly at the
+// bound still qualifies). A generation mismatch makes the lag unknown,
+// so a replica mid-resync always falls back to the primary.
+func (sh *shard) eligibleForRead(n *node, bound int64) bool {
+	if !n.replica || !n.isUp() {
+		return false
+	}
+	lag, ok := sh.replicaLag(n)
+	return ok && lag <= bound
+}
 
 // readOrder returns the nodes to try for a read: the primary first,
 // then replicas — except a down primary sorts last, which is the
@@ -101,6 +166,50 @@ func (sh *shard) readOrder() []*node {
 	// Down nodes stay in the order as a last resort: health state can
 	// be stale, and trying a "down" node is cheaper than refusing.
 	return append(out, down...)
+}
+
+// readOrder is the coordinator's node preference for one shard read:
+// the shard's failover order, with bounded-staleness rotation applied
+// when replica reads are enabled. While the primary is healthy, the
+// first slot rotates round-robin across the primary and every replica
+// whose lag is within the staleness bound — spreading read load instead
+// of pinning it to the primary — and the rest of the failover order
+// stays behind the rotated choice, so hedging and failover work
+// unchanged. With the primary down, the plain failover order applies
+// (read-side promotion already prefers replicas). Either way the
+// shard's read-balance counters record which role got the first slot.
+func (c *Coordinator) readOrder(sh *shard) []*node {
+	order := sh.readOrder()
+	if c.replicaReads && len(order) > 1 && sh.primary().isUp() {
+		var eligible []*node
+		for _, n := range sh.nodes {
+			if sh.eligibleForRead(n, c.stalenessBound) {
+				eligible = append(eligible, n)
+			}
+		}
+		if len(eligible) > 0 {
+			pick := int(sh.rr.Add(1) % uint64(len(eligible)+1))
+			if pick > 0 {
+				chosen := eligible[pick-1]
+				rotated := make([]*node, 0, len(order))
+				rotated = append(rotated, chosen)
+				for _, n := range order {
+					if n != chosen {
+						rotated = append(rotated, n)
+					}
+				}
+				order = rotated
+			}
+		}
+	}
+	if len(order) > 0 {
+		if order[0].replica {
+			sh.replicaReads.Add(1)
+		} else {
+			sh.primaryReads.Add(1)
+		}
+	}
+	return order
 }
 
 func (sh *shard) observeFanout(d time.Duration) {
@@ -193,10 +302,13 @@ func (c *Coordinator) probeLoop() {
 	}
 }
 
-// probeAll probes every node once, concurrently.
+// probeAll probes every node of the current topology once,
+// concurrently. The shard list is re-read from the topology pointer on
+// every round, so shards added by a reshard start being probed on the
+// next cycle without coordination.
 func (c *Coordinator) probeAll(ctx context.Context) {
 	var wg sync.WaitGroup
-	for _, sh := range c.shards {
+	for _, sh := range c.topo.Load().shards {
 		for _, n := range sh.nodes {
 			wg.Add(1)
 			go func(n *node) {
@@ -231,6 +343,11 @@ type ShardStatus struct {
 	// coordinator has observed against this shard.
 	FanoutP99Seconds float64 `json:"fanoutP99Seconds"`
 	FanoutCount      int64   `json:"fanoutCount"`
+	// PrimaryReads / ReplicaReads are the read-balance counters: how
+	// many shard reads were routed first to the primary vs a replica
+	// (bounded-staleness rotation plus read-side promotion).
+	PrimaryReads int64 `json:"primaryReads"`
+	ReplicaReads int64 `json:"replicaReads"`
 }
 
 // StatusJSON is the GET /api/cluster/status document.
@@ -254,39 +371,42 @@ type StatusJSON struct {
 	HedgeWins         int64 `json:"hedgeWins"`
 	HedgesSuppressed  int64 `json:"hedgesSuppressed"`
 	Backpressure      int64 `json:"backpressure"`
+	// ReplicaReadsEnabled / StalenessBoundBytes echo the coordinator's
+	// bounded-staleness read configuration.
+	ReplicaReadsEnabled bool  `json:"replicaReadsEnabled"`
+	StalenessBoundBytes int64 `json:"stalenessBoundBytes"`
+	// Reshard describes the running or most recent reshard operation;
+	// absent until one has been requested.
+	Reshard *ReshardStatus `json:"reshard,omitempty"`
 }
 
 // status assembles the cluster status document from the latest health
 // observations.
 func (c *Coordinator) status() StatusJSON {
-	out := StatusJSON{Shards: make([]ShardStatus, len(c.shards))}
+	shards := c.topo.Load().shards
+	out := StatusJSON{Shards: make([]ShardStatus, len(shards))}
 	var maxLag int64
-	for i, sh := range c.shards {
+	for i, sh := range shards {
 		ss := ShardStatus{ID: sh.id}
 		ss.FanoutP99Seconds, ss.FanoutCount = sh.fanoutQuantile(0.99)
-		primarySize, primaryOK := sh.primary().healthValue("walSize")
-		primaryGen, _ := sh.primary().healthString("walGen")
+		ss.PrimaryReads = sh.primaryReads.Load()
+		ss.ReplicaReads = sh.replicaReads.Load()
 		for _, n := range sh.nodes {
-			n.mu.Lock()
-			ns := NodeStatus{URL: n.url, Role: "primary", Up: n.up, Fails: n.fails, LastError: n.lastErr}
+			up, fails, lastErr := n.snapshot()
+			ns := NodeStatus{URL: n.url, Role: "primary", Up: up, Fails: fails, LastError: lastErr}
 			if n.replica {
 				ns.Role = "replica"
 			}
-			if v, ok := n.health["clips"].(float64); ok {
+			if v, ok := n.healthValue("clips"); ok {
 				ns.Clips = v
 			}
-			if v, ok := n.health["epoch"].(float64); ok {
+			if v, ok := n.healthValue("epoch"); ok {
 				ns.Epoch = v
 			}
 			if n.replica {
 				ns.LagBytes = -1
-				cut, cutOK := n.health["replicationCut"].(float64)
-				gen, genOK := n.health["replicationGen"].(string)
-				if n.up && cutOK && genOK && primaryOK && gen == primaryGen {
-					ns.LagBytes = int64(primarySize - cut)
-					if ns.LagBytes < 0 {
-						ns.LagBytes = 0 // health docs sampled at different instants
-					}
+				if lag, ok := sh.replicaLag(n); up && ok {
+					ns.LagBytes = lag
 				}
 				switch {
 				case ns.LagBytes < 0:
@@ -295,12 +415,14 @@ func (c *Coordinator) status() StatusJSON {
 					maxLag = ns.LagBytes
 				}
 			}
-			n.mu.Unlock()
 			ss.Nodes = append(ss.Nodes, ns)
 		}
 		out.Shards[i] = ss
 	}
 	out.MaxLagBytes = maxLag
+	out.ReplicaReadsEnabled = c.replicaReads
+	out.StalenessBoundBytes = c.stalenessBound
+	out.Reshard = c.reshard.statusDoc()
 	out.Queries = c.metrics.get("queries")
 	out.Batches = c.metrics.get("batches")
 	out.PartialQueries = c.metrics.get("partial")

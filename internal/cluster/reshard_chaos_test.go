@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"videodb/internal/chaos"
+	"videodb/internal/core"
+	"videodb/internal/server"
+)
+
+// chaosReshardCluster is a test cluster whose shard backends carry a
+// chaos injector on the replication (migration) endpoints.
+type chaosReshardCluster struct {
+	tc        *testCluster
+	shardDBs  []*core.Database
+	injectors []*chaos.Injector
+}
+
+// newChaosReshardCluster builds k shards whose /api/replication/clip
+// endpoints run behind the given faults; client-facing paths stay
+// clean, so any 5xx seen by healthy traffic is a coordinator bug.
+func newChaosReshardCluster(t *testing.T, k int, clips int, faults []chaos.Fault) *chaosReshardCluster {
+	t.Helper()
+	cc := &chaosReshardCluster{tc: &testCluster{union: newDB(t)}}
+	ring := NewRing(k, 0)
+	cfg := Config{ProbeInterval: 200 * time.Millisecond, Timeout: 2 * time.Second}
+	all := makeClips(t, clips)
+	for i := 0; i < k; i++ {
+		db := newDB(t)
+		inj := chaos.New(faults, uint64(100+i))
+		ts := httptest.NewServer(inj.Middleware(server.New(db).Handler()))
+		t.Cleanup(ts.Close)
+		cc.tc.shardDBs = append(cc.tc.shardDBs, db)
+		cc.tc.backends = append(cc.tc.backends, ts)
+		cc.injectors = append(cc.injectors, inj)
+		cfg.Shards = append(cfg.Shards, ShardConfig{Primary: ts.URL})
+	}
+	cc.shardDBs = cc.tc.shardDBs
+	for _, clip := range all {
+		if _, err := cc.tc.union.Ingest(clip); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cc.tc.shardDBs[ring.Owner(clip.Name)].Ingest(clip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	cc.tc.coord = coord
+	cc.tc.front = httptest.NewServer(coord.Handler())
+	t.Cleanup(cc.tc.front.Close)
+	return cc
+}
+
+// healthyTraffic hammers the query path until stopped and records any
+// 5xx — the chaos invariant is that migration faults never leak into
+// client answers as server errors (partial degradation is allowed).
+func healthyTraffic(t *testing.T, front string, stop <-chan struct{}, wg *sync.WaitGroup) <-chan error {
+	t.Helper()
+	errs := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := fmt.Sprintf("/api/query?varba=%d&varoa=%d", (i*13)%100, (i*7)%100)
+			resp, err := http.Get(front + q)
+			if err != nil {
+				select {
+				case errs <- fmt.Errorf("healthy traffic: %w", err):
+				default:
+				}
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				select {
+				case errs <- fmt.Errorf("healthy traffic got %d from %s during migration", resp.StatusCode, q):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	return errs
+}
+
+// assertNoClipLost checks every union clip still exists somewhere in
+// the given databases — migration faults may duplicate a clip for a
+// while, but may never lose one.
+func assertNoClipLost(t *testing.T, union *core.Database, dbs []*core.Database) {
+	t.Helper()
+	for _, rec := range union.Records() {
+		found := false
+		for _, db := range dbs {
+			if _, ok := db.Clip(rec.Name); ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("clip %q lost during chaotic migration", rec.Name)
+		}
+	}
+}
+
+// TestReshardRetriesThroughFlakyReplication injects 500s on the
+// replication endpoints of every shard (sources and the grow
+// destination) while a 3->4 reshard runs. The engine's per-operation
+// retries must either push the migration through or roll it back
+// cleanly — and in both outcomes no clip is lost, the topology is
+// coherent, and concurrent healthy traffic never sees a 5xx.
+func TestReshardRetriesThroughFlakyReplication(t *testing.T) {
+	faults := []chaos.Fault{
+		{Kind: chaos.KindError, PathPrefix: "/api/replication/clip", Prob: 0.35, Code: http.StatusInternalServerError},
+	}
+	cc := newChaosReshardCluster(t, 3, 8, faults)
+	oracle := httptest.NewServer(server.New(cc.tc.union).Handler())
+	t.Cleanup(oracle.Close)
+
+	destDB := newDB(t)
+	destInj := chaos.New(faults, 999)
+	destTS := httptest.NewServer(destInj.Middleware(server.New(destDB).Handler()))
+	t.Cleanup(destTS.Close)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := healthyTraffic(t, cc.tc.front.URL, stop, &wg)
+
+	rep, err := cc.tc.coord.Reshard(context.Background(),
+		ReshardRequest{Add: []ReshardShard{{Primary: destTS.URL}}})
+	close(stop)
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+
+	allDBs := append(append([]*core.Database{}, cc.shardDBs...), destDB)
+	assertNoClipLost(t, cc.tc.union, allDBs)
+
+	var st StatusJSON
+	if code, _ := getJSON(t, cc.tc.front.URL+"/api/cluster/status", &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if err != nil {
+		// Rolled back: old topology intact, destination swept clean, and
+		// every clip still exactly where the old ring says.
+		if !rep.RolledBack {
+			t.Fatalf("failed reshard did not report rollback: %+v", rep)
+		}
+		if len(st.Shards) != 3 {
+			t.Fatalf("failed reshard changed membership to %d shards", len(st.Shards))
+		}
+		if n := len(destDB.Clips()); n != 0 {
+			t.Errorf("rollback left %d clips on the abandoned destination", n)
+		}
+		assertPlacement(t, cc.tc.union, cc.shardDBs)
+	} else {
+		if rep.Retries == 0 {
+			t.Logf("note: reshard succeeded without retries despite 35%% fault rate")
+		}
+		if len(st.Shards) != 4 {
+			t.Fatalf("successful reshard reports %d shards, want 4", len(st.Shards))
+		}
+		assertPlacement(t, cc.tc.union, allDBs)
+		assertEquivalence(t, cc.tc.front.URL, oracle.URL, cc.tc.union, "after chaotic reshard")
+	}
+}
+
+// TestReshardSourceDiesMidMigration slows every source's replication
+// export, then kills one source's HTTP server while the copy phase is
+// in flight. The reshard must fail and roll back — old ring kept, the
+// destination swept — with zero clips lost (the dead server's database
+// still holds its partition; only its HTTP front died) and zero 5xx on
+// concurrent healthy traffic.
+func TestReshardSourceDiesMidMigration(t *testing.T) {
+	faults := []chaos.Fault{
+		{Kind: chaos.KindLatency, PathPrefix: "/api/replication/clip", Prob: 1, Latency: 120 * time.Millisecond},
+	}
+	cc := newChaosReshardCluster(t, 3, 10, faults)
+
+	destDB, destTS := addBackend(t)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := healthyTraffic(t, cc.tc.front.URL, stop, &wg)
+
+	done := make(chan struct{})
+	var rep *ReshardReport
+	var rerr error
+	go func() {
+		defer close(done)
+		rep, rerr = cc.tc.coord.Reshard(context.Background(),
+			ReshardRequest{Add: []ReshardShard{{Primary: destTS.URL}}})
+	}()
+
+	// Let the copy phase start (each per-clip export eats >= 120ms),
+	// then kill a source mid-stream.
+	time.Sleep(200 * time.Millisecond)
+	cc.tc.backends[1].Close()
+	<-done
+	close(stop)
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+
+	if rerr == nil {
+		// The kill can land after the last copy from shard 1 — but the
+		// cutover relist contacts every source, so a completed reshard
+		// means shard 1 died after cutover. Membership must then be 4.
+		var st StatusJSON
+		getJSON(t, cc.tc.front.URL+"/api/cluster/status", &st)
+		if len(st.Shards) != 4 {
+			t.Fatalf("reshard claims success but status has %d shards", len(st.Shards))
+		}
+	} else {
+		if !rep.RolledBack {
+			t.Fatalf("reshard failed without rollback: %+v (err %v)", rep, rerr)
+		}
+		var st StatusJSON
+		getJSON(t, cc.tc.front.URL+"/api/cluster/status", &st)
+		if len(st.Shards) != 3 {
+			t.Fatalf("rolled-back reshard changed membership to %d shards", len(st.Shards))
+		}
+		if n := len(destDB.Clips()); n != 0 {
+			t.Errorf("rollback left %d clips on the destination", n)
+		}
+	}
+	// Either way: the union corpus survives across the in-process
+	// databases (the killed backend's DB included — only its HTTP
+	// listener died).
+	assertNoClipLost(t, cc.tc.union, append(append([]*core.Database{}, cc.shardDBs...), destDB))
+}
+
+// TestReshardDestinationDiesMidMigration kills the grow destination
+// while copies stream into it: the reshard must fail, keep the old
+// 3-shard topology, and leave the source partitions untouched.
+func TestReshardDestinationDiesMidMigration(t *testing.T) {
+	cc := newChaosReshardCluster(t, 3, 10, nil)
+
+	destDB := newDB(t)
+	destInj := chaos.New([]chaos.Fault{
+		{Kind: chaos.KindLatency, PathPrefix: "/api/replication/clip", Prob: 1, Latency: 120 * time.Millisecond},
+	}, 7)
+	destTS := httptest.NewServer(destInj.Middleware(server.New(destDB).Handler()))
+	t.Cleanup(destTS.Close)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := healthyTraffic(t, cc.tc.front.URL, stop, &wg)
+
+	done := make(chan struct{})
+	var rep *ReshardReport
+	var rerr error
+	go func() {
+		defer close(done)
+		rep, rerr = cc.tc.coord.Reshard(context.Background(),
+			ReshardRequest{Add: []ReshardShard{{Primary: destTS.URL}}})
+	}()
+	time.Sleep(200 * time.Millisecond)
+	destTS.Close()
+	<-done
+	close(stop)
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+
+	if rerr == nil {
+		t.Fatalf("reshard succeeded although the destination died mid-copy: %+v", rep)
+	}
+	if !rep.RolledBack {
+		t.Fatalf("reshard failed without rollback: %+v", rep)
+	}
+	var st StatusJSON
+	if code, _ := getJSON(t, cc.tc.front.URL+"/api/cluster/status", &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if len(st.Shards) != 3 {
+		t.Fatalf("membership changed to %d shards after a failed grow", len(st.Shards))
+	}
+	// Sources are untouched: every clip still lives exactly on its
+	// old-ring owner, so client answers are exactly what they were.
+	assertPlacement(t, cc.tc.union, cc.shardDBs)
+}

@@ -79,13 +79,107 @@ func (r *Ring) Shards() int { return r.shards }
 // Owner maps a clip name to the shard that stores it: the shard whose
 // virtual point is first at or clockwise of the name's hash.
 func (r *Ring) Owner(name string) int {
-	h := hashKey(name)
+	return r.ownerOfHash(hashKey(name))
+}
+
+// ownerOfHash maps a raw key hash to its owning shard.
+func (r *Ring) ownerOfHash(h uint64) int {
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrapped past the highest point
 	}
 	return r.points[i].shard
 }
+
+// RingDiff is the keyspace delta between two rings: which arcs change
+// owner when the membership changes. The rebalancer derives the moved
+// clip set from it — a clip migrates if and only if its arc's owner
+// differs between the rings — and the reshard report quotes
+// MovedFraction as the minimal-movement evidence (growing n shards to
+// n+1 should move about 1/(n+1) of the keyspace, never reshuffle it).
+//
+// Immutable after Diff: concurrent readers need no locks.
+type RingDiff struct {
+	arcs      []diffArc
+	movedFrac float64
+}
+
+// diffArc is one maximal arc (prev.end, end] on which both rings'
+// ownership is constant. The arc ending at the smallest boundary wraps:
+// it also covers everything above the largest boundary.
+type diffArc struct {
+	end      uint64
+	from, to int // owner in the old and new ring
+}
+
+// Diff computes the ownership delta from r to next. Both rings'
+// virtual points carve the keyspace into arcs; on each arc between two
+// adjacent points of the union, each ring's owner is constant (the
+// shard of that ring's next point clockwise), so comparing owners per
+// union arc classifies the entire keyspace exactly.
+func (r *Ring) Diff(next *Ring) *RingDiff {
+	bounds := make([]uint64, 0, len(r.points)+len(next.points))
+	for _, p := range r.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range next.points {
+		bounds = append(bounds, p.hash)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	d := &RingDiff{arcs: make([]diffArc, 0, len(uniq))}
+	var movedSpan uint64
+	for i, b := range uniq {
+		arc := diffArc{end: b, from: r.ownerOfHash(b), to: next.ownerOfHash(b)}
+		d.arcs = append(d.arcs, arc)
+		if arc.from != arc.to {
+			// Unsigned subtraction wraps, which is exactly the width of
+			// the circular arc — including the wrap arc at i == 0.
+			movedSpan += b - uniq[(i+len(uniq)-1)%len(uniq)]
+		}
+	}
+	// 2^64 as a float64; the quotient is the moved keyspace fraction.
+	d.movedFrac = float64(movedSpan) / 18446744073709551616.0
+	if len(uniq) == 1 {
+		// A single boundary means one arc covering everything.
+		if d.arcs[0].from != d.arcs[0].to {
+			d.movedFrac = 1
+		} else {
+			d.movedFrac = 0
+		}
+	}
+	return d
+}
+
+// lookup returns the arc owning a clip name.
+func (d *RingDiff) lookup(name string) diffArc {
+	h := hashKey(name)
+	i := sort.Search(len(d.arcs), func(i int) bool { return d.arcs[i].end >= h })
+	if i == len(d.arcs) {
+		i = 0 // wrap, as in Owner
+	}
+	return d.arcs[i]
+}
+
+// Moved reports whether a clip changes owner under the diff.
+func (d *RingDiff) Moved(name string) bool {
+	a := d.lookup(name)
+	return a.from != a.to
+}
+
+// Owners returns a clip's owner in the old and new ring.
+func (d *RingDiff) Owners(name string) (from, to int) {
+	a := d.lookup(name)
+	return a.from, a.to
+}
+
+// MovedFraction is the fraction of the keyspace whose owner changes.
+func (d *RingDiff) MovedFraction() float64 { return d.movedFrac }
 
 // hashKey is FNV-1a 64 finished with a murmur-style avalanche. It is
 // stable across processes and Go versions (unlike hash/maphash), which

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -71,6 +72,73 @@ func TestRingMinimalMovement(t *testing.T) {
 	share := keys / (n + 1)
 	if moved < share/2 || moved > share*2 {
 		t.Errorf("grow moved %d keys, want about %d (1/%d of %d)", moved, share, n+1, keys)
+	}
+}
+
+// TestRingDiffMovedSetExact is the rebalancer's correctness property:
+// across 1000 randomized membership changes (random sizes, random
+// grow/shrink deltas, random vnode counts — including rings whose vnode
+// counts differ), the arc-diff's moved set is exactly the set of keys
+// whose owner changed between the rings. No over-migration (a key the
+// diff moves but whose owner is unchanged) and no under-migration (an
+// owner change the diff misses) — the property the migration engine's
+// "copy exactly the moved clips" step rests on.
+func TestRingDiffMovedSetExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const topologies = 1000
+	const keysPer = 150
+	for i := 0; i < topologies; i++ {
+		oldN := 1 + rng.Intn(9)
+		newN := 1 + rng.Intn(9)
+		oldV := 1 + rng.Intn(48)
+		newV := oldV
+		if rng.Intn(4) == 0 {
+			newV = 1 + rng.Intn(48)
+		}
+		old := NewRing(oldN, oldV)
+		next := NewRing(newN, newV)
+		d := old.Diff(next)
+		if f := d.MovedFraction(); f < 0 || f > 1 {
+			t.Fatalf("topology %d (%d->%d shards): MovedFraction %v out of [0,1]", i, oldN, newN, f)
+		}
+		for k := 0; k < keysPer; k++ {
+			name := fmt.Sprintf("clip-%d-%d.vdbf", i, k)
+			wantFrom, wantTo := old.Owner(name), next.Owner(name)
+			if got := d.Moved(name); got != (wantFrom != wantTo) {
+				t.Fatalf("topology %d (%d->%d shards, %d/%d vnodes): key %q Moved=%v, owners %d->%d",
+					i, oldN, newN, oldV, newV, name, got, wantFrom, wantTo)
+			}
+			from, to := d.Owners(name)
+			if from != wantFrom || to != wantTo {
+				t.Fatalf("topology %d: key %q Owners()=(%d,%d), ring owners (%d,%d)",
+					i, name, from, to, wantFrom, wantTo)
+			}
+		}
+	}
+}
+
+// TestRingDiffGrowMovesOnlyToNewShard pins the minimal-movement shape
+// of the diff itself: growing n -> n+1 with the vnode count held fixed,
+// every moved arc's destination is the new shard and the moved fraction
+// is near 1/(n+1).
+func TestRingDiffGrowMovesOnlyToNewShard(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		old := NewRing(n, 0)
+		grown := NewRing(n+1, 0)
+		d := old.Diff(grown)
+		for i := 0; i < 3000; i++ {
+			name := fmt.Sprintf("clip-%d", i)
+			if !d.Moved(name) {
+				continue
+			}
+			if _, to := d.Owners(name); to != n {
+				t.Fatalf("n=%d: moved key %q lands on shard %d, not the new shard %d", n, name, to, n)
+			}
+		}
+		fair := 1.0 / float64(n+1)
+		if f := d.MovedFraction(); f < fair/2 || f > fair*2 {
+			t.Errorf("n=%d: moved fraction %.4f, want about %.4f", n, f, fair)
+		}
 	}
 }
 

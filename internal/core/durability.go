@@ -351,8 +351,31 @@ func (db *Database) SetJournal(j Journal) {
 	db.journal = j
 }
 
+// Gob assigns wire type IDs from a process-global registry in order of
+// first use, and those IDs appear in every stream's type descriptors —
+// so two processes that first touched gob through different paths (say,
+// serving a replication snapshot versus ingesting a clip) emit
+// different bytes for the same clip record. Online resharding verifies
+// copies by comparing a destination's re-export byte for byte against
+// the source's export, which is only sound if the encoding is canonical
+// across processes. Registering the clip-record type graph here, before
+// any other encode can run, pins the ID assignment to one order in
+// every process of this build.
+func init() {
+	pin := clipSnapshot{
+		Shots: []ShotRecord{{}},
+		Tree:  []scenetree.FlatNode{{}},
+	}
+	if err := gob.NewEncoder(io.Discard).Encode(&pin); err != nil {
+		panic(fmt.Sprintf("core: pinning gob clip-record types: %v", err))
+	}
+}
+
 // EncodeClipRecord serializes one clip's analysis state as a journal
-// payload (the same gob clip snapshot Save embeds).
+// payload (the same gob clip snapshot Save embeds). The encoding is
+// canonical for a given build: the init above pins gob's type-ID
+// assignment, so the same record encodes to the same bytes in every
+// process, whatever else that process has encoded first.
 func EncodeClipRecord(rec *ClipRecord) ([]byte, error) {
 	var buf bytes.Buffer
 	cs := snapshotOf(rec)
@@ -384,6 +407,40 @@ func (db *Database) ApplyIngestRecord(payload []byte) (string, error) {
 	defer db.mu.Unlock()
 	// withClip replaces a same-named clip and its index entries
 	// wholesale, which is exactly replay idempotence.
+	db.publishLocked(db.view.Load().withClip(rec, entries))
+	return rec.Name, nil
+}
+
+// ImportClipRecord decodes an EncodeClipRecord payload and installs the
+// clip as a first-class write: unlike ApplyIngestRecord it goes through
+// the write-ahead journal, so an imported clip survives a crash exactly
+// like an ingested one. This is the migration-destination entry point —
+// a reshard streams already-analyzed clips between primaries, and the
+// receiving node must own them durably, not merely mirror them. Like
+// the replay path it is idempotent: re-importing a clip the database
+// already holds replaces it and its index entries wholesale, which is
+// what lets a migration retry after a half-applied copy.
+func (db *Database) ImportClipRecord(payload []byte) (string, error) {
+	var cs clipSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&cs); err != nil {
+		return "", fmt.Errorf("core: decoding clip record: %w", err)
+	}
+	if cs.Name == "" {
+		return "", fmt.Errorf("core: clip record has no clip name")
+	}
+	rec, entries, err := cs.record()
+	if err != nil {
+		return "", err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Write-ahead, like IngestContext: the record must be durable before
+	// the clip becomes visible.
+	if db.journal != nil {
+		if jerr := db.journal.LogIngest(rec); jerr != nil {
+			return "", fmt.Errorf("core: clip %q: journaling import: %w", rec.Name, jerr)
+		}
+	}
 	db.publishLocked(db.view.Load().withClip(rec, entries))
 	return rec.Name, nil
 }

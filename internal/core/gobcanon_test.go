@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// canonChildEnv flags the re-exec'd child process of the cross-process
+// canonicality test below.
+const canonChildEnv = "VIDEODB_TEST_GOB_CANON_CHILD"
+
+// canonRecordHex ingests a fixed clip and returns its EncodeClipRecord
+// payload as hex. Both the parent test process and the re-exec'd child
+// run exactly this, so any byte difference between them is down to
+// process-global encoder state, not the data.
+func canonRecordHex(t testing.TB) string {
+	t.Helper()
+	db := openDB(t)
+	clip, _ := corpusClip(t, "canon-fixture", 77)
+	rec, err := db.Ingest(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := EncodeClipRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(payload)
+}
+
+// TestEncodeClipRecordCanonicalAcrossProcesses proves the property the
+// reshard engine's byte-for-byte copy verification stands on: the same
+// clip record encodes to the same bytes in every process of this build,
+// regardless of what that process gob-encoded first. Gob assigns wire
+// type IDs from a process-global registry in first-use order, so
+// without the pinning init in durability.go a process that served a
+// replication snapshot before its first ingest emits different type
+// descriptors — and different bytes — than a fresh one. The test
+// re-execs itself; the child dirties gob's registry with unrelated
+// types before encoding the fixture, and its output must still match
+// the parent's byte for byte.
+func TestEncodeClipRecordCanonicalAcrossProcesses(t *testing.T) {
+	if os.Getenv(canonChildEnv) == "1" {
+		// Child mode: register a pile of unrelated types first, the
+		// way a replica bootstrap encodes the whole snapshot graph
+		// before the first clip ingest ever runs.
+		type decoy1 struct{ A, B int }
+		type decoy2 struct {
+			S  []decoy1
+			M  string
+			F  float64
+			Ds []struct{ X, Y, Z uint32 }
+		}
+		enc := gob.NewEncoder(io.Discard)
+		if err := enc.Encode(&decoy2{S: []decoy1{{1, 2}}, Ds: []struct{ X, Y, Z uint32 }{{}}}); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("CANON:%s\n", canonRecordHex(t))
+		return
+	}
+
+	want := canonRecordHex(t)
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestEncodeClipRecordCanonicalAcrossProcesses$", "-test.v")
+	cmd.Env = append(os.Environ(), canonChildEnv+"=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("child process failed: %v\n%s", err, out)
+	}
+	var got string
+	for _, line := range strings.Split(string(out), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "CANON:"); ok {
+			got = rest
+			break
+		}
+	}
+	if got == "" {
+		t.Fatalf("child printed no CANON line:\n%s", out)
+	}
+	if got != want {
+		gb, _ := hex.DecodeString(got)
+		wb, _ := hex.DecodeString(want)
+		t.Fatalf("clip record encoding differs across processes (%d vs %d bytes): gob type-ID assignment is not pinned", len(gb), len(wb))
+	}
+}
+
+// TestEncodeClipRecordStableAfterSnapshotTraffic is the in-process
+// variant: encoding a database snapshot (the replica-bootstrap path)
+// before or after EncodeClipRecord must not change the clip record's
+// bytes.
+func TestEncodeClipRecordStableAfterSnapshotTraffic(t *testing.T) {
+	db := openDB(t)
+	clip, _ := corpusClip(t, "canon-snap", 78)
+	rec, err := db.Ingest(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := EncodeClipRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := db.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	after, err := EncodeClipRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("snapshot encode changed clip record bytes (%d vs %d)", len(after), len(before))
+	}
+}

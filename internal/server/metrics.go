@@ -32,6 +32,13 @@ type metricsRegistry struct {
 	replSnapshots int64
 	replChunks    int64
 	replBytes     int64
+	// migrExports / migrImports count the per-clip record traffic of
+	// online resharding: records exported to a migrating coordinator and
+	// records imported from one (with their byte volumes).
+	migrExports     int64
+	migrExportBytes int64
+	migrImports     int64
+	migrImportBytes int64
 	// snapshotLastUnix is the wall-clock time of the last successful
 	// POST /api/snapshot, as Unix seconds; 0 until one succeeds.
 	snapshotLastUnix float64
@@ -137,6 +144,24 @@ func (m *metricsRegistry) addReplicationChunk(n int) {
 	m.mu.Unlock()
 }
 
+// addMigrationExport records one clip record of n bytes exported to a
+// resharding coordinator.
+func (m *metricsRegistry) addMigrationExport(n int) {
+	m.mu.Lock()
+	m.migrExports++
+	m.migrExportBytes += int64(n)
+	m.mu.Unlock()
+}
+
+// addMigrationImport records one clip record of n bytes imported from a
+// resharding coordinator.
+func (m *metricsRegistry) addMigrationImport(n int) {
+	m.mu.Lock()
+	m.migrImports++
+	m.migrImportBytes += int64(n)
+	m.mu.Unlock()
+}
+
 // addBatch records one served batch of n queries.
 func (m *metricsRegistry) addBatch(n int) {
 	m.mu.Lock()
@@ -206,6 +231,10 @@ func (m *metricsRegistry) render(w io.Writer, counters, gauges map[string]float6
 		{"videodb_replication_snapshots_total", "Bootstrap snapshots streamed to replicas.", m.replSnapshots},
 		{"videodb_replication_chunks_total", "WAL chunks shipped to replicas.", m.replChunks},
 		{"videodb_replication_bytes_total", "WAL bytes shipped to replicas.", m.replBytes},
+		{"videodb_migration_exports_total", "Clip records exported to a resharding coordinator.", m.migrExports},
+		{"videodb_migration_export_bytes_total", "Clip record bytes exported to a resharding coordinator.", m.migrExportBytes},
+		{"videodb_migration_imports_total", "Clip records imported during a reshard.", m.migrImports},
+		{"videodb_migration_import_bytes_total", "Clip record bytes imported during a reshard.", m.migrImportBytes},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
 	}

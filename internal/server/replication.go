@@ -13,9 +13,11 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
+	"videodb/internal/core"
 	"videodb/internal/wal"
 )
 
@@ -154,6 +156,61 @@ func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, _ *http.Reques
 	}
 	writeError(w, http.StatusServiceUnavailable,
 		fmt.Errorf("journal rotating continuously; retry"))
+}
+
+// maxClipRecord caps what the import endpoint will read for one clip's
+// analysis record. Records are shots + tree + stats, never pixels, so
+// even a feature-length clip is well under this.
+const maxClipRecord = 64 << 20
+
+// handleReplicationClipGet implements GET /api/replication/clip/{name}:
+// export one clip's analysis record in the journal's gob encoding (the
+// exact payload EncodeClipRecord produces and ImportClipRecord
+// consumes). This is the migration-source side of online resharding:
+// the coordinator streams moved clips between primaries record by
+// record, and because the encoding is deterministic the destination's
+// re-export can be compared byte for byte against this answer to verify
+// the copy.
+func (s *Server) handleReplicationClipGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rec, ok := s.db.Clip(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("clip %q not found", name))
+		return
+	}
+	payload, err := core.EncodeClipRecord(rec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	_, _ = w.Write(payload)
+	s.metrics.addMigrationExport(len(payload))
+}
+
+// handleReplicationClipPut implements POST /api/replication/clip:
+// import one exported clip record as a first-class durable write (it
+// goes through this node's journal, unlike replica replay). Idempotent:
+// re-importing replaces the same-named clip wholesale, so a migration
+// retry after a torn copy converges instead of erroring. Refused on
+// read replicas — their state is owned by the replication stream.
+func (s *Server) handleReplicationClipPut(w http.ResponseWriter, r *http.Request) {
+	if s.refuseReadOnly(w) {
+		return
+	}
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxClipRecord))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("reading clip record: %w", err))
+		return
+	}
+	name, err := s.db.ImportClipRecord(payload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.addMigrationImport(len(payload))
+	writeJSON(w, map[string]string{"imported": name})
 }
 
 // handleReplicationWAL implements GET /api/replication/wal?from=&gen=:

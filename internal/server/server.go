@@ -147,6 +147,8 @@ func (s *Server) Handler() http.Handler {
 	route("GET /api/health", s.handleHealth)
 	route("GET /api/replication/snapshot", s.handleReplicationSnapshot)
 	route("GET /api/replication/wal", s.handleReplicationWAL)
+	route("GET /api/replication/clip/{name}", s.handleReplicationClipGet)
+	route("POST /api/replication/clip", s.handleReplicationClipPut)
 	route("GET /api/metrics", s.handleMetrics)
 	route("GET /", s.handleIndex)
 	var h http.Handler = mux
